@@ -1,0 +1,113 @@
+// AB1 — ablation: pairwise LCA strategies.
+//
+// Compares the paper's path-steered meet2 walk against (a) the naive
+// mark-and-walk LCA a system without path information would run, and
+// (b) an Euler-tour + sparse-table RMQ structure with O(1) queries but
+// O(n log n) preprocessing. Expected shape: steering beats the naive
+// walk (no hashing of full ancestor chains); RMQ wins per query on
+// dense pair workloads but pays a preprocessing + memory bill the
+// paper's interactive, ad hoc setting avoids.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lca_baselines.h"
+#include "core/meet_pair.h"
+#include "data/random_tree.h"
+#include "model/shredder.h"
+#include "util/rng.h"
+
+using namespace meetxml;
+
+namespace {
+
+// One shared document per tree size, built lazily.
+const model::StoredDocument& SharedDoc(int target_elements) {
+  static std::map<int, model::StoredDocument>* docs =
+      new std::map<int, model::StoredDocument>();
+  auto it = docs->find(target_elements);
+  if (it == docs->end()) {
+    data::RandomTreeOptions options;
+    options.seed = 424242;
+    options.target_elements = target_elements;
+    options.max_depth = 24;
+    auto generated = data::GenerateRandomTree(options);
+    MEETXML_CHECK_OK(generated.status());
+    auto shredded = model::Shred(*generated);
+    MEETXML_CHECK_OK(shredded.status());
+    it = docs->emplace(target_elements, std::move(*shredded)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::pair<bat::Oid, bat::Oid>> RandomPairs(
+    const model::StoredDocument& doc, size_t count) {
+  util::Rng rng(7);
+  std::vector<std::pair<bat::Oid, bat::Oid>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(
+        static_cast<bat::Oid>(rng.NextBelow(doc.node_count())),
+        static_cast<bat::Oid>(rng.NextBelow(doc.node_count())));
+  }
+  return pairs;
+}
+
+void BM_MeetPairSteered(benchmark::State& state) {
+  const auto& doc = SharedDoc(static_cast<int>(state.range(0)));
+  auto pairs = RandomPairs(doc, 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    auto meet = core::MeetPair(doc, a, b);
+    benchmark::DoNotOptimize(meet);
+  }
+}
+BENCHMARK(BM_MeetPairSteered)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NaiveLca(benchmark::State& state) {
+  const auto& doc = SharedDoc(static_cast<int>(state.range(0)));
+  auto pairs = RandomPairs(doc, 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    auto meet = core::NaiveLca(doc, a, b);
+    benchmark::DoNotOptimize(meet);
+  }
+}
+BENCHMARK(BM_NaiveLca)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EulerRmqQuery(benchmark::State& state) {
+  const auto& doc = SharedDoc(static_cast<int>(state.range(0)));
+  static std::map<int, core::EulerRmqLca>* lcas =
+      new std::map<int, core::EulerRmqLca>();
+  auto it = lcas->find(static_cast<int>(state.range(0)));
+  if (it == lcas->end()) {
+    auto built = core::EulerRmqLca::Build(doc);
+    MEETXML_CHECK_OK(built.status());
+    it = lcas->emplace(static_cast<int>(state.range(0)),
+                       std::move(*built)).first;
+  }
+  auto pairs = RandomPairs(doc, 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    auto meet = it->second.Query(a, b);
+    benchmark::DoNotOptimize(meet);
+  }
+  state.counters["prep_bytes"] =
+      static_cast<double>(it->second.MemoryBytes());
+}
+BENCHMARK(BM_EulerRmqQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EulerRmqBuild(benchmark::State& state) {
+  const auto& doc = SharedDoc(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto built = core::EulerRmqLca::Build(doc);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(BM_EulerRmqBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// AB2 — ablation: set-at-a-time meet_s (BAT joins) vs the naive
+// pairwise cross product.
+//
+// The paper motivates meet_s with exactly this comparison: applying
+// meet2 to every pair of a full-text result costs |S1| x |S2| walks and
+// reports non-minimal duplicates, while meet_s lifts whole relations
+// with one join per level. Expected shape: pairwise grows
+// quadratically, meet_s near-linearly in the input cardinality.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/meet_pair.h"
+#include "core/meet_set.h"
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "text/search.h"
+#include "util/timer.h"
+
+using namespace meetxml;
+
+int main() {
+  data::DblpOptions options;
+  options.icde_papers_per_year = 120;
+  options.other_papers_per_year = 240;
+  options.journal_articles_per_year = 100;
+  auto generated = data::GenerateDblp(options);
+  MEETXML_CHECK_OK(generated.status());
+  auto doc_result = model::Shred(*generated);
+  MEETXML_CHECK_OK(doc_result.status());
+  const model::StoredDocument& doc = *doc_result;
+
+  auto search_result = text::FullTextSearch::Build(doc);
+  MEETXML_CHECK_OK(search_result.status());
+
+  // Two uniformly-typed sets: booktitle cdatas containing "ICDE" and
+  // year cdatas containing "1999" — the case-study inputs.
+  auto icde = search_result->Search("ICDE", text::MatchMode::kContains);
+  auto year = search_result->Search("1999", text::MatchMode::kContains);
+  MEETXML_CHECK_OK(icde.status());
+  MEETXML_CHECK_OK(year.status());
+
+  // Pick the largest uniformly-typed set from each.
+  auto biggest = [](const text::TermMatches& matches) {
+    const core::AssocSet* best = nullptr;
+    for (const core::AssocSet& set : matches.sets) {
+      if (best == nullptr || set.size() > best->size()) best = &set;
+    }
+    return *best;
+  };
+  core::AssocSet left_all = biggest(*icde);
+  core::AssocSet right_all = biggest(*year);
+  std::printf("# AB2: set-at-a-time meet_s vs pairwise cross product\n");
+  std::printf("# document: %zu nodes; full sets: |ICDE|=%zu |1999|=%zu\n",
+              doc.node_count(), left_all.size(), right_all.size());
+  std::printf("#\n# n (per side)  meet_s_ms  meet_s_joins  pairwise_ms  "
+              "pairwise_walks\n");
+
+  for (size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    if (n > left_all.size() || n > right_all.size()) break;
+    core::AssocSet left{left_all.path,
+                        {left_all.nodes.begin(), left_all.nodes.begin() + n}};
+    core::AssocSet right{
+        right_all.path,
+        {right_all.nodes.begin(), right_all.nodes.begin() + n}};
+
+    util::Timer timer;
+    core::MeetSetStats stats;
+    auto set_result = core::MeetSet(doc, left, right, {}, &stats);
+    MEETXML_CHECK_OK(set_result.status());
+    double set_ms = timer.ElapsedMillis();
+
+    timer.Reset();
+    size_t walks = 0;
+    for (bat::Oid a : left.nodes) {
+      for (bat::Oid b : right.nodes) {
+        auto meet = core::MeetPair(doc, a, b);
+        MEETXML_CHECK_OK(meet.status());
+        ++walks;
+      }
+    }
+    double pair_ms = timer.ElapsedMillis();
+
+    std::printf("%13zu  %9.3f  %12d  %11.3f  %14zu\n", n, set_ms,
+                stats.joins, pair_ms, walks);
+  }
+  std::printf("# expected shape: pairwise ~quadratic in n, meet_s "
+              "~linear with a constant number of joins\n");
+  return 0;
+}

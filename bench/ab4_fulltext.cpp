@@ -1,0 +1,101 @@
+// AB4 — ablation: full-text machinery.
+//
+// Measures inverted-index build time, word-query latency, and the
+// paper's `contains` substring search with and without the trigram
+// accelerator. Expected shape: word queries are O(matches); the trigram
+// path beats the full scan by orders of magnitude for selective
+// needles and degrades gracefully for common ones.
+
+#include <benchmark/benchmark.h>
+
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "text/search.h"
+
+using namespace meetxml;
+
+namespace {
+
+const model::StoredDocument& SharedDoc() {
+  static model::StoredDocument* doc = [] {
+    data::DblpOptions options;
+    options.icde_papers_per_year = 60;
+    options.other_papers_per_year = 180;
+    options.journal_articles_per_year = 60;
+    auto generated = data::GenerateDblp(options);
+    MEETXML_CHECK_OK(generated.status());
+    auto shredded = model::Shred(*generated);
+    MEETXML_CHECK_OK(shredded.status());
+    return new model::StoredDocument(std::move(*shredded));
+  }();
+  return *doc;
+}
+
+const text::FullTextSearch& SharedSearch(bool trigrams) {
+  static text::FullTextSearch* with = nullptr;
+  static text::FullTextSearch* without = nullptr;
+  text::FullTextSearch*& slot = trigrams ? with : without;
+  if (slot == nullptr) {
+    text::IndexOptions options;
+    options.build_trigrams = trigrams;
+    auto built = text::FullTextSearch::Build(SharedDoc(), options);
+    MEETXML_CHECK_OK(built.status());
+    slot = new text::FullTextSearch(std::move(*built));
+  }
+  return *slot;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& doc = SharedDoc();
+  text::IndexOptions options;
+  options.build_trigrams = state.range(0) != 0;
+  for (auto _ : state) {
+    auto built = text::FullTextSearch::Build(doc, options);
+    benchmark::DoNotOptimize(built);
+  }
+  state.counters["strings"] = static_cast<double>(doc.string_count());
+}
+BENCHMARK(BM_IndexBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_WordQuery(benchmark::State& state) {
+  const auto& search = SharedSearch(true);
+  for (auto _ : state) {
+    auto matches = search.Search("icde", text::MatchMode::kWord);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_WordQuery);
+
+void BM_ContainsTrigram(benchmark::State& state) {
+  const auto& search = SharedSearch(true);
+  const char* needle = state.range(0) == 0 ? "ICDE" : "ing";
+  for (auto _ : state) {
+    auto matches = search.Search(needle, text::MatchMode::kContains);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ContainsTrigram)->Arg(0)->Arg(1);
+
+void BM_ContainsScan(benchmark::State& state) {
+  const auto& search = SharedSearch(false);
+  const char* needle = state.range(0) == 0 ? "ICDE" : "ing";
+  for (auto _ : state) {
+    auto matches = search.Search(needle, text::MatchMode::kContains);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ContainsScan)->Arg(0)->Arg(1);
+
+void BM_ContainsIgnoreCase(benchmark::State& state) {
+  const auto& search = SharedSearch(true);
+  for (auto _ : state) {
+    auto matches =
+        search.Search("icde", text::MatchMode::kContainsIgnoreCase);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ContainsIgnoreCase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// AB6 — ablation: persistence vs. re-parsing.
+//
+// Compares cold-start paths for a bulk-loaded store at several corpus
+// sizes: (a) parse XML + shred, (b) save binary image, (c) load binary
+// image. Expected shape: loading the image is several times faster
+// than re-parsing and scales linearly; image size is comparable to the
+// XML.
+
+#include <cstdio>
+
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "model/storage_io.h"
+#include "util/timer.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+using namespace meetxml;
+
+int main() {
+  std::printf("# AB6: binary image persistence vs re-parse\n");
+  std::printf("# %-9s %9s %9s %11s %9s %9s %9s\n", "papers/yr", "xml_MB",
+              "img_MB", "parse_ms", "save_ms", "load_ms", "speedup");
+
+  for (int scale : {10, 40, 120, 300}) {
+    data::DblpOptions options;
+    options.icde_papers_per_year = scale;
+    options.other_papers_per_year = scale * 3;
+    options.journal_articles_per_year = scale;
+    auto generated = data::GenerateDblp(options);
+    MEETXML_CHECK_OK(generated.status());
+    xml::SerializeOptions serialize_options;
+    serialize_options.indent = 1;
+    std::string xml_text = xml::Serialize(*generated, serialize_options);
+
+    util::Timer timer;
+    auto doc = model::ShredXmlText(xml_text);
+    MEETXML_CHECK_OK(doc.status());
+    double parse_ms = timer.ElapsedMillis();
+
+    timer.Reset();
+    auto bytes = model::SaveToBytes(*doc);
+    MEETXML_CHECK_OK(bytes.status());
+    double save_ms = timer.ElapsedMillis();
+
+    timer.Reset();
+    auto reloaded = model::LoadFromBytes(*bytes);
+    MEETXML_CHECK_OK(reloaded.status());
+    double load_ms = timer.ElapsedMillis();
+
+    std::printf("  %-9d %9.1f %9.1f %11.1f %9.1f %9.1f %8.1fx\n", scale,
+                static_cast<double>(xml_text.size()) / 1e6,
+                static_cast<double>(bytes->size()) / 1e6, parse_ms,
+                save_ms, load_ms, parse_ms / load_ms);
+  }
+  std::printf("# expected shape: image load linear and several times "
+              "faster than re-parsing\n");
+  return 0;
+}

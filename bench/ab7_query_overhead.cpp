@@ -1,0 +1,100 @@
+// AB7 — ablation: query-language overhead.
+//
+// The paper argues the meet "can be easily extended to" query languages
+// (§7). This harness quantifies what the declarative surface costs on
+// top of the direct API: parse + plan + bind vs. calling full-text
+// search and MeetGeneral directly. Expected shape: the language layer
+// adds microseconds — negligible against search + meet.
+
+#include <benchmark/benchmark.h>
+
+#include "core/meet_general.h"
+#include "core/restrictions.h"
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "text/search.h"
+
+using namespace meetxml;
+
+namespace {
+
+struct Fixture {
+  model::StoredDocument doc;
+  std::unique_ptr<query::Executor> executor;
+  std::unique_ptr<text::FullTextSearch> search;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto f = new Fixture();
+    data::DblpOptions options;
+    options.icde_papers_per_year = 30;
+    options.other_papers_per_year = 90;
+    options.journal_articles_per_year = 30;
+    auto generated = data::GenerateDblp(options);
+    MEETXML_CHECK_OK(generated.status());
+    auto doc = model::Shred(*generated);
+    MEETXML_CHECK_OK(doc.status());
+    f->doc = std::move(*doc);
+    auto executor = query::Executor::Build(f->doc);
+    MEETXML_CHECK_OK(executor.status());
+    f->executor =
+        std::make_unique<query::Executor>(std::move(*executor));
+    auto search = text::FullTextSearch::Build(f->doc);
+    MEETXML_CHECK_OK(search.status());
+    f->search =
+        std::make_unique<text::FullTextSearch>(std::move(*search));
+    return f;
+  }();
+  return *fixture;
+}
+
+constexpr const char* kQuery =
+    "select meet(a, b) from dblp//cdata a, dblp//cdata b "
+    "where a contains 'ICDE' and b contains '1993' exclude dblp";
+
+void BM_ParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto query = query::ParseQuery(kQuery);
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_ParseOnly);
+
+void BM_FullQuery(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    auto result = fixture.executor->ExecuteText(kQuery);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_DirectApi(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    auto matches = fixture.search->SearchAll({"ICDE", "1993"},
+                                             text::MatchMode::kContains);
+    MEETXML_CHECK_OK(matches.status());
+    auto meets = core::MeetGeneral(
+        fixture.doc, text::FullTextSearch::ToMeetInput(*matches),
+        core::ExcludeRootOptions(fixture.doc));
+    benchmark::DoNotOptimize(meets);
+  }
+}
+BENCHMARK(BM_DirectApi)->Unit(benchmark::kMicrosecond);
+
+void BM_ExplainOnly(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    auto plan = fixture.executor->ExplainText(kQuery);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ExplainOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Multimedia exploration: schema-oblivious search over feature data.
+//
+// Generates the multimedia feature corpus (the paper's first workload —
+// "descriptions of multimedia data items, extracted by feature
+// detectors") and explores it without knowing the mark-up: keyword pairs
+// go through full-text search, the meet operator names the enclosing
+// concept, and the distance ranking orders the answers.
+//
+// Run:  ./multimedia_explore [term1 term2 ...]
+//       ./multimedia_explore landscape night
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/meet_general.h"
+#include "core/restrictions.h"
+#include "data/multimedia_gen.h"
+#include "model/reassembly.h"
+#include "model/shredder.h"
+#include "text/search.h"
+#include "util/timer.h"
+
+using namespace meetxml;  // example code; the library itself never does this
+
+int main(int argc, char** argv) {
+  std::vector<std::string> terms;
+  for (int i = 1; i < argc; ++i) terms.push_back(argv[i]);
+  if (terms.empty()) terms = {"landscape", "night"};
+
+  data::MultimediaOptions gen_options;
+  gen_options.items = 800;
+  auto corpus = data::GenerateMultimedia(gen_options);
+  MEETXML_CHECK_OK(corpus.status());
+
+  auto doc_result = model::Shred(corpus->doc);
+  MEETXML_CHECK_OK(doc_result.status());
+  const model::StoredDocument& doc = *doc_result;
+  std::printf("Multimedia corpus: %zu nodes, %zu schema paths.\n",
+              doc.node_count(), doc.paths().size());
+
+  auto search_result = text::FullTextSearch::Build(doc);
+  MEETXML_CHECK_OK(search_result.status());
+
+  util::Timer timer;
+  auto matches =
+      search_result->SearchAll(terms, text::MatchMode::kContainsIgnoreCase);
+  MEETXML_CHECK_OK(matches.status());
+  double search_ms = timer.ElapsedMillis();
+
+  std::printf("Full-text (%.1f ms):", search_ms);
+  for (const auto& term : *matches) {
+    std::printf("  '%s'->%zu", term.term.c_str(), term.total());
+  }
+  std::printf("\n");
+
+  timer.Reset();
+  auto inputs = text::FullTextSearch::ToMeetInput(*matches);
+  core::MeetOptions options = core::ExcludeRootOptions(doc);
+  options.max_results = 200;
+  auto meets = core::MeetGeneral(doc, inputs, options);
+  MEETXML_CHECK_OK(meets.status());
+  std::printf("Meet: %zu nearest concepts (%.2f ms), ranked by witness "
+              "distance.\n\n",
+              meets->size(), timer.ElapsedMillis());
+
+  size_t shown = 0;
+  for (const core::GeneralMeet& meet : *meets) {
+    if (shown >= 3) break;
+    std::printf("-- %s (distance %d, %zu witnesses)\n",
+                model::DescribeNode(doc, meet.meet).c_str(),
+                meet.witness_distance, meet.witnesses.size());
+    if (doc.tag(meet.meet) == "mediaItem" ||
+        doc.tag(meet.meet) == "annotation") {
+      auto xml_text = model::ReassembleToXml(doc, meet.meet);
+      if (xml_text.ok()) std::printf("%s\n", xml_text->c_str());
+    }
+    std::printf("\n");
+    ++shown;
+  }
+  if (meets->empty()) {
+    std::printf("No concept combines those terms; try keywords like "
+                "'landscape', 'night', 'urban', 'water'.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Interactive query shell over an XML file (or the built-in example).
+//
+// Run:  ./query_shell [file.xml]
+//
+// Commands:
+//   .paths            show the path summary (the relation catalog)
+//   .stats            document statistics
+//   .explain <query>  show the binding plan without executing
+//   .help             grammar cheat sheet
+//   .quit             exit
+//   <query>           e.g.  SELECT MEET(a, b) FROM doc//cdata a,
+//                            doc//cdata b WHERE a CONTAINS 'x'
+//                            AND b CONTAINS 'y'
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "model/stats.h"
+#include "query/executor.h"
+
+using namespace meetxml;  // example code; the library itself never does this
+
+namespace {
+
+void PrintHelp() {
+  std::printf(R"(Grammar:
+  SELECT <proj> FROM <pattern> [AS] <var> (, ...)
+         [WHERE <predicates: AND/OR/NOT over
+                 var CONTAINS|ICONTAINS|WORD|PHRASE|SYNONYM 'str',
+                 var = 'str', DISTANCE(v1, v2) <= k>]
+         [EXCLUDE <pattern> (, ...)] [WITHIN k] [LIMIT n]
+  proj:    var | MEET(v...) | ANCESTORS(v...) | GMEET(v1, v2)
+           | TAG(v) | PATH(v) | XML(v) | COUNT(v)
+  pattern: tag/tag, * (any tag), // (any depth), @attr, cdata
+Example:
+  SELECT MEET(o1, o2) FROM bibliography//cdata o1,
+    bibliography//cdata o2
+    WHERE o1 CONTAINS 'Bit' AND o2 CONTAINS '1999'
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Result<model::StoredDocument> doc_result =
+      argc > 1 ? model::ShredXmlFile(argv[1])
+               : model::ShredXmlText(data::PaperExampleXml());
+  if (!doc_result.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 doc_result.status().ToString().c_str());
+    return 1;
+  }
+  const model::StoredDocument& doc = *doc_result;
+  auto executor_result = query::Executor::Build(doc);
+  MEETXML_CHECK_OK(executor_result.status());
+  const query::Executor& executor = *executor_result;
+
+  std::printf("meetxml shell — %zu nodes, %zu paths. Type .help for the "
+              "grammar, .quit to exit.\n",
+              doc.node_count(), doc.paths().size());
+
+  std::string line;
+  while (true) {
+    std::printf("meet> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == ".stats") {
+      auto stats = model::ComputeStats(doc);
+      if (stats.ok()) {
+        std::printf("%s", model::RenderStats(*stats, 15).c_str());
+      }
+      continue;
+    }
+    if (line == ".paths") {
+      for (bat::PathId id = 0; id < doc.paths().size(); ++id) {
+        std::printf("  %s\n", doc.paths().ToString(id).c_str());
+      }
+      continue;
+    }
+    if (line.rfind(".explain ", 0) == 0) {
+      auto plan = executor.ExplainText(line.substr(9));
+      if (plan.ok()) {
+        std::printf("%s", plan->c_str());
+      } else {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    auto result = executor.ExecuteText(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s(%zu rows)\n", result->ToText().c_str(),
+                result->rows.size());
+  }
+  return 0;
+}

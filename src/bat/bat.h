@@ -1,0 +1,157 @@
+// Binary Association Tables (BATs): the storage and execution primitive
+// of the Monet XML transform (paper §2, Definition 4).
+//
+// A BAT is a sequence of (head, tail) pairs. The Monet transform stores
+// all associations of one schema path in one BAT; the meet algorithms are
+// then expressed as joins/semijoins over these tables ("A salient feature
+// ... is that they make heavy use of the relational operations of the
+// underlying database engine", paper §3.2).
+
+#ifndef MEETXML_BAT_BAT_H_
+#define MEETXML_BAT_BAT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/oid.h"
+
+namespace meetxml {
+namespace bat {
+
+/// \brief A binary association table with typed head and tail columns.
+///
+/// Stored column-wise like MonetDB; rows are addressed positionally.
+template <typename H, typename T>
+class Bat {
+ public:
+  Bat() = default;
+
+  /// \brief Appends one association.
+  void Append(H head, T tail) {
+    head_.push_back(std::move(head));
+    tail_.push_back(std::move(tail));
+  }
+
+  void Reserve(size_t n) {
+    head_.reserve(n);
+    tail_.reserve(n);
+  }
+
+  size_t size() const { return head_.size(); }
+  bool empty() const { return head_.empty(); }
+
+  const H& head(size_t row) const { return head_[row]; }
+  const T& tail(size_t row) const { return tail_[row]; }
+
+  const std::vector<H>& heads() const { return head_; }
+  const std::vector<T>& tails() const { return tail_; }
+
+  /// \brief Swaps the two columns (MonetDB `reverse`), O(1) by move.
+  Bat<T, H> Reverse() && {
+    Bat<T, H> out;
+    out.head_ = std::move(tail_);
+    out.tail_ = std::move(head_);
+    return out;
+  }
+
+  /// \brief Copying reverse.
+  Bat<T, H> Reversed() const {
+    Bat<T, H> out;
+    out.head_ = tail_;
+    out.tail_ = head_;
+    return out;
+  }
+
+  /// \brief Sorts rows by (head, tail). Requires both orderable.
+  void Sort() {
+    std::vector<size_t> order(size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      if (head_[a] != head_[b]) return head_[a] < head_[b];
+      return tail_[a] < tail_[b];
+    });
+    ApplyOrder(order);
+  }
+
+  /// \brief Removes exact duplicate rows; sorts as a side effect.
+  void SortUnique() {
+    Sort();
+    size_t out = 0;
+    for (size_t i = 0; i < size(); ++i) {
+      if (i > 0 && head_[i] == head_[out - 1] && tail_[i] == tail_[out - 1]) {
+        continue;
+      }
+      head_[out] = std::move(head_[i]);
+      tail_[out] = std::move(tail_[i]);
+      ++out;
+    }
+    head_.resize(out);
+    tail_.resize(out);
+  }
+
+  bool operator==(const Bat& other) const {
+    return head_ == other.head_ && tail_ == other.tail_;
+  }
+
+ private:
+  template <typename H2, typename T2>
+  friend class Bat;
+
+  void ApplyOrder(const std::vector<size_t>& order) {
+    std::vector<H> new_head;
+    std::vector<T> new_tail;
+    new_head.reserve(size());
+    new_tail.reserve(size());
+    for (size_t row : order) {
+      new_head.push_back(std::move(head_[row]));
+      new_tail.push_back(std::move(tail_[row]));
+    }
+    head_ = std::move(new_head);
+    tail_ = std::move(new_tail);
+  }
+
+  std::vector<H> head_;
+  std::vector<T> tail_;
+};
+
+/// BAT of tree edges or lifted association sets: (oid, oid).
+using OidOidBat = Bat<Oid, Oid>;
+/// BAT of leaf values: (oid, string) — attribute values and cdata.
+using OidStrBat = Bat<Oid, std::string>;
+/// BAT of ranks: (oid, int) — sibling order (Definition 1's rank).
+using OidIntBat = Bat<Oid, int>;
+
+/// \brief Hash index over a BAT's head column: head value -> row numbers.
+///
+/// MonetDB builds such indexes lazily for hash joins; we make the index an
+/// explicit object so callers can reuse it across probes.
+template <typename H, typename T>
+class HeadIndex {
+ public:
+  explicit HeadIndex(const Bat<H, T>& table) {
+    index_.reserve(table.size());
+    for (size_t row = 0; row < table.size(); ++row) {
+      index_[table.head(row)].push_back(row);
+    }
+  }
+
+  /// \brief Rows whose head equals `key`; empty if none.
+  const std::vector<size_t>& Lookup(const H& key) const {
+    static const std::vector<size_t> kEmpty;
+    auto it = index_.find(key);
+    return it == index_.end() ? kEmpty : it->second;
+  }
+
+  bool Contains(const H& key) const { return index_.count(key) > 0; }
+
+ private:
+  std::unordered_map<H, std::vector<size_t>> index_;
+};
+
+}  // namespace bat
+}  // namespace meetxml
+
+#endif  // MEETXML_BAT_BAT_H_

@@ -1,0 +1,33 @@
+// Object identifiers (OIDs) for nodes of the XML syntax tree.
+//
+// Mirrors MonetDB's oid column type: a dense, document-scoped unsigned
+// integer. The shredder assigns OIDs in depth-first traversal order
+// (paper §2, Figure 1), which makes ancestor checks and depth-ordered
+// scans cheap.
+
+#ifndef MEETXML_BAT_OID_H_
+#define MEETXML_BAT_OID_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace meetxml {
+namespace bat {
+
+/// \brief A node identifier, dense per document, assigned in DFS order.
+using Oid = uint32_t;
+
+/// \brief Sentinel for "no node" (e.g. the parent of the root).
+inline constexpr Oid kInvalidOid = std::numeric_limits<Oid>::max();
+
+/// \brief Identifier of a schema path in the path summary.
+using PathId = uint32_t;
+
+/// \brief Sentinel for "no path" (e.g. the parent path of the root path).
+inline constexpr PathId kInvalidPathId =
+    std::numeric_limits<PathId>::max();
+
+}  // namespace bat
+}  // namespace meetxml
+
+#endif  // MEETXML_BAT_OID_H_

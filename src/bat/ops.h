@@ -1,0 +1,154 @@
+// Relational operations over BATs — the MIL-like primitives the meet
+// algorithms are written against (paper §3.2 expresses parent() as a
+// binary join and relies on intersections/differences of association
+// sets).
+
+#ifndef MEETXML_BAT_OPS_H_
+#define MEETXML_BAT_OPS_H_
+
+#include <functional>
+#include <string_view>
+#include <unordered_set>
+
+#include "bat/bat.h"
+
+namespace meetxml {
+namespace bat {
+
+/// \brief Hash join: pairs (a_head, b_tail) for every a in `left`, b in
+/// `right` with a.tail == b.head. This is the paper's
+/// `join(A1(o1,o2), A2(o2,o3)) = A(o1,o3)` with inner columns projected
+/// out.
+template <typename H, typename M, typename T>
+Bat<H, T> Join(const Bat<H, M>& left, const Bat<M, T>& right) {
+  Bat<H, T> out;
+  HeadIndex<M, T> right_index(right);
+  for (size_t row = 0; row < left.size(); ++row) {
+    for (size_t rrow : right_index.Lookup(left.tail(row))) {
+      out.Append(left.head(row), right.tail(rrow));
+    }
+  }
+  return out;
+}
+
+/// \brief Join variant reusing a prebuilt index over `right`.
+template <typename H, typename M, typename T>
+Bat<H, T> JoinIndexed(const Bat<H, M>& left, const Bat<M, T>& right,
+                      const HeadIndex<M, T>& right_index) {
+  Bat<H, T> out;
+  for (size_t row = 0; row < left.size(); ++row) {
+    for (size_t rrow : right_index.Lookup(left.tail(row))) {
+      out.Append(left.head(row), right.tail(rrow));
+    }
+  }
+  return out;
+}
+
+/// \brief Semijoin: rows of `left` whose head appears as a head of
+/// `right`.
+template <typename H, typename T, typename T2>
+Bat<H, T> Semijoin(const Bat<H, T>& left, const Bat<H, T2>& right) {
+  std::unordered_set<H> keys(right.heads().begin(), right.heads().end());
+  Bat<H, T> out;
+  for (size_t row = 0; row < left.size(); ++row) {
+    if (keys.count(left.head(row))) out.Append(left.head(row),
+                                               left.tail(row));
+  }
+  return out;
+}
+
+/// \brief Semijoin against an explicit key set.
+template <typename H, typename T>
+Bat<H, T> SemijoinKeys(const Bat<H, T>& left,
+                       const std::unordered_set<H>& keys) {
+  Bat<H, T> out;
+  for (size_t row = 0; row < left.size(); ++row) {
+    if (keys.count(left.head(row))) out.Append(left.head(row),
+                                               left.tail(row));
+  }
+  return out;
+}
+
+/// \brief Anti-semijoin: rows of `left` whose head does NOT appear in
+/// `keys`.
+template <typename H, typename T>
+Bat<H, T> AntijoinKeys(const Bat<H, T>& left,
+                       const std::unordered_set<H>& keys) {
+  Bat<H, T> out;
+  for (size_t row = 0; row < left.size(); ++row) {
+    if (!keys.count(left.head(row))) out.Append(left.head(row),
+                                                left.tail(row));
+  }
+  return out;
+}
+
+/// \brief Bag union (no duplicate elimination; call SortUnique for sets).
+template <typename H, typename T>
+Bat<H, T> Union(const Bat<H, T>& left, const Bat<H, T>& right) {
+  Bat<H, T> out;
+  out.Reserve(left.size() + right.size());
+  for (size_t row = 0; row < left.size(); ++row) {
+    out.Append(left.head(row), left.tail(row));
+  }
+  for (size_t row = 0; row < right.size(); ++row) {
+    out.Append(right.head(row), right.tail(row));
+  }
+  return out;
+}
+
+/// \brief Head values common to both BATs.
+template <typename H, typename T1, typename T2>
+std::unordered_set<H> IntersectHeads(const Bat<H, T1>& left,
+                                     const Bat<H, T2>& right) {
+  std::unordered_set<H> left_keys(left.heads().begin(), left.heads().end());
+  std::unordered_set<H> out;
+  for (const H& h : right.heads()) {
+    if (left_keys.count(h)) out.insert(h);
+  }
+  return out;
+}
+
+/// \brief Rows whose tail string satisfies `pred` (e.g. the paper's
+/// `contains`). The workhorse of full-text scans over leaf BATs.
+template <typename H>
+Bat<H, std::string> SelectTail(
+    const Bat<H, std::string>& table,
+    const std::function<bool(std::string_view)>& pred) {
+  Bat<H, std::string> out;
+  for (size_t row = 0; row < table.size(); ++row) {
+    if (pred(table.tail(row))) out.Append(table.head(row), table.tail(row));
+  }
+  return out;
+}
+
+/// \brief Projects the head column (MonetDB `mirror` then head extract).
+template <typename H, typename T>
+std::vector<H> ProjectHeads(const Bat<H, T>& table) {
+  return table.heads();
+}
+
+/// \brief (h, h) pairs for every head — MonetDB's `mirror`, used to seed
+/// the (current, origin) relations of the set-at-a-time meet.
+template <typename H, typename T>
+Bat<H, H> Mirror(const Bat<H, T>& table) {
+  Bat<H, H> out;
+  out.Reserve(table.size());
+  for (size_t row = 0; row < table.size(); ++row) {
+    out.Append(table.head(row), table.head(row));
+  }
+  return out;
+}
+
+/// \brief (v, v) pairs for every value in `values`.
+template <typename H>
+Bat<H, H> MirrorValues(const std::vector<H>& values) {
+  Bat<H, H> out;
+  out.Reserve(values.size());
+  for (const H& v : values) out.Append(v, v);
+  return out;
+}
+
+}  // namespace bat
+}  // namespace meetxml
+
+#endif  // MEETXML_BAT_OPS_H_

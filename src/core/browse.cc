@@ -1,0 +1,75 @@
+#include "core/browse.h"
+
+#include <algorithm>
+
+#include "model/reassembly.h"
+
+namespace meetxml {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+Result<std::vector<Answer>> BuildAnswers(
+    const StoredDocument& doc, const std::vector<GeneralMeet>& meets,
+    const BrowseOptions& options) {
+  std::vector<Answer> answers;
+  for (const GeneralMeet& meet : meets) {
+    if (options.max_answers > 0 && answers.size() >= options.max_answers) {
+      break;
+    }
+    Answer answer;
+    answer.node = meet.meet;
+    answer.witness_distance = meet.witness_distance;
+    answer.witness_count = meet.witnesses.size();
+
+    // Breadcrumb from the root.
+    std::vector<Oid> chain;
+    for (Oid cur = meet.meet;; cur = doc.parent(cur)) {
+      chain.push_back(cur);
+      if (cur == doc.root()) break;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      answer.context.push_back(doc.tag(*it));
+    }
+
+    MEETXML_ASSIGN_OR_RETURN(
+        std::string xml_text,
+        model::ReassembleToXml(doc, meet.meet, options.snippet_indent));
+    if (xml_text.size() > options.max_snippet_bytes) {
+      xml_text.resize(options.max_snippet_bytes);
+      xml_text.append("...");
+      answer.snippet_truncated = true;
+    }
+    answer.snippet = std::move(xml_text);
+    answers.push_back(std::move(answer));
+  }
+  return answers;
+}
+
+Oid EnclosingConcept(
+    const StoredDocument& doc, Oid node,
+    const std::unordered_set<std::string>& concept_tags) {
+  for (Oid cur = node;; cur = doc.parent(cur)) {
+    if (!doc.is_cdata(cur) && concept_tags.count(doc.tag(cur))) {
+      return cur;
+    }
+    if (cur == doc.root()) return doc.root();
+  }
+}
+
+std::string RenderAnswer(const Answer& answer) {
+  std::string out;
+  for (size_t i = 0; i < answer.context.size(); ++i) {
+    if (i > 0) out += " > ";
+    out += answer.context[i];
+  }
+  out += "   (distance " + std::to_string(answer.witness_distance) +
+         ", " + std::to_string(answer.witness_count) + " witnesses)\n";
+  out += answer.snippet;
+  out += "\n";
+  return out;
+}
+
+}  // namespace core
+}  // namespace meetxml

@@ -1,0 +1,66 @@
+// Answer presentation: turning meet results into browsable answers.
+//
+// Paper §4: "a good approach is to combine the meet operator with
+// fulltext search and use the results as a starting point for
+// displaying and browsing." This module builds the display form: the
+// context path from the root (the user's orientation in an unknown
+// schema), a truncated XML snippet of the concept, and a helper to
+// climb from a deep meet node to the enclosing domain concept (e.g.
+// the publication element containing a matched title cdata).
+
+#ifndef MEETXML_CORE_BROWSE_H_
+#define MEETXML_CORE_BROWSE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/meet_general.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief Presentation knobs.
+struct BrowseOptions {
+  /// Snippets longer than this many bytes are cut with an ellipsis.
+  size_t max_snippet_bytes = 400;
+  /// Pretty-print indentation of snippets (0 = compact).
+  int snippet_indent = 2;
+  /// Stop after this many answers (0 = all).
+  size_t max_answers = 0;
+};
+
+/// \brief One displayable answer.
+struct Answer {
+  Oid node;
+  /// Tags from the root to the node, e.g. {"bibliography",
+  /// "institute", "article"} — the user's breadcrumb.
+  std::vector<std::string> context;
+  /// Truncated serialized subtree.
+  std::string snippet;
+  bool snippet_truncated = false;
+  int witness_distance = 0;
+  size_t witness_count = 0;
+};
+
+/// \brief Builds answers from meet results, in the given order.
+util::Result<std::vector<Answer>> BuildAnswers(
+    const StoredDocument& doc, const std::vector<GeneralMeet>& meets,
+    const BrowseOptions& options = {});
+
+/// \brief Climbs from `node` to the nearest ancestor-or-self whose tag
+/// is in `concept_tags`; returns the root if none matches. The helper
+/// for "show me the publication, not the matched cdata".
+Oid EnclosingConcept(const StoredDocument& doc, Oid node,
+                     const std::unordered_set<std::string>& concept_tags);
+
+/// \brief Renders an answer as display text:
+///   bibliography > institute > article   (distance 5, 2 witnesses)
+///   <article key="BB99">...
+std::string RenderAnswer(const Answer& answer);
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_BROWSE_H_

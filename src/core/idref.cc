@@ -1,0 +1,185 @@
+#include "core/idref.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+
+#include "util/strings.h"
+
+namespace meetxml {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+const std::vector<Oid> kNoRefs;
+
+bool NameMatches(const std::vector<std::string>& names,
+                 const std::string& label) {
+  return std::find(names.begin(), names.end(), label) != names.end();
+}
+
+// Splits an IDREFS value on ASCII whitespace.
+std::vector<std::string_view> SplitIdrefs(std::string_view value) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < value.size()) {
+    while (i < value.size() &&
+           std::isspace(static_cast<unsigned char>(value[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < value.size() &&
+           !std::isspace(static_cast<unsigned char>(value[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(value.substr(start, i - start));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<IdrefGraph> IdrefGraph::Build(const StoredDocument& doc,
+                                     const IdrefOptions& options) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  IdrefGraph graph;
+  const model::PathSummary& paths = doc.paths();
+
+  // Pass 1: collect IDs.
+  for (PathId path : doc.string_paths()) {
+    if (paths.kind(path) != model::StepKind::kAttribute) continue;
+    if (!NameMatches(options.id_attributes, paths.label(path))) continue;
+    const model::OidStrBat& table = doc.StringsAt(path);
+    for (size_t row = 0; row < table.size(); ++row) {
+      // First declaration wins (XML requires IDs unique; be lenient).
+      graph.ids_.emplace(table.tail(row), table.head(row));
+    }
+  }
+
+  // Pass 2: resolve references.
+  for (PathId path : doc.string_paths()) {
+    if (paths.kind(path) != model::StepKind::kAttribute) continue;
+    if (!NameMatches(options.idref_attributes, paths.label(path))) {
+      continue;
+    }
+    const model::OidStrBat& table = doc.StringsAt(path);
+    for (size_t row = 0; row < table.size(); ++row) {
+      Oid source = table.head(row);
+      for (std::string_view ref : SplitIdrefs(table.tail(row))) {
+        auto it = graph.ids_.find(std::string(ref));
+        if (it == graph.ids_.end()) {
+          ++graph.dangling_count_;
+          continue;
+        }
+        graph.out_[source].push_back(it->second);
+        graph.in_[it->second].push_back(source);
+        ++graph.edge_count_;
+      }
+    }
+  }
+  return graph;
+}
+
+const std::vector<Oid>& IdrefGraph::OutRefs(Oid node) const {
+  auto it = out_.find(node);
+  return it == out_.end() ? kNoRefs : it->second;
+}
+
+const std::vector<Oid>& IdrefGraph::InRefs(Oid node) const {
+  auto it = in_.find(node);
+  return it == in_.end() ? kNoRefs : it->second;
+}
+
+Oid IdrefGraph::Resolve(std::string_view id) const {
+  auto it = ids_.find(std::string(id));
+  return it == ids_.end() ? bat::kInvalidOid : it->second;
+}
+
+namespace {
+
+// Bounded BFS over tree + reference edges; fills dist (-1 = unreached).
+Status Bfs(const StoredDocument& doc, const IdrefGraph& graph, Oid start,
+           int max_distance, std::unordered_map<Oid, int>* dist) {
+  if (start >= doc.node_count()) {
+    return Status::NotFound("GraphMeet: OID out of range: ", start);
+  }
+  std::deque<Oid> queue;
+  (*dist)[start] = 0;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    Oid cur = queue.front();
+    queue.pop_front();
+    int d = (*dist)[cur];
+    if (d >= max_distance) continue;
+    auto visit = [&](Oid next) {
+      if (next == bat::kInvalidOid) return;
+      if (dist->count(next)) return;
+      (*dist)[next] = d + 1;
+      queue.push_back(next);
+    };
+    visit(doc.parent(cur));
+    for (Oid child : doc.children(cur)) visit(child);
+    for (Oid ref : graph.OutRefs(cur)) visit(ref);
+    for (Oid ref : graph.InRefs(cur)) visit(ref);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ProximityMeet> GraphMeet(const StoredDocument& doc,
+                                const IdrefGraph& graph, Oid a, Oid b,
+                                int max_distance) {
+  if (max_distance < 0) {
+    return Status::InvalidArgument("max_distance must be >= 0");
+  }
+  std::unordered_map<Oid, int> dist_a;
+  std::unordered_map<Oid, int> dist_b;
+  MEETXML_RETURN_NOT_OK(Bfs(doc, graph, a, max_distance, &dist_a));
+  MEETXML_RETURN_NOT_OK(Bfs(doc, graph, b, max_distance, &dist_b));
+
+  bool found = false;
+  ProximityMeet best{bat::kInvalidOid, 0, 0};
+  long best_sum = 0;
+  for (const auto& [node, da] : dist_a) {
+    auto it = dist_b.find(node);
+    if (it == dist_b.end()) continue;
+    long sum = static_cast<long>(da) + it->second;
+    if (sum > max_distance) continue;
+    // Prefer the smallest sum; break ties toward the shallowest node —
+    // on a pure tree every node on the a-b path ties on the sum, and
+    // the shallowest of them is exactly the LCA. Lower OID breaks the
+    // remaining ties deterministically.
+    bool better =
+        !found || sum < best_sum ||
+        (sum == best_sum &&
+         (doc.depth(node) < doc.depth(best.meet) ||
+          (doc.depth(node) == doc.depth(best.meet) && node < best.meet)));
+    if (better) {
+      found = true;
+      best_sum = sum;
+      best = ProximityMeet{node, da, it->second};
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no connecting node within distance ",
+                            max_distance);
+  }
+  return best;
+}
+
+Result<int> GraphDistance(const StoredDocument& doc,
+                          const IdrefGraph& graph, Oid a, Oid b,
+                          int max_distance) {
+  MEETXML_ASSIGN_OR_RETURN(ProximityMeet meet,
+                           GraphMeet(doc, graph, a, b, max_distance));
+  return meet.distance_a + meet.distance_b;
+}
+
+}  // namespace core
+}  // namespace meetxml

@@ -1,0 +1,93 @@
+// Reference-aware proximity meets (the paper's §7 future work).
+//
+// "XML documents may also contain references (IDs and IDREFs) that
+// potentially break the tree structure ... If we interpret the meet
+// operator as some variant of nearest neighbor search, we might find
+// generalizations on graph structures" (§3/§7). This module implements
+// that generalization: ID/IDREF attribute arcs are materialized as
+// extra graph edges, and the *proximity meet* of two nodes is the node
+// minimizing the summed graph distance to both — on a pure tree this
+// coincides with the LCA, with references it can cut across subtrees.
+// Cycles (which the paper warns add "significant complexity") are
+// handled by plain BFS visited-sets, and a distance cap keeps the
+// search bounded, mirroring d-meet.
+
+#ifndef MEETXML_CORE_IDREF_H_
+#define MEETXML_CORE_IDREF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/input_set.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief Which attributes define identity and references.
+struct IdrefOptions {
+  /// Attribute names whose value is a node's ID.
+  std::vector<std::string> id_attributes = {"id"};
+  /// Attribute names whose (whitespace-separated) values reference IDs.
+  std::vector<std::string> idref_attributes = {"idref", "ref"};
+};
+
+/// \brief The ID/IDREF overlay graph of a document.
+class IdrefGraph {
+ public:
+  /// \brief Scans the attribute relations and materializes reference
+  /// edges. Dangling references are counted, not errors (real-world
+  /// XML has them).
+  static util::Result<IdrefGraph> Build(const StoredDocument& doc,
+                                        const IdrefOptions& options = {});
+
+  /// \brief Reference edges leaving `node` (targets of its IDREFs).
+  const std::vector<Oid>& OutRefs(Oid node) const;
+  /// \brief Reference edges entering `node` (nodes that reference it).
+  const std::vector<Oid>& InRefs(Oid node) const;
+
+  size_t edge_count() const { return edge_count_; }
+  size_t dangling_count() const { return dangling_count_; }
+  size_t id_count() const { return ids_.size(); }
+
+  /// \brief Resolves an ID string to its node; kInvalidOid if unknown.
+  Oid Resolve(std::string_view id) const;
+
+ private:
+  std::unordered_map<std::string, Oid> ids_;
+  std::unordered_map<Oid, std::vector<Oid>> out_;
+  std::unordered_map<Oid, std::vector<Oid>> in_;
+  size_t edge_count_ = 0;
+  size_t dangling_count_ = 0;
+};
+
+/// \brief Result of a proximity meet.
+struct ProximityMeet {
+  /// The connecting node (minimum summed distance to both inputs).
+  Oid meet;
+  /// Graph distance from the first input to the meet.
+  int distance_a;
+  /// Graph distance from the second input to the meet.
+  int distance_b;
+};
+
+/// \brief Nearest connecting concept of two nodes on the tree + IDREF
+/// graph (edges: parent/child both ways, references both ways).
+/// Returns NotFound when the nodes are further than `max_distance`
+/// apart through every route. On a reference-free document this equals
+/// the LCA with distance_a + distance_b == the tree distance.
+util::Result<ProximityMeet> GraphMeet(const StoredDocument& doc,
+                                      const IdrefGraph& graph, Oid a,
+                                      Oid b, int max_distance = 64);
+
+/// \brief Graph distance (tree + reference edges) between two nodes;
+/// NotFound if above `max_distance`.
+util::Result<int> GraphDistance(const StoredDocument& doc,
+                                const IdrefGraph& graph, Oid a, Oid b,
+                                int max_distance = 64);
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_IDREF_H_

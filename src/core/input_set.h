@@ -1,0 +1,75 @@
+// Input format of the meet operators.
+//
+// The meet algorithms consume *associations* (paper Definition 2): a
+// schema path plus the node the association hangs off. For element and
+// cdata associations the node is the element/cdata node itself; for
+// attribute associations — which have no node of their own in the syntax
+// tree — the node is the owning element and the path still identifies the
+// attribute arc, so the attribute step counts as one edge for distance
+// purposes, exactly as in the paper's Figure 1 drawing.
+
+#ifndef MEETXML_CORE_INPUT_SET_H_
+#define MEETXML_CORE_INPUT_SET_H_
+
+#include <vector>
+
+#include "bat/oid.h"
+#include "model/document.h"
+
+namespace meetxml {
+namespace core {
+
+using bat::Oid;
+using bat::PathId;
+using model::StoredDocument;
+
+/// \brief One association endpoint fed into a meet.
+struct Assoc {
+  PathId path;  // schema path of the association
+  Oid node;     // its node (owner element for attribute paths)
+
+  bool operator==(const Assoc& other) const {
+    return path == other.path && node == other.node;
+  }
+  bool operator<(const Assoc& other) const {
+    if (path != other.path) return path < other.path;
+    return node < other.node;
+  }
+};
+
+/// \brief Makes the association for a plain node (element or cdata).
+inline Assoc AssocForNode(const StoredDocument& doc, Oid node) {
+  return Assoc{doc.path(node), node};
+}
+
+/// \brief A set of associations of one uniform type (one schema path) —
+/// "there is a path p in the path summary so that ∀o ∈ Σ : path(o) = p"
+/// (paper §3.2).
+struct AssocSet {
+  PathId path;
+  std::vector<Oid> nodes;
+
+  size_t size() const { return nodes.size(); }
+  bool empty() const { return nodes.empty(); }
+};
+
+/// \brief Depth of an association: path depth (attribute arcs add one
+/// level below their owner element).
+inline uint32_t AssocDepth(const StoredDocument& doc, const Assoc& a) {
+  return doc.paths().depth(a.path);
+}
+
+/// \brief Lifts an association one edge toward the root: an attribute
+/// arc collapses onto its owner element; otherwise the node steps to its
+/// parent. Precondition: depth > 1 or the assoc is an attribute arc.
+inline Assoc Lift(const StoredDocument& doc, const Assoc& a) {
+  if (doc.paths().kind(a.path) == model::StepKind::kAttribute) {
+    return Assoc{doc.paths().parent(a.path), a.node};
+  }
+  return Assoc{doc.paths().parent(a.path), doc.parent(a.node)};
+}
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_INPUT_SET_H_

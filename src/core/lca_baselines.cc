@@ -1,0 +1,120 @@
+#include "core/lca_baselines.h"
+
+#include <bit>
+#include <unordered_set>
+
+namespace meetxml {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+Result<Oid> NaiveLca(const StoredDocument& doc, Oid a, Oid b) {
+  if (a >= doc.node_count() || b >= doc.node_count()) {
+    return Status::NotFound("NaiveLca: OID out of range");
+  }
+  std::unordered_set<Oid> ancestors;
+  for (Oid cur = a;; cur = doc.parent(cur)) {
+    ancestors.insert(cur);
+    if (cur == doc.root()) break;
+  }
+  for (Oid cur = b;; cur = doc.parent(cur)) {
+    if (ancestors.count(cur)) return cur;
+    if (cur == doc.root()) break;
+  }
+  return Status::Internal("NaiveLca: nodes share no ancestor");
+}
+
+Result<EulerRmqLca> EulerRmqLca::Build(const StoredDocument& doc) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  EulerRmqLca lca;
+  size_t n = doc.node_count();
+  lca.node_count_ = n;
+  lca.tour_.reserve(2 * n);
+  lca.depth_of_tour_.reserve(2 * n);
+  lca.first_.assign(n, 0);
+
+  // Iterative Euler tour: visit node, recurse into child, revisit node.
+  struct Frame {
+    Oid node;
+    std::vector<Oid> kids;
+    size_t next_kid;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{doc.root(), doc.children(doc.root()), 0});
+  lca.first_[doc.root()] = 0;
+  lca.tour_.push_back(doc.root());
+  lca.depth_of_tour_.push_back(doc.depth(doc.root()));
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_kid >= frame.kids.size()) {
+      stack.pop_back();
+      if (!stack.empty()) {
+        Oid up = stack.back().node;
+        lca.tour_.push_back(up);
+        lca.depth_of_tour_.push_back(doc.depth(up));
+      }
+      continue;
+    }
+    Oid child = frame.kids[frame.next_kid++];
+    lca.first_[child] = static_cast<uint32_t>(lca.tour_.size());
+    lca.tour_.push_back(child);
+    lca.depth_of_tour_.push_back(doc.depth(child));
+    stack.push_back(Frame{child, doc.children(child), 0});
+  }
+
+  // Sparse table over tour depths.
+  size_t m = lca.tour_.size();
+  int levels = std::bit_width(m);
+  lca.sparse_.resize(static_cast<size_t>(levels));
+  lca.sparse_[0].resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    lca.sparse_[0][i] = static_cast<uint32_t>(i);
+  }
+  for (int k = 1; k < levels; ++k) {
+    size_t span = size_t{1} << k;
+    if (m + 1 < span) break;
+    lca.sparse_[static_cast<size_t>(k)].resize(m - span + 1);
+    for (size_t i = 0; i + span <= m; ++i) {
+      uint32_t left = lca.sparse_[static_cast<size_t>(k - 1)][i];
+      uint32_t right =
+          lca.sparse_[static_cast<size_t>(k - 1)][i + span / 2];
+      lca.sparse_[static_cast<size_t>(k)][i] =
+          lca.depth_of_tour_[left] <= lca.depth_of_tour_[right] ? left
+                                                                : right;
+    }
+  }
+  return lca;
+}
+
+Result<Oid> EulerRmqLca::Query(Oid a, Oid b) const {
+  if (a >= node_count_ || b >= node_count_) {
+    return Status::NotFound("EulerRmqLca: OID out of range");
+  }
+  uint32_t lo = first_[a];
+  uint32_t hi = first_[b];
+  if (lo > hi) std::swap(lo, hi);
+  ++hi;  // half-open [lo, hi)
+  uint32_t len = hi - lo;
+  int k = std::bit_width(len) - 1;
+  uint32_t left = sparse_[static_cast<size_t>(k)][lo];
+  uint32_t right =
+      sparse_[static_cast<size_t>(k)][hi - (uint32_t{1} << k)];
+  uint32_t best =
+      depth_of_tour_[left] <= depth_of_tour_[right] ? left : right;
+  return tour_[best];
+}
+
+size_t EulerRmqLca::MemoryBytes() const {
+  size_t bytes = tour_.size() * sizeof(Oid) +
+                 first_.size() * sizeof(uint32_t) +
+                 depth_of_tour_.size() * sizeof(uint32_t);
+  for (const auto& level : sparse_) bytes += level.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace core
+}  // namespace meetxml

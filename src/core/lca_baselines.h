@@ -1,0 +1,60 @@
+// Baseline LCA strategies, for the ablation benchmarks (AB1 in
+// DESIGN.md).
+//
+// The paper's meet2 steers its ancestor walk with the path summary. We
+// compare against (a) the textbook mark-and-walk LCA that a system
+// without path information would run, and (b) an Euler-tour + sparse
+// table RMQ structure (Aho/Hopcroft/Ullman lineage, the paper's [4]) that
+// answers pair queries in O(1) after O(n log n) preprocessing.
+
+#ifndef MEETXML_CORE_LCA_BASELINES_H_
+#define MEETXML_CORE_LCA_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/input_set.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief Mark-and-walk LCA: hashes all ancestors of `a`, then walks up
+/// from `b`. No depth/path steering — every ancestor of `a` is visited
+/// even when `b` is shallow.
+util::Result<Oid> NaiveLca(const StoredDocument& doc, Oid a, Oid b);
+
+/// \brief Euler-tour + sparse-table RMQ LCA with O(1) queries.
+///
+/// Build once per document; queries never touch the tree again. The
+/// trade-off against meet2 is preprocessing time and O(n log n) memory —
+/// the reason the paper's interactive setting prefers the steered walk.
+class EulerRmqLca {
+ public:
+  /// \brief Preprocesses the document (O(n log n) time and space).
+  static util::Result<EulerRmqLca> Build(const StoredDocument& doc);
+
+  /// \brief LCA of two nodes in O(1).
+  util::Result<Oid> Query(Oid a, Oid b) const;
+
+  /// \brief Bytes of preprocessing state (for the ablation report).
+  size_t MemoryBytes() const;
+
+ private:
+  EulerRmqLca() = default;
+
+  // Euler tour: tour_[i] is the node visited at step i; first_[v] is the
+  // first tour index of node v; depth_of_tour_[i] is its depth.
+  std::vector<Oid> tour_;
+  std::vector<uint32_t> first_;
+  std::vector<uint32_t> depth_of_tour_;
+  // sparse_[k][i]: tour index of the minimum-depth entry in
+  // [i, i + 2^k).
+  std::vector<std::vector<uint32_t>> sparse_;
+  size_t node_count_ = 0;
+};
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_LCA_BASELINES_H_

@@ -1,0 +1,222 @@
+#include "core/meet_general.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace meetxml {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+struct Witness {
+  Assoc assoc;
+  size_t source;
+};
+
+// A live input item: its current roll-up position plus the witnesses it
+// carries (more than one only after duplicate-association merging).
+struct Item {
+  Oid cur;
+  std::vector<uint32_t> witness_ids;
+};
+
+Status ValidateInput(const StoredDocument& doc, const AssocSet& set,
+                     size_t index) {
+  if (set.path >= doc.paths().size()) {
+    return Status::NotFound("meet input set ", index, ": unknown path id ",
+                            set.path);
+  }
+  bool is_attr =
+      doc.paths().kind(set.path) == model::StepKind::kAttribute;
+  PathId node_path = is_attr ? doc.paths().parent(set.path) : set.path;
+  for (Oid node : set.nodes) {
+    if (node >= doc.node_count()) {
+      return Status::NotFound("meet input set ", index,
+                              ": no node with OID ", node);
+    }
+    if (doc.path(node) != node_path) {
+      return Status::InvalidArgument(
+          "meet input set ", index, ": node OID ", node,
+          " does not match the set's path (sets must be uniformly typed)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<GeneralMeet>> MeetGeneral(
+    const StoredDocument& doc, const std::vector<AssocSet>& inputs,
+    const MeetOptions& options, MeetGeneralStats* stats) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  MeetGeneralStats local_stats;
+  MeetGeneralStats* st = stats != nullptr ? stats : &local_stats;
+  *st = MeetGeneralStats{};
+
+  const model::PathSummary& paths = doc.paths();
+
+  // Seed: one item per distinct association; duplicates across (or
+  // within) sets merge their witnesses into one item.
+  std::vector<Witness> witnesses;
+  std::vector<std::vector<Item>> buckets(paths.size());
+  {
+    // (path, node) -> (bucket path, item index) for duplicate merging.
+    std::unordered_map<uint64_t, std::pair<PathId, uint32_t>> seen;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      MEETXML_RETURN_NOT_OK(ValidateInput(doc, inputs[i], i));
+      const AssocSet& set = inputs[i];
+      for (Oid node : set.nodes) {
+        Assoc assoc{set.path, node};
+        uint32_t wid = static_cast<uint32_t>(witnesses.size());
+        witnesses.push_back(Witness{assoc, i});
+        uint64_t key = (static_cast<uint64_t>(set.path) << 32) | node;
+        auto it = seen.find(key);
+        if (it != seen.end()) {
+          buckets[it->second.first][it->second.second]
+              .witness_ids.push_back(wid);
+          continue;
+        }
+        Item item;
+        item.cur = node;
+        item.witness_ids.push_back(wid);
+        seen.emplace(key,
+                     std::make_pair(set.path, static_cast<uint32_t>(
+                                                  buckets[set.path].size())));
+        buckets[set.path].push_back(std::move(item));
+        ++st->items_seeded;
+      }
+    }
+  }
+
+  std::vector<GeneralMeet> results;
+
+  // Roll up the schema tree children-before-parents. Path ids are
+  // interned parents-first, so descending id order visits every path
+  // after all of its children.
+  for (size_t p = paths.size(); p-- > 0;) {
+    PathId pid = static_cast<PathId>(p);
+    std::vector<Item> bucket = std::move(buckets[pid]);
+    if (bucket.empty()) continue;
+    ++st->paths_touched;
+
+    const bool is_attr = paths.kind(pid) == model::StepKind::kAttribute;
+    const uint32_t node_depth =
+        is_attr ? paths.depth(pid) - 1 : paths.depth(pid);
+
+    // Group items by current node.
+    std::unordered_map<Oid, std::vector<size_t>> by_node;
+    by_node.reserve(bucket.size());
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      by_node[bucket[i].cur].push_back(i);
+    }
+
+    for (auto& [node, item_indices] : by_node) {
+      // A node is a meet when >= 2 items converge on it — or when a
+      // single seeded item already carries >= 2 witnesses (the same
+      // association matched several search terms, e.g. "Bob" and
+      // "Byte" hitting one cdata: the meet is that node itself).
+      bool merged_duplicate =
+          item_indices.size() == 1 &&
+          bucket[item_indices[0]].witness_ids.size() >= 2;
+      if (item_indices.size() >= 2 || merged_duplicate) {
+        // `node` is the lowest common ancestor of at least two input
+        // items: a minimal meet. Consume the items.
+        GeneralMeet meet;
+        meet.meet = node;
+        meet.meet_path = doc.path(node);
+        int largest = 0;
+        int second = 0;
+        for (size_t idx : item_indices) {
+          for (uint32_t wid : bucket[idx].witness_ids) {
+            const Witness& w = witnesses[wid];
+            // A witness seeded in this very bucket never traversed an
+            // edge (distance 0); a lifted witness is as many edges away
+            // as its association depth exceeds the meet node's depth.
+            int dist = w.assoc.path == pid
+                           ? 0
+                           : static_cast<int>(AssocDepth(doc, w.assoc)) -
+                                 static_cast<int>(node_depth);
+            meet.witnesses.push_back(MeetWitness{w.assoc, w.source, dist});
+            if (dist >= largest) {
+              second = largest;
+              largest = dist;
+            } else if (dist > second) {
+              second = dist;
+            }
+          }
+        }
+        meet.witness_distance = largest + second;
+        bool report = options.PathAllowed(meet.meet_path) &&
+                      meet.witness_distance <= options.max_distance;
+        if (report) {
+          std::sort(meet.witnesses.begin(), meet.witnesses.end(),
+                    [](const MeetWitness& a, const MeetWitness& b) {
+                      if (a.assoc.node != b.assoc.node) {
+                        return a.assoc.node < b.assoc.node;
+                      }
+                      return a.assoc.path < b.assoc.path;
+                    });
+          results.push_back(std::move(meet));
+        }
+        continue;
+      }
+
+      // Lone item: climb one edge, unless already at a root-level
+      // element path (then it produces no meet and is dropped).
+      size_t idx = item_indices.front();
+      PathId parent_path = paths.parent(pid);
+      if (parent_path == bat::kInvalidPathId) continue;
+      Item lifted = std::move(bucket[idx]);
+      if (!is_attr) lifted.cur = doc.parent(lifted.cur);
+      buckets[parent_path].push_back(std::move(lifted));
+      ++st->lifts;
+    }
+  }
+
+  // Rank by the paper's heuristic: fewest joins (tightest witness span)
+  // first; meet OID breaks ties deterministically.
+  std::sort(results.begin(), results.end(),
+            [](const GeneralMeet& a, const GeneralMeet& b) {
+              if (a.witness_distance != b.witness_distance) {
+                return a.witness_distance < b.witness_distance;
+              }
+              return a.meet < b.meet;
+            });
+  if (options.max_results > 0 && results.size() > options.max_results) {
+    results.resize(options.max_results);
+  }
+  return results;
+}
+
+Result<std::vector<GeneralMeet>> MeetGeneralNodes(
+    const StoredDocument& doc, const std::vector<Oid>& nodes,
+    const MeetOptions& options) {
+  std::unordered_map<PathId, AssocSet> grouped;
+  for (Oid node : nodes) {
+    if (node >= doc.node_count()) {
+      return Status::NotFound("no node with OID ", node);
+    }
+    PathId path = doc.path(node);
+    AssocSet& set = grouped[path];
+    set.path = path;
+    set.nodes.push_back(node);
+  }
+  std::vector<AssocSet> inputs;
+  inputs.reserve(grouped.size());
+  for (auto& [path, set] : grouped) inputs.push_back(std::move(set));
+  // Deterministic input order (the algorithm is order-invariant, but
+  // keep the witness `source` indices stable).
+  std::sort(inputs.begin(), inputs.end(),
+            [](const AssocSet& a, const AssocSet& b) {
+              return a.path < b.path;
+            });
+  return MeetGeneral(doc, inputs, options);
+}
+
+}  // namespace core
+}  // namespace meetxml

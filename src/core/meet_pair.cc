@@ -1,0 +1,103 @@
+#include "core/meet_pair.h"
+
+namespace meetxml {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+Status ValidateAssoc(const StoredDocument& doc, const Assoc& a,
+                     const char* which) {
+  if (a.node >= doc.node_count()) {
+    return Status::NotFound("meet input ", which, ": no node with OID ",
+                            a.node);
+  }
+  if (a.path >= doc.paths().size()) {
+    return Status::NotFound("meet input ", which, ": no path with id ",
+                            a.path);
+  }
+  // For non-attribute paths the association's path must be the node's own
+  // path; for attribute paths it must be an attribute arc of the node.
+  if (doc.paths().kind(a.path) == model::StepKind::kAttribute) {
+    if (doc.paths().parent(a.path) != doc.path(a.node)) {
+      return Status::InvalidArgument(
+          "meet input ", which,
+          ": attribute path does not belong to the node's element path");
+    }
+  } else if (doc.path(a.node) != a.path) {
+    return Status::InvalidArgument("meet input ", which,
+                                   ": path does not match node's path");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PairMeet> MeetPair(const StoredDocument& doc, const Assoc& a,
+                          const Assoc& b) {
+  MEETXML_RETURN_NOT_OK(ValidateAssoc(doc, a, "left"));
+  MEETXML_RETURN_NOT_OK(ValidateAssoc(doc, b, "right"));
+
+  Assoc left = a;
+  Assoc right = b;
+  int joins = 0;
+  // Steered walk: the side whose current path is deeper lifts first; on
+  // equal depth both lift. Terminates because depths strictly decrease
+  // and both walks end at the root.
+  while (!(left == right)) {
+    uint32_t dl = AssocDepth(doc, left);
+    uint32_t dr = AssocDepth(doc, right);
+    if (dl > dr) {
+      left = Lift(doc, left);
+      ++joins;
+    } else if (dr > dl) {
+      right = Lift(doc, right);
+      ++joins;
+    } else {
+      if (dl <= 1) {
+        // Both at root level but different — impossible in a tree with a
+        // single root element.
+        return Status::Internal("meet walk reached two distinct roots");
+      }
+      left = Lift(doc, left);
+      right = Lift(doc, right);
+      joins += 2;
+    }
+  }
+  return PairMeet{left.node, joins};
+}
+
+Result<PairMeet> MeetPair(const StoredDocument& doc, Oid a, Oid b) {
+  if (a >= doc.node_count() || b >= doc.node_count()) {
+    return Status::NotFound("meet input OID out of range");
+  }
+  return MeetPair(doc, AssocForNode(doc, a), AssocForNode(doc, b));
+}
+
+Result<int> Distance(const StoredDocument& doc, const Assoc& a,
+                     const Assoc& b) {
+  MEETXML_ASSIGN_OR_RETURN(PairMeet meet, MeetPair(doc, a, b));
+  return meet.joins;
+}
+
+Result<int> Distance(const StoredDocument& doc, Oid a, Oid b) {
+  MEETXML_ASSIGN_OR_RETURN(PairMeet meet, MeetPair(doc, a, b));
+  return meet.joins;
+}
+
+Result<std::optional<PairMeet>> MeetPairWithin(const StoredDocument& doc,
+                                               const Assoc& a,
+                                               const Assoc& b,
+                                               int max_distance) {
+  if (max_distance < 0) {
+    return Status::InvalidArgument("max_distance must be non-negative");
+  }
+  MEETXML_ASSIGN_OR_RETURN(PairMeet meet, MeetPair(doc, a, b));
+  if (meet.joins > max_distance) return std::optional<PairMeet>();
+  return std::optional<PairMeet>(meet);
+}
+
+}  // namespace core
+}  // namespace meetxml

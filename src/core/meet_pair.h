@@ -1,0 +1,52 @@
+// Pairwise meet — meet2 of paper §3.1/Figure 3.
+//
+// Given two associations, returns their lowest common ancestor (the
+// "nearest concept"). The walk is steered by the path summary: comparing
+// the depths of the two current paths tells which side must step toward
+// the root next, so no superfluous parent look-ups happen ("the
+// comparison steers the search direction of the algorithm and avoids
+// superfluous look-ups", paper §3.2).
+
+#ifndef MEETXML_CORE_MEET_PAIR_H_
+#define MEETXML_CORE_MEET_PAIR_H_
+
+#include <optional>
+
+#include "core/input_set.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief Result of a pairwise meet.
+struct PairMeet {
+  /// The nearest concept (lowest common ancestor) node.
+  Oid meet;
+  /// Number of parent joins executed — equals the number of edges on the
+  /// shortest path between the two inputs (paper §4's distance d).
+  int joins;
+};
+
+/// \brief meet2 over two associations.
+util::Result<PairMeet> MeetPair(const StoredDocument& doc, const Assoc& a,
+                                const Assoc& b);
+
+/// \brief meet2 over two plain nodes.
+util::Result<PairMeet> MeetPair(const StoredDocument& doc, Oid a, Oid b);
+
+/// \brief Tree distance in edges between two associations (the paper's
+/// d(o1,o2) = number of joins of meet2).
+util::Result<int> Distance(const StoredDocument& doc, const Assoc& a,
+                           const Assoc& b);
+util::Result<int> Distance(const StoredDocument& doc, Oid a, Oid b);
+
+/// \brief d-meet (paper §4): the meet if the inputs are within
+/// `max_distance` edges of each other, std::nullopt otherwise.
+util::Result<std::optional<PairMeet>> MeetPairWithin(
+    const StoredDocument& doc, const Assoc& a, const Assoc& b,
+    int max_distance);
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_MEET_PAIR_H_

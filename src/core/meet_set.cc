@@ -1,0 +1,182 @@
+#include "core/meet_set.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "bat/ops.h"
+
+namespace meetxml {
+namespace core {
+
+using bat::OidOidBat;
+using util::Result;
+using util::Status;
+
+namespace {
+
+Status ValidateSet(const StoredDocument& doc, const AssocSet& set,
+                   const char* which) {
+  if (set.path >= doc.paths().size()) {
+    return Status::NotFound("meet_s input ", which, ": unknown path id ",
+                            set.path);
+  }
+  bool is_attr =
+      doc.paths().kind(set.path) == model::StepKind::kAttribute;
+  PathId node_path =
+      is_attr ? doc.paths().parent(set.path) : set.path;
+  for (Oid node : set.nodes) {
+    if (node >= doc.node_count()) {
+      return Status::NotFound("meet_s input ", which, ": no node with OID ",
+                              node);
+    }
+    if (doc.path(node) != node_path) {
+      return Status::InvalidArgument(
+          "meet_s input ", which,
+          ": node OID ", node,
+          " does not have the set's uniform path (sets must be "
+          "uniformly typed, paper Fig. 4)");
+    }
+  }
+  return Status::OK();
+}
+
+// Seeds the (current, origin) relation: mirror of the deduplicated node
+// set. For attribute paths the current node is the owning element.
+OidOidBat SeedRelation(const std::vector<Oid>& nodes) {
+  std::vector<Oid> unique = nodes;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return bat::MirrorValues(unique);
+}
+
+// One lift step: joins the relation with the edge BAT of `path`
+// (paper's parent() shortcut). Attribute arcs collapse onto the owner
+// element, which the current relation already references, so only the
+// path changes.
+OidOidBat LiftRelation(const StoredDocument& doc, OidOidBat relation,
+                       PathId path) {
+  if (doc.paths().kind(path) == model::StepKind::kAttribute) {
+    return relation;
+  }
+  // edges: (parent, child); relation: (current == child, origin).
+  // join(edges, relation) matches edges.tail == relation.head and yields
+  // (parent, origin).
+  return bat::Join(doc.EdgesAt(path), relation);
+}
+
+}  // namespace
+
+Result<std::vector<SetMeet>> MeetSet(const StoredDocument& doc,
+                                     const AssocSet& left,
+                                     const AssocSet& right,
+                                     const MeetOptions& options,
+                                     MeetSetStats* stats) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  MEETXML_RETURN_NOT_OK(ValidateSet(doc, left, "left"));
+  MEETXML_RETURN_NOT_OK(ValidateSet(doc, right, "right"));
+
+  MeetSetStats local_stats;
+  MeetSetStats* st = stats != nullptr ? stats : &local_stats;
+  *st = MeetSetStats{};
+
+  OidOidBat sigma_l = SeedRelation(left.nodes);
+  OidOidBat sigma_r = SeedRelation(right.nodes);
+  PathId path_l = left.path;
+  PathId path_r = right.path;
+  const uint32_t depth_l0 = doc.paths().depth(path_l);
+  const uint32_t depth_r0 = doc.paths().depth(path_r);
+
+  std::vector<SetMeet> results;
+  bool truncated = false;
+
+  while (!sigma_l.empty() && !sigma_r.empty() && !truncated) {
+    ++st->rounds;
+    st->pairs_peak =
+        std::max(st->pairs_peak, sigma_l.size() + sigma_r.size());
+
+    uint32_t dl = doc.paths().depth(path_l);
+    uint32_t dr = doc.paths().depth(path_r);
+
+    if (path_l == path_r) {
+      std::unordered_set<Oid> meets = bat::IntersectHeads(sigma_l, sigma_r);
+      if (!meets.empty()) {
+        // Group witnesses per meet node, ordered by meet OID for
+        // deterministic output.
+        std::map<Oid, SetMeet> grouped;
+        for (size_t row = 0; row < sigma_l.size(); ++row) {
+          if (!meets.count(sigma_l.head(row))) continue;
+          grouped[sigma_l.head(row)].left_witnesses.push_back(
+              sigma_l.tail(row));
+        }
+        for (size_t row = 0; row < sigma_r.size(); ++row) {
+          if (!meets.count(sigma_r.head(row))) continue;
+          grouped[sigma_r.head(row)].right_witnesses.push_back(
+              sigma_r.tail(row));
+        }
+        // The meet node sits at the current (common) path depth. For an
+        // attribute path the reported node is the owner element, one
+        // level above the arc.
+        uint32_t dm = dl;
+        if (doc.paths().kind(path_l) == model::StepKind::kAttribute) {
+          dm -= 1;
+        }
+        int witness_distance = static_cast<int>(depth_l0 - dm) +
+                               static_cast<int>(depth_r0 - dm);
+        PathId meet_path =
+            doc.paths().kind(path_l) == model::StepKind::kAttribute
+                ? doc.paths().parent(path_l)
+                : path_l;
+        for (auto& [meet_oid, meet] : grouped) {
+          meet.meet = meet_oid;
+          meet.witness_distance = witness_distance;
+          std::sort(meet.left_witnesses.begin(), meet.left_witnesses.end());
+          std::sort(meet.right_witnesses.begin(),
+                    meet.right_witnesses.end());
+          // Minimality consumes the pairs regardless; the restriction
+          // (meet_X / d-meet) only filters what is reported (paper §4).
+          bool report = options.PathAllowed(meet_path) &&
+                        witness_distance <= options.max_distance;
+          if (report) {
+            results.push_back(std::move(meet));
+            if (options.max_results > 0 &&
+                results.size() >= options.max_results) {
+              truncated = true;
+              break;
+            }
+          }
+        }
+        sigma_l = bat::AntijoinKeys(sigma_l, meets);
+        sigma_r = bat::AntijoinKeys(sigma_r, meets);
+        if (truncated || sigma_l.empty() || sigma_r.empty()) break;
+      }
+      if (dl <= 1) break;  // both relations sit at the root path
+    }
+
+    // Steering: lift the deeper side; on equal depth lift both (the
+    // remaining pairs on a common path are distinct nodes whose meet is
+    // strictly higher).
+    if (dl > dr) {
+      sigma_l = LiftRelation(doc, std::move(sigma_l), path_l);
+      path_l = doc.paths().parent(path_l);
+      ++st->joins;
+    } else if (dr > dl) {
+      sigma_r = LiftRelation(doc, std::move(sigma_r), path_r);
+      path_r = doc.paths().parent(path_r);
+      ++st->joins;
+    } else {
+      sigma_l = LiftRelation(doc, std::move(sigma_l), path_l);
+      path_l = doc.paths().parent(path_l);
+      sigma_r = LiftRelation(doc, std::move(sigma_r), path_r);
+      path_r = doc.paths().parent(path_r);
+      st->joins += 2;
+    }
+  }
+
+  return results;
+}
+
+}  // namespace core
+}  // namespace meetxml

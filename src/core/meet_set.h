@@ -1,0 +1,58 @@
+// Set-at-a-time meet over two uniformly-typed association sets — the
+// meet_s algorithm of paper §3.2/Figure 4.
+//
+// The two input sets are represented as (current, origin) BAT relations
+// seeded with mirror(S). Each round intersects the current heads — every
+// common head is a *minimal* meet, is emitted, and its pairs are removed
+// from both relations — then lifts the deeper relation one level by
+// joining it with the edge BAT of its path (the paper's
+// parent(Σ1, Σ2) = join shortcut). Because every set keeps a single
+// uniform path, the depth comparison steers which side joins, and the
+// result is invariant of input order.
+
+#ifndef MEETXML_CORE_MEET_SET_H_
+#define MEETXML_CORE_MEET_SET_H_
+
+#include <vector>
+
+#include "core/input_set.h"
+#include "core/restrictions.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief One meet produced by the set-at-a-time algorithm.
+struct SetMeet {
+  /// The nearest-concept node.
+  Oid meet;
+  /// Input nodes from the left set that this meet consumed.
+  std::vector<Oid> left_witnesses;
+  /// Input nodes from the right set that this meet consumed.
+  std::vector<Oid> right_witnesses;
+  /// Edges between the meet and its deepest left/right witnesses summed —
+  /// the d of d-meet for this result.
+  int witness_distance;
+};
+
+/// \brief Execution counters, exposed for the benchmarks.
+struct MeetSetStats {
+  int rounds = 0;        // loop iterations
+  int joins = 0;         // edge-BAT joins executed (lift operations)
+  size_t pairs_peak = 0; // max total (current, origin) pairs alive
+};
+
+/// \brief meet_s(S1, S2): all minimal meets between two association sets.
+///
+/// Both sets must be uniformly typed (a single path each). Duplicate
+/// input nodes are deduplicated. Results are ordered by meet OID.
+util::Result<std::vector<SetMeet>> MeetSet(const StoredDocument& doc,
+                                           const AssocSet& left,
+                                           const AssocSet& right,
+                                           const MeetOptions& options = {},
+                                           MeetSetStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_MEET_SET_H_

@@ -1,0 +1,66 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace meetxml {
+namespace core {
+
+std::vector<RankedMeet> RankMeets(const StoredDocument& doc,
+                                  std::vector<GeneralMeet> meets,
+                                  const RankingOptions& options) {
+  std::vector<RankedMeet> ranked;
+  ranked.reserve(meets.size());
+  for (GeneralMeet& meet : meets) {
+    RankedMeet entry;
+    std::unordered_set<size_t> sources;
+    Oid lo = meet.witnesses.empty() ? 0
+                                    : meet.witnesses.front().assoc.node;
+    Oid hi = lo;
+    for (const MeetWitness& witness : meet.witnesses) {
+      size_t group = witness.source;
+      if (options.source_groups != nullptr &&
+          group < options.source_groups->size()) {
+        group = (*options.source_groups)[group];
+      }
+      sources.insert(group);
+      lo = std::min(lo, witness.assoc.node);
+      hi = std::max(hi, witness.assoc.node);
+    }
+    entry.sources_covered = sources.size();
+    entry.document_span = hi - lo;
+
+    double score =
+        options.witness_distance_weight * meet.witness_distance;
+    score += options.document_span_weight *
+             std::log2(1.0 + static_cast<double>(entry.document_span));
+    score -= options.source_coverage_bonus *
+             static_cast<double>(entry.sources_covered);
+    score -= options.depth_bonus *
+             static_cast<double>(doc.depth(meet.meet));
+    entry.score = score;
+    entry.meet = std::move(meet);
+    ranked.push_back(std::move(entry));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedMeet& a, const RankedMeet& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.meet.meet < b.meet.meet;
+            });
+  return ranked;
+}
+
+std::vector<RankedMeet> FilterBySourceCoverage(
+    std::vector<RankedMeet> ranked, size_t min_sources) {
+  ranked.erase(std::remove_if(ranked.begin(), ranked.end(),
+                              [min_sources](const RankedMeet& entry) {
+                                return entry.sources_covered <
+                                       min_sources;
+                              }),
+               ranked.end());
+  return ranked;
+}
+
+}  // namespace core
+}  // namespace meetxml

@@ -1,0 +1,73 @@
+// Result ranking and answer presentation (paper §4).
+//
+// "The number of joins is also a simple yet effective heuristic for
+// establishing a ranking between the result OIDs. We believe that it is
+// worthwhile to apply additional heuristics like distances in the
+// source file or even more complicated information retrieval
+// techniques to improve the ranking of the answer set."
+//
+// This module scores general-meet results with a weighted combination
+// of the paper's heuristics:
+//   * witness span        — fewer joins between witnesses is better,
+//   * source-file locality — witnesses close in document order
+//     (OID distance, a proxy for "distances in the source file"),
+//   * coverage            — results whose witnesses span more distinct
+//     search terms rank higher,
+//   * specificity         — deeper (more specific) concepts win ties.
+
+#ifndef MEETXML_CORE_RANKING_H_
+#define MEETXML_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/meet_general.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief Weights of the scoring heuristics. Defaults follow the
+/// paper's emphasis: join count first, everything else a tie-breaker.
+struct RankingOptions {
+  double witness_distance_weight = 1.0;
+  /// Weight of log2(OID span) — document-order locality.
+  double document_span_weight = 0.25;
+  /// Bonus per distinct input source covered (subtracted from the
+  /// score, i.e. more sources = better rank).
+  double source_coverage_bonus = 2.0;
+  /// Small reward per level of meet depth (specificity).
+  double depth_bonus = 0.05;
+
+  /// Optional mapping from witness source index (the position of its
+  /// AssocSet in the meet input) to a coarser group id — typically the
+  /// search *term* the set came from, since one term's matches span
+  /// several paths. Coverage then counts distinct groups instead of
+  /// distinct sets. nullptr = identity.
+  const std::vector<size_t>* source_groups = nullptr;
+};
+
+/// \brief A scored result; lower score = better.
+struct RankedMeet {
+  GeneralMeet meet;
+  double score;
+  /// Number of distinct input sources among the witnesses.
+  size_t sources_covered;
+  /// OID span of the witnesses (document-order locality proxy).
+  Oid document_span;
+};
+
+/// \brief Scores and sorts general-meet results (best first). Stable
+/// for equal scores (falls back to meet OID).
+std::vector<RankedMeet> RankMeets(const StoredDocument& doc,
+                                  std::vector<GeneralMeet> meets,
+                                  const RankingOptions& options = {});
+
+/// \brief Convenience: keep only results covering at least
+/// `min_sources` distinct input sources (e.g. require every search
+/// term to be represented by passing the term count).
+std::vector<RankedMeet> FilterBySourceCoverage(
+    std::vector<RankedMeet> ranked, size_t min_sources);
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_RANKING_H_

@@ -1,0 +1,55 @@
+// Result restrictions for the meet operator (paper §4): type (path)
+// restrictions meet_X, the distance bound of d-meet, and ranking.
+
+#ifndef MEETXML_CORE_RESTRICTIONS_H_
+#define MEETXML_CORE_RESTRICTIONS_H_
+
+#include <limits>
+#include <unordered_set>
+
+#include "bat/oid.h"
+#include "model/document.h"
+
+namespace meetxml {
+namespace core {
+
+/// \brief Options applied to set-at-a-time meet results.
+struct MeetOptions {
+  /// Paths whose nodes may not be reported as meets (the paper's set X;
+  /// typically the document root, "by setting X to {bibliography} we can
+  /// filter out uninteresting matches").
+  std::unordered_set<bat::PathId> excluded_paths;
+
+  /// If non-empty, only these paths may be reported as meets (the
+  /// complementary whitelist form; the paper phrases meet_X as a
+  /// blacklist, a whitelist implements "restricting the result types ...
+  /// can be used to implement keyword search as a special case").
+  std::unordered_set<bat::PathId> allowed_paths;
+
+  /// Maximum witness span in edges: a meet is dropped when its two
+  /// farthest witnesses are more than this many edges apart (d-meet).
+  int max_distance = std::numeric_limits<int>::max();
+
+  /// Stop after this many results (0 = unlimited).
+  size_t max_results = 0;
+
+  /// \brief True if a node at `path` may be reported.
+  bool PathAllowed(bat::PathId path) const {
+    if (excluded_paths.count(path)) return false;
+    if (!allowed_paths.empty() && !allowed_paths.count(path)) return false;
+    return true;
+  }
+};
+
+/// \brief Convenience: options that exclude the document root — the
+/// configuration of the paper's DBLP case study (§5).
+inline MeetOptions ExcludeRootOptions(const model::StoredDocument& doc) {
+  MeetOptions options;
+  options.excluded_paths.insert(doc.path(doc.root()));
+  return options;
+}
+
+}  // namespace core
+}  // namespace meetxml
+
+#endif  // MEETXML_CORE_RESTRICTIONS_H_

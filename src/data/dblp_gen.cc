@@ -1,0 +1,245 @@
+#include "data/dblp_gen.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/rng.h"
+#include "xml/serializer.h"
+
+namespace meetxml {
+namespace data {
+
+using util::Result;
+using util::Rng;
+using util::Status;
+
+namespace {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Alice",  "Bob",    "Carol", "Dave",   "Erika",  "Frank",
+      "Grace",  "Heikki", "Ines",  "Jim",    "Kalle",  "Laura",
+      "Martin", "Nadia",  "Otto",  "Priya",  "Quentin","Rosa",
+      "Sam",    "Tomasz", "Uma",   "Viktor", "Wei",    "Xavier",
+      "Yuki",   "Zoltan", "Albrecht", "Menzo", "Florian"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Smith",    "Jones",   "Mueller",  "Garcia",   "Chen",
+      "Kumar",    "Rossi",   "Tanaka",   "Novak",    "Silva",
+      "Andersen", "Kowalski","Petrov",   "Dubois",   "Okafor",
+      "Schmidt",  "Kersten", "Windhouwer","Boncz",   "Waas",
+      "Byte",     "Bit",     "Hacker",   "Coder",    "Query"};
+  return kNames;
+}
+
+const std::vector<std::string>& TitleWords() {
+  static const std::vector<std::string> kWords = {
+      "efficient",   "scalable",   "adaptive",    "distributed",
+      "relational",  "semistructured", "indexing", "querying",
+      "storage",     "retrieval",  "optimization","processing",
+      "join",        "aggregation","compression", "caching",
+      "transactions","recovery",   "replication", "partitioning",
+      "documents",   "trees",      "graphs",      "streams",
+      "schemas",     "views",      "wrappers",    "mediators",
+      "declarative", "parallel",   "main-memory", "columnar"};
+  return kWords;
+}
+
+}  // namespace
+
+const std::vector<std::string>& DblpVenues() {
+  static const std::vector<std::string> kVenues = {
+      "ICDE", "SIGMOD", "VLDB", "EDBT", "PODS", "CIKM", "WebDB"};
+  return kVenues;
+}
+
+namespace {
+
+const std::vector<std::string>& Journals() {
+  static const std::vector<std::string> kJournals = {
+      "VLDB Journal", "TODS", "SIGMOD Record", "Information Systems"};
+  return kJournals;
+}
+
+std::string MakeAuthorName(Rng* rng) {
+  return rng->Pick(FirstNames()) + " " + rng->Pick(LastNames());
+}
+
+std::string MakeTitle(Rng* rng, double venue_in_title_prob) {
+  int words = static_cast<int>(rng->NextInRange(3, 8));
+  std::string title;
+  for (int i = 0; i < words; ++i) {
+    if (!title.empty()) title.push_back(' ');
+    title.append(rng->Pick(TitleWords()));
+  }
+  // Capitalize the first letter to look like a real title.
+  if (!title.empty() && title[0] >= 'a' && title[0] <= 'z') {
+    title[0] = static_cast<char>(title[0] - 'a' + 'A');
+  }
+  if (rng->NextBool(venue_in_title_prob)) {
+    title.append(" (an ");
+    title.append(rng->Pick(DblpVenues()));
+    title.append(" retrospective)");
+  }
+  return title;
+}
+
+std::string MakePages(Rng* rng) {
+  // Occasionally a page range that collides with a year string — a
+  // false-positive source the paper's intro mentions ("numbers ... as
+  // year or page numbers").
+  int first;
+  if (rng->NextBool(0.01)) {
+    first = static_cast<int>(rng->NextInRange(1980, 1999));
+  } else {
+    first = static_cast<int>(rng->NextInRange(1, 1200));
+  }
+  int last = first + static_cast<int>(rng->NextInRange(5, 20));
+  return std::to_string(first) + "-" + std::to_string(last);
+}
+
+// DBLP-style keys carry two-digit years ("conf/icde/Smith99"), so a
+// full-text search for "1999" does not hit every key attribute — real
+// DBLP behaves the same way, and the case study's result cardinality
+// depends on it.
+std::string MakeKey(const std::string& venue, int year, int index) {
+  std::string key = "conf/";
+  for (char c : venue) {
+    key.push_back(static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c))));
+  }
+  key.append("/");
+  key.append(std::to_string(year % 100 + 100).substr(1));
+  key.append("-");
+  key.append(std::to_string(index));
+  return key;
+}
+
+void AddOptionalFields(xml::Node* pub, Rng* rng, double prob) {
+  if (rng->NextBool(prob)) {
+    pub->AddElementWithText("ee",
+                            "db/conf/x/" + rng->NextWord(4, 8) + ".html");
+  }
+  if (rng->NextBool(prob)) {
+    pub->AddElementWithText(
+        "url", "http://example.org/" + rng->NextWord(4, 10));
+  }
+  if (rng->NextBool(prob * 0.5)) {
+    pub->AddElementWithText("note", "invited " + rng->NextWord(3, 7));
+  }
+  if (rng->NextBool(prob * 0.5)) {
+    static const std::vector<std::string> kMonths = {
+        "January", "March", "June", "September", "November"};
+    pub->AddElementWithText("month", rng->Pick(kMonths));
+  }
+}
+
+void AddInproceedings(xml::Node* parent, Rng* rng,
+                      const DblpOptions& options, const std::string& venue,
+                      int year, int index) {
+  xml::Node* pub = parent->AddElement("inproceedings");
+  pub->AddAttribute("key", MakeKey(venue, year, index));
+  int authors = 1 + rng->NextGeometric(0.55, 4);
+  for (int a = 0; a < authors; ++a) {
+    pub->AddElementWithText("author", MakeAuthorName(rng));
+  }
+  pub->AddElementWithText("title",
+                          MakeTitle(rng, options.venue_in_title_prob));
+  pub->AddElementWithText("pages", MakePages(rng));
+  pub->AddElementWithText("year", std::to_string(year));
+  pub->AddElementWithText("booktitle", venue);
+  AddOptionalFields(pub, rng, options.optional_field_prob);
+}
+
+void AddArticle(xml::Node* parent, Rng* rng, const DblpOptions& options,
+                int year, int index) {
+  xml::Node* pub = parent->AddElement("article");
+  pub->AddAttribute(
+      "key", "journals/j" + std::to_string(index % 7) + "/" +
+                 std::to_string(year % 100 + 100).substr(1) + "-" +
+                 std::to_string(index));
+  int authors = 1 + rng->NextGeometric(0.5, 3);
+  for (int a = 0; a < authors; ++a) {
+    pub->AddElementWithText("author", MakeAuthorName(rng));
+  }
+  pub->AddElementWithText("title",
+                          MakeTitle(rng, options.venue_in_title_prob));
+  pub->AddElementWithText("journal", rng->Pick(Journals()));
+  pub->AddElementWithText("volume",
+                          std::to_string(rng->NextInRange(1, 30)));
+  pub->AddElementWithText("pages", MakePages(rng));
+  pub->AddElementWithText("year", std::to_string(year));
+  AddOptionalFields(pub, rng, options.optional_field_prob);
+}
+
+void AddProceedingsEntry(xml::Node* parent, Rng* rng,
+                         const std::string& venue, int year) {
+  xml::Node* proc = parent->AddElement("proceedings");
+  proc->AddAttribute("key", MakeKey(venue, year, 0));
+  proc->AddElementWithText("editor", MakeAuthorName(rng));
+  proc->AddElementWithText(
+      "title", "Proceedings of " + venue + " " + std::to_string(year));
+  proc->AddElementWithText("booktitle", venue);
+  proc->AddElementWithText("year", std::to_string(year));
+  proc->AddElementWithText("publisher", "ACM Press");
+}
+
+}  // namespace
+
+Result<xml::Document> GenerateDblp(const DblpOptions& options) {
+  if (options.start_year > options.end_year) {
+    return Status::InvalidArgument("start_year must be <= end_year");
+  }
+  if (options.icde_papers_per_year < 0 ||
+      options.other_papers_per_year < 0 ||
+      options.journal_articles_per_year < 0) {
+    return Status::InvalidArgument("paper counts must be non-negative");
+  }
+
+  Rng rng(options.seed);
+  xml::Document doc;
+  doc.root = xml::Node::MakeElement("dblp");
+  xml::Node* root = doc.root.get();
+
+  const auto& venues = DblpVenues();
+  for (int year = options.start_year; year <= options.end_year; ++year) {
+    for (size_t v = 0; v < venues.size(); ++v) {
+      const std::string& venue = venues[v];
+      bool is_icde = venue == "ICDE";
+      if (is_icde && year == 1985) continue;  // ICDE skipped 1985
+      int papers = is_icde ? options.icde_papers_per_year
+                           : options.other_papers_per_year /
+                                 std::max<int>(
+                                     1, static_cast<int>(venues.size()) - 1);
+      if (papers <= 0) continue;
+
+      xml::Node* container = root;
+      if (options.nested_proceedings) {
+        container = root->AddElement("conference");
+        container->AddAttribute("name", venue);
+        container->AddAttribute("year", std::to_string(year));
+      }
+      AddProceedingsEntry(container, &rng, venue, year);
+      for (int i = 0; i < papers; ++i) {
+        AddInproceedings(container, &rng, options, venue, year, i);
+      }
+    }
+    for (int i = 0; i < options.journal_articles_per_year; ++i) {
+      AddArticle(root, &rng, options, year, i);
+    }
+  }
+  return doc;
+}
+
+Result<std::string> GenerateDblpXml(const DblpOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(xml::Document doc, GenerateDblp(options));
+  xml::SerializeOptions serialize_options;
+  serialize_options.indent = 1;
+  return xml::Serialize(doc, serialize_options);
+}
+
+}  // namespace data
+}  // namespace meetxml

@@ -1,0 +1,62 @@
+// Synthetic DBLP-shaped bibliography generator.
+//
+// Substitution for the real DBLP snapshot the paper's case study uses
+// (§5, Figure 7; see DESIGN.md §4). The generator reproduces the
+// properties the experiment depends on:
+//  * DBLP's element vocabulary (inproceedings/article/proceedings with
+//    author/title/pages/year/booktitle/journal/... children),
+//  * per-year ICDE proceedings from `start_year` to `end_year` with NO
+//    ICDE in 1985 (the "small step at about 1100 on the x-axis"),
+//  * schema irregularity: optional fields appear probabilistically, so
+//    the path summary is larger than the element vocabulary,
+//  * controlled false-positive sources: occasional titles containing
+//    venue names and page numbers that look like years.
+
+#ifndef MEETXML_DATA_DBLP_GEN_H_
+#define MEETXML_DATA_DBLP_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace meetxml {
+namespace data {
+
+/// \brief Generator knobs.
+struct DblpOptions {
+  uint64_t seed = 42;
+  int start_year = 1984;
+  int end_year = 1999;
+  /// ICDE papers per proceedings-year (none in 1985, as in real DBLP —
+  /// ICDE skipped 1985).
+  int icde_papers_per_year = 60;
+  /// Conference papers per year across the other venues.
+  int other_papers_per_year = 150;
+  /// Journal articles per year.
+  int journal_articles_per_year = 60;
+  /// Probability of each optional field (ee, url, note, month, editor).
+  double optional_field_prob = 0.25;
+  /// Probability that a title mentions a venue name (false-positive
+  /// source for the "ICDE" full-text search).
+  double venue_in_title_prob = 0.002;
+  /// Wrap entries per-venue under <proceedings> containers instead of
+  /// DBLP's flat layout (exercises deeper trees).
+  bool nested_proceedings = false;
+};
+
+/// \brief Generates the bibliography DOM. Deterministic in `seed`.
+util::Result<xml::Document> GenerateDblp(const DblpOptions& options);
+
+/// \brief Convenience: generated document as XML text.
+util::Result<std::string> GenerateDblpXml(const DblpOptions& options);
+
+/// \brief The venue list used by the generator ("ICDE" first).
+const std::vector<std::string>& DblpVenues();
+
+}  // namespace data
+}  // namespace meetxml
+
+#endif  // MEETXML_DATA_DBLP_GEN_H_

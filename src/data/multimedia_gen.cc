@@ -1,0 +1,149 @@
+#include "data/multimedia_gen.h"
+
+#include "util/rng.h"
+
+namespace meetxml {
+namespace data {
+
+using util::Result;
+using util::Rng;
+using util::Status;
+
+namespace {
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string> kNames = {
+      "colorHistogram", "edgeDensity", "brightness", "contrast",
+      "saturation",     "texture",     "sharpness",  "entropy"};
+  return kNames;
+}
+
+const std::vector<std::string>& Keywords() {
+  static const std::vector<std::string> kWords = {
+      "landscape", "portrait", "indoor",  "outdoor", "urban",
+      "nature",    "water",    "sky",     "night",   "crowd",
+      "building",  "animal",   "vehicle", "food",    "sport"};
+  return kWords;
+}
+
+void AddFeatureVector(xml::Node* parent, Rng* rng) {
+  xml::Node* features = parent->AddElement("features");
+  int count = static_cast<int>(rng->NextInRange(3, 6));
+  for (int i = 0; i < count; ++i) {
+    xml::Node* feature = features->AddElement("feature");
+    feature->AddAttribute("name", rng->Pick(FeatureNames()));
+    feature->AddElementWithText(
+        "value", std::to_string(rng->NextDouble()).substr(0, 6));
+    feature->AddElementWithText(
+        "confidence", std::to_string(rng->NextDouble()).substr(0, 4));
+  }
+}
+
+void AddRegion(xml::Node* parent, Rng* rng, int depth, int max_depth) {
+  xml::Node* region = parent->AddElement("region");
+  region->AddAttribute("x", std::to_string(rng->NextInRange(0, 640)));
+  region->AddAttribute("y", std::to_string(rng->NextInRange(0, 480)));
+  AddFeatureVector(region, rng);
+  if (depth < max_depth && rng->NextBool(0.4)) {
+    int subregions = static_cast<int>(rng->NextInRange(1, 3));
+    for (int i = 0; i < subregions; ++i) {
+      AddRegion(region, rng, depth + 1, max_depth);
+    }
+  }
+}
+
+void AddMediaItem(xml::Node* root, Rng* rng,
+                  const MultimediaOptions& options, int index) {
+  xml::Node* item = root->AddElement("mediaItem");
+  item->AddAttribute("id", "item" + std::to_string(index));
+  xml::Node* source = item->AddElement("source");
+  source->AddElementWithText(
+      "url", "http://media.example.org/" + rng->NextWord(6, 12) + ".jpg");
+  source->AddElementWithText("format", rng->NextBool() ? "jpeg" : "png");
+  source->AddElementWithText(
+      "bytes", std::to_string(rng->NextInRange(10000, 5000000)));
+
+  AddFeatureVector(item, rng);
+  int regions = rng->NextGeometric(0.6, 3);
+  for (int i = 0; i < regions; ++i) {
+    AddRegion(item, rng, 1, options.max_region_depth);
+  }
+
+  xml::Node* annotation = item->AddElement("annotation");
+  int keywords = 1 + rng->NextGeometric(0.5, 4);
+  for (int i = 0; i < keywords; ++i) {
+    annotation->AddElementWithText("keyword", rng->Pick(Keywords()));
+  }
+  if (rng->NextBool(0.3)) {
+    annotation->AddElementWithText(
+        "caption", rng->Pick(Keywords()) + " scene with " +
+                       rng->Pick(Keywords()) + " elements");
+  }
+}
+
+// Plants the calibration markers. Each probe holds a chain of <segment>
+// elements. term_a is the cdata text of the chain head (1 edge from the
+// head element); term_b is a `marker` attribute on the element
+// `distance - 2` chain levels down (1 attribute arc). Total string-to-
+// string distance: 1 + (distance - 2) + 1 == distance. Distance 0 plants
+// both terms inside one string; distance 1 cannot exist between two
+// distinct leaf strings in this data model (two distinct string
+// associations are always >= 2 edges apart).
+std::vector<PlantedPair> PlantCalibration(xml::Node* root,
+                                          int max_distance) {
+  std::vector<PlantedPair> pairs;
+  xml::Node* calibration = root->AddElement("calibration");
+
+  // Distance 0: one string containing both terms.
+  {
+    std::string term_a = "qmarkera0";
+    std::string term_b = "qmarkerb0";
+    xml::Node* probe = calibration->AddElement("probe");
+    probe->AddAttribute("distance", "0");
+    probe->AddElementWithText("label", term_a + " " + term_b);
+    pairs.push_back(PlantedPair{term_a, term_b, 0});
+  }
+
+  for (int distance = 2; distance <= max_distance; ++distance) {
+    int chain_edges = distance - 2;
+    std::string term_a = "qmarkera" + std::to_string(distance);
+    std::string term_b = "qmarkerb" + std::to_string(distance);
+    xml::Node* probe = calibration->AddElement("probe");
+    probe->AddAttribute("distance", std::to_string(distance));
+    xml::Node* cursor = probe->AddElement("segment");
+    cursor->AddText(term_a);
+    for (int i = 0; i < chain_edges; ++i) {
+      cursor = cursor->AddElement("segment");
+    }
+    cursor->AddAttribute("marker", term_b);
+    pairs.push_back(PlantedPair{term_a, term_b, distance});
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<MultimediaCorpus> GenerateMultimedia(
+    const MultimediaOptions& options) {
+  if (options.items < 0) {
+    return Status::InvalidArgument("items must be non-negative");
+  }
+  if (options.max_planted_distance < 0) {
+    return Status::InvalidArgument(
+        "max_planted_distance must be non-negative");
+  }
+
+  Rng rng(options.seed);
+  MultimediaCorpus corpus;
+  corpus.doc.root = xml::Node::MakeElement("collection");
+  xml::Node* root = corpus.doc.root.get();
+
+  for (int i = 0; i < options.items; ++i) {
+    AddMediaItem(root, &rng, options, i);
+  }
+  corpus.pairs = PlantCalibration(root, options.max_planted_distance);
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace meetxml

@@ -1,0 +1,60 @@
+// Synthetic multimedia feature-description generator.
+//
+// Substitution for the ~200 MB file of "descriptions of multimedia data
+// items, extracted by feature detectors" used for the paper's Figure 6
+// (see DESIGN.md §4). The generator reproduces the two properties the
+// experiment depends on:
+//  * a corpus large enough that full-text search dominates elapsed time,
+//  * node pairs at *controlled tree distance*: unique marker strings are
+//    planted at every distance on Figure 6's x-axis, so the bench can
+//    measure "fulltext only" vs "fulltext and meet" per distance.
+
+#ifndef MEETXML_DATA_MULTIMEDIA_GEN_H_
+#define MEETXML_DATA_MULTIMEDIA_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace meetxml {
+namespace data {
+
+/// \brief A pair of unique search terms planted at a known tree
+/// distance: Distance(match(term_a), match(term_b)) == distance.
+struct PlantedPair {
+  std::string term_a;
+  std::string term_b;
+  int distance;
+};
+
+/// \brief Generator knobs.
+struct MultimediaOptions {
+  uint64_t seed = 7;
+  /// Number of media items (each expands to ~40-80 nodes).
+  int items = 2000;
+  /// Maximum nesting depth of the recursive <region> decomposition.
+  int max_region_depth = 4;
+  /// Largest planted marker distance (Figure 6 sweeps 0..20). Pairs are
+  /// planted at distance 0 and every distance in [2, max],
+  /// string-to-string distances of 1 do not exist in the data model
+  /// (two distinct leaf strings are at least 2 edges apart).
+  int max_planted_distance = 20;
+};
+
+/// \brief Generation result: the DOM plus the planted calibration pairs.
+struct MultimediaCorpus {
+  xml::Document doc;
+  std::vector<PlantedPair> pairs;
+};
+
+/// \brief Generates the corpus. Deterministic in `seed`.
+util::Result<MultimediaCorpus> GenerateMultimedia(
+    const MultimediaOptions& options);
+
+}  // namespace data
+}  // namespace meetxml
+
+#endif  // MEETXML_DATA_MULTIMEDIA_GEN_H_

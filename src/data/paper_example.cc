@@ -1,0 +1,28 @@
+#include "data/paper_example.h"
+
+namespace meetxml {
+namespace data {
+
+std::string PaperExampleXml() {
+  return R"(<bibliography>
+  <institute>
+    <article key="BB99">
+      <author>
+        <firstname>Ben</firstname>
+        <lastname>Bit</lastname>
+      </author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>
+)";
+}
+
+}  // namespace data
+}  // namespace meetxml

@@ -1,0 +1,21 @@
+// The paper's running example: the bibliography document of Figure 1.
+
+#ifndef MEETXML_DATA_PAPER_EXAMPLE_H_
+#define MEETXML_DATA_PAPER_EXAMPLE_H_
+
+#include <string>
+
+namespace meetxml {
+namespace data {
+
+/// \brief XML text of the paper's Figure 1 document: a bibliography with
+/// an institute holding two articles — Ben Bit's "How to Hack" (key
+/// BB99, structured author name) and Bob Byte's "Hacking & RSI" (key
+/// BK99, flat author name), both from 1999. All worked examples of
+/// paper §3.1 run against this document.
+std::string PaperExampleXml();
+
+}  // namespace data
+}  // namespace meetxml
+
+#endif  // MEETXML_DATA_PAPER_EXAMPLE_H_

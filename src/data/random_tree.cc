@@ -1,0 +1,76 @@
+#include "data/random_tree.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace meetxml {
+namespace data {
+
+using util::Result;
+using util::Rng;
+using util::Status;
+
+namespace {
+
+std::string TagName(int index) { return "t" + std::to_string(index); }
+
+struct Budget {
+  int remaining;
+};
+
+void Grow(xml::Node* node, Rng* rng, const RandomTreeOptions& options,
+          int depth, Budget* budget) {
+  if (rng->NextBool(options.attribute_prob)) {
+    node->AddAttribute("a0", rng->NextWord(2, 8));
+  }
+  if (rng->NextBool(options.attribute_prob * 0.5)) {
+    node->AddAttribute("a1", std::to_string(rng->NextInRange(0, 9999)));
+  }
+  if (rng->NextBool(options.text_prob)) {
+    node->AddText(rng->NextWord(3, 10) + " " + rng->NextWord(3, 10));
+  }
+  if (depth >= options.max_depth || budget->remaining <= 0) return;
+
+  int fanout = static_cast<int>(rng->NextInRange(0, options.max_fanout));
+  for (int i = 0; i < fanout && budget->remaining > 0; ++i) {
+    --budget->remaining;
+    xml::Node* child = node->AddElement(
+        TagName(static_cast<int>(rng->NextBelow(
+            static_cast<uint64_t>(options.tag_vocabulary)))));
+    Grow(child, rng, options, depth + 1, budget);
+  }
+}
+
+}  // namespace
+
+Result<xml::Document> GenerateRandomTree(const RandomTreeOptions& options) {
+  if (options.target_elements < 1) {
+    return Status::InvalidArgument("target_elements must be >= 1");
+  }
+  if (options.max_fanout < 1 || options.max_depth < 1 ||
+      options.tag_vocabulary < 1) {
+    return Status::InvalidArgument(
+        "max_fanout, max_depth and tag_vocabulary must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  xml::Document doc;
+  doc.root = xml::Node::MakeElement("root");
+  Budget budget{options.target_elements - 1};
+  // Keep growing from the root until the element budget is spent, so
+  // small fan-out draws cannot starve the target size.
+  Grow(doc.root.get(), &rng, options, 1, &budget);
+  while (budget.remaining > 0) {
+    --budget.remaining;
+    xml::Node* child = doc.root->AddElement(
+        TagName(static_cast<int>(rng.NextBelow(
+            static_cast<uint64_t>(options.tag_vocabulary)))));
+    Grow(child, &rng, options, 2, &budget);
+  }
+  return doc;
+}
+
+}  // namespace data
+}  // namespace meetxml

@@ -1,0 +1,43 @@
+// Random XML document generator for property-based tests.
+//
+// Produces arbitrary (but deterministic, seed-driven) documents with
+// configurable size, fan-out, depth, tag vocabulary, attribute and text
+// density — the adversarial input space for the meet/LCA property tests.
+
+#ifndef MEETXML_DATA_RANDOM_TREE_H_
+#define MEETXML_DATA_RANDOM_TREE_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace meetxml {
+namespace data {
+
+/// \brief Random tree shape knobs.
+struct RandomTreeOptions {
+  uint64_t seed = 1;
+  /// Target number of element nodes (the generator lands close to it).
+  int target_elements = 200;
+  /// Maximum children per element.
+  int max_fanout = 6;
+  /// Maximum element depth.
+  int max_depth = 12;
+  /// Size of the tag vocabulary; small vocabularies produce recursive
+  /// schemas (same tag at many depths), stressing the path summary.
+  int tag_vocabulary = 8;
+  /// Probability an element carries each of up to 3 attributes.
+  double attribute_prob = 0.3;
+  /// Probability an element has a text child.
+  double text_prob = 0.5;
+};
+
+/// \brief Generates a random document. Deterministic in the options.
+util::Result<xml::Document> GenerateRandomTree(
+    const RandomTreeOptions& options);
+
+}  // namespace data
+}  // namespace meetxml
+
+#endif  // MEETXML_DATA_RANDOM_TREE_H_

@@ -1,0 +1,172 @@
+#include "model/document.h"
+
+#include <algorithm>
+
+namespace meetxml {
+namespace model {
+
+using util::Status;
+
+namespace {
+const OidOidBat kEmptyEdges;
+const OidStrBat kEmptyStrings;
+}  // namespace
+
+std::vector<Oid> StoredDocument::children(Oid node) const {
+  std::vector<Oid> out;
+  if (!finalized_ || node >= parent_.size()) return out;
+  uint32_t begin = child_offsets_[node];
+  uint32_t end = child_offsets_[node + 1];
+  out.assign(child_list_.begin() + begin, child_list_.begin() + end);
+  return out;
+}
+
+bool StoredDocument::IsAncestorOrSelf(Oid ancestor, Oid node) const {
+  // Steered by depth: walk `node` up exactly to ancestor's depth.
+  uint32_t target = depth(ancestor);
+  Oid cur = node;
+  while (depth(cur) > target) cur = parent_[cur];
+  return cur == ancestor;
+}
+
+const OidOidBat& StoredDocument::EdgesAt(PathId path) const {
+  if (path >= edges_.size()) return kEmptyEdges;
+  return edges_[path];
+}
+
+const OidStrBat& StoredDocument::StringsAt(PathId path) const {
+  if (path >= strings_.size()) return kEmptyStrings;
+  return strings_[path];
+}
+
+std::vector<std::string_view> StoredDocument::StringValuesAt(
+    PathId path, Oid owner) const {
+  std::vector<std::string_view> out;
+  if (path >= string_index_.size()) return out;
+  auto it = string_index_[path].find(owner);
+  if (it == string_index_[path].end()) return out;
+  const OidStrBat& table = strings_[path];
+  for (uint32_t row : it->second) out.push_back(table.tail(row));
+  return out;
+}
+
+std::vector<StringAssociation> StoredDocument::AttributesOf(
+    Oid element) const {
+  // Collect (global append sequence, association) so that the original
+  // per-element attribute order is restored even when different elements
+  // of the same path interned their attribute names in different orders.
+  std::vector<std::pair<uint64_t, StringAssociation>> collected;
+  PathId element_path = path_[element];
+  for (PathId child : paths_.children(element_path)) {
+    if (paths_.kind(child) != StepKind::kAttribute) continue;
+    if (child >= string_index_.size()) continue;
+    auto it = string_index_[child].find(element);
+    if (it == string_index_[child].end()) continue;
+    const OidStrBat& table = strings_[child];
+    for (uint32_t row : it->second) {
+      collected.emplace_back(
+          string_seq_[child][row],
+          StringAssociation{child, element, table.tail(row)});
+    }
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<StringAssociation> out;
+  out.reserve(collected.size());
+  for (auto& [seq, assoc] : collected) out.push_back(std::move(assoc));
+  return out;
+}
+
+std::string_view StoredDocument::CdataValue(Oid cdata_node) const {
+  auto values = StringValuesAt(path_[cdata_node], cdata_node);
+  return values.empty() ? std::string_view() : values.front();
+}
+
+std::vector<std::tuple<PathId, Oid, std::string_view>>
+StoredDocument::StringsInAppendOrder() const {
+  std::vector<std::tuple<PathId, Oid, std::string_view>> out(
+      string_count_);
+  for (PathId p = 0; p < strings_.size(); ++p) {
+    const OidStrBat& table = strings_[p];
+    for (size_t row = 0; row < table.size(); ++row) {
+      out[string_seq_[p][row]] =
+          std::make_tuple(p, table.head(row),
+                          std::string_view(table.tail(row)));
+    }
+  }
+  return out;
+}
+
+Oid StoredDocument::AppendNode(PathId path, Oid parent, int rank) {
+  Oid oid = static_cast<Oid>(parent_.size());
+  parent_.push_back(parent);
+  path_.push_back(path);
+  rank_.push_back(rank);
+  if (path >= edges_.size()) edges_.resize(path + 1);
+  if (edges_[path].empty()) edge_paths_.push_back(path);
+  edges_[path].Append(parent, oid);
+  finalized_ = false;
+  return oid;
+}
+
+void StoredDocument::AppendString(PathId path, Oid owner,
+                                  std::string value) {
+  if (path >= strings_.size()) {
+    strings_.resize(path + 1);
+    string_seq_.resize(path + 1);
+  }
+  if (strings_[path].empty()) string_paths_.push_back(path);
+  strings_[path].Append(owner, std::move(value));
+  string_seq_[path].push_back(string_count_);
+  ++string_count_;
+  finalized_ = false;
+}
+
+Status StoredDocument::Finalize() {
+  if (parent_.empty()) {
+    return Status::InvalidArgument("cannot finalize an empty document");
+  }
+  if (parent_[0] != kInvalidOid) {
+    return Status::Internal("node 0 must be the root");
+  }
+
+  // Children CSR via counting sort on the parent column; `child_list_`
+  // ends up in OID (== document) order per parent, which is sibling
+  // order because the shredder emits children in order.
+  size_t n = parent_.size();
+  child_offsets_.assign(n + 1, 0);
+  for (size_t i = 1; i < n; ++i) {
+    if (parent_[i] == kInvalidOid) {
+      return Status::Internal("non-root node ", i, " has no parent");
+    }
+    if (parent_[i] >= i) {
+      return Status::Internal("node ", i,
+                              " has parent with a later OID; shredder must "
+                              "assign DFS order");
+    }
+    ++child_offsets_[parent_[i] + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) child_offsets_[i] += child_offsets_[i - 1];
+  child_list_.resize(n - 1);
+  std::vector<uint32_t> cursor(child_offsets_.begin(),
+                               child_offsets_.end() - 1);
+  for (size_t i = 1; i < n; ++i) {
+    child_list_[cursor[parent_[i]]++] = static_cast<Oid>(i);
+  }
+
+  // Per-path string indexes for reassembly and value look-ups.
+  string_index_.assign(strings_.size(), {});
+  for (PathId p = 0; p < strings_.size(); ++p) {
+    const OidStrBat& table = strings_[p];
+    for (size_t row = 0; row < table.size(); ++row) {
+      string_index_[p][table.head(row)].push_back(
+          static_cast<uint32_t>(row));
+    }
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+}  // namespace model
+}  // namespace meetxml

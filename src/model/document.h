@@ -1,0 +1,180 @@
+// StoredDocument: the Monet transform of an XML document (paper
+// Definition 4) — the physical data model the meet operators run on.
+//
+// Two complementary views of the same data are kept:
+//  * Per-path BAT relations (edges and string leaves), named by their
+//    schema path — the relational view the set-at-a-time algorithms join
+//    over.
+//  * Dense per-OID arrays (parent, path, rank) — MonetDB-style positional
+//    columns; `parent()` is the paper's O(1) "hash look-up" used by the
+//    pairwise meet.
+//
+// OIDs are assigned in depth-first document order by the shredder, so
+// `a < b` implies a precedes b in document order.
+
+#ifndef MEETXML_MODEL_DOCUMENT_H_
+#define MEETXML_MODEL_DOCUMENT_H_
+
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/oid.h"
+#include "model/path_summary.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace model {
+
+using bat::kInvalidOid;
+using bat::Oid;
+using bat::OidIntBat;
+using bat::OidOidBat;
+using bat::OidStrBat;
+
+/// \brief A string-valued association: (owner node, value) at a path.
+///
+/// For attribute paths the owner is the element carrying the attribute;
+/// for cdata paths the owner is the cdata node itself.
+struct StringAssociation {
+  PathId path;
+  Oid owner;
+  std::string value;
+};
+
+/// \brief The Monet transform of one XML document.
+class StoredDocument {
+ public:
+  StoredDocument() = default;
+
+  // Not copyable (relations can be large); movable.
+  StoredDocument(const StoredDocument&) = delete;
+  StoredDocument& operator=(const StoredDocument&) = delete;
+  StoredDocument(StoredDocument&&) = default;
+  StoredDocument& operator=(StoredDocument&&) = default;
+
+  // --- Instance (per-OID) view -------------------------------------
+
+  /// \brief Number of nodes (elements + cdata nodes).
+  size_t node_count() const { return parent_.size(); }
+
+  /// \brief The root element's OID (always 0 after shredding).
+  Oid root() const { return 0; }
+
+  /// \brief Parent node; kInvalidOid for the root.
+  Oid parent(Oid node) const { return parent_[node]; }
+
+  /// \brief Schema path of the node.
+  PathId path(Oid node) const { return path_[node]; }
+
+  /// \brief Sibling rank (Definition 1's rank function).
+  int rank(Oid node) const { return rank_[node]; }
+
+  /// \brief Tree depth == path depth (root is 1).
+  uint32_t depth(Oid node) const { return paths_.depth(path_[node]); }
+
+  /// \brief Tag of an element node / "cdata" for cdata nodes.
+  const std::string& tag(Oid node) const {
+    return paths_.label(path_[node]);
+  }
+
+  /// \brief True for character-data nodes.
+  bool is_cdata(Oid node) const {
+    return paths_.kind(path_[node]) == StepKind::kCdata;
+  }
+
+  /// \brief Children of a node in sibling order. Available after
+  /// Finalize().
+  std::vector<Oid> children(Oid node) const;
+
+  /// \brief True if `ancestor` lies on the root path of `node`
+  /// (equality counts) — Definition 5's ⊑ on instances.
+  bool IsAncestorOrSelf(Oid ancestor, Oid node) const;
+
+  const PathSummary& paths() const { return paths_; }
+  PathSummary* mutable_paths() { return &paths_; }
+
+  // --- Relational (per-path BAT) view ------------------------------
+
+  /// \brief (parent, child) edge BAT of all nodes with this path.
+  /// Empty BAT for attribute paths (attributes have no own node).
+  const OidOidBat& EdgesAt(PathId path) const;
+
+  /// \brief (owner, string) BAT of a leaf path (attribute or cdata).
+  const OidStrBat& StringsAt(PathId path) const;
+
+  /// \brief All paths that own a non-empty string relation — the scan
+  /// list for full-text search.
+  const std::vector<PathId>& string_paths() const { return string_paths_; }
+
+  /// \brief All paths that own a non-empty edge relation.
+  const std::vector<PathId>& edge_paths() const { return edge_paths_; }
+
+  /// \brief Total number of string associations.
+  size_t string_count() const { return string_count_; }
+
+  /// \brief Looks up the string value(s) attached to `owner` at `path`.
+  std::vector<std::string_view> StringValuesAt(PathId path,
+                                               Oid owner) const;
+
+  /// \brief Attribute values of an element, in (path, insertion) order:
+  /// pairs of (attribute path, value row index into StringsAt(path)).
+  std::vector<StringAssociation> AttributesOf(Oid element) const;
+
+  /// \brief Text of a cdata node; empty view if none recorded.
+  std::string_view CdataValue(Oid cdata_node) const;
+
+  /// \brief All string associations in their original append (document)
+  /// order — the order that reassembly uses to restore per-element
+  /// attribute order. Used by persistence.
+  std::vector<std::tuple<PathId, Oid, std::string_view>>
+  StringsInAppendOrder() const;
+
+  // --- Builder interface (used by the shredder) ---------------------
+
+  /// \brief Adds a node; OIDs must be appended densely (DFS order).
+  Oid AppendNode(PathId path, Oid parent, int rank);
+
+  /// \brief Adds a string association (attribute value or cdata text).
+  void AppendString(PathId path, Oid owner, std::string value);
+
+  /// \brief Builds derived structures (children CSR, string indexes).
+  /// Must be called once after shredding, before queries.
+  util::Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  PathSummary paths_;
+
+  // Dense per-OID columns.
+  std::vector<Oid> parent_;
+  std::vector<PathId> path_;
+  std::vector<int> rank_;
+
+  // Per-path relations, indexed by PathId (resized lazily).
+  std::vector<OidOidBat> edges_;
+  std::vector<OidStrBat> strings_;
+  // Global append sequence per string-relation row, parallel to
+  // strings_[p]; restores per-element attribute order on reassembly.
+  std::vector<std::vector<uint64_t>> string_seq_;
+  std::vector<PathId> string_paths_;
+  std::vector<PathId> edge_paths_;
+  size_t string_count_ = 0;
+
+  // Derived: children CSR (built by Finalize).
+  std::vector<uint32_t> child_offsets_;
+  std::vector<Oid> child_list_;
+
+  // Derived: per-path owner -> rows index for string relations.
+  std::vector<std::unordered_map<Oid, std::vector<uint32_t>>> string_index_;
+
+  bool finalized_ = false;
+};
+
+}  // namespace model
+}  // namespace meetxml
+
+#endif  // MEETXML_MODEL_DOCUMENT_H_

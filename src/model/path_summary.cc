@@ -1,0 +1,87 @@
+#include "model/path_summary.h"
+
+namespace meetxml {
+namespace model {
+
+PathId PathSummary::Intern(PathId parent, StepKind kind,
+                           std::string_view label) {
+  Key key{parent, kind, std::string(label)};
+  auto it = lookup_.find(key);
+  if (it != lookup_.end()) return it->second;
+
+  PathId id = static_cast<PathId>(entries_.size());
+  Entry entry;
+  entry.parent = parent;
+  entry.depth = parent == kInvalidPathId ? 1 : entries_[parent].depth + 1;
+  entry.kind = kind;
+  entry.label = std::string(label);
+  entries_.push_back(std::move(entry));
+  if (parent == kInvalidPathId) {
+    roots_.push_back(id);
+  } else {
+    entries_[parent].children.push_back(id);
+  }
+  lookup_.emplace(std::move(key), id);
+  return id;
+}
+
+PathId PathSummary::Find(PathId parent, StepKind kind,
+                         std::string_view label) const {
+  Key key{parent, kind, std::string(label)};
+  auto it = lookup_.find(key);
+  return it == lookup_.end() ? kInvalidPathId : it->second;
+}
+
+bool PathSummary::IsPrefixOf(PathId prefix, PathId path) const {
+  // Walk up from the deeper path; depths make the walk minimal.
+  if (prefix == kInvalidPathId || path == kInvalidPathId) return false;
+  uint32_t target_depth = depth(prefix);
+  PathId cur = path;
+  while (depth(cur) > target_depth) cur = parent(cur);
+  return cur == prefix;
+}
+
+PathId PathSummary::CommonPrefix(PathId a, PathId b) const {
+  while (depth(a) > depth(b)) a = parent(a);
+  while (depth(b) > depth(a)) b = parent(b);
+  while (a != b) {
+    a = parent(a);
+    b = parent(b);
+    if (a == kInvalidPathId || b == kInvalidPathId) return kInvalidPathId;
+  }
+  return a;
+}
+
+std::string PathSummary::ToString(PathId id) const {
+  std::vector<PathId> chain;
+  for (PathId cur = id; cur != kInvalidPathId; cur = parent(cur)) {
+    chain.push_back(cur);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out.push_back('/');
+    if (kind(*it) == StepKind::kAttribute) out.push_back('@');
+    out.append(label(*it));
+  }
+  return out;
+}
+
+std::vector<PathId> PathSummary::FindByLabel(StepKind step_kind,
+                                             std::string_view label) const {
+  std::vector<PathId> out;
+  for (PathId id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].kind == step_kind && entries_[id].label == label) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<PathId> PathSummary::AllPaths() const {
+  std::vector<PathId> out(entries_.size());
+  for (PathId id = 0; id < entries_.size(); ++id) out[id] = id;
+  return out;
+}
+
+}  // namespace model
+}  // namespace meetxml

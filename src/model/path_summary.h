@@ -1,0 +1,124 @@
+// The path summary (paper Definition 3): the set of all root-to-node
+// label paths of a document, interned as a trie.
+//
+// Every association's relation name is its path, so the path summary is
+// simultaneously (a) the document's schema, (b) the catalog of BAT
+// relation names, and (c) the structure the meet algorithms use to steer
+// ancestor walks (the prefix order ⊑ of Definition 5).
+
+#ifndef MEETXML_MODEL_PATH_SUMMARY_H_
+#define MEETXML_MODEL_PATH_SUMMARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/oid.h"
+
+namespace meetxml {
+namespace model {
+
+using bat::kInvalidPathId;
+using bat::PathId;
+
+/// \brief Kind of the last step of a path.
+enum class StepKind : uint8_t {
+  kElement,    // <tag> child
+  kAttribute,  // @name arc (oid -> string), no own node
+  kCdata,      // character-data node (own oid, string leaf)
+};
+
+/// \brief One step of a schema path.
+struct PathStep {
+  StepKind kind;
+  std::string label;  // tag or attribute name; "cdata" for kCdata
+
+  bool operator==(const PathStep& other) const {
+    return kind == other.kind && label == other.label;
+  }
+};
+
+/// \brief Interned trie of schema paths.
+///
+/// Path ids are dense and stable; parents are always interned before
+/// children, so `id(parent) < id(child)` and iterating ids ascending is a
+/// topological order of the schema tree.
+class PathSummary {
+ public:
+  /// \brief Gets or creates the path `parent / (kind, label)`. Pass
+  /// kInvalidPathId as parent for a root-level path.
+  PathId Intern(PathId parent, StepKind kind, std::string_view label);
+
+  /// \brief Finds an existing path; kInvalidPathId if absent.
+  PathId Find(PathId parent, StepKind kind, std::string_view label) const;
+
+  size_t size() const { return entries_.size(); }
+
+  PathId parent(PathId id) const { return entries_[id].parent; }
+  /// \brief Number of steps on the path; root-level paths have depth 1.
+  uint32_t depth(PathId id) const { return entries_[id].depth; }
+  StepKind kind(PathId id) const { return entries_[id].kind; }
+  /// \brief Label of the last step (the node's tag / attribute name).
+  const std::string& label(PathId id) const { return entries_[id].label; }
+  const std::vector<PathId>& children(PathId id) const {
+    return entries_[id].children;
+  }
+  /// \brief Paths with no parent (normally exactly one: the root tag).
+  const std::vector<PathId>& roots() const { return roots_; }
+
+  /// \brief True if `prefix` ⊑ `path`: walking up from `path` reaches
+  /// `prefix` (equality counts, per Definition 5).
+  bool IsPrefixOf(PathId prefix, PathId path) const;
+
+  /// \brief The deepest common prefix path of two paths; kInvalidPathId
+  /// when the paths are in different trees (cannot happen for one doc).
+  PathId CommonPrefix(PathId a, PathId b) const;
+
+  /// \brief Renders the path as relation-name text, e.g.
+  /// "bibliography/institute/article/@key" or ".../title/cdata".
+  std::string ToString(PathId id) const;
+
+  /// \brief All path ids whose last step matches `kind` and `label`.
+  std::vector<PathId> FindByLabel(StepKind kind,
+                                  std::string_view label) const;
+
+  /// \brief All path ids, ascending (== topological order).
+  std::vector<PathId> AllPaths() const;
+
+ private:
+  struct Entry {
+    PathId parent;
+    uint32_t depth;
+    StepKind kind;
+    std::string label;
+    std::vector<PathId> children;
+  };
+
+  struct Key {
+    PathId parent;
+    StepKind kind;
+    std::string label;
+    bool operator==(const Key& other) const {
+      return parent == other.parent && kind == other.kind &&
+             label == other.label;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = std::hash<std::string>()(k.label);
+      h = h * 1000003u + static_cast<size_t>(k.parent);
+      h = h * 1000003u + static_cast<size_t>(k.kind);
+      return h;
+    }
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<PathId> roots_;
+  std::unordered_map<Key, PathId, KeyHash> lookup_;
+};
+
+}  // namespace model
+}  // namespace meetxml
+
+#endif  // MEETXML_MODEL_PATH_SUMMARY_H_

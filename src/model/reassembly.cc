@@ -1,0 +1,90 @@
+#include "model/reassembly.h"
+
+#include <vector>
+
+#include "util/result.h"
+#include "xml/serializer.h"
+
+namespace meetxml {
+namespace model {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Iterative rebuild (matching the shredder's iterative DFS): each stack
+// frame carries the stored OID and the DOM parent to attach to.
+struct Frame {
+  Oid oid;
+  xml::Node* dom_parent;  // nullptr for the subtree root
+};
+
+}  // namespace
+
+Result<std::unique_ptr<xml::Node>> Reassemble(const StoredDocument& doc,
+                                              Oid node) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  if (node >= doc.node_count()) {
+    return Status::NotFound("no node with OID ", node);
+  }
+
+  std::unique_ptr<xml::Node> root;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{node, nullptr});
+
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+
+    if (doc.is_cdata(frame.oid)) {
+      auto text = xml::Node::MakeText(std::string(doc.CdataValue(frame.oid)));
+      if (frame.dom_parent == nullptr) {
+        root = std::move(text);
+      } else {
+        frame.dom_parent->AddChild(std::move(text));
+      }
+      continue;
+    }
+
+    auto element = xml::Node::MakeElement(doc.tag(frame.oid));
+    for (const StringAssociation& attr : doc.AttributesOf(frame.oid)) {
+      element->AddAttribute(doc.paths().label(attr.path), attr.value);
+    }
+    xml::Node* placed;
+    if (frame.dom_parent == nullptr) {
+      root = std::move(element);
+      placed = root.get();
+    } else {
+      placed = frame.dom_parent->AddChild(std::move(element));
+    }
+
+    std::vector<Oid> kids = doc.children(frame.oid);
+    for (size_t i = kids.size(); i-- > 0;) {
+      stack.push_back(Frame{kids[i], placed});
+    }
+  }
+  return root;
+}
+
+Result<std::string> ReassembleToXml(const StoredDocument& doc, Oid node,
+                                    int indent) {
+  MEETXML_ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> tree,
+                           Reassemble(doc, node));
+  xml::SerializeOptions options;
+  options.indent = indent;
+  return xml::Serialize(*tree, options);
+}
+
+std::string DescribeNode(const StoredDocument& doc, Oid node) {
+  std::string out = doc.tag(node);
+  out.append(" <");
+  out.append(doc.paths().ToString(doc.path(node)));
+  out.append(">");
+  return out;
+}
+
+}  // namespace model
+}  // namespace meetxml

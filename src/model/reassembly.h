@@ -1,0 +1,36 @@
+// Object reassembly: the inverse of the Monet transform (paper §2,
+// "we 're-assemble' an object with OID o from those associations whose
+// first component is o"). Turns a meet result OID back into a DOM
+// subtree / XML text the user can read.
+
+#ifndef MEETXML_MODEL_REASSEMBLY_H_
+#define MEETXML_MODEL_REASSEMBLY_H_
+
+#include <memory>
+#include <string>
+
+#include "model/document.h"
+#include "util/result.h"
+#include "xml/dom.h"
+
+namespace meetxml {
+namespace model {
+
+/// \brief Rebuilds the DOM subtree rooted at `node` from the stored
+/// associations. The document must be finalized.
+util::Result<std::unique_ptr<xml::Node>> Reassemble(
+    const StoredDocument& doc, Oid node);
+
+/// \brief Reassembles and serializes in one step (pretty-printed when
+/// `indent > 0`).
+util::Result<std::string> ReassembleToXml(const StoredDocument& doc,
+                                          Oid node, int indent = 2);
+
+/// \brief One-line description of a node for query answers: its tag and
+/// path, e.g. `article <bibliography/institute/article>`.
+std::string DescribeNode(const StoredDocument& doc, Oid node);
+
+}  // namespace model
+}  // namespace meetxml
+
+#endif  // MEETXML_MODEL_REASSEMBLY_H_

@@ -1,0 +1,171 @@
+#include "model/shredder.h"
+
+#include <vector>
+
+#include "util/strings.h"
+#include "xml/parser.h"
+#include "xml/sax.h"
+
+namespace meetxml {
+namespace model {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+bool IsAllWhitespace(std::string_view s) {
+  return util::StripAsciiWhitespace(s).empty();
+}
+
+// Iterative DFS so that arbitrarily deep documents cannot overflow the
+// native stack. The work stack holds (dom node, its parent's OID, its
+// interned parent path, sibling rank); children are pushed in reverse so
+// they are popped — and therefore assigned OIDs — in document order.
+struct WorkItem {
+  const xml::Node* node;
+  Oid parent_oid;
+  PathId parent_path;
+  int rank;
+};
+
+}  // namespace
+
+Result<StoredDocument> Shred(const xml::Document& doc,
+                             const ShredOptions& options) {
+  if (!doc.root || !doc.root->is_element()) {
+    return Status::InvalidArgument("document has no root element");
+  }
+
+  StoredDocument stored;
+  PathSummary* paths = stored.mutable_paths();
+
+  std::vector<WorkItem> stack;
+  stack.push_back(WorkItem{doc.root.get(), kInvalidOid, kInvalidPathId, 0});
+
+  while (!stack.empty()) {
+    WorkItem item = stack.back();
+    stack.pop_back();
+    const xml::Node& node = *item.node;
+
+    if (node.is_text()) {
+      if (options.skip_whitespace_cdata && IsAllWhitespace(node.text())) {
+        continue;
+      }
+      PathId cdata_path =
+          paths->Intern(item.parent_path, StepKind::kCdata, "cdata");
+      Oid oid = stored.AppendNode(cdata_path, item.parent_oid, item.rank);
+      stored.AppendString(cdata_path, oid, node.text());
+      continue;
+    }
+    if (!node.is_element()) continue;  // comments / PIs are dropped
+
+    PathId path =
+        paths->Intern(item.parent_path, StepKind::kElement, node.tag());
+    Oid oid = stored.AppendNode(path, item.parent_oid, item.rank);
+
+    for (const xml::Attribute& attr : node.attributes()) {
+      PathId attr_path =
+          paths->Intern(path, StepKind::kAttribute, attr.name);
+      stored.AppendString(attr_path, oid, attr.value);
+    }
+
+    // Push children reversed to preserve document order on pop.
+    const auto& kids = node.children();
+    for (size_t i = kids.size(); i-- > 0;) {
+      stack.push_back(
+          WorkItem{kids[i].get(), oid, path, static_cast<int>(i)});
+    }
+  }
+
+  MEETXML_RETURN_NOT_OK(stored.Finalize());
+  return stored;
+}
+
+Result<StoredDocument> ShredXmlText(std::string_view xml_text,
+                                    const ShredOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
+  return Shred(doc, options);
+}
+
+namespace {
+
+// SAX sink that feeds the Monet transform directly; mirrors the DOM
+// shredder's OID/rank/path assignment exactly (tested to agree).
+class StreamingShredSink : public xml::SaxHandler {
+ public:
+  explicit StreamingShredSink(const ShredOptions& options)
+      : options_(options) {}
+
+  util::Status StartElement(
+      std::string tag, std::vector<xml::Attribute> attributes) override {
+    Frame* parent = stack_.empty() ? nullptr : &stack_.back();
+    PathId path = stored_.mutable_paths()->Intern(
+        parent == nullptr ? kInvalidPathId : parent->path,
+        StepKind::kElement, tag);
+    Oid oid = stored_.AppendNode(
+        path, parent == nullptr ? kInvalidOid : parent->oid,
+        parent == nullptr ? 0 : parent->next_rank++);
+    for (xml::Attribute& attribute : attributes) {
+      PathId attr_path = stored_.mutable_paths()->Intern(
+          path, StepKind::kAttribute, attribute.name);
+      stored_.AppendString(attr_path, oid, std::move(attribute.value));
+    }
+    stack_.push_back(Frame{oid, path, 0});
+    return util::Status::OK();
+  }
+
+  util::Status EndElement(std::string_view tag) override {
+    (void)tag;
+    stack_.pop_back();
+    return util::Status::OK();
+  }
+
+  util::Status Text(std::string text) override {
+    if (options_.skip_whitespace_cdata &&
+        util::StripAsciiWhitespace(text).empty()) {
+      return util::Status::OK();
+    }
+    Frame& parent = stack_.back();
+    PathId cdata_path = stored_.mutable_paths()->Intern(
+        parent.path, StepKind::kCdata, "cdata");
+    Oid oid =
+        stored_.AppendNode(cdata_path, parent.oid, parent.next_rank++);
+    stored_.AppendString(cdata_path, oid, std::move(text));
+    return util::Status::OK();
+  }
+
+  Result<StoredDocument> Take() {
+    MEETXML_RETURN_NOT_OK(stored_.Finalize());
+    return std::move(stored_);
+  }
+
+ private:
+  struct Frame {
+    Oid oid;
+    PathId path;
+    int next_rank;
+  };
+
+  ShredOptions options_;
+  StoredDocument stored_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace
+
+Result<StoredDocument> ShredXmlTextStreaming(std::string_view xml_text,
+                                             const ShredOptions& options) {
+  StreamingShredSink sink(options);
+  MEETXML_RETURN_NOT_OK(xml::ParseSax(xml_text, &sink));
+  return sink.Take();
+}
+
+Result<StoredDocument> ShredXmlFile(const std::string& path,
+                                    const ShredOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseFile(path));
+  return Shred(doc, options);
+}
+
+}  // namespace model
+}  // namespace meetxml

@@ -1,0 +1,108 @@
+#include "model/stats.h"
+
+#include <algorithm>
+
+namespace meetxml {
+namespace model {
+
+using util::Result;
+using util::Status;
+
+Result<DocumentStats> ComputeStats(const StoredDocument& doc) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  DocumentStats stats;
+  stats.node_count = doc.node_count();
+  stats.path_count = doc.paths().size();
+  stats.string_count = doc.string_count();
+
+  uint64_t depth_sum = 0;
+  uint64_t fanout_sum = 0;
+  size_t parents = 0;
+  for (Oid oid = 0; oid < doc.node_count(); ++oid) {
+    if (doc.is_cdata(oid)) {
+      ++stats.cdata_count;
+    } else {
+      ++stats.element_count;
+    }
+    uint32_t depth = doc.depth(oid);
+    depth_sum += depth;
+    stats.max_depth = std::max(stats.max_depth, depth);
+    size_t fanout = doc.children(oid).size();
+    if (fanout > 0) {
+      fanout_sum += fanout;
+      ++parents;
+      stats.max_fanout = std::max(stats.max_fanout, fanout);
+    }
+  }
+  stats.avg_depth = doc.node_count() == 0
+                        ? 0.0
+                        : static_cast<double>(depth_sum) /
+                              static_cast<double>(doc.node_count());
+  stats.avg_fanout = parents == 0 ? 0.0
+                                  : static_cast<double>(fanout_sum) /
+                                        static_cast<double>(parents);
+
+  for (PathId path = 0; path < doc.paths().size(); ++path) {
+    PathStats entry;
+    entry.path = path;
+    entry.name = doc.paths().ToString(path);
+    entry.kind = doc.paths().kind(path);
+    entry.depth = doc.paths().depth(path);
+    entry.node_count = doc.EdgesAt(path).size();
+    const OidStrBat& strings = doc.StringsAt(path);
+    entry.string_count = strings.size();
+    entry.total_bytes = 0;
+    for (size_t row = 0; row < strings.size(); ++row) {
+      entry.total_bytes += strings.tail(row).size();
+    }
+    stats.paths.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+std::string RenderStats(const DocumentStats& stats, size_t max_rows) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "nodes=%zu (elements=%zu cdata=%zu)  strings=%zu  "
+                "paths=%zu\n",
+                stats.node_count, stats.element_count, stats.cdata_count,
+                stats.string_count, stats.path_count);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "depth: max=%u avg=%.2f   fanout: max=%zu avg=%.2f\n",
+                stats.max_depth, stats.avg_depth, stats.max_fanout,
+                stats.avg_fanout);
+  out += line;
+
+  std::vector<const PathStats*> ordered;
+  ordered.reserve(stats.paths.size());
+  for (const PathStats& entry : stats.paths) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PathStats* a, const PathStats* b) {
+              size_t ca = a->node_count + a->string_count;
+              size_t cb = b->node_count + b->string_count;
+              if (ca != cb) return ca > cb;
+              return a->path < b->path;
+            });
+  size_t shown = 0;
+  for (const PathStats* entry : ordered) {
+    if (max_rows > 0 && shown >= max_rows) {
+      std::snprintf(line, sizeof(line), "  ... %zu more relations\n",
+                    ordered.size() - shown);
+      out += line;
+      break;
+    }
+    std::snprintf(line, sizeof(line), "  %8zu nodes %8zu strings  %s\n",
+                  entry->node_count, entry->string_count,
+                  entry->name.c_str());
+    out += line;
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace model
+}  // namespace meetxml

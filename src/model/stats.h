@@ -1,0 +1,53 @@
+// Document statistics: the relation catalog with cardinalities, depth
+// and fan-out profiles. The paper's premise is that the schema of
+// semistructured data "may be large, unknown or implicit and therefore
+// opaque to the user" — this report is the operator's view of exactly
+// that schema, as materialized by the Monet transform.
+
+#ifndef MEETXML_MODEL_STATS_H_
+#define MEETXML_MODEL_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "model/document.h"
+
+namespace meetxml {
+namespace model {
+
+/// \brief Per-path statistics (one relation of the transform).
+struct PathStats {
+  PathId path;
+  std::string name;       // relation name (path string)
+  StepKind kind;
+  uint32_t depth;
+  size_t node_count;      // edge-relation cardinality (0 for attributes)
+  size_t string_count;    // string-relation cardinality
+  size_t total_bytes;     // bytes of string payload
+};
+
+/// \brief Whole-document statistics.
+struct DocumentStats {
+  size_t node_count = 0;
+  size_t element_count = 0;
+  size_t cdata_count = 0;
+  size_t string_count = 0;
+  size_t path_count = 0;
+  uint32_t max_depth = 0;
+  double avg_depth = 0;
+  size_t max_fanout = 0;
+  double avg_fanout = 0;  // over elements with children
+  std::vector<PathStats> paths;  // ascending path id
+};
+
+/// \brief Computes statistics for a finalized document.
+util::Result<DocumentStats> ComputeStats(const StoredDocument& doc);
+
+/// \brief Renders the catalog as an aligned text table, largest
+/// relations first; `max_rows` limits the listing (0 = all).
+std::string RenderStats(const DocumentStats& stats, size_t max_rows = 0);
+
+}  // namespace model
+}  // namespace meetxml
+
+#endif  // MEETXML_MODEL_STATS_H_

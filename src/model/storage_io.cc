@@ -1,0 +1,249 @@
+#include "model/storage_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace meetxml {
+namespace model {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'X', 'M', '1'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    out_.append(static_cast<const char*>(data), size);
+  }
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8() {
+    MEETXML_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    MEETXML_RETURN_NOT_OK(Need(4));
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    MEETXML_RETURN_NOT_OK(Need(8));
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> Str() {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t size, U32());
+    MEETXML_RETURN_NOT_OK(Need(size));
+    std::string out(bytes_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return Status::UnexpectedEof("truncated storage image at offset ",
+                                   pos_);
+    }
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> SaveToBytes(const StoredDocument& doc) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument(
+        "only finalized documents can be saved");
+  }
+
+  Writer payload;
+  // Path summary, in id order (parents first by construction).
+  const PathSummary& paths = doc.paths();
+  payload.U32(static_cast<uint32_t>(paths.size()));
+  for (PathId id = 0; id < paths.size(); ++id) {
+    payload.U32(paths.parent(id));
+    payload.U8(static_cast<uint8_t>(paths.kind(id)));
+    payload.Str(paths.label(id));
+  }
+  // Node columns.
+  payload.U32(static_cast<uint32_t>(doc.node_count()));
+  for (Oid oid = 0; oid < doc.node_count(); ++oid) {
+    payload.U32(doc.parent(oid));
+  }
+  for (Oid oid = 0; oid < doc.node_count(); ++oid) {
+    payload.U32(doc.path(oid));
+  }
+  for (Oid oid = 0; oid < doc.node_count(); ++oid) {
+    payload.U32(static_cast<uint32_t>(doc.rank(oid)));
+  }
+  // String associations, in global append order (preserves per-element
+  // attribute order on reload).
+  auto strings = doc.StringsInAppendOrder();
+  payload.U32(static_cast<uint32_t>(strings.size()));
+  for (const auto& [path, owner, value] : strings) {
+    payload.U32(path);
+    payload.U32(owner);
+    payload.Str(value);
+  }
+
+  std::string body = payload.Take();
+  Writer header;
+  header.U8(static_cast<uint8_t>(kMagic[0]));
+  header.U8(static_cast<uint8_t>(kMagic[1]));
+  header.U8(static_cast<uint8_t>(kMagic[2]));
+  header.U8(static_cast<uint8_t>(kMagic[3]));
+  header.U32(kVersion);
+  header.U64(body.size());
+  header.U64(Fnv1a(body));
+  std::string out = header.Take();
+  out += body;
+  return out;
+}
+
+Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
+  Reader reader(bytes);
+  for (char expected : kMagic) {
+    MEETXML_ASSIGN_OR_RETURN(uint8_t byte, reader.U8());
+    if (static_cast<char>(byte) != expected) {
+      return Status::InvalidArgument("not a meetxml storage image");
+    }
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported storage version ",
+                                   version);
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint64_t payload_size, reader.U64());
+  MEETXML_ASSIGN_OR_RETURN(uint64_t checksum, reader.U64());
+  constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
+  if (bytes.size() != kHeaderSize + payload_size) {
+    return Status::InvalidArgument("storage image size mismatch");
+  }
+  if (Fnv1a(bytes.substr(kHeaderSize)) != checksum) {
+    return Status::InvalidArgument("storage image checksum mismatch");
+  }
+
+  StoredDocument doc;
+  PathSummary* paths = doc.mutable_paths();
+  MEETXML_ASSIGN_OR_RETURN(uint32_t path_count, reader.U32());
+  for (uint32_t i = 0; i < path_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t parent, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(uint8_t kind, reader.U8());
+    MEETXML_ASSIGN_OR_RETURN(std::string label, reader.Str());
+    if (parent != bat::kInvalidPathId && parent >= i) {
+      return Status::InvalidArgument(
+          "corrupt image: path parent out of order");
+    }
+    if (kind > static_cast<uint8_t>(StepKind::kCdata)) {
+      return Status::InvalidArgument("corrupt image: bad step kind");
+    }
+    PathId interned =
+        paths->Intern(parent, static_cast<StepKind>(kind), label);
+    if (interned != i) {
+      return Status::InvalidArgument(
+          "corrupt image: duplicate path entry");
+    }
+  }
+
+  MEETXML_ASSIGN_OR_RETURN(uint32_t node_count, reader.U32());
+  std::vector<Oid> parents(node_count);
+  std::vector<PathId> node_paths(node_count);
+  std::vector<uint32_t> ranks(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(parents[i], reader.U32());
+  }
+  for (uint32_t i = 0; i < node_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(node_paths[i], reader.U32());
+    if (node_paths[i] >= path_count) {
+      return Status::InvalidArgument("corrupt image: node path id");
+    }
+  }
+  for (uint32_t i = 0; i < node_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(ranks[i], reader.U32());
+  }
+  for (uint32_t i = 0; i < node_count; ++i) {
+    if (i > 0 && parents[i] >= i) {
+      return Status::InvalidArgument(
+          "corrupt image: parent OIDs must precede children");
+    }
+    doc.AppendNode(node_paths[i], parents[i],
+                   static_cast<int>(ranks[i]));
+  }
+
+  MEETXML_ASSIGN_OR_RETURN(uint32_t string_count, reader.U32());
+  for (uint32_t i = 0; i < string_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t path, reader.U32());
+    if (path >= path_count) {
+      return Status::InvalidArgument("corrupt image: string path id");
+    }
+    MEETXML_ASSIGN_OR_RETURN(uint32_t owner, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(std::string value, reader.Str());
+    if (owner >= node_count) {
+      return Status::InvalidArgument("corrupt image: string owner");
+    }
+    doc.AppendString(path, owner, std::move(value));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in storage image");
+  }
+
+  MEETXML_RETURN_NOT_OK(doc.Finalize());
+  return doc;
+}
+
+Status SaveToFile(const StoredDocument& doc, const std::string& path) {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes(doc));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for write: ", path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write to ", path);
+  return Status::OK();
+}
+
+Result<StoredDocument> LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: ", path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return LoadFromBytes(bytes);
+}
+
+}  // namespace model
+}  // namespace meetxml

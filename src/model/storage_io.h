@@ -1,0 +1,49 @@
+// Binary persistence of a StoredDocument.
+//
+// The paper's case study bulk-loads DBLP once and queries it
+// interactively ever after; a production deployment needs the loaded
+// form to survive restarts without re-parsing hundreds of megabytes of
+// XML. This module serializes the Monet transform — path summary,
+// per-OID columns and per-path string relations — into a compact,
+// versioned, checksummed binary image. Loading an image is a straight
+// column read: no XML parsing, no re-interning.
+//
+// Format (little-endian):
+//   magic "MXM1" | u32 version | u64 payload_size | u64 fnv1a_checksum
+//   payload:
+//     path summary: u32 count, then per path: u32 parent, u8 kind,
+//                   string label
+//     nodes: u32 count, then parent[], path[], rank[] columns
+//     strings: u32 count, then (u32 path, u32 owner, string value)
+//              rows in global append (document) order
+//   strings are u32 length + bytes.
+
+#ifndef MEETXML_MODEL_STORAGE_IO_H_
+#define MEETXML_MODEL_STORAGE_IO_H_
+
+#include <string>
+
+#include "model/document.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace model {
+
+/// \brief Serializes a finalized document to a binary image.
+util::Result<std::string> SaveToBytes(const StoredDocument& doc);
+
+/// \brief Restores a document from a binary image. The result is
+/// finalized and ready for queries. Corrupted or truncated images are
+/// rejected (version, bounds and checksum are verified).
+util::Result<StoredDocument> LoadFromBytes(std::string_view bytes);
+
+/// \brief Saves to a file.
+util::Status SaveToFile(const StoredDocument& doc, const std::string& path);
+
+/// \brief Loads from a file.
+util::Result<StoredDocument> LoadFromFile(const std::string& path);
+
+}  // namespace model
+}  // namespace meetxml
+
+#endif  // MEETXML_MODEL_STORAGE_IO_H_

@@ -1,0 +1,121 @@
+// Abstract syntax tree of the query language.
+//
+// The language is the paper's "variant of SQL enriched with paths and
+// path variables" (§1, footnote 1), extended with the meet operator as a
+// declarative construct (§3) and the restriction clauses of §4:
+//
+//   SELECT meet(o1, o2)
+//   FROM bibliography//cdata AS o1, bibliography//cdata AS o2
+//   WHERE o1 CONTAINS 'Bit' AND o2 CONTAINS '1999'
+//   EXCLUDE bibliography
+//   WITHIN 8
+//   LIMIT 100
+//
+// The baseline of the paper's introduction (regular path expressions
+// with ancestor implication) is available as ANCESTORS(o1, o2).
+
+#ifndef MEETXML_QUERY_AST_H_
+#define MEETXML_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace meetxml {
+namespace query {
+
+/// \brief One step of a path pattern.
+struct PatternStep {
+  enum class Kind {
+    kName,        // an element tag, matched literally
+    kAnyElement,  // * — any single element step
+    kDescendant,  // // — any sequence of element steps (incl. empty)
+    kAttribute,   // @name
+    kCdata,       // the literal step `cdata` (character data node)
+  };
+  Kind kind;
+  std::string label;  // for kName / kAttribute
+};
+
+/// \brief A root-anchored path pattern, e.g. `bibliography//cdata`.
+struct PathPattern {
+  std::vector<PatternStep> steps;
+  /// Original source text, kept for error messages and explain output.
+  std::string text;
+};
+
+/// \brief One FROM binding: `pattern [AS] var`.
+struct Binding {
+  PathPattern pattern;
+  std::string var;
+};
+
+/// \brief One atomic predicate.
+struct Predicate {
+  enum class Kind {
+    kContains,    // var CONTAINS 'str'   (case-sensitive substring)
+    kIcontains,   // var ICONTAINS 'str'  (case-insensitive substring)
+    kWord,        // var WORD 'str'       (whole word, case-folded)
+    kPhrase,      // var PHRASE 'str'     (consecutive words, folded)
+    kSynonym,     // var SYNONYM 'str'    (term or its thesaurus ring,
+                  //                       case-insensitive substring)
+    kEquals,      // var = 'str'          (full string equality)
+    kDistanceLe,  // DISTANCE(v1, v2) <= k
+  };
+  Kind kind;
+  std::string var;      // first variable
+  std::string var2;     // second variable (kDistanceLe only)
+  std::string literal;  // string operand
+  int bound = 0;        // integer operand (kDistanceLe only)
+};
+
+/// \brief A boolean predicate expression over one variable's values.
+///
+/// The WHERE clause is a top-level conjunction; each conjunct is either
+/// a DISTANCE atom or a boolean tree (AND/OR/NOT, parenthesized) whose
+/// leaves all test the *same* variable — boolean structure across
+/// different variables has no meaning in the set-based model (bindings
+/// are independent sets, not tuples), and the parser rejects it.
+struct BoolExpr {
+  enum class Op { kLeaf, kAnd, kOr, kNot };
+  Op op = Op::kLeaf;
+  Predicate leaf;                  // valid when op == kLeaf
+  std::vector<BoolExpr> children;  // 2 for and/or, 1 for not
+};
+
+/// \brief The SELECT projection.
+struct Projection {
+  enum class Kind {
+    kVar,        // SELECT o1          — one row per binding
+    kTag,        // SELECT TAG(o1)     — the binding's tag
+    kPath,       // SELECT PATH(o1)    — the binding's schema path
+    kXml,        // SELECT XML(o1)     — reassembled XML of the binding
+    kCount,      // SELECT COUNT(o1)   — number of bindings
+    kMeet,       // SELECT MEET(o1, ..)— nearest concepts (paper §3)
+    kAncestors,  // SELECT ANCESTORS(o1, ..) — the §1 baseline semantics
+    kGraphMeet,  // SELECT GMEET(o1, o2) — reference-aware proximity
+                 // meet over the tree + IDREF graph (paper §7)
+  };
+  Kind kind;
+  std::vector<std::string> vars;
+};
+
+/// \brief A parsed query.
+struct Query {
+  std::vector<Projection> projections;
+  std::vector<Binding> bindings;
+  /// Top-level WHERE conjuncts: single-variable boolean trees and
+  /// DISTANCE atoms.
+  std::vector<BoolExpr> where;
+  /// EXCLUDE patterns: meets at matching paths are suppressed (meet_X).
+  std::vector<PathPattern> excludes;
+  /// WITHIN bound: maximum witness distance (d-meet); absent = unbounded.
+  std::optional<int> within;
+  /// LIMIT: maximum number of result rows; absent = unlimited.
+  std::optional<int> limit;
+};
+
+}  // namespace query
+}  // namespace meetxml
+
+#endif  // MEETXML_QUERY_AST_H_

@@ -1,0 +1,619 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/meet_pair.h"
+#include "core/restrictions.h"
+#include "model/reassembly.h"
+#include "query/parser.h"
+#include "query/path_match.h"
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace meetxml {
+namespace query {
+
+using bat::Oid;
+using bat::PathId;
+using core::Assoc;
+using core::AssocSet;
+using model::StepKind;
+using model::StoredDocument;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Tuple-enumeration guard for the ANCESTORS baseline: beyond this many
+// combinations the executor reports truncation instead of spinning —
+// which is itself the point the paper makes about the baseline.
+constexpr uint64_t kMaxAncestorTuples = 1000000;
+
+// Pair cap for GMEET (each pair runs a bounded bidirectional BFS).
+constexpr uint64_t kMaxGraphMeetPairs = 10000;
+
+// Default reach of the GMEET BFS when no WITHIN/DISTANCE bound is set.
+constexpr int kDefaultGraphMeetReach = 64;
+
+bool ValueSatisfies(const Predicate& predicate, std::string_view value,
+                    const text::Thesaurus& thesaurus) {
+  switch (predicate.kind) {
+    case Predicate::Kind::kSynonym:
+      for (const std::string& synonym :
+           thesaurus.Expand(predicate.literal)) {
+        if (util::ContainsIgnoreCase(value, synonym)) return true;
+      }
+      return false;
+    case Predicate::Kind::kContains:
+      return util::Contains(value, predicate.literal);
+    case Predicate::Kind::kIcontains:
+      return util::ContainsIgnoreCase(value, predicate.literal);
+    case Predicate::Kind::kEquals:
+      return value == predicate.literal;
+    case Predicate::Kind::kWord: {
+      text::TokenizerOptions options;
+      std::vector<std::string> tokens = text::Tokenize(value, options);
+      std::string needle = util::ToLowerAscii(predicate.literal);
+      return std::find(tokens.begin(), tokens.end(), needle) !=
+             tokens.end();
+    }
+    case Predicate::Kind::kPhrase:
+      return text::MatchesPhrase(value,
+                                 text::Tokenize(predicate.literal));
+    case Predicate::Kind::kDistanceLe:
+      return true;  // handled at projection level
+  }
+  return false;
+}
+
+// Evaluates a single-variable boolean predicate tree on one string
+// value.
+bool ExprSatisfies(const BoolExpr& expr, std::string_view value,
+                   const text::Thesaurus& thesaurus) {
+  switch (expr.op) {
+    case BoolExpr::Op::kLeaf:
+      return ValueSatisfies(expr.leaf, value, thesaurus);
+    case BoolExpr::Op::kNot:
+      return !ExprSatisfies(expr.children.front(), value, thesaurus);
+    case BoolExpr::Op::kAnd:
+      for (const BoolExpr& child : expr.children) {
+        if (!ExprSatisfies(child, value, thesaurus)) return false;
+      }
+      return true;
+    case BoolExpr::Op::kOr:
+      for (const BoolExpr& child : expr.children) {
+        if (ExprSatisfies(child, value, thesaurus)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+// The variable a (checked, single-variable) conjunct tree tests.
+const std::string& ConjunctVariable(const BoolExpr& expr) {
+  const BoolExpr* cur = &expr;
+  while (cur->op != BoolExpr::Op::kLeaf) cur = &cur->children.front();
+  return cur->leaf.var;
+}
+
+bool IsDistanceConjunct(const BoolExpr& expr) {
+  return expr.op == BoolExpr::Op::kLeaf &&
+         expr.leaf.kind == Predicate::Kind::kDistanceLe;
+}
+
+std::string FormatOid(Oid oid) { return "o" + std::to_string(oid); }
+
+}  // namespace
+
+std::string QueryResult::ToText() const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    out += "\n";
+  };
+  emit_row(columns);
+  std::string rule;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows) emit_row(row);
+  if (truncated) out += "(truncated)\n";
+  return out;
+}
+
+Result<Executor> Executor::Build(const StoredDocument& doc) {
+  MEETXML_ASSIGN_OR_RETURN(text::FullTextSearch search,
+                           text::FullTextSearch::Build(doc));
+  MEETXML_ASSIGN_OR_RETURN(core::IdrefGraph idrefs,
+                           core::IdrefGraph::Build(doc));
+  return Executor(&doc, std::move(search), std::move(idrefs));
+}
+
+Result<std::vector<AssocSet>> Executor::EvaluateBinding(
+    const Query& query, const Binding& binding) const {
+  const StoredDocument& doc = *doc_;
+  MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> paths,
+                           MatchPattern(doc.paths(), binding.pattern));
+
+  // String-predicate trees bound to this variable.
+  std::vector<const BoolExpr*> string_preds;
+  for (const BoolExpr& conjunct : query.where) {
+    if (IsDistanceConjunct(conjunct)) continue;
+    if (ConjunctVariable(conjunct) == binding.var) {
+      string_preds.push_back(&conjunct);
+    }
+  }
+
+  // Index anchor: when some conjunct is a bare CONTAINS leaf, its
+  // trigram-accelerated match set is a superset of the binding — probe
+  // the index and verify the remaining predicates on the (few)
+  // candidates instead of scanning every string relation.
+  const Predicate* anchor = nullptr;
+  for (const BoolExpr* conjunct : string_preds) {
+    if (conjunct->op == BoolExpr::Op::kLeaf &&
+        conjunct->leaf.kind == Predicate::Kind::kContains) {
+      anchor = &conjunct->leaf;
+      break;
+    }
+  }
+  std::unordered_map<PathId, std::vector<Oid>> anchor_hits;
+  if (anchor != nullptr) {
+    MEETXML_ASSIGN_OR_RETURN(
+        text::TermMatches matches,
+        search_.Search(anchor->literal, text::MatchMode::kContains));
+    for (core::AssocSet& set : matches.sets) {
+      anchor_hits.emplace(set.path, std::move(set.nodes));
+    }
+  }
+
+  std::vector<AssocSet> sets;
+  for (PathId path : paths) {
+    StepKind kind = doc.paths().kind(path);
+    if (!string_preds.empty() && kind == StepKind::kElement) {
+      // String predicates apply to string-valued associations; element
+      // paths in the pattern's match set simply contribute nothing
+      // (bind //cdata or @attr to search text).
+      continue;
+    }
+    AssocSet set;
+    set.path = path;
+    auto passes = [this, &string_preds](std::string_view value) {
+      for (const BoolExpr* predicate : string_preds) {
+        if (!ExprSatisfies(*predicate, value, thesaurus_)) return false;
+      }
+      return true;
+    };
+    if (kind == StepKind::kAttribute || kind == StepKind::kCdata) {
+      if (anchor != nullptr) {
+        // Verify the anchor's candidates for this path.
+        auto it = anchor_hits.find(path);
+        if (it != anchor_hits.end()) {
+          for (Oid owner : it->second) {
+            for (std::string_view value :
+                 doc.StringValuesAt(path, owner)) {
+              if (passes(value)) {
+                set.nodes.push_back(owner);
+                break;
+              }
+            }
+          }
+        }
+      } else {
+        const model::OidStrBat& table = doc.StringsAt(path);
+        for (size_t row = 0; row < table.size(); ++row) {
+          if (passes(table.tail(row))) {
+            set.nodes.push_back(table.head(row));
+          }
+        }
+        if (kind == StepKind::kAttribute) {
+          std::sort(set.nodes.begin(), set.nodes.end());
+          set.nodes.erase(
+              std::unique(set.nodes.begin(), set.nodes.end()),
+              set.nodes.end());
+        }
+      }
+    } else {
+      const model::OidOidBat& edges = doc.EdgesAt(path);
+      for (size_t row = 0; row < edges.size(); ++row) {
+        set.nodes.push_back(edges.tail(row));
+      }
+    }
+    if (!set.nodes.empty()) sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+Result<QueryResult> Executor::Execute(const Query& query,
+                                      const ExecuteOptions& options) const {
+  const StoredDocument& doc = *doc_;
+  if (query.projections.size() != 1) {
+    return Status::NotImplemented(
+        "exactly one projection per query is supported");
+  }
+  const Projection& projection = query.projections.front();
+
+  // Evaluate every binding once.
+  std::unordered_map<std::string, std::vector<AssocSet>> bound;
+  for (const Binding& binding : query.bindings) {
+    MEETXML_ASSIGN_OR_RETURN(bound[binding.var],
+                             EvaluateBinding(query, binding));
+  }
+
+  // Distance predicates: translated to the d-meet bound for MEET, and
+  // to per-tuple filters for ANCESTORS.
+  std::vector<const Predicate*> distance_preds;
+  for (const BoolExpr& conjunct : query.where) {
+    if (IsDistanceConjunct(conjunct)) {
+      distance_preds.push_back(&conjunct.leaf);
+    }
+  }
+
+  size_t row_cap = options.max_rows;
+  if (query.limit.has_value()) {
+    row_cap = std::min(row_cap, static_cast<size_t>(*query.limit));
+  }
+
+  QueryResult result;
+  switch (projection.kind) {
+    case Projection::Kind::kMeet: {
+      core::MeetOptions meet_options;
+      for (const PathPattern& exclude : query.excludes) {
+        MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> excluded,
+                                 MatchPattern(doc.paths(), exclude));
+        meet_options.excluded_paths.insert(excluded.begin(),
+                                           excluded.end());
+      }
+      if (query.within.has_value()) {
+        meet_options.max_distance = *query.within;
+      }
+      for (const Predicate* predicate : distance_preds) {
+        meet_options.max_distance =
+            std::min(meet_options.max_distance, predicate->bound);
+      }
+      meet_options.max_results = row_cap;
+
+      std::vector<AssocSet> inputs;
+      for (const std::string& var : projection.vars) {
+        for (const AssocSet& set : bound[var]) inputs.push_back(set);
+      }
+      MEETXML_ASSIGN_OR_RETURN(
+          result.meets,
+          core::MeetGeneral(doc, inputs, meet_options,
+                            &result.meet_stats));
+      result.columns = {"meet", "path", "oid", "distance", "witnesses"};
+      for (const core::GeneralMeet& meet : result.meets) {
+        result.rows.push_back(
+            {doc.tag(meet.meet), doc.paths().ToString(meet.meet_path),
+             FormatOid(meet.meet), std::to_string(meet.witness_distance),
+             std::to_string(meet.witnesses.size())});
+      }
+      break;
+    }
+
+    case Projection::Kind::kGraphMeet: {
+      // Reference-aware proximity meet over the tree + IDREF graph
+      // (paper §7 future work). Pairwise over the two bindings' match
+      // sets, deduplicated by meet node keeping the tightest distance.
+      int reach = kDefaultGraphMeetReach;
+      if (query.within.has_value()) reach = *query.within;
+      for (const Predicate* predicate : distance_preds) {
+        reach = std::min(reach, predicate->bound);
+      }
+      std::vector<Assoc> left;
+      std::vector<Assoc> right;
+      for (const AssocSet& set : bound[projection.vars[0]]) {
+        for (Oid node : set.nodes) left.push_back(Assoc{set.path, node});
+      }
+      for (const AssocSet& set : bound[projection.vars[1]]) {
+        for (Oid node : set.nodes) right.push_back(Assoc{set.path, node});
+      }
+      std::unordered_map<Oid, int> best;
+      uint64_t pairs = 0;
+      for (const Assoc& a : left) {
+        for (const Assoc& b : right) {
+          if (++pairs > kMaxGraphMeetPairs) {
+            result.truncated = true;
+            break;
+          }
+          auto meet = core::GraphMeet(doc, idrefs_, a.node, b.node, reach);
+          if (!meet.ok()) continue;  // out of reach
+          int distance = meet->distance_a + meet->distance_b;
+          auto it = best.find(meet->meet);
+          if (it == best.end() || distance < it->second) {
+            best[meet->meet] = distance;
+          }
+        }
+        if (result.truncated) break;
+      }
+      std::vector<std::pair<int, Oid>> ordered;
+      ordered.reserve(best.size());
+      for (const auto& [node, distance] : best) {
+        ordered.emplace_back(distance, node);
+      }
+      std::sort(ordered.begin(), ordered.end());
+      result.columns = {"meet", "path", "oid", "distance"};
+      for (const auto& [distance, node] : ordered) {
+        if (result.rows.size() >= row_cap) {
+          result.truncated = true;
+          break;
+        }
+        result.rows.push_back(
+            {doc.tag(node), doc.paths().ToString(doc.path(node)),
+             FormatOid(node), std::to_string(distance)});
+      }
+      break;
+    }
+
+    case Projection::Kind::kAncestors: {
+      // The §1 baseline: every combination of matches implies all the
+      // common ancestors of that combination.
+      std::vector<std::vector<Assoc>> flat(projection.vars.size());
+      for (size_t v = 0; v < projection.vars.size(); ++v) {
+        for (const AssocSet& set : bound[projection.vars[v]]) {
+          for (Oid node : set.nodes) {
+            flat[v].push_back(Assoc{set.path, node});
+          }
+        }
+      }
+      // Index of each projected var for distance predicates.
+      std::unordered_map<std::string, size_t> var_index;
+      for (size_t v = 0; v < projection.vars.size(); ++v) {
+        var_index[projection.vars[v]] = v;
+      }
+      for (const Predicate* predicate : distance_preds) {
+        if (!var_index.count(predicate->var) ||
+            !var_index.count(predicate->var2)) {
+          return Status::NotImplemented(
+              "DISTANCE variables must appear in the ANCESTORS "
+              "projection");
+        }
+      }
+
+      result.columns = {"result", "path", "oid"};
+      uint64_t tuples = 1;
+      for (const auto& list : flat) {
+        if (list.empty()) {
+          tuples = 0;
+          break;
+        }
+        tuples *= list.size();
+        if (tuples > kMaxAncestorTuples) {
+          result.truncated = true;
+          tuples = kMaxAncestorTuples;
+          break;
+        }
+      }
+
+      std::vector<size_t> cursor(flat.size(), 0);
+      uint64_t enumerated = 0;
+      bool done = tuples == 0;
+      while (!done && enumerated < kMaxAncestorTuples) {
+        ++enumerated;
+        // Distance filters.
+        bool pass = true;
+        for (const Predicate* predicate : distance_preds) {
+          const Assoc& a = flat[var_index[predicate->var]]
+                               [cursor[var_index[predicate->var]]];
+          const Assoc& b = flat[var_index[predicate->var2]]
+                               [cursor[var_index[predicate->var2]]];
+          MEETXML_ASSIGN_OR_RETURN(int distance,
+                                   core::Distance(doc, a, b));
+          if (distance > predicate->bound) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          // LCA of the whole tuple, then every ancestor up to the root
+          // is an implied answer.
+          Assoc lca = flat[0][cursor[0]];
+          for (size_t v = 1; v < flat.size(); ++v) {
+            MEETXML_ASSIGN_OR_RETURN(
+                core::PairMeet meet,
+                core::MeetPair(doc, lca, flat[v][cursor[v]]));
+            lca = core::AssocForNode(doc, meet.meet);
+          }
+          // For an attribute/cdata association the LCA position is a
+          // node already (AssocForNode above); count it and all its
+          // ancestors.
+          Oid node = lca.node;
+          result.total_ancestor_rows += doc.depth(node);
+          while (true) {
+            if (result.rows.size() < row_cap) {
+              result.rows.push_back(
+                  {doc.tag(node), doc.paths().ToString(doc.path(node)),
+                   FormatOid(node)});
+            } else {
+              result.truncated = true;
+            }
+            if (node == doc.root()) break;
+            node = doc.parent(node);
+          }
+        }
+        // Advance the tuple cursor (odometer).
+        size_t v = 0;
+        while (v < flat.size()) {
+          if (++cursor[v] < flat[v].size()) break;
+          cursor[v] = 0;
+          ++v;
+        }
+        if (v == flat.size()) done = true;
+      }
+      if (!done) result.truncated = true;
+      break;
+    }
+
+    case Projection::Kind::kVar:
+    case Projection::Kind::kTag:
+    case Projection::Kind::kPath:
+    case Projection::Kind::kXml:
+    case Projection::Kind::kCount: {
+      if (!distance_preds.empty()) {
+        return Status::NotImplemented(
+            "DISTANCE predicates require a MEET or ANCESTORS projection");
+      }
+      const std::vector<AssocSet>& sets = bound[projection.vars.front()];
+      if (projection.kind == Projection::Kind::kCount) {
+        size_t count = 0;
+        for (const AssocSet& set : sets) count += set.nodes.size();
+        result.columns = {"count"};
+        result.rows.push_back({std::to_string(count)});
+        break;
+      }
+      if (projection.kind == Projection::Kind::kTag ||
+          projection.kind == Projection::Kind::kPath) {
+        std::vector<std::string> values;
+        for (const AssocSet& set : sets) {
+          std::string value =
+              projection.kind == Projection::Kind::kTag
+                  ? doc.paths().label(set.path)
+                  : doc.paths().ToString(set.path);
+          values.push_back(std::move(value));
+        }
+        std::sort(values.begin(), values.end());
+        values.erase(std::unique(values.begin(), values.end()),
+                     values.end());
+        result.columns = {projection.kind == Projection::Kind::kTag
+                              ? "tag"
+                              : "path"};
+        for (std::string& value : values) {
+          if (result.rows.size() >= row_cap) {
+            result.truncated = true;
+            break;
+          }
+          result.rows.push_back({std::move(value)});
+        }
+        break;
+      }
+      // kVar / kXml: one row per bound node.
+      result.columns = projection.kind == Projection::Kind::kXml
+                           ? std::vector<std::string>{"xml"}
+                           : std::vector<std::string>{"result", "path",
+                                                      "oid"};
+      for (const AssocSet& set : sets) {
+        for (Oid node : set.nodes) {
+          if (result.rows.size() >= row_cap) {
+            result.truncated = true;
+            break;
+          }
+          if (projection.kind == Projection::Kind::kXml) {
+            MEETXML_ASSIGN_OR_RETURN(std::string xml_text,
+                                     model::ReassembleToXml(doc, node, 0));
+            result.rows.push_back({std::move(xml_text)});
+          } else {
+            result.rows.push_back({doc.paths().label(set.path),
+                                   doc.paths().ToString(set.path),
+                                   FormatOid(node)});
+          }
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteText(
+    std::string_view text, const ExecuteOptions& options) const {
+  MEETXML_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return Execute(query, options);
+}
+
+namespace {
+
+const char* ProjectionName(Projection::Kind kind) {
+  switch (kind) {
+    case Projection::Kind::kVar: return "bindings";
+    case Projection::Kind::kTag: return "distinct tags";
+    case Projection::Kind::kPath: return "distinct paths";
+    case Projection::Kind::kXml: return "reassembled XML";
+    case Projection::Kind::kCount: return "count";
+    case Projection::Kind::kMeet: return "meet (nearest concepts)";
+    case Projection::Kind::kAncestors:
+      return "ancestors (regular-path-expression baseline)";
+    case Projection::Kind::kGraphMeet:
+      return "graph meet (tree + IDREF proximity)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<std::string> Executor::Explain(const Query& query) const {
+  const StoredDocument& doc = *doc_;
+  std::string out;
+  char line[512];
+
+  for (const Binding& binding : query.bindings) {
+    MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> paths,
+                             MatchPattern(doc.paths(), binding.pattern));
+    MEETXML_ASSIGN_OR_RETURN(std::vector<AssocSet> filtered,
+                             EvaluateBinding(query, binding));
+    size_t raw = 0;
+    for (PathId path : paths) {
+      raw += doc.EdgesAt(path).size() + (doc.paths().kind(path) ==
+                                                 model::StepKind::kAttribute
+                                             ? doc.StringsAt(path).size()
+                                             : 0);
+    }
+    size_t kept = 0;
+    for (const AssocSet& set : filtered) kept += set.nodes.size();
+    std::snprintf(line, sizeof(line),
+                  "binding %s: pattern '%s' -> %zu paths, %zu "
+                  "associations, %zu after predicates\n",
+                  binding.var.c_str(), binding.pattern.text.c_str(),
+                  paths.size(), raw, kept);
+    out += line;
+    for (PathId path : paths) {
+      std::snprintf(line, sizeof(line), "    %s\n",
+                    doc.paths().ToString(path).c_str());
+      out += line;
+    }
+  }
+
+  for (const PathPattern& exclude : query.excludes) {
+    MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> excluded,
+                             MatchPattern(doc.paths(), exclude));
+    std::snprintf(line, sizeof(line),
+                  "exclude '%s' -> %zu result paths suppressed\n",
+                  exclude.text.c_str(), excluded.size());
+    out += line;
+  }
+  if (query.within.has_value()) {
+    std::snprintf(line, sizeof(line), "within %d edges\n", *query.within);
+    out += line;
+  }
+  if (query.limit.has_value()) {
+    std::snprintf(line, sizeof(line), "limit %d rows\n", *query.limit);
+    out += line;
+  }
+  if (!query.projections.empty()) {
+    std::snprintf(line, sizeof(line), "projection: %s\n",
+                  ProjectionName(query.projections.front().kind));
+    out += line;
+  }
+  return out;
+}
+
+Result<std::string> Executor::ExplainText(std::string_view text) const {
+  MEETXML_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return Explain(query);
+}
+
+}  // namespace query
+}  // namespace meetxml

@@ -1,0 +1,108 @@
+// Query executor: binds FROM patterns against the stored document,
+// applies WHERE predicates, and evaluates the projection — either the
+// paper's meet aggregation (§3) or the regular-path-expression baseline
+// with ancestor implication (§1).
+
+#ifndef MEETXML_QUERY_EXECUTOR_H_
+#define MEETXML_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/idref.h"
+#include "core/meet_general.h"
+#include "model/document.h"
+#include "query/ast.h"
+#include "text/search.h"
+#include "text/thesaurus.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace query {
+
+/// \brief Execution limits.
+struct ExecuteOptions {
+  /// Hard cap on materialized result rows (safety valve; LIMIT is the
+  /// user-facing knob).
+  size_t max_rows = 100000;
+};
+
+/// \brief A query result: a small relational table, plus structured
+/// access to meet results for programmatic callers.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Filled for MEET projections.
+  std::vector<core::GeneralMeet> meets;
+  core::MeetGeneralStats meet_stats;
+
+  /// For ANCESTORS projections: the exact total number of answer rows
+  /// the baseline semantics implies, even when `rows` was truncated by
+  /// LIMIT/max_rows. This is the cardinality Figure/Table comparisons
+  /// use ("in larger databases the computation might cause a
+  /// combinatorial explosion of the result size", §1).
+  uint64_t total_ancestor_rows = 0;
+
+  /// True when rows were truncated by LIMIT or max_rows.
+  bool truncated = false;
+
+  /// \brief Renders an aligned ASCII table.
+  std::string ToText() const;
+};
+
+/// \brief Executes queries against one stored document.
+///
+/// Construction builds the full-text indexes once; Execute() can then be
+/// called any number of times. The document must outlive the executor.
+class Executor {
+ public:
+  static util::Result<Executor> Build(const model::StoredDocument& doc);
+
+  /// \brief Executes a parsed query.
+  util::Result<QueryResult> Execute(const Query& query,
+                                    const ExecuteOptions& options = {}) const;
+
+  /// \brief Parses and executes query text.
+  util::Result<QueryResult> ExecuteText(
+      std::string_view text, const ExecuteOptions& options = {}) const;
+
+  /// \brief Explains a query without running its projection: per
+  /// binding the matched schema paths and their cardinalities before
+  /// and after predicate filtering, the resolved restriction clauses,
+  /// and the projection plan.
+  util::Result<std::string> Explain(const Query& query) const;
+  util::Result<std::string> ExplainText(std::string_view text) const;
+
+  const model::StoredDocument& doc() const { return *doc_; }
+  const core::IdrefGraph& idref_graph() const { return idrefs_; }
+
+  /// \brief Installs the thesaurus backing SYNONYM predicates (paper
+  /// §4's search broadening). Without one, SYNONYM behaves like
+  /// ICONTAINS of the literal alone.
+  void SetThesaurus(text::Thesaurus thesaurus) {
+    thesaurus_ = std::move(thesaurus);
+  }
+  const text::Thesaurus& thesaurus() const { return thesaurus_; }
+
+ private:
+  Executor(const model::StoredDocument* doc, text::FullTextSearch search,
+           core::IdrefGraph idrefs)
+      : doc_(doc),
+        search_(std::move(search)),
+        idrefs_(std::move(idrefs)) {}
+
+  /// Evaluates one binding: pattern match + predicate filtering.
+  util::Result<std::vector<core::AssocSet>> EvaluateBinding(
+      const Query& query, const Binding& binding) const;
+
+  const model::StoredDocument* doc_;
+  text::FullTextSearch search_;
+  core::IdrefGraph idrefs_;
+  text::Thesaurus thesaurus_;
+};
+
+}  // namespace query
+}  // namespace meetxml
+
+#endif  // MEETXML_QUERY_EXECUTOR_H_

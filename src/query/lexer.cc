@@ -1,0 +1,184 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace meetxml {
+namespace query {
+
+using util::Result;
+using util::Status;
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of query";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLparen: return "'('";
+    case TokenKind::kRparen: return "')'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kDoubleSlash: return "'//'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kLessEqual: return "'<='";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kContains: return "CONTAINS";
+    case TokenKind::kIcontains: return "ICONTAINS";
+    case TokenKind::kWord: return "WORD";
+    case TokenKind::kPhrase: return "PHRASE";
+    case TokenKind::kSynonym: return "SYNONYM";
+    case TokenKind::kMeet: return "MEET";
+    case TokenKind::kGraphMeet: return "GMEET";
+    case TokenKind::kAncestors: return "ANCESTORS";
+    case TokenKind::kTag: return "TAG";
+    case TokenKind::kPath: return "PATH";
+    case TokenKind::kXml: return "XML";
+    case TokenKind::kCount: return "COUNT";
+    case TokenKind::kDistance: return "DISTANCE";
+    case TokenKind::kExclude: return "EXCLUDE";
+    case TokenKind::kWithin: return "WITHIN";
+    case TokenKind::kLimit: return "LIMIT";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const std::unordered_map<std::string, TokenKind> kKeywords = {
+      {"select", TokenKind::kSelect},     {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},       {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},             {"not", TokenKind::kNot},
+      {"as", TokenKind::kAs},             {"contains", TokenKind::kContains},
+      {"icontains", TokenKind::kIcontains},
+      {"word", TokenKind::kWord},         {"meet", TokenKind::kMeet},
+      {"phrase", TokenKind::kPhrase},
+      {"synonym", TokenKind::kSynonym},
+      {"gmeet", TokenKind::kGraphMeet},
+      {"ancestors", TokenKind::kAncestors},
+      {"tag", TokenKind::kTag},           {"path", TokenKind::kPath},
+      {"xml", TokenKind::kXml},           {"count", TokenKind::kCount},
+      {"distance", TokenKind::kDistance}, {"exclude", TokenKind::kExclude},
+      {"within", TokenKind::kWithin},     {"limit", TokenKind::kLimit},
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '$';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string piece, size_t at) {
+    tokens.push_back(Token{kind, std::move(piece), static_cast<int>(at)});
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case ',': push(TokenKind::kComma, ",", start); ++i; continue;
+      case '(': push(TokenKind::kLparen, "(", start); ++i; continue;
+      case ')': push(TokenKind::kRparen, ")", start); ++i; continue;
+      case '*': push(TokenKind::kStar, "*", start); ++i; continue;
+      case '@': push(TokenKind::kAt, "@", start); ++i; continue;
+      case '=': push(TokenKind::kEquals, "=", start); ++i; continue;
+      case '/':
+        if (i + 1 < text.size() && text[i + 1] == '/') {
+          push(TokenKind::kDoubleSlash, "//", start);
+          i += 2;
+        } else {
+          push(TokenKind::kSlash, "/", start);
+          ++i;
+        }
+        continue;
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kLessEqual, "<=", start);
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '<' at offset ", start);
+      case '\'':
+      case '"': {
+        char quote = c;
+        ++i;
+        std::string value;
+        while (i < text.size() && text[i] != quote) {
+          value.push_back(text[i]);
+          ++i;
+        }
+        if (i >= text.size()) {
+          return Status::InvalidArgument(
+              "unterminated string literal at offset ", start);
+        }
+        ++i;  // closing quote
+        push(TokenKind::kString, std::move(value), start);
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        digits.push_back(text[i]);
+        ++i;
+      }
+      push(TokenKind::kInteger, std::move(digits), start);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::string word;
+      word.push_back(c);
+      ++i;
+      while (i < text.size() && IsIdentChar(text[i])) {
+        word.push_back(text[i]);
+        ++i;
+      }
+      auto it = Keywords().find(util::ToLowerAscii(word));
+      if (it != Keywords().end()) {
+        push(it->second, std::move(word), start);
+      } else {
+        push(TokenKind::kIdentifier, std::move(word), start);
+      }
+      continue;
+    }
+
+    return Status::InvalidArgument("unexpected character '",
+                                   std::string(1, c), "' at offset ",
+                                   start);
+  }
+  push(TokenKind::kEof, "", text.size());
+  return tokens;
+}
+
+}  // namespace query
+}  // namespace meetxml

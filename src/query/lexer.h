@@ -1,0 +1,21 @@
+// Lexer for the query language.
+
+#ifndef MEETXML_QUERY_LEXER_H_
+#define MEETXML_QUERY_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "query/token.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace query {
+
+/// \brief Lexes a whole query; the last token is always kEof.
+util::Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace query
+}  // namespace meetxml
+
+#endif  // MEETXML_QUERY_LEXER_H_

@@ -1,0 +1,25 @@
+// Recursive-descent parser for the query language.
+
+#ifndef MEETXML_QUERY_PARSER_H_
+#define MEETXML_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace query {
+
+/// \brief Parses a query; returns a semantic-checked AST (all variables
+/// referenced in SELECT/WHERE are declared in FROM, no duplicate
+/// variables, non-empty patterns).
+util::Result<Query> ParseQuery(std::string_view text);
+
+/// \brief Parses just a path pattern (used by EXCLUDE and the API).
+util::Result<PathPattern> ParsePathPattern(std::string_view text);
+
+}  // namespace query
+}  // namespace meetxml
+
+#endif  // MEETXML_QUERY_PARSER_H_

@@ -1,0 +1,111 @@
+#include "query/path_match.h"
+
+namespace meetxml {
+namespace query {
+
+using bat::PathId;
+using model::PathSummary;
+using model::StepKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// NFA over pattern positions 0..n (n = accept). Position i "points at"
+// steps[i]. A kDescendant step contributes an epsilon move (skip it) and
+// a self-loop on element steps.
+using StateMask = uint64_t;
+
+StateMask EpsilonClosure(const PathPattern& pattern, StateMask states) {
+  // kDescendant positions can be skipped without consuming a step.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < pattern.steps.size(); ++i) {
+      StateMask bit = StateMask{1} << i;
+      if ((states & bit) &&
+          pattern.steps[i].kind == PatternStep::Kind::kDescendant) {
+        StateMask next = StateMask{1} << (i + 1);
+        if (!(states & next)) {
+          states |= next;
+          changed = true;
+        }
+      }
+    }
+  }
+  return states;
+}
+
+// Consumes one schema step (of the concrete path) from every active
+// pattern position.
+StateMask Step(const PathPattern& pattern, StateMask states,
+               StepKind kind, const std::string& label) {
+  StateMask next = 0;
+  for (size_t i = 0; i < pattern.steps.size(); ++i) {
+    StateMask bit = StateMask{1} << i;
+    if (!(states & bit)) continue;
+    const PatternStep& step = pattern.steps[i];
+    switch (step.kind) {
+      case PatternStep::Kind::kName:
+        if (kind == StepKind::kElement && label == step.label) {
+          next |= StateMask{1} << (i + 1);
+        }
+        break;
+      case PatternStep::Kind::kAnyElement:
+        if (kind == StepKind::kElement) {
+          next |= StateMask{1} << (i + 1);
+        }
+        break;
+      case PatternStep::Kind::kDescendant:
+        // Self-loop: a descendant gap swallows any element step.
+        if (kind == StepKind::kElement) {
+          next |= bit;
+        }
+        break;
+      case PatternStep::Kind::kAttribute:
+        if (kind == StepKind::kAttribute && label == step.label) {
+          next |= StateMask{1} << (i + 1);
+        }
+        break;
+      case PatternStep::Kind::kCdata:
+        if (kind == StepKind::kCdata) {
+          next |= StateMask{1} << (i + 1);
+        }
+        break;
+    }
+  }
+  return EpsilonClosure(pattern, next);
+}
+
+}  // namespace
+
+Result<std::vector<PathId>> MatchPattern(const PathSummary& paths,
+                                         const PathPattern& pattern) {
+  if (pattern.steps.empty()) {
+    return Status::InvalidArgument("empty path pattern");
+  }
+  if (pattern.steps.size() > 63) {
+    return Status::ResourceExhausted("path pattern longer than 63 steps");
+  }
+  const StateMask accept = StateMask{1} << pattern.steps.size();
+  const StateMask start = EpsilonClosure(pattern, StateMask{1});
+
+  // Path ids are interned parents-first, so one ascending scan computes
+  // each path's state set from its parent's.
+  std::vector<StateMask> state_of(paths.size(), 0);
+  std::vector<PathId> matched;
+  for (PathId id = 0; id < paths.size(); ++id) {
+    StateMask incoming =
+        paths.parent(id) == bat::kInvalidPathId
+            ? start
+            : state_of[paths.parent(id)] & ~accept;
+    StateMask after = Step(pattern, incoming, paths.kind(id),
+                           paths.label(id));
+    state_of[id] = after;
+    if (after & accept) matched.push_back(id);
+  }
+  return matched;
+}
+
+}  // namespace query
+}  // namespace meetxml

@@ -1,0 +1,32 @@
+// Path pattern compilation: evaluating a pattern (with wildcards and
+// descendant gaps) against the path summary yields the set of schema
+// paths — i.e. relation names — a FROM binding ranges over. This is the
+// paper's "regular path expressions ... evaluated against the actual
+// database" (§1), done once against the schema instead of per node.
+
+#ifndef MEETXML_QUERY_PATH_MATCH_H_
+#define MEETXML_QUERY_PATH_MATCH_H_
+
+#include <vector>
+
+#include "model/path_summary.h"
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace query {
+
+/// \brief All schema paths matched by `pattern`, ascending by path id.
+///
+/// Patterns are root-anchored: `bibliography//cdata` matches every cdata
+/// path under the root tag `bibliography`. A leading `//`-like behaviour
+/// can be had with `*//...` only when the root tag is unknown — or start
+/// the pattern with the root tag. Patterns longer than 63 steps are
+/// rejected (the matcher packs NFA states into a 64-bit mask).
+util::Result<std::vector<bat::PathId>> MatchPattern(
+    const model::PathSummary& paths, const PathPattern& pattern);
+
+}  // namespace query
+}  // namespace meetxml
+
+#endif  // MEETXML_QUERY_PATH_MATCH_H_

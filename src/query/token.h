@@ -1,0 +1,65 @@
+// Token definitions for the query language lexer.
+
+#ifndef MEETXML_QUERY_TOKEN_H_
+#define MEETXML_QUERY_TOKEN_H_
+
+#include <string>
+
+namespace meetxml {
+namespace query {
+
+/// \brief Token kinds. Keywords are case-insensitive in the source text.
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // bibliography, o1, $x (leading $ allowed)
+  kString,       // 'Bit' or "Bit"
+  kInteger,      // 42
+  kComma,        // ,
+  kLparen,       // (
+  kRparen,       // )
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kStar,         // *
+  kAt,           // @
+  kEquals,       // =
+  kLessEqual,    // <=
+  // Keywords:
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kAs,
+  kContains,
+  kIcontains,
+  kWord,
+  kPhrase,
+  kSynonym,
+  kMeet,
+  kGraphMeet,
+  kAncestors,
+  kTag,
+  kPath,
+  kXml,
+  kCount,
+  kDistance,
+  kExclude,
+  kWithin,
+  kLimit,
+};
+
+/// \brief Human-readable name of a token kind for error messages.
+const char* TokenKindName(TokenKind kind);
+
+/// \brief One lexed token with its source position (1-based).
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier name / string contents / integer text
+  int position;      // byte offset in the query text
+};
+
+}  // namespace query
+}  // namespace meetxml
+
+#endif  // MEETXML_QUERY_TOKEN_H_

@@ -1,0 +1,99 @@
+#include "text/cross_document.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace meetxml {
+namespace text {
+
+using util::Result;
+using util::Status;
+
+std::vector<std::string> ExtractProbeStrings(
+    const model::StoredDocument& source, bat::Oid subtree,
+    const CrossFindOptions& options) {
+  // Collect every string value in the subtree: cdata text of descendant
+  // cdata nodes plus attribute values of descendant elements.
+  std::vector<std::string> collected;
+  std::vector<bat::Oid> stack = {subtree};
+  while (!stack.empty()) {
+    bat::Oid node = stack.back();
+    stack.pop_back();
+    if (source.is_cdata(node)) {
+      collected.push_back(std::string(source.CdataValue(node)));
+    } else {
+      for (const model::StringAssociation& attr :
+           source.AttributesOf(node)) {
+        collected.push_back(attr.value);
+      }
+    }
+    for (bat::Oid kid : source.children(node)) stack.push_back(kid);
+  }
+
+  // Longest first (most distinctive), deduplicated, length-filtered.
+  std::sort(collected.begin(), collected.end(),
+            [](const std::string& a, const std::string& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  std::vector<std::string> probes;
+  std::unordered_set<std::string> seen;
+  for (std::string& value : collected) {
+    std::string_view stripped = util::StripAsciiWhitespace(value);
+    if (stripped.size() < options.min_probe_length) continue;
+    std::string probe(stripped);
+    if (!seen.insert(probe).second) continue;
+    probes.push_back(std::move(probe));
+    if (probes.size() >= options.max_probe_strings) break;
+  }
+  return probes;
+}
+
+Result<std::vector<core::GeneralMeet>> FindInOtherDocument(
+    const model::StoredDocument& source, bat::Oid subtree,
+    const model::StoredDocument& target,
+    const FullTextSearch& target_search,
+    const CrossFindOptions& options) {
+  if (subtree >= source.node_count()) {
+    return Status::NotFound("no node with OID ", subtree,
+                            " in the source document");
+  }
+  std::vector<std::string> probes =
+      ExtractProbeStrings(source, subtree, options);
+  if (probes.empty()) {
+    return Status::InvalidArgument(
+        "subtree contains no probe-worthy strings (all shorter than ",
+        options.min_probe_length, " characters)");
+  }
+
+  MEETXML_ASSIGN_OR_RETURN(std::vector<TermMatches> matches,
+                           target_search.SearchAll(probes, options.mode));
+  std::vector<size_t> source_terms;
+  std::vector<core::AssocSet> inputs =
+      FullTextSearch::ToMeetInput(matches, &source_terms);
+
+  core::MeetOptions meet_options = options.meet_options;
+  meet_options.excluded_paths.insert(target.path(target.root()));
+  MEETXML_ASSIGN_OR_RETURN(std::vector<core::GeneralMeet> meets,
+                           core::MeetGeneral(target, inputs, meet_options));
+
+  // Keep meets covering enough distinct probes.
+  std::vector<core::GeneralMeet> filtered;
+  for (core::GeneralMeet& meet : meets) {
+    std::unordered_set<size_t> covered;
+    for (const core::MeetWitness& witness : meet.witnesses) {
+      if (witness.source < source_terms.size()) {
+        covered.insert(source_terms[witness.source]);
+      }
+    }
+    if (covered.size() >= options.min_probes_covered) {
+      filtered.push_back(std::move(meet));
+    }
+  }
+  return filtered;
+}
+
+}  // namespace text
+}  // namespace meetxml

@@ -1,0 +1,68 @@
+// Cross-document concept lookup (paper §4).
+//
+// "We may want to know whether a certain bibliographical item that we
+// found in one bibliography also lives in another bibliography;
+// however, we have no idea how the relevant information is marked up.
+// So a good approach is to combine the meet operator with fulltext
+// search similar to the introductory example and use the results as a
+// starting point for displaying and browsing."
+//
+// FindInOtherDocument takes a subtree in the source document (say, an
+// <article>), extracts its most distinctive strings, full-text searches
+// them in the target document — whose schema may be completely
+// different — and returns the meets of the matches: the target's
+// nearest concepts for the same item.
+
+#ifndef MEETXML_TEXT_CROSS_DOCUMENT_H_
+#define MEETXML_TEXT_CROSS_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/meet_general.h"
+#include "core/restrictions.h"
+#include "text/search.h"
+
+namespace meetxml {
+namespace text {
+
+/// \brief Knobs for the cross-document probe.
+struct CrossFindOptions {
+  /// How many probe strings to extract from the source subtree (the
+  /// longest ones are the most distinctive).
+  size_t max_probe_strings = 4;
+  /// Strings shorter than this are never probes (years and page
+  /// numbers alone would match everything).
+  size_t min_probe_length = 4;
+  /// Matching mode in the target (case-insensitive by default: the
+  /// other bibliography may capitalize differently).
+  MatchMode mode = MatchMode::kContainsIgnoreCase;
+  /// Require a result's witnesses to cover at least this many distinct
+  /// probe strings (1 = any match; higher = stronger evidence).
+  size_t min_probes_covered = 2;
+  /// Restrictions applied to the target meets; the target root is
+  /// always excluded in addition.
+  core::MeetOptions meet_options;
+};
+
+/// \brief The probe strings that would be used for a subtree (exposed
+/// for testing and for explain-style output): string values in the
+/// subtree, longest first, deduplicated, capped by the options.
+std::vector<std::string> ExtractProbeStrings(
+    const model::StoredDocument& source, bat::Oid subtree,
+    const CrossFindOptions& options = {});
+
+/// \brief Finds the target document's nearest concepts for the item
+/// rooted at `subtree` in `source`. `target_search` must be built over
+/// `target`. Results are ordered by ascending witness distance; each
+/// covers at least `min_probes_covered` probe strings.
+util::Result<std::vector<core::GeneralMeet>> FindInOtherDocument(
+    const model::StoredDocument& source, bat::Oid subtree,
+    const model::StoredDocument& target,
+    const FullTextSearch& target_search,
+    const CrossFindOptions& options = {});
+
+}  // namespace text
+}  // namespace meetxml
+
+#endif  // MEETXML_TEXT_CROSS_DOCUMENT_H_

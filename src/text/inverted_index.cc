@@ -1,0 +1,108 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+namespace meetxml {
+namespace text {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Packs three raw bytes into the trigram key. Trigrams are
+// case-sensitive: they accelerate the paper's case-sensitive `contains`.
+inline uint32_t TrigramKey(std::string_view s, size_t i) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(s[i])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(s[i + 1])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[i + 2]));
+}
+
+void SortUniquePostings(std::vector<Posting>* postings) {
+  std::sort(postings->begin(), postings->end());
+  postings->erase(std::unique(postings->begin(), postings->end()),
+                  postings->end());
+}
+
+std::vector<Posting> IntersectSorted(const std::vector<Posting>& a,
+                                     const std::vector<Posting>& b) {
+  std::vector<Posting> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Result<InvertedIndex> InvertedIndex::Build(const StoredDocument& doc,
+                                           const IndexOptions& options) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument("document is not finalized");
+  }
+  InvertedIndex index;
+  index.tokenizer_options_ = options.tokenizer;
+  index.has_trigrams_ = options.build_trigrams;
+
+  for (PathId path : doc.string_paths()) {
+    const model::OidStrBat& table = doc.StringsAt(path);
+    for (size_t row = 0; row < table.size(); ++row) {
+      Posting posting{path, table.head(row)};
+      const std::string& value = table.tail(row);
+      for (const std::string& token :
+           TokenizeUnique(value, options.tokenizer)) {
+        index.words_[token].push_back(posting);
+      }
+      if (options.build_trigrams && value.size() >= 3) {
+        for (size_t i = 0; i + 3 <= value.size(); ++i) {
+          index.trigrams_[TrigramKey(value, i)].push_back(posting);
+        }
+      }
+    }
+  }
+
+  for (auto& [word, postings] : index.words_) {
+    SortUniquePostings(&postings);
+    index.posting_count_ += postings.size();
+  }
+  for (auto& [key, postings] : index.trigrams_) {
+    SortUniquePostings(&postings);
+  }
+  return index;
+}
+
+const std::vector<Posting>& InvertedIndex::LookupWord(
+    std::string_view word) const {
+  static const std::vector<Posting> kEmpty;
+  std::string key(word);
+  if (tokenizer_options_.fold_case) {
+    for (char& c : key) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  auto it = words_.find(key);
+  return it == words_.end() ? kEmpty : it->second;
+}
+
+std::optional<std::vector<Posting>> InvertedIndex::TrigramCandidates(
+    std::string_view needle) const {
+  if (!has_trigrams_ || needle.size() < 3) return std::nullopt;
+  // Probe rarest-first would be nicer; with a handful of trigrams the
+  // straight left-to-right intersection is fine.
+  std::vector<Posting> candidates;
+  bool first = true;
+  for (size_t i = 0; i + 3 <= needle.size(); ++i) {
+    auto it = trigrams_.find(TrigramKey(needle, i));
+    if (it == trigrams_.end()) return std::vector<Posting>();
+    if (first) {
+      candidates = it->second;
+      first = false;
+    } else {
+      candidates = IntersectSorted(candidates, it->second);
+      if (candidates.empty()) return candidates;
+    }
+  }
+  return candidates;
+}
+
+}  // namespace text
+}  // namespace meetxml

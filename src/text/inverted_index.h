@@ -1,0 +1,89 @@
+// Inverted word index and trigram index over the string associations of
+// a stored document.
+//
+// The paper's experiments run the meet on the output of a full-text
+// search ("we extract from the results of the full-text query starting
+// points from where the user can start displaying and browsing"). The
+// word index answers whole-word queries; the trigram index accelerates
+// the paper's substring `contains` predicate by pruning which strings
+// need verification.
+
+#ifndef MEETXML_TEXT_INVERTED_INDEX_H_
+#define MEETXML_TEXT_INVERTED_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/document.h"
+#include "text/tokenizer.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace text {
+
+using bat::Oid;
+using bat::PathId;
+using model::StoredDocument;
+
+/// \brief One index hit: a string association identified by its path and
+/// owning node (the cdata node, or the element owning an attribute).
+struct Posting {
+  PathId path;
+  Oid owner;
+
+  bool operator==(const Posting& other) const {
+    return path == other.path && owner == other.owner;
+  }
+  bool operator<(const Posting& other) const {
+    if (path != other.path) return path < other.path;
+    return owner < other.owner;
+  }
+};
+
+/// \brief Index construction knobs.
+struct IndexOptions {
+  TokenizerOptions tokenizer;
+  /// Also build the trigram index for substring search acceleration.
+  bool build_trigrams = true;
+};
+
+/// \brief Word + trigram inverted index.
+class InvertedIndex {
+ public:
+  /// \brief Indexes every string association of a finalized document.
+  static util::Result<InvertedIndex> Build(const StoredDocument& doc,
+                                           const IndexOptions& options = {});
+
+  /// \brief Postings of a whole word (case-folded per tokenizer
+  /// options); empty vector if absent. Postings are sorted and unique.
+  const std::vector<Posting>& LookupWord(std::string_view word) const;
+
+  /// \brief Candidate postings whose string *may* contain `needle`
+  /// (superset guaranteed when the trigram index is on and the needle
+  /// has >= 3 bytes; otherwise returns nullopt meaning "scan").
+  /// Candidates still need verification against the actual strings.
+  std::optional<std::vector<Posting>> TrigramCandidates(
+      std::string_view needle) const;
+
+  size_t vocabulary_size() const { return words_.size(); }
+  size_t posting_count() const { return posting_count_; }
+  size_t trigram_count() const { return trigrams_.size(); }
+  bool has_trigrams() const { return has_trigrams_; }
+
+ private:
+  InvertedIndex() = default;
+
+  std::unordered_map<std::string, std::vector<Posting>> words_;
+  std::unordered_map<uint32_t, std::vector<Posting>> trigrams_;
+  TokenizerOptions tokenizer_options_;
+  size_t posting_count_ = 0;
+  bool has_trigrams_ = false;
+};
+
+}  // namespace text
+}  // namespace meetxml
+
+#endif  // MEETXML_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,157 @@
+#include "text/search.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace meetxml {
+namespace text {
+
+using util::Result;
+using util::Status;
+
+Result<FullTextSearch> FullTextSearch::Build(const StoredDocument& doc,
+                                             const IndexOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(InvertedIndex index,
+                           InvertedIndex::Build(doc, options));
+  return FullTextSearch(&doc, std::move(index));
+}
+
+std::vector<Posting> FullTextSearch::ScanContains(std::string_view needle,
+                                                  bool ignore_case) const {
+  std::vector<Posting> out;
+  for (PathId path : doc_->string_paths()) {
+    const model::OidStrBat& table = doc_->StringsAt(path);
+    for (size_t row = 0; row < table.size(); ++row) {
+      const std::string& value = table.tail(row);
+      bool hit = ignore_case ? util::ContainsIgnoreCase(value, needle)
+                             : util::Contains(value, needle);
+      if (hit) out.push_back(Posting{path, table.head(row)});
+    }
+  }
+  return out;
+}
+
+std::vector<core::AssocSet> FullTextSearch::GroupByPath(
+    std::vector<Posting> postings) {
+  std::sort(postings.begin(), postings.end());
+  postings.erase(std::unique(postings.begin(), postings.end()),
+                 postings.end());
+  std::vector<core::AssocSet> sets;
+  for (const Posting& posting : postings) {
+    if (sets.empty() || sets.back().path != posting.path) {
+      sets.push_back(core::AssocSet{posting.path, {}});
+    }
+    sets.back().nodes.push_back(posting.owner);
+  }
+  return sets;
+}
+
+Result<TermMatches> FullTextSearch::Search(std::string_view term,
+                                           MatchMode mode) const {
+  if (term.empty()) {
+    return Status::InvalidArgument("empty search term");
+  }
+  TermMatches matches;
+  matches.term = std::string(term);
+
+  std::vector<Posting> postings;
+  switch (mode) {
+    case MatchMode::kWord:
+      postings = index_.LookupWord(term);
+      break;
+    case MatchMode::kPhrase: {
+      std::vector<std::string> phrase_tokens = Tokenize(term);
+      if (phrase_tokens.empty()) {
+        return Status::InvalidArgument(
+            "phrase contains no indexable words: '", term, "'");
+      }
+      // Candidates: strings containing every word; start from the
+      // rarest posting list.
+      const std::vector<Posting>* smallest = nullptr;
+      for (const std::string& token : phrase_tokens) {
+        const std::vector<Posting>& list = index_.LookupWord(token);
+        if (smallest == nullptr || list.size() < smallest->size()) {
+          smallest = &list;
+        }
+      }
+      for (const Posting& candidate : *smallest) {
+        bool all_words = true;
+        for (const std::string& token : phrase_tokens) {
+          const std::vector<Posting>& list = index_.LookupWord(token);
+          if (!std::binary_search(list.begin(), list.end(), candidate)) {
+            all_words = false;
+            break;
+          }
+        }
+        if (!all_words) continue;
+        for (std::string_view value :
+             doc_->StringValuesAt(candidate.path, candidate.owner)) {
+          if (MatchesPhrase(value, phrase_tokens)) {
+            postings.push_back(candidate);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case MatchMode::kContains: {
+      std::optional<std::vector<Posting>> candidates =
+          index_.TrigramCandidates(term);
+      if (!candidates.has_value()) {
+        postings = ScanContains(term, /*ignore_case=*/false);
+        break;
+      }
+      // Trigram candidates are a superset; verify against the strings.
+      for (const Posting& posting : *candidates) {
+        for (std::string_view value :
+             doc_->StringValuesAt(posting.path, posting.owner)) {
+          if (util::Contains(value, term)) {
+            postings.push_back(posting);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case MatchMode::kContainsIgnoreCase:
+      postings = ScanContains(term, /*ignore_case=*/true);
+      break;
+  }
+
+  matches.sets = GroupByPath(std::move(postings));
+  return matches;
+}
+
+Result<std::vector<TermMatches>> FullTextSearch::SearchAll(
+    const std::vector<std::string>& terms, MatchMode mode) const {
+  std::vector<TermMatches> out;
+  out.reserve(terms.size());
+  for (const std::string& term : terms) {
+    MEETXML_ASSIGN_OR_RETURN(TermMatches matches, Search(term, mode));
+    out.push_back(std::move(matches));
+  }
+  return out;
+}
+
+std::vector<core::AssocSet> FullTextSearch::ToMeetInput(
+    const std::vector<TermMatches>& matches) {
+  return ToMeetInput(matches, nullptr);
+}
+
+std::vector<core::AssocSet> FullTextSearch::ToMeetInput(
+    const std::vector<TermMatches>& matches,
+    std::vector<size_t>* source_terms) {
+  std::vector<core::AssocSet> inputs;
+  if (source_terms != nullptr) source_terms->clear();
+  for (size_t t = 0; t < matches.size(); ++t) {
+    for (const core::AssocSet& set : matches[t].sets) {
+      inputs.push_back(set);
+      if (source_terms != nullptr) source_terms->push_back(t);
+    }
+  }
+  return inputs;
+}
+
+}  // namespace text
+}  // namespace meetxml

@@ -1,0 +1,110 @@
+#include "text/thesaurus.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace meetxml {
+namespace text {
+
+using util::Result;
+using util::Status;
+
+void Thesaurus::AddRing(const std::vector<std::string>& terms) {
+  std::vector<std::string> folded;
+  folded.reserve(terms.size());
+  for (const std::string& term : terms) {
+    std::string f = util::ToLowerAscii(
+        util::StripAsciiWhitespace(term));
+    if (!f.empty()) folded.push_back(std::move(f));
+  }
+  for (const std::string& term : folded) {
+    std::vector<std::string>& ring = rings_[term];
+    for (const std::string& other : folded) {
+      if (other == term) continue;
+      if (std::find(ring.begin(), ring.end(), other) == ring.end()) {
+        ring.push_back(other);
+      }
+    }
+  }
+}
+
+Result<Thesaurus> Thesaurus::FromText(std::string_view text) {
+  Thesaurus thesaurus;
+  for (std::string_view line : util::Split(text, '\n')) {
+    line = util::StripAsciiWhitespace(line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> ring;
+    for (std::string_view piece : util::Split(line, ',')) {
+      piece = util::StripAsciiWhitespace(piece);
+      if (!piece.empty()) ring.push_back(std::string(piece));
+    }
+    if (ring.size() < 2) {
+      return Status::InvalidArgument(
+          "thesaurus ring needs at least two terms: '",
+          std::string(line), "'");
+    }
+    thesaurus.AddRing(ring);
+  }
+  return thesaurus;
+}
+
+std::vector<std::string> Thesaurus::Expand(std::string_view term) const {
+  std::string folded = util::ToLowerAscii(term);
+  std::vector<std::string> out;
+  out.push_back(folded);
+  auto it = rings_.find(folded);
+  if (it != rings_.end()) {
+    for (const std::string& synonym : it->second) {
+      if (std::find(out.begin(), out.end(), synonym) == out.end()) {
+        out.push_back(synonym);
+      }
+    }
+  }
+  return out;
+}
+
+Result<TermMatches> SearchExpanded(const FullTextSearch& search,
+                                   const Thesaurus& thesaurus,
+                                   std::string_view term,
+                                   const ExpandedSearchOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(TermMatches direct,
+                           search.Search(term, options.mode));
+  if (options.expand_below > 0 && direct.total() >= options.expand_below) {
+    return direct;
+  }
+
+  // Merge postings of every synonym; attribution stays with `term`.
+  std::vector<Posting> postings;
+  for (const core::AssocSet& set : direct.sets) {
+    for (bat::Oid node : set.nodes) {
+      postings.push_back(Posting{set.path, node});
+    }
+  }
+  for (const std::string& synonym : thesaurus.Expand(term)) {
+    if (util::ToLowerAscii(term) == synonym) continue;
+    MEETXML_ASSIGN_OR_RETURN(TermMatches expanded,
+                             search.Search(synonym, options.mode));
+    for (const core::AssocSet& set : expanded.sets) {
+      for (bat::Oid node : set.nodes) {
+        postings.push_back(Posting{set.path, node});
+      }
+    }
+  }
+  std::sort(postings.begin(), postings.end());
+  postings.erase(std::unique(postings.begin(), postings.end()),
+                 postings.end());
+
+  TermMatches merged;
+  merged.term = std::string(term);
+  for (const Posting& posting : postings) {
+    if (merged.sets.empty() || merged.sets.back().path != posting.path) {
+      merged.sets.push_back(core::AssocSet{posting.path, {}});
+    }
+    merged.sets.back().nodes.push_back(posting.owner);
+  }
+  return merged;
+}
+
+}  // namespace text
+}  // namespace meetxml

@@ -1,0 +1,69 @@
+// Thesaurus-based query expansion.
+//
+// Paper §4: "thesauri are a promising tool to help a user find
+// interesting results, especially to broaden a search that returned too
+// few answers." This module implements that extension: a synonym-ring
+// thesaurus expands a search term into its synonym set, the expanded
+// matches are merged (and still attributed to the one original term,
+// so the meet semantics are unchanged), and expansion can be gated on
+// the unexpanded search having returned too few answers.
+
+#ifndef MEETXML_TEXT_THESAURUS_H_
+#define MEETXML_TEXT_THESAURUS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/search.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace text {
+
+/// \brief A synonym-ring thesaurus: terms in one ring are mutually
+/// substitutable. Lookups are case-folded.
+class Thesaurus {
+ public:
+  /// \brief Adds a ring of synonyms; every member expands to all
+  /// members. Terms may appear in several rings (the union expands).
+  void AddRing(const std::vector<std::string>& terms);
+
+  /// \brief Loads rings from text: one ring per line, terms separated
+  /// by commas; '#' starts a comment line.
+  static util::Result<Thesaurus> FromText(std::string_view text);
+
+  /// \brief The expansion of `term`: the term itself first, then its
+  /// synonyms (deduplicated, stable order).
+  std::vector<std::string> Expand(std::string_view term) const;
+
+  /// \brief Number of distinct terms known to the thesaurus.
+  size_t term_count() const { return rings_.size(); }
+
+ private:
+  // term (folded) -> synonym list (folded, insertion order).
+  std::unordered_map<std::string, std::vector<std::string>> rings_;
+};
+
+/// \brief Knobs for expanded search.
+struct ExpandedSearchOptions {
+  MatchMode mode = MatchMode::kContainsIgnoreCase;
+  /// Expand only when the unexpanded term matched fewer associations
+  /// than this ("broaden a search that returned too few answers");
+  /// 0 = always expand.
+  size_t expand_below = 0;
+};
+
+/// \brief Searches `term`, expanding it through the thesaurus. All
+/// synonym matches are merged into one TermMatches attributed to the
+/// original term, so feeding the result into the meet treats a synonym
+/// hit exactly like a direct hit.
+util::Result<TermMatches> SearchExpanded(
+    const FullTextSearch& search, const Thesaurus& thesaurus,
+    std::string_view term, const ExpandedSearchOptions& options = {});
+
+}  // namespace text
+}  // namespace meetxml
+
+#endif  // MEETXML_TEXT_THESAURUS_H_

@@ -1,0 +1,94 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef MEETXML_UTIL_RESULT_H_
+#define MEETXML_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace meetxml {
+namespace util {
+
+/// \brief Holds either a successfully produced T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Typical use:
+/// \code
+///   Result<Document> ParseFile(std::string_view path);
+///   ...
+///   MEETXML_ASSIGN_OR_RETURN(Document doc, ParseFile(p));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, like arrow::Result).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Aborts if `status` is OK, because an
+  /// OK Result must carry a value.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : state_(std::move(status)) {
+    if (std::get<Status>(state_).ok()) {
+      Status::Internal("Result constructed from OK status").Abort("Result");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// \brief The status: OK() when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(state_);
+  }
+
+  /// \brief The contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(state_);
+  }
+  T ValueOrDie() && {
+    EnsureOk();
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (!ok()) return alternative;
+    return std::move(std::get<T>(state_));
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) std::get<Status>(state_).Abort("Result::ValueOrDie");
+  }
+
+  std::variant<Status, T> state_;
+};
+
+}  // namespace util
+}  // namespace meetxml
+
+#define MEETXML_CONCAT_IMPL(a, b) a##b
+#define MEETXML_CONCAT(a, b) MEETXML_CONCAT_IMPL(a, b)
+
+/// \brief Evaluates `rexpr` (a Result<T>); on error returns the Status, on
+/// success binds the value to `lhs` (a declaration, e.g. `auto v`).
+#define MEETXML_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  MEETXML_ASSIGN_OR_RETURN_IMPL(                                    \
+      MEETXML_CONCAT(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define MEETXML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // MEETXML_UTIL_RESULT_H_

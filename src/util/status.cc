@@ -1,0 +1,50 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace meetxml {
+namespace util {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kUnexpectedEof:
+      return "Unexpected end of input";
+  }
+  return "Unknown code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(state_->code));
+  out.append(": ");
+  out.append(state_->message);
+  return out;
+}
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) return;
+  if (!context.empty()) {
+    std::fprintf(stderr, "Aborting in '%.*s': %s\n",
+                 static_cast<int>(context.size()), context.data(),
+                 ToString().c_str());
+  } else {
+    std::fprintf(stderr, "Aborting: %s\n", ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace util
+}  // namespace meetxml

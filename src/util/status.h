@@ -1,0 +1,175 @@
+// Status: lightweight error propagation in the Arrow/RocksDB idiom.
+//
+// Library code in this project does not throw exceptions across public API
+// boundaries; fallible operations return util::Status (or util::Result<T>,
+// see result.h). A Status is cheap to move (a single pointer; OK carries no
+// allocation at all).
+
+#ifndef MEETXML_UTIL_STATUS_H_
+#define MEETXML_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace meetxml {
+namespace util {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Malformed input from the outside world (XML syntax error, bad query
+  /// text, invalid generator parameters).
+  kInvalidArgument = 1,
+  /// A lookup failed: unknown OID, unknown path, missing relation.
+  kNotFound = 2,
+  /// An operation is not supported for the given input shape.
+  kNotImplemented = 3,
+  /// An internal invariant was violated; indicates a bug in this library.
+  kInternal = 4,
+  /// Input was syntactically valid but exceeds a configured limit.
+  kResourceExhausted = 5,
+  /// Parse ran off the end of the input unexpectedly.
+  kUnexpectedEof = 6,
+};
+
+/// \brief Human-readable name of a StatusCode, e.g. "Invalid argument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: OK, or a code plus message.
+///
+/// Usage follows the Arrow convention:
+/// \code
+///   Status DoThing() {
+///     if (bad) return Status::InvalidArgument("bad thing: ", detail);
+///     return Status::OK();
+///   }
+///   MEETXML_RETURN_NOT_OK(DoThing());
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status (no allocation).
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief An OK (success) status.
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status UnexpectedEof(Args&&... args) {
+    return Make(StatusCode::kUnexpectedEof, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnexpectedEof() const {
+    return code() == StatusCode::kUnexpectedEof;
+  }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process if this status is not OK. Use only in
+  /// examples, benches and tests where failure is unrecoverable.
+  void Abort(std::string_view context = {}) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::string message;
+    (AppendPiece(&message, std::forward<Args>(args)), ...);
+    return Status(code, std::move(message));
+  }
+
+  template <typename T>
+  static void AppendPiece(std::string* out, T&& piece) {
+    if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+      out->append(std::to_string(piece));
+    } else {
+      out->append(std::string_view(piece));
+    }
+  }
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace util
+}  // namespace meetxml
+
+/// \brief Propagates a non-OK Status to the caller.
+#define MEETXML_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::meetxml::util::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// \brief Aborts if `expr` is not OK; for mains and test setup.
+#define MEETXML_CHECK_OK(expr)                      \
+  do {                                              \
+    ::meetxml::util::Status _st = (expr);           \
+    if (!_st.ok()) _st.Abort(#expr);                \
+  } while (0)
+
+#endif  // MEETXML_UTIL_STATUS_H_

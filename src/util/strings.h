@@ -1,0 +1,46 @@
+// Small string helpers shared across modules.
+
+#ifndef MEETXML_UTIL_STRINGS_H_
+#define MEETXML_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace meetxml {
+namespace util {
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Case-sensitive substring test (the paper's `contains`).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// \brief Case-insensitive substring test (ASCII folding only).
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// \brief ASCII lower-casing; non-ASCII bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief Splits on a single character; empty pieces are kept.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// \brief Joins `pieces` with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep);
+
+/// \brief True if every byte is an ASCII digit and `s` is non-empty.
+bool IsAllDigits(std::string_view s);
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_STRINGS_H_

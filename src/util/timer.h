@@ -1,0 +1,38 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef MEETXML_UTIL_TIMER_H_
+#define MEETXML_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace meetxml {
+namespace util {
+
+/// \brief Simple steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time since construction or last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// \brief Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_TIMER_H_

@@ -1,0 +1,78 @@
+// Event-based (SAX-style) parsing interface.
+//
+// The DOM parser (xml/parser.h) is a thin sink over this event stream;
+// bulk loaders that do not need a DOM — like the streaming Monet
+// transform in model/shredder.h — consume the events directly and never
+// materialize the tree, which roughly halves peak memory for large
+// documents.
+
+#ifndef MEETXML_XML_SAX_H_
+#define MEETXML_XML_SAX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/dom.h"
+
+namespace meetxml {
+namespace xml {
+
+/// \brief Receiver of parse events. Every callback may return a non-OK
+/// Status to abort the parse; the status is propagated to the caller.
+///
+/// Guarantees: events are well nested (EndElement always matches the
+/// innermost open StartElement; tags are verified by the parser);
+/// adjacent PCDATA and CDATA runs are merged into a single Text event;
+/// whitespace-only text is dropped when the parse options say so.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  /// \brief Called once before any other event.
+  virtual util::Status StartDocument() { return util::Status::OK(); }
+  /// \brief Called once after the root element closed.
+  virtual util::Status EndDocument() { return util::Status::OK(); }
+
+  /// \brief An element opened. `attributes` are decoded and
+  /// duplicate-free; ownership moves to the handler.
+  virtual util::Status StartElement(std::string tag,
+                                    std::vector<Attribute> attributes) {
+    (void)tag;
+    (void)attributes;
+    return util::Status::OK();
+  }
+
+  /// \brief The innermost open element closed.
+  virtual util::Status EndElement(std::string_view tag) {
+    (void)tag;
+    return util::Status::OK();
+  }
+
+  /// \brief A merged character-data run inside the current element.
+  virtual util::Status Text(std::string text) {
+    (void)text;
+    return util::Status::OK();
+  }
+
+  /// \brief A comment (only when ParseOptions::keep_comments).
+  virtual util::Status Comment(std::string text) {
+    (void)text;
+    return util::Status::OK();
+  }
+
+  /// \brief A processing instruction (only when
+  /// ParseOptions::keep_processing_instructions).
+  virtual util::Status ProcessingInstruction(std::string target,
+                                             std::string data) {
+    (void)target;
+    (void)data;
+    return util::Status::OK();
+  }
+};
+
+}  // namespace xml
+}  // namespace meetxml
+
+#endif  // MEETXML_XML_SAX_H_

@@ -1,0 +1,32 @@
+// DOM-to-text serialization with proper escaping.
+
+#ifndef MEETXML_XML_SERIALIZER_H_
+#define MEETXML_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace meetxml {
+namespace xml {
+
+/// \brief Serialization knobs.
+struct SerializeOptions {
+  /// Pretty-print with this many spaces per nesting level; 0 = compact
+  /// one-line output.
+  int indent = 0;
+  /// Emit an `<?xml version="1.0"?>` declaration.
+  bool emit_declaration = false;
+};
+
+/// \brief Serializes an element subtree.
+std::string Serialize(const Node& node, const SerializeOptions& options = {});
+
+/// \brief Serializes a whole document.
+std::string Serialize(const Document& doc,
+                      const SerializeOptions& options = {});
+
+}  // namespace xml
+}  // namespace meetxml
+
+#endif  // MEETXML_XML_SERIALIZER_H_

@@ -1,0 +1,200 @@
+// Unit tests for the BAT kernel: the binary association tables and the
+// MIL-like relational operations the meet algorithms execute.
+
+#include <gtest/gtest.h>
+
+#include "bat/bat.h"
+#include "bat/ops.h"
+#include "util/rng.h"
+
+namespace meetxml {
+namespace bat {
+namespace {
+
+OidOidBat MakeBat(std::initializer_list<std::pair<Oid, Oid>> rows) {
+  OidOidBat out;
+  for (const auto& [h, t] : rows) out.Append(h, t);
+  return out;
+}
+
+// ---- Bat basics -----------------------------------------------------
+
+TEST(Bat, AppendAndAccess) {
+  OidStrBat table;
+  table.Append(1, "one");
+  table.Append(2, "two");
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.head(0), 1u);
+  EXPECT_EQ(table.tail(1), "two");
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(Bat, ReverseSwapsColumns) {
+  OidOidBat table = MakeBat({{1, 10}, {2, 20}});
+  OidOidBat reversed = table.Reversed();
+  EXPECT_EQ(reversed.head(0), 10u);
+  EXPECT_EQ(reversed.tail(0), 1u);
+  // Move-reverse too.
+  OidOidBat moved = std::move(table).Reverse();
+  EXPECT_EQ(moved, reversed);
+}
+
+TEST(Bat, SortOrdersByHeadThenTail) {
+  OidOidBat table = MakeBat({{2, 1}, {1, 9}, {2, 0}, {1, 3}});
+  table.Sort();
+  EXPECT_EQ(table.heads(), (std::vector<Oid>{1, 1, 2, 2}));
+  EXPECT_EQ(table.tails(), (std::vector<Oid>{3, 9, 0, 1}));
+}
+
+TEST(Bat, SortUniqueRemovesDuplicates) {
+  OidOidBat table = MakeBat({{1, 2}, {1, 2}, {3, 4}, {1, 2}});
+  table.SortUnique();
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.head(0), 1u);
+  EXPECT_EQ(table.head(1), 3u);
+}
+
+TEST(Bat, EqualityComparesRows) {
+  EXPECT_EQ(MakeBat({{1, 2}}), MakeBat({{1, 2}}));
+  EXPECT_FALSE(MakeBat({{1, 2}}) == MakeBat({{2, 1}}));
+}
+
+// ---- HeadIndex --------------------------------------------------------
+
+TEST(HeadIndex, FindsAllRows) {
+  OidOidBat table = MakeBat({{1, 10}, {2, 20}, {1, 11}});
+  HeadIndex<Oid, Oid> index(table);
+  EXPECT_EQ(index.Lookup(1).size(), 2u);
+  EXPECT_EQ(index.Lookup(2).size(), 1u);
+  EXPECT_TRUE(index.Lookup(99).empty());
+  EXPECT_TRUE(index.Contains(2));
+  EXPECT_FALSE(index.Contains(3));
+}
+
+// ---- Join -------------------------------------------------------------
+
+TEST(Ops, JoinComposesAssociations) {
+  // (o1,o2) join (o2,o3) = (o1,o3) — the paper's parent() shortcut.
+  OidOidBat left = MakeBat({{1, 10}, {2, 20}, {3, 10}});
+  OidOidBat right = MakeBat({{10, 100}, {20, 200}});
+  OidOidBat joined = Join(left, right);
+  joined.Sort();
+  EXPECT_EQ(joined, MakeBat({{1, 100}, {2, 200}, {3, 100}}));
+}
+
+TEST(Ops, JoinProducesAllMatchCombinations) {
+  OidOidBat left = MakeBat({{1, 10}});
+  OidOidBat right = MakeBat({{10, 100}, {10, 101}});
+  OidOidBat joined = Join(left, right);
+  EXPECT_EQ(joined.size(), 2u);
+}
+
+TEST(Ops, JoinWithEmptyIsEmpty) {
+  OidOidBat left = MakeBat({{1, 10}});
+  OidOidBat empty;
+  EXPECT_TRUE(Join(left, empty).empty());
+  EXPECT_TRUE(Join(empty, left).empty());
+}
+
+TEST(Ops, JoinIndexedMatchesJoin) {
+  OidOidBat left = MakeBat({{1, 10}, {2, 20}});
+  OidOidBat right = MakeBat({{10, 100}, {20, 200}, {30, 300}});
+  HeadIndex<Oid, Oid> index(right);
+  EXPECT_EQ(JoinIndexed(left, right, index), Join(left, right));
+}
+
+// ---- Semijoins ---------------------------------------------------------
+
+TEST(Ops, SemijoinKeepsMatchingHeads) {
+  OidOidBat left = MakeBat({{1, 10}, {2, 20}, {3, 30}});
+  OidOidBat right = MakeBat({{1, 0}, {3, 0}});
+  OidOidBat out = Semijoin(left, right);
+  EXPECT_EQ(out, MakeBat({{1, 10}, {3, 30}}));
+}
+
+TEST(Ops, SemijoinKeysAndAntijoinKeysPartition) {
+  OidOidBat table = MakeBat({{1, 10}, {2, 20}, {3, 30}});
+  std::unordered_set<Oid> keys = {2};
+  OidOidBat in = SemijoinKeys(table, keys);
+  OidOidBat out = AntijoinKeys(table, keys);
+  EXPECT_EQ(in.size() + out.size(), table.size());
+  EXPECT_EQ(in, MakeBat({{2, 20}}));
+  EXPECT_EQ(out, MakeBat({{1, 10}, {3, 30}}));
+}
+
+// ---- Union / intersect ---------------------------------------------------
+
+TEST(Ops, UnionConcatenates) {
+  OidOidBat a = MakeBat({{1, 10}});
+  OidOidBat b = MakeBat({{2, 20}});
+  EXPECT_EQ(Union(a, b), MakeBat({{1, 10}, {2, 20}}));
+}
+
+TEST(Ops, IntersectHeads) {
+  OidOidBat a = MakeBat({{1, 0}, {2, 0}, {3, 0}});
+  OidOidBat b = MakeBat({{2, 9}, {4, 9}, {3, 9}});
+  auto common = IntersectHeads(a, b);
+  EXPECT_EQ(common, (std::unordered_set<Oid>{2, 3}));
+}
+
+TEST(Ops, IntersectHeadsDisjoint) {
+  OidOidBat a = MakeBat({{1, 0}});
+  OidOidBat b = MakeBat({{2, 0}});
+  EXPECT_TRUE(IntersectHeads(a, b).empty());
+}
+
+// ---- Select / mirror -------------------------------------------------------
+
+TEST(Ops, SelectTailFiltersStrings) {
+  OidStrBat table;
+  table.Append(1, "Ben Bit");
+  table.Append(2, "Bob Byte");
+  table.Append(3, "1999");
+  auto hits = SelectTail<Oid>(table, [](std::string_view s) {
+    return s.find("B") != std::string_view::npos;
+  });
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(Ops, MirrorPairsHeadsWithThemselves) {
+  OidOidBat table = MakeBat({{5, 50}, {6, 60}});
+  OidOidBat mirrored = Mirror(table);
+  EXPECT_EQ(mirrored, MakeBat({{5, 5}, {6, 6}}));
+}
+
+TEST(Ops, MirrorValues) {
+  OidOidBat mirrored = MirrorValues<Oid>({7, 8});
+  EXPECT_EQ(mirrored, MakeBat({{7, 7}, {8, 8}}));
+}
+
+// ---- Property: join associativity over random chains ----------------------
+
+class JoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinProperty, JoinIsAssociativeOnChains) {
+  util::Rng rng(GetParam());
+  auto random_bat = [&](Oid head_bound, Oid tail_bound, size_t rows) {
+    OidOidBat out;
+    for (size_t i = 0; i < rows; ++i) {
+      out.Append(static_cast<Oid>(rng.NextBelow(head_bound)),
+                 static_cast<Oid>(rng.NextBelow(tail_bound)));
+    }
+    return out;
+  };
+  OidOidBat a = random_bat(20, 15, 40);
+  OidOidBat b = random_bat(15, 10, 40);
+  OidOidBat c = random_bat(10, 25, 40);
+
+  OidOidBat left_first = Join(Join(a, b), c);
+  OidOidBat right_first = Join(a, Join(b, c));
+  left_first.SortUnique();
+  right_first.SortUnique();
+  EXPECT_EQ(left_first, right_first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinProperty,
+                         ::testing::Values(1, 7, 19, 55, 131));
+
+}  // namespace
+}  // namespace bat
+}  // namespace meetxml

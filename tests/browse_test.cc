@@ -1,0 +1,103 @@
+// Tests for the answer-browsing helpers (paper §4's displaying and
+// browsing starting points).
+
+#include <gtest/gtest.h>
+
+#include "core/browse.h"
+#include "core/meet_general.h"
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "text/search.h"
+
+namespace meetxml {
+namespace core {
+namespace {
+
+using meetxml::testing::FindCdataNode;
+using meetxml::testing::FindElement;
+using meetxml::testing::MustShred;
+
+std::vector<GeneralMeet> MeetsFor(const model::StoredDocument& doc,
+                                  const std::vector<std::string>& terms) {
+  auto search = text::FullTextSearch::Build(doc);
+  EXPECT_TRUE(search.ok());
+  auto matches = search->SearchAll(terms, text::MatchMode::kContains);
+  EXPECT_TRUE(matches.ok());
+  auto meets =
+      MeetGeneral(doc, text::FullTextSearch::ToMeetInput(*matches));
+  EXPECT_TRUE(meets.ok());
+  return std::move(*meets);
+}
+
+TEST(Browse, BuildsContextAndSnippet) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto meets = MeetsFor(doc, {"Ben", "Bit"});
+  ASSERT_EQ(meets.size(), 1u);
+  auto answers = BuildAnswers(doc, meets);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  const Answer& answer = (*answers)[0];
+  EXPECT_EQ(answer.context,
+            (std::vector<std::string>{"bibliography", "institute",
+                                      "article", "author"}));
+  EXPECT_NE(answer.snippet.find("<firstname>Ben</firstname>"),
+            std::string::npos);
+  EXPECT_FALSE(answer.snippet_truncated);
+  EXPECT_EQ(answer.witness_count, 2u);
+}
+
+TEST(Browse, TruncatesLongSnippets) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto meets = MeetsFor(doc, {"Bit", "1999"});
+  ASSERT_FALSE(meets.empty());
+  BrowseOptions options;
+  options.max_snippet_bytes = 20;
+  auto answers = BuildAnswers(doc, meets, options);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE((*answers)[0].snippet_truncated);
+  EXPECT_LE((*answers)[0].snippet.size(), 23u);  // 20 + "..."
+}
+
+TEST(Browse, MaxAnswersLimits) {
+  auto doc = MustShred(
+      "<r><a><x>k1</x><y>k2</y></a><b><x>k1</x><y>k2</y></b></r>");
+  auto meets = MeetsFor(doc, {"k1", "k2"});
+  ASSERT_EQ(meets.size(), 2u);
+  BrowseOptions options;
+  options.max_answers = 1;
+  auto answers = BuildAnswers(doc, meets, options);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST(Browse, EnclosingConceptClimbsToDomainTag) {
+  auto doc = MustShred(data::PaperExampleXml());
+  bat::Oid bit = FindCdataNode(doc, "Bit");
+  bat::Oid article = FindElement(doc, "article");
+  EXPECT_EQ(EnclosingConcept(doc, bit, {"article"}), article);
+  EXPECT_EQ(EnclosingConcept(doc, article, {"article"}), article);
+  // No matching tag: falls back to the root.
+  EXPECT_EQ(EnclosingConcept(doc, bit, {"nosuchtag"}), doc.root());
+}
+
+TEST(Browse, RenderAnswerFormats) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto answers = BuildAnswers(doc, MeetsFor(doc, {"Ben", "Bit"}));
+  ASSERT_TRUE(answers.ok());
+  std::string text = RenderAnswer((*answers)[0]);
+  EXPECT_NE(text.find("bibliography > institute > article > author"),
+            std::string::npos);
+  EXPECT_NE(text.find("distance 4"), std::string::npos);
+}
+
+TEST(Browse, EmptyMeetsEmptyAnswers) {
+  auto doc = MustShred("<a/>");
+  auto answers = BuildAnswers(doc, {});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace meetxml

@@ -1,0 +1,127 @@
+// Tests for cross-document concept lookup (paper §4: "whether a
+// certain bibliographical item ... also lives in another bibliography").
+
+#include <gtest/gtest.h>
+
+#include "text/cross_document.h"
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+
+namespace meetxml {
+namespace text {
+namespace {
+
+using meetxml::testing::FindElement;
+using meetxml::testing::MustShred;
+
+// The same two publications as Figure 1, but marked up completely
+// differently: flat <entry> records with attributes and different tag
+// names.
+constexpr const char* kOtherBibliographyXml = R"(
+<records>
+  <entry kind="article" when="1999">
+    <heading>How to Hack</heading>
+    <people><person>Ben Bit</person></people>
+  </entry>
+  <entry kind="article" when="1999">
+    <heading>Hacking and RSI</heading>
+    <people><person>Bob Byte</person></people>
+  </entry>
+  <entry kind="book" when="1998">
+    <heading>Unrelated Volume</heading>
+    <people><person>Carol Coder</person></people>
+  </entry>
+</records>)";
+
+class CrossDocumentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = MustShred(data::PaperExampleXml());
+    target_ = MustShred(kOtherBibliographyXml);
+    auto search = FullTextSearch::Build(target_);
+    ASSERT_TRUE(search.ok());
+    search_ = std::make_unique<FullTextSearch>(std::move(*search));
+  }
+
+  model::StoredDocument source_;
+  model::StoredDocument target_;
+  std::unique_ptr<FullTextSearch> search_;
+};
+
+TEST_F(CrossDocumentTest, ExtractsLongestStringsAsProbes) {
+  bat::Oid article = FindElement(source_, "article");  // Ben Bit's
+  auto probes = ExtractProbeStrings(source_, article);
+  ASSERT_FALSE(probes.empty());
+  // "How to Hack" is the longest string in that subtree.
+  EXPECT_EQ(probes[0], "How to Hack");
+  // Short strings ("Ben", "Bit", "1999") are filtered by default.
+  for (const std::string& probe : probes) {
+    EXPECT_GE(probe.size(), 4u);
+  }
+}
+
+TEST_F(CrossDocumentTest, FindsTheItemUnderDifferentMarkup) {
+  bat::Oid article = FindElement(source_, "article");  // How to Hack
+  CrossFindOptions options;
+  options.min_probes_covered = 1;
+  auto found = FindInOtherDocument(source_, article, target_, *search_,
+                                   options);
+  ASSERT_TRUE(found.ok()) << found.status();
+  ASSERT_FALSE(found->empty());
+  // The best hit sits inside the first <entry> (title + nothing else
+  // matches the unrelated records).
+  bat::Oid top = (*found)[0].meet;
+  bat::Oid cur = top;
+  while (cur != target_.root() && target_.tag(cur) != "entry") {
+    cur = target_.parent(cur);
+  }
+  ASSERT_EQ(target_.tag(cur), "entry");
+  bat::Oid first_entry = FindElement(target_, "entry", 0);
+  EXPECT_EQ(cur, first_entry);
+}
+
+TEST_F(CrossDocumentTest, CoverageRequirementFiltersWeakEvidence) {
+  bat::Oid article = FindElement(source_, "article");
+  CrossFindOptions strict;
+  strict.min_probes_covered = 3;  // more probes than can co-occur
+  auto found =
+      FindInOtherDocument(source_, article, target_, *search_, strict);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+}
+
+TEST_F(CrossDocumentTest, RejectsBadSubtree) {
+  EXPECT_FALSE(
+      FindInOtherDocument(source_, 9999, target_, *search_).ok());
+}
+
+TEST_F(CrossDocumentTest, RejectsProbelessSubtree) {
+  // A subtree whose strings are all too short.
+  auto source = MustShred("<a><b>xy</b></a>");
+  auto found = FindInOtherDocument(
+      source, meetxml::testing::FindElement(source, "b"), target_,
+      *search_);
+  EXPECT_FALSE(found.ok());
+  EXPECT_TRUE(found.status().IsInvalidArgument());
+}
+
+TEST_F(CrossDocumentTest, SelfLookupFindsTheOriginal) {
+  // Probing the source document with its own item: the meet lands on
+  // (or inside) the original article.
+  auto search = FullTextSearch::Build(source_);
+  ASSERT_TRUE(search.ok());
+  bat::Oid article = FindElement(source_, "article");
+  CrossFindOptions options;
+  options.min_probes_covered = 1;
+  auto found =
+      FindInOtherDocument(source_, article, source_, *search, options);
+  ASSERT_TRUE(found.ok()) << found.status();
+  ASSERT_FALSE(found->empty());
+  EXPECT_TRUE(source_.IsAncestorOrSelf(article, (*found)[0].meet) ||
+              source_.IsAncestorOrSelf((*found)[0].meet, article));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace meetxml

@@ -1,0 +1,197 @@
+// Tests for the ID/IDREF overlay graph and the proximity meet (the
+// paper's §7 future-work generalization to graphs).
+
+#include <gtest/gtest.h>
+
+#include "core/idref.h"
+#include "core/meet_pair.h"
+#include "data/random_tree.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace meetxml {
+namespace core {
+namespace {
+
+using meetxml::testing::FindCdataNode;
+using meetxml::testing::FindElement;
+using meetxml::testing::MustShred;
+
+// A bibliography where a citation references another publication by id:
+//   pub A (id=a) cites pub B (id=b). In the tree, A's cite and B are far
+//   apart; through the reference they are adjacent.
+constexpr const char* kCitingXml = R"(
+<bib>
+  <pub id="a">
+    <title>alpha</title>
+    <cite ref="b"/>
+  </pub>
+  <pub id="b">
+    <title>beta</title>
+  </pub>
+</bib>)";
+
+TEST(IdrefGraph, BuildsEdges) {
+  auto doc = MustShred(kCitingXml);
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->edge_count(), 1u);
+  EXPECT_EQ(graph->id_count(), 2u);
+  EXPECT_EQ(graph->dangling_count(), 0u);
+
+  Oid pub_a = graph->Resolve("a");
+  Oid pub_b = graph->Resolve("b");
+  ASSERT_NE(pub_a, bat::kInvalidOid);
+  ASSERT_NE(pub_b, bat::kInvalidOid);
+  EXPECT_EQ(doc.tag(pub_a), "pub");
+
+  Oid cite = FindElement(doc, "cite");
+  EXPECT_EQ(graph->OutRefs(cite), (std::vector<Oid>{pub_b}));
+  EXPECT_EQ(graph->InRefs(pub_b), (std::vector<Oid>{cite}));
+}
+
+TEST(IdrefGraph, CountsDanglingReferences) {
+  auto doc = MustShred(R"(<a><b ref="nowhere"/></a>)");
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 0u);
+  EXPECT_EQ(graph->dangling_count(), 1u);
+}
+
+TEST(IdrefGraph, SplitsIdrefsLists) {
+  auto doc = MustShred(
+      R"(<a><x id="p"/><x id="q"/><y idref="p  q"/></a>)");
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 2u);
+}
+
+TEST(IdrefGraph, CustomAttributeNames) {
+  auto doc = MustShred(
+      R"(<a><x key="p"/><y target="p"/></a>)");
+  IdrefOptions options;
+  options.id_attributes = {"key"};
+  options.idref_attributes = {"target"};
+  auto graph = IdrefGraph::Build(doc, options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 1u);
+}
+
+TEST(IdrefGraph, UnknownIdResolvesToInvalid) {
+  auto doc = MustShred("<a/>");
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->Resolve("zz"), bat::kInvalidOid);
+}
+
+// ---- GraphMeet -------------------------------------------------------------
+
+TEST(GraphMeet, ReferencesShortcutTheTree) {
+  auto doc = MustShred(kCitingXml);
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+
+  Oid alpha = FindCdataNode(doc, "alpha");
+  Oid beta = FindCdataNode(doc, "beta");
+
+  // Tree distance: alpha(cdata->title->pubA) .. beta = 3 + 3 = 6? The
+  // tree route is cdata-title-pubA-bib-pubB-title-cdata = 6 edges. Via
+  // the reference: cdata-title-pubA-cite-pubB-title-cdata = 6 as well;
+  // check against the pure tree distance first.
+  int tree_distance = Distance(doc, alpha, beta).ValueOrDie();
+
+  auto meet = GraphMeet(doc, *graph, alpha, beta);
+  ASSERT_TRUE(meet.ok()) << meet.status();
+  EXPECT_LE(meet->distance_a + meet->distance_b, tree_distance);
+}
+
+TEST(GraphMeet, EqualsLcaOnReferenceFreeTrees) {
+  data::RandomTreeOptions options;
+  options.seed = 9090;
+  options.target_elements = 150;
+  options.attribute_prob = 0.0;  // no attributes -> no references
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 0u);
+
+  util::Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    Oid a = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    Oid b = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    auto proximity = GraphMeet(doc, *graph, a, b);
+    auto tree = MeetPair(doc, a, b);
+    ASSERT_TRUE(proximity.ok() && tree.ok());
+    EXPECT_EQ(proximity->meet, tree->meet)
+        << "pair (" << a << ", " << b << ")";
+    EXPECT_EQ(proximity->distance_a + proximity->distance_b,
+              tree->joins);
+  }
+}
+
+TEST(GraphMeet, RespectsDistanceCap) {
+  auto doc = MustShred(kCitingXml);
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  Oid alpha = FindCdataNode(doc, "alpha");
+  Oid beta = FindCdataNode(doc, "beta");
+  auto blocked = GraphMeet(doc, *graph, alpha, beta, /*max_distance=*/2);
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsNotFound());
+}
+
+TEST(GraphMeet, HandlesReferenceCycles) {
+  // a references b, b references a: the BFS must terminate.
+  auto doc = MustShred(
+      R"(<g><n id="a" ref="b"><t>one</t></n>
+           <n id="b" ref="a"><t>two</t></n></g>)");
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 2u);
+  Oid one = FindCdataNode(doc, "one");
+  Oid two = FindCdataNode(doc, "two");
+  auto meet = GraphMeet(doc, *graph, one, two);
+  ASSERT_TRUE(meet.ok());
+  // Route via the reference: cdata-t-nA -ref- nB-t-cdata = 5 edges;
+  // via the tree root it is 6.
+  EXPECT_EQ(meet->distance_a + meet->distance_b, 5);
+}
+
+TEST(GraphMeet, SelfMeetIsZero) {
+  auto doc = MustShred("<a><b>x</b></a>");
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  auto meet = GraphMeet(doc, *graph, 1, 1);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet->meet, 1u);
+  EXPECT_EQ(meet->distance_a + meet->distance_b, 0);
+}
+
+TEST(GraphDistance, MatchesMeetSum) {
+  auto doc = MustShred(kCitingXml);
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  Oid alpha = FindCdataNode(doc, "alpha");
+  Oid beta = FindCdataNode(doc, "beta");
+  auto distance = GraphDistance(doc, *graph, alpha, beta);
+  auto meet = GraphMeet(doc, *graph, alpha, beta);
+  ASSERT_TRUE(distance.ok() && meet.ok());
+  EXPECT_EQ(*distance, meet->distance_a + meet->distance_b);
+}
+
+TEST(GraphMeet, RejectsBadInput) {
+  auto doc = MustShred("<a/>");
+  auto graph = IdrefGraph::Build(doc);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(GraphMeet(doc, *graph, 5, 0).ok());
+  EXPECT_FALSE(GraphMeet(doc, *graph, 0, 0, -1).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace meetxml

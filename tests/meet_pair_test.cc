@@ -1,0 +1,277 @@
+// Unit + property tests for the pairwise meet (paper Fig. 3), distance,
+// d-meet, and the LCA baselines.
+
+#include <gtest/gtest.h>
+
+#include "core/lca_baselines.h"
+#include "core/meet_pair.h"
+#include "data/paper_example.h"
+#include "data/random_tree.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace meetxml {
+namespace core {
+namespace {
+
+using meetxml::testing::FindCdataNode;
+using meetxml::testing::FindElement;
+using meetxml::testing::MustShred;
+using meetxml::testing::ReferenceDistance;
+using meetxml::testing::ReferenceLca;
+
+// ---- Paper §3.1 worked examples --------------------------------------
+
+TEST(MeetPair, BenAndBitMeetAtAuthor) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto meet = MeetPair(doc, ben, bit);
+  ASSERT_TRUE(meet.ok()) << meet.status();
+  EXPECT_EQ(doc.tag(meet->meet), "author");
+  // cdata -> firstname -> author (2 up) and cdata -> lastname -> author.
+  EXPECT_EQ(meet->joins, 4);
+}
+
+TEST(MeetPair, SameNodeMeetsAtItself) {
+  // "Bob" and "Byte" both match the same cdata association; the meet is
+  // the cdata node itself.
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid bob_byte = FindCdataNode(doc, "Bob Byte");
+  auto meet = MeetPair(doc, bob_byte, bob_byte);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet->meet, bob_byte);
+  EXPECT_EQ(meet->joins, 0);
+}
+
+TEST(MeetPair, BitAnd1999MeetAtArticle) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid bit = FindCdataNode(doc, "Bit");
+  // The first article's year cdata (Ben Bit's article is first).
+  Oid article = FindElement(doc, "article", 0);
+  Oid year_cdata = bat::kInvalidOid;
+  for (Oid kid : doc.children(article)) {
+    if (doc.tag(kid) == "year") {
+      year_cdata = doc.children(kid).front();
+    }
+  }
+  ASSERT_NE(year_cdata, bat::kInvalidOid);
+
+  auto meet = MeetPair(doc, bit, year_cdata);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet->meet, article);
+  EXPECT_EQ(doc.tag(meet->meet), "article");
+}
+
+TEST(MeetPair, RootIsMeetOfNodesFromDifferentArticles) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid bit = FindCdataNode(doc, "Bit");
+  Oid bob = FindCdataNode(doc, "Bob Byte");
+  auto meet = MeetPair(doc, bit, bob);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(doc.tag(meet->meet), "institute");
+}
+
+TEST(MeetPair, AncestorDescendantMeetsAtAncestor) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid article = FindElement(doc, "article");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto meet = MeetPair(doc, article, bit);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet->meet, article);
+  EXPECT_EQ(meet->joins, 3);  // cdata -> lastname -> author -> article
+}
+
+TEST(MeetPair, IsCommutative) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto ab = MeetPair(doc, ben, bit);
+  auto ba = MeetPair(doc, bit, ben);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_EQ(ab->meet, ba->meet);
+  EXPECT_EQ(ab->joins, ba->joins);
+}
+
+// ---- Attribute associations ------------------------------------------
+
+TEST(MeetPair, AttributeAssociationMeetsOwner) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid article = FindElement(doc, "article");
+  PathId key_path = doc.paths().Find(
+      doc.path(article), model::StepKind::kAttribute, "key");
+  ASSERT_NE(key_path, bat::kInvalidPathId);
+
+  Assoc key_assoc{key_path, article};
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto meet = MeetPair(doc, key_assoc, AssocForNode(doc, bit));
+  ASSERT_TRUE(meet.ok()) << meet.status();
+  EXPECT_EQ(meet->meet, article);
+  // @key arc (1) + cdata->lastname->author->article (3).
+  EXPECT_EQ(meet->joins, 4);
+}
+
+TEST(MeetPair, TwoAttributesOfOneElementMeetAtElement) {
+  auto doc = MustShred("<a x=\"1\" y=\"2\"/>");
+  PathId x = doc.paths().Find(doc.path(0), model::StepKind::kAttribute,
+                              "x");
+  PathId y = doc.paths().Find(doc.path(0), model::StepKind::kAttribute,
+                              "y");
+  auto meet = MeetPair(doc, Assoc{x, 0}, Assoc{y, 0});
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet->meet, 0u);
+  EXPECT_EQ(meet->joins, 2);
+}
+
+// ---- Validation -------------------------------------------------------
+
+TEST(MeetPair, RejectsUnknownOid) {
+  auto doc = MustShred("<a/>");
+  EXPECT_FALSE(MeetPair(doc, Oid{5}, Oid{0}).ok());
+}
+
+TEST(MeetPair, RejectsMismatchedAssocPath) {
+  auto doc = MustShred("<a><b/></a>");
+  Assoc wrong{doc.path(0), 1};  // node 1 does not have root's path
+  auto result = MeetPair(doc, wrong, AssocForNode(doc, 0));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+// ---- Distance and d-meet ----------------------------------------------
+
+TEST(Distance, MatchesJoinsAndEdges) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto dist = Distance(doc, ben, bit);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, 4);
+  EXPECT_EQ(*dist, ReferenceDistance(doc, ben, bit));
+}
+
+TEST(DMeet, BlocksFarPairsAndPassesNearOnes) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto blocked = MeetPairWithin(doc, AssocForNode(doc, ben),
+                                AssocForNode(doc, bit), 3);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_FALSE(blocked->has_value());
+
+  auto passed = MeetPairWithin(doc, AssocForNode(doc, ben),
+                               AssocForNode(doc, bit), 4);
+  ASSERT_TRUE(passed.ok());
+  ASSERT_TRUE(passed->has_value());
+  EXPECT_EQ(doc.tag((*passed)->meet), "author");
+}
+
+TEST(DMeet, RejectsNegativeDistance) {
+  auto doc = MustShred("<a><b/></a>");
+  auto result = MeetPairWithin(doc, AssocForNode(doc, 0),
+                               AssocForNode(doc, 1), -1);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---- Baselines ---------------------------------------------------------
+
+TEST(NaiveLca, AgreesWithMeetOnExample) {
+  auto doc = MustShred(data::PaperExampleXml());
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto naive = NaiveLca(doc, ben, bit);
+  auto meet = MeetPair(doc, ben, bit);
+  ASSERT_TRUE(naive.ok() && meet.ok());
+  EXPECT_EQ(*naive, meet->meet);
+}
+
+TEST(EulerRmqLca, AgreesWithMeetOnExample) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto lca = EulerRmqLca::Build(doc);
+  ASSERT_TRUE(lca.ok()) << lca.status();
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto fast = lca->Query(ben, bit);
+  auto meet = MeetPair(doc, ben, bit);
+  ASSERT_TRUE(fast.ok() && meet.ok());
+  EXPECT_EQ(*fast, meet->meet);
+  EXPECT_GT(lca->MemoryBytes(), 0u);
+}
+
+// ---- Property: all four strategies agree on random trees --------------
+
+class LcaAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LcaAgreement, AllStrategiesAgreeOnRandomPairs) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.target_elements = 300;
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+
+  auto rmq = EulerRmqLca::Build(doc);
+  ASSERT_TRUE(rmq.ok());
+
+  util::Rng rng(GetParam() * 977 + 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    Oid a = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    Oid b = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    Oid expected = ReferenceLca(doc, a, b);
+
+    auto meet = MeetPair(doc, a, b);
+    ASSERT_TRUE(meet.ok());
+    EXPECT_EQ(meet->meet, expected) << "pair (" << a << ", " << b << ")";
+    EXPECT_EQ(meet->joins, ReferenceDistance(doc, a, b));
+
+    auto naive = NaiveLca(doc, a, b);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(*naive, expected);
+
+    auto fast = rmq->Query(a, b);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaAgreement,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---- Property: metric axioms of the distance --------------------------
+
+class DistanceMetric : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistanceMetric, TriangleInequalityAndSymmetry) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam() + 1000;
+  options.target_elements = 120;
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    Oid a = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    Oid b = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    Oid c = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    int ab = Distance(doc, a, b).ValueOrDie();
+    int ba = Distance(doc, b, a).ValueOrDie();
+    int bc = Distance(doc, b, c).ValueOrDie();
+    int ac = Distance(doc, a, c).ValueOrDie();
+    EXPECT_EQ(ab, ba);
+    EXPECT_LE(ac, ab + bc);
+    EXPECT_EQ(Distance(doc, a, a).ValueOrDie(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceMetric,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace core
+}  // namespace meetxml

@@ -1,0 +1,154 @@
+// Cross-validation of the two general-meet execution strategies: the
+// dense-array roll-up (MeetGeneral) and the BAT-join relational
+// execution (MeetGeneralRelational) must produce identical results on
+// every input.
+
+#include <gtest/gtest.h>
+
+#include "core/meet_general.h"
+#include "core/meet_general_relational.h"
+#include "core/restrictions.h"
+#include "data/dblp_gen.h"
+#include "data/paper_example.h"
+#include "data/random_tree.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "text/search.h"
+#include "util/rng.h"
+
+namespace meetxml {
+namespace core {
+namespace {
+
+using meetxml::testing::MustShred;
+
+void ExpectIdentical(const std::vector<GeneralMeet>& a,
+                     const std::vector<GeneralMeet>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].meet, b[i].meet) << "result " << i;
+    EXPECT_EQ(a[i].meet_path, b[i].meet_path);
+    EXPECT_EQ(a[i].witness_distance, b[i].witness_distance);
+    ASSERT_EQ(a[i].witnesses.size(), b[i].witnesses.size());
+    for (size_t w = 0; w < a[i].witnesses.size(); ++w) {
+      EXPECT_EQ(a[i].witnesses[w].assoc, b[i].witnesses[w].assoc);
+      EXPECT_EQ(a[i].witnesses[w].distance, b[i].witnesses[w].distance);
+    }
+  }
+}
+
+TEST(MeetRelational, AgreesOnPaperExample) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = text::FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  for (auto terms : {std::vector<std::string>{"Bit", "1999"},
+                     std::vector<std::string>{"Ben", "Bit"},
+                     std::vector<std::string>{"Bob", "Byte"},
+                     std::vector<std::string>{"1999"}}) {
+    auto matches = search->SearchAll(terms, text::MatchMode::kContains);
+    ASSERT_TRUE(matches.ok());
+    auto inputs = text::FullTextSearch::ToMeetInput(*matches);
+    auto array_result = MeetGeneral(doc, inputs);
+    auto relational_result = MeetGeneralRelational(doc, inputs);
+    ASSERT_TRUE(array_result.ok() && relational_result.ok());
+    ExpectIdentical(*array_result, *relational_result);
+  }
+}
+
+TEST(MeetRelational, AgreesWithOptions) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = text::FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches =
+      search->SearchAll({"Bit", "Bob", "1999"}, text::MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  auto inputs = text::FullTextSearch::ToMeetInput(*matches);
+
+  MeetOptions options = ExcludeRootOptions(doc);
+  options.max_distance = 6;
+  auto array_result = MeetGeneral(doc, inputs, options);
+  auto relational_result = MeetGeneralRelational(doc, inputs, options);
+  ASSERT_TRUE(array_result.ok() && relational_result.ok());
+  ExpectIdentical(*array_result, *relational_result);
+}
+
+TEST(MeetRelational, ReportsJoinStats) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = text::FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches =
+      search->SearchAll({"Ben", "Bit"}, text::MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  RelationalMeetStats stats;
+  auto result = MeetGeneralRelational(
+      doc, text::FullTextSearch::ToMeetInput(*matches), {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.joins, 0u);
+  EXPECT_GT(stats.paths_touched, 0u);
+}
+
+class MeetRelationalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MeetRelationalProperty, AgreesOnRandomTreesAndSamples) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.target_elements = 250;
+  options.tag_vocabulary = 4;
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+
+  util::Rng rng(GetParam() * 31 + 17);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random sample grouped into uniformly-typed sets.
+    std::map<PathId, AssocSet> grouped;
+    int n = 5 + static_cast<int>(rng.NextBelow(60));
+    for (int i = 0; i < n; ++i) {
+      Oid node = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+      auto& set = grouped[doc.path(node)];
+      set.path = doc.path(node);
+      set.nodes.push_back(node);
+    }
+    std::vector<AssocSet> inputs;
+    for (auto& [path, set] : grouped) inputs.push_back(std::move(set));
+
+    auto array_result = MeetGeneral(doc, inputs);
+    auto relational_result = MeetGeneralRelational(doc, inputs);
+    ASSERT_TRUE(array_result.ok() && relational_result.ok());
+    ExpectIdentical(*array_result, *relational_result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeetRelationalProperty,
+                         ::testing::Values(7, 77, 777, 7777));
+
+TEST(MeetRelational, AgreesOnDblpCaseStudy) {
+  data::DblpOptions options;
+  options.end_year = 1990;
+  options.icde_papers_per_year = 12;
+  options.other_papers_per_year = 30;
+  options.journal_articles_per_year = 10;
+  auto generated = data::GenerateDblp(options);
+  ASSERT_TRUE(generated.ok());
+  auto doc = model::Shred(*generated);
+  ASSERT_TRUE(doc.ok());
+  auto search = text::FullTextSearch::Build(*doc);
+  ASSERT_TRUE(search.ok());
+  auto matches =
+      search->SearchAll({"ICDE", "1989"}, text::MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  auto inputs = text::FullTextSearch::ToMeetInput(*matches);
+  auto array_result =
+      MeetGeneral(*doc, inputs, ExcludeRootOptions(*doc));
+  auto relational_result =
+      MeetGeneralRelational(*doc, inputs, ExcludeRootOptions(*doc));
+  ASSERT_TRUE(array_result.ok() && relational_result.ok());
+  ExpectIdentical(*array_result, *relational_result);
+  EXPECT_GT(array_result->size(), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace meetxml

@@ -1,0 +1,378 @@
+// Tests for the set-at-a-time meet (paper Fig. 4): minimality,
+// order-invariance, witness bookkeeping, restrictions.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/meet_pair.h"
+#include "core/meet_set.h"
+#include "data/paper_example.h"
+#include "data/random_tree.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace meetxml {
+namespace core {
+namespace {
+
+using meetxml::testing::FindCdataNode;
+using meetxml::testing::FindElement;
+using meetxml::testing::MustShred;
+using meetxml::testing::ReferenceLca;
+
+// Builds a uniformly-typed association set from cdata texts.
+AssocSet CdataSet(const model::StoredDocument& doc,
+                  const std::vector<std::string>& texts) {
+  AssocSet set;
+  set.path = bat::kInvalidPathId;
+  for (const std::string& text : texts) {
+    Oid node = FindCdataNode(doc, text);
+    PathId path = doc.path(node);
+    if (set.path == bat::kInvalidPathId) set.path = path;
+    EXPECT_EQ(path, set.path) << "set must be uniformly typed";
+    set.nodes.push_back(node);
+  }
+  return set;
+}
+
+// ---- Paper worked example: {Bit} x {1999, 1999} -----------------------
+
+TEST(MeetSet, BitAnd1999FindsOnlyTheArticle) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+
+  // Both year cdata nodes ("1999" twice) share one path.
+  AssocSet years;
+  PathId year_path = bat::kInvalidPathId;
+  for (PathId path : doc.string_paths()) {
+    if (doc.paths().ToString(path) ==
+        "bibliography/institute/article/year/cdata") {
+      year_path = path;
+    }
+  }
+  ASSERT_NE(year_path, bat::kInvalidPathId);
+  years.path = year_path;
+  const auto& table = doc.StringsAt(year_path);
+  for (size_t row = 0; row < table.size(); ++row) {
+    years.nodes.push_back(table.head(row));
+  }
+  ASSERT_EQ(years.nodes.size(), 2u);
+
+  auto results = MeetSet(doc, bit, years);
+  ASSERT_TRUE(results.ok()) << results.status();
+  // Minimality: only Ben Bit's article — the second "1999" is consumed
+  // by nothing and never creates the bibliography-level meet the naive
+  // cross product would report.
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ(doc.tag((*results)[0].meet), "article");
+  EXPECT_EQ((*results)[0].left_witnesses.size(), 1u);
+  EXPECT_EQ((*results)[0].right_witnesses.size(), 1u);
+}
+
+TEST(MeetSet, IsOrderInvariant) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet ben = CdataSet(doc, {"Ben"});
+  auto lr = MeetSet(doc, bit, ben);
+  auto rl = MeetSet(doc, ben, bit);
+  ASSERT_TRUE(lr.ok() && rl.ok());
+  ASSERT_EQ(lr->size(), rl->size());
+  ASSERT_EQ(lr->size(), 1u);
+  EXPECT_EQ((*lr)[0].meet, (*rl)[0].meet);
+  EXPECT_EQ((*lr)[0].left_witnesses, (*rl)[0].right_witnesses);
+}
+
+TEST(MeetSet, SharedNodeMeetsAtItself) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet set = CdataSet(doc, {"Bob Byte"});
+  auto results = MeetSet(doc, set, set);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].meet, set.nodes[0]);
+  EXPECT_EQ((*results)[0].witness_distance, 0);
+}
+
+TEST(MeetSet, EmptyInputYieldsNoMeets) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet empty;
+  empty.path = bit.path;
+  auto results = MeetSet(doc, bit, empty);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(MeetSet, RejectsNonUniformSet) {
+  auto doc = MustShred("<a><b>x</b><c>y</c></a>");
+  Oid x = FindCdataNode(doc, "x");
+  Oid y = FindCdataNode(doc, "y");
+  AssocSet broken;
+  broken.path = doc.path(x);
+  broken.nodes = {x, y};  // y has a different path
+  auto result = MeetSet(doc, broken, broken);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(MeetSet, DeduplicatesInputNodes) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  bit.nodes.push_back(bit.nodes[0]);
+  AssocSet ben = CdataSet(doc, {"Ben"});
+  auto results = MeetSet(doc, bit, ben);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].left_witnesses.size(), 1u);
+}
+
+// ---- Restrictions ------------------------------------------------------
+
+TEST(MeetSet, ExcludedPathFiltersResult) {
+  auto doc = MustShred(data::PaperExampleXml());
+  // Bit and Bob Byte meet at institute; exclude institute's path.
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet bob = CdataSet(doc, {"Bob Byte"});
+  auto unrestricted = MeetSet(doc, bit, bob);
+  ASSERT_TRUE(unrestricted.ok());
+  ASSERT_EQ(unrestricted->size(), 1u);
+  EXPECT_EQ(doc.tag((*unrestricted)[0].meet), "institute");
+
+  MeetOptions options;
+  options.excluded_paths.insert(doc.path((*unrestricted)[0].meet));
+  auto restricted = MeetSet(doc, bit, bob, options);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_TRUE(restricted->empty());
+}
+
+TEST(MeetSet, AllowedPathsWhitelist) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet ben = CdataSet(doc, {"Ben"});
+  Oid author = FindElement(doc, "author");
+
+  MeetOptions allow_author;
+  allow_author.allowed_paths.insert(doc.path(author));
+  auto results = MeetSet(doc, bit, ben, allow_author);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ(doc.tag((*results)[0].meet), "author");
+
+  MeetOptions allow_title;
+  allow_title.allowed_paths.insert(
+      doc.path(FindElement(doc, "title")));
+  auto none = MeetSet(doc, bit, ben, allow_title);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(MeetSet, MaxDistanceFilters) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet ben = CdataSet(doc, {"Ben"});
+  MeetOptions tight;
+  tight.max_distance = 3;  // Ben/Bit are 4 edges apart
+  auto results = MeetSet(doc, bit, ben, tight);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+
+  MeetOptions loose;
+  loose.max_distance = 4;
+  results = MeetSet(doc, bit, ben, loose);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(MeetSet, WitnessDistanceMatchesPairDistance) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet ben = CdataSet(doc, {"Ben"});
+  auto results = MeetSet(doc, bit, ben);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  int pair_distance =
+      Distance(doc, bit.nodes[0], ben.nodes[0]).ValueOrDie();
+  EXPECT_EQ((*results)[0].witness_distance, pair_distance);
+}
+
+// ---- Stats ------------------------------------------------------------
+
+TEST(MeetSet, ReportsStats) {
+  auto doc = MustShred(data::PaperExampleXml());
+  AssocSet bit = CdataSet(doc, {"Bit"});
+  AssocSet ben = CdataSet(doc, {"Ben"});
+  MeetSetStats stats;
+  auto results = MeetSet(doc, bit, ben, {}, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_EQ(stats.joins, 4);  // == the pair distance
+  EXPECT_GE(stats.pairs_peak, 2u);
+}
+
+// ---- Attribute association sets ----------------------------------------
+
+TEST(MeetSet, AttributeSetsMeetLikeTheirArcs) {
+  auto doc = MustShred(data::PaperExampleXml());
+  // Left: the @key attribute arcs (owners = articles); right: the year
+  // cdatas. Each article's key meets its own year at the article.
+  PathId key_path = bat::kInvalidPathId;
+  PathId year_path = bat::kInvalidPathId;
+  for (PathId path : doc.string_paths()) {
+    std::string name = doc.paths().ToString(path);
+    if (name == "bibliography/institute/article/@key") key_path = path;
+    if (name == "bibliography/institute/article/year/cdata") {
+      year_path = path;
+    }
+  }
+  ASSERT_NE(key_path, bat::kInvalidPathId);
+  ASSERT_NE(year_path, bat::kInvalidPathId);
+
+  AssocSet keys;
+  keys.path = key_path;
+  const auto& key_table = doc.StringsAt(key_path);
+  for (size_t row = 0; row < key_table.size(); ++row) {
+    keys.nodes.push_back(key_table.head(row));
+  }
+  AssocSet years;
+  years.path = year_path;
+  const auto& year_table = doc.StringsAt(year_path);
+  for (size_t row = 0; row < year_table.size(); ++row) {
+    years.nodes.push_back(year_table.head(row));
+  }
+  ASSERT_EQ(keys.nodes.size(), 2u);
+  ASSERT_EQ(years.nodes.size(), 2u);
+
+  auto results = MeetSet(doc, keys, years);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  for (const SetMeet& meet : *results) {
+    EXPECT_EQ(doc.tag(meet.meet), "article");
+    // @key arc (1) + year/cdata (2) = 3 edges.
+    EXPECT_EQ(meet.witness_distance, 3);
+  }
+}
+
+TEST(MeetSet, SameAttributePathBothSides) {
+  auto doc = MustShred(data::PaperExampleXml());
+  PathId key_path = bat::kInvalidPathId;
+  for (PathId path : doc.string_paths()) {
+    if (doc.paths().ToString(path) ==
+        "bibliography/institute/article/@key") {
+      key_path = path;
+    }
+  }
+  ASSERT_NE(key_path, bat::kInvalidPathId);
+  AssocSet keys;
+  keys.path = key_path;
+  const auto& table = doc.StringsAt(key_path);
+  for (size_t row = 0; row < table.size(); ++row) {
+    keys.nodes.push_back(table.head(row));
+  }
+  auto results = MeetSet(doc, keys, keys);
+  ASSERT_TRUE(results.ok());
+  // Each owner intersects with itself: two meets at the two articles.
+  ASSERT_EQ(results->size(), 2u);
+  for (const SetMeet& meet : *results) {
+    EXPECT_EQ(doc.tag(meet.meet), "article");
+  }
+}
+
+// ---- Property: agreement with pairwise meets on random trees ----------
+
+class MeetSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MeetSetProperty, SingletonSetsReduceToMeetPair) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.target_elements = 200;
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+
+  util::Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Oid a = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    Oid b = static_cast<Oid>(rng.NextBelow(doc.node_count()));
+    AssocSet sa{doc.path(a), {a}};
+    AssocSet sb{doc.path(b), {b}};
+    auto set_result = MeetSet(doc, sa, sb);
+    auto pair_result = MeetPair(doc, a, b);
+    ASSERT_TRUE(set_result.ok() && pair_result.ok());
+    ASSERT_EQ(set_result->size(), 1u);
+    EXPECT_EQ((*set_result)[0].meet, pair_result->meet);
+    EXPECT_EQ((*set_result)[0].witness_distance, pair_result->joins);
+  }
+}
+
+TEST_P(MeetSetProperty, EveryReportedMeetIsAnAncestorOfItsWitnesses) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam() + 500;
+  options.target_elements = 300;
+  options.tag_vocabulary = 3;  // heavy path sharing
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+
+  // Two sets: all nodes of the two most populous paths.
+  std::vector<std::pair<size_t, PathId>> sizes;
+  for (PathId p : doc.edge_paths()) {
+    sizes.push_back({doc.EdgesAt(p).size(), p});
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  ASSERT_GE(sizes.size(), 2u);
+  auto make_set = [&](PathId p) {
+    AssocSet set;
+    set.path = p;
+    const auto& edges = doc.EdgesAt(p);
+    for (size_t row = 0; row < edges.size(); ++row) {
+      set.nodes.push_back(edges.tail(row));
+    }
+    return set;
+  };
+  AssocSet s1 = make_set(sizes[0].second);
+  AssocSet s2 = make_set(sizes[1].second);
+
+  auto results = MeetSet(doc, s1, s2);
+  ASSERT_TRUE(results.ok());
+  for (const SetMeet& meet : *results) {
+    EXPECT_FALSE(meet.left_witnesses.empty());
+    EXPECT_FALSE(meet.right_witnesses.empty());
+    for (Oid w : meet.left_witnesses) {
+      EXPECT_TRUE(doc.IsAncestorOrSelf(meet.meet, w));
+    }
+    for (Oid w : meet.right_witnesses) {
+      EXPECT_TRUE(doc.IsAncestorOrSelf(meet.meet, w));
+    }
+    // Minimality: the meet is exactly the LCA of at least one
+    // cross-pair of its witnesses.
+    bool exact = false;
+    for (Oid l : meet.left_witnesses) {
+      for (Oid r : meet.right_witnesses) {
+        if (ReferenceLca(doc, l, r) == meet.meet) exact = true;
+      }
+    }
+    EXPECT_TRUE(exact) << "meet " << meet.meet
+                       << " is not the LCA of any witness pair";
+  }
+
+  // Each input node appears in at most one result (pairs are consumed).
+  std::vector<Oid> seen_left;
+  for (const SetMeet& meet : *results) {
+    for (Oid w : meet.left_witnesses) seen_left.push_back(w);
+  }
+  std::sort(seen_left.begin(), seen_left.end());
+  EXPECT_TRUE(std::adjacent_find(seen_left.begin(), seen_left.end()) ==
+              seen_left.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeetSetProperty,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace core
+}  // namespace meetxml

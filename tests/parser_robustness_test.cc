@@ -1,0 +1,163 @@
+// Robustness / failure-injection tests: mutated, truncated and
+// adversarial inputs must produce Status errors (or valid parses),
+// never crashes, hangs or invariant violations downstream.
+
+#include <gtest/gtest.h>
+
+#include "data/dblp_gen.h"
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "model/storage_io.h"
+#include "util/rng.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace meetxml {
+namespace {
+
+// ---- Byte-level mutation fuzzing of the XML parser --------------------
+
+class ParserMutationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserMutationFuzz, MutatedDocumentsNeverCrash) {
+  std::string base = data::PaperExampleXml();
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(4)) {
+        case 0:  // flip a byte
+          mutated[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+        case 3:  // insert a metacharacter
+          mutated.insert(pos, 1, "<>&'\"/"[rng.NextBelow(6)]);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    // Must not crash; if it parses, the shredder must accept the DOM
+    // and the result must round-trip through the serializer.
+    auto parsed = xml::Parse(mutated);
+    if (!parsed.ok()) continue;
+    auto shredded = model::Shred(*parsed);
+    if (!shredded.ok()) continue;
+    auto reparsed = xml::Parse(xml::Serialize(*parsed));
+    EXPECT_TRUE(reparsed.ok())
+        << "serializer produced unparseable output for a valid parse";
+  }
+}
+
+TEST_P(ParserMutationFuzz, TruncationsNeverCrash) {
+  std::string base = data::PaperExampleXml();
+  util::Rng rng(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t cut = rng.NextBelow(base.size());
+    auto parsed = xml::Parse(base.substr(0, cut));
+    // Any outcome but a crash is fine; almost all cuts must fail.
+    (void)parsed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserMutationFuzz,
+                         ::testing::Values(1000, 2000, 3000, 4000));
+
+// ---- Adversarial shapes ------------------------------------------------
+
+TEST(ParserAdversarial, ManyAttributes) {
+  std::string text = "<a";
+  for (int i = 0; i < 5000; ++i) {
+    text += " x" + std::to_string(i) + "=\"v\"";
+  }
+  text += "/>";
+  auto parsed = xml::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->root->attributes().size(), 5000u);
+}
+
+TEST(ParserAdversarial, HugeSingleTextNode) {
+  std::string text = "<a>" + std::string(1 << 20, 'x') + "</a>";
+  auto parsed = xml::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->root->children()[0]->text().size(), 1u << 20);
+}
+
+TEST(ParserAdversarial, ManySiblings) {
+  std::string text = "<a>";
+  for (int i = 0; i < 50000; ++i) text += "<b/>";
+  text += "</a>";
+  auto parsed = xml::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto shredded = model::Shred(*parsed);
+  ASSERT_TRUE(shredded.ok());
+  EXPECT_EQ(shredded->node_count(), 50001u);
+}
+
+TEST(ParserAdversarial, EntityBombIsLinear) {
+  // No DTD entities -> no expansion: a million character references
+  // decode to a million characters, not exponential growth.
+  std::string text = "<a>";
+  for (int i = 0; i < 100000; ++i) text += "&#65;";
+  text += "</a>";
+  auto parsed = xml::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->root->children()[0]->text().size(), 100000u);
+}
+
+TEST(ParserAdversarial, DeepAttributeQuotesMix) {
+  auto parsed = xml::Parse(R"(<a x="it's" y='say "hi"'/>)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed->root->FindAttribute("x"), "it's");
+  EXPECT_EQ(*parsed->root->FindAttribute("y"), "say \"hi\"");
+}
+
+// ---- Storage image mutation fuzzing ------------------------------------
+
+class StorageMutationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StorageMutationFuzz, MutatedImagesNeverCrash) {
+  auto doc = model::ShredXmlText(data::PaperExampleXml());
+  ASSERT_TRUE(doc.ok());
+  auto bytes = model::SaveToBytes(*doc);
+  ASSERT_TRUE(bytes.ok());
+
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = *bytes;
+    size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] = static_cast<char>(rng.NextBelow(256));
+    auto loaded = model::LoadFromBytes(mutated);
+    // The checksum catches payload flips; header flips fail earlier.
+    // Either way: a Status, never UB. If (vanishingly unlikely) the
+    // flip restores the original byte, the load may succeed.
+    if (loaded.ok()) {
+      EXPECT_EQ(loaded->node_count(), doc->node_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageMutationFuzz,
+                         ::testing::Values(11, 22, 33));
+
+// ---- Generator parameter validation -------------------------------------
+
+TEST(GeneratorValidation, RejectsBadOptions) {
+  data::DblpOptions dblp;
+  dblp.start_year = 2000;
+  dblp.end_year = 1990;
+  EXPECT_FALSE(data::GenerateDblp(dblp).ok());
+
+  data::DblpOptions negative;
+  negative.icde_papers_per_year = -1;
+  EXPECT_FALSE(data::GenerateDblp(negative).ok());
+}
+
+}  // namespace
+}  // namespace meetxml

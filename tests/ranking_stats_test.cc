@@ -1,0 +1,164 @@
+// Tests for result ranking (paper §4) and document statistics.
+
+#include <gtest/gtest.h>
+
+#include "core/meet_general.h"
+#include "core/ranking.h"
+#include "data/dblp_gen.h"
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "model/stats.h"
+#include "tests/test_util.h"
+#include "text/search.h"
+
+namespace meetxml {
+namespace core {
+namespace {
+
+using meetxml::testing::FindCdataNode;
+using meetxml::testing::MustShred;
+
+std::vector<GeneralMeet> MeetsFor(const model::StoredDocument& doc,
+                                  const std::vector<std::string>& terms) {
+  auto search = text::FullTextSearch::Build(doc);
+  EXPECT_TRUE(search.ok());
+  auto matches = search->SearchAll(terms, text::MatchMode::kContains);
+  EXPECT_TRUE(matches.ok());
+  auto meets = MeetGeneral(
+      doc, text::FullTextSearch::ToMeetInput(*matches));
+  EXPECT_TRUE(meets.ok());
+  return std::move(*meets);
+}
+
+TEST(Ranking, TighterMeetsRankFirst) {
+  auto doc = MustShred(
+      "<r><deep><x>aa</x><x>bb</x></deep>"
+      "<l><m>aa</m></l><n><o>bb</o></n></r>");
+  auto meets = MeetsFor(doc, {"aa", "bb"});
+  ASSERT_EQ(meets.size(), 2u);
+  auto ranked = RankMeets(doc, std::move(meets));
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(doc.tag(ranked[0].meet.meet), "deep");
+  EXPECT_LT(ranked[0].score, ranked[1].score);
+}
+
+TEST(Ranking, SourceCoverageBeatsSameDistance) {
+  // Two meets with equal witness distance; the one covering both terms
+  // outranks the intra-term convergence.
+  auto doc = MustShred(
+      "<r><p><x>aa</x><y>bb</y></p><q><x>aa</x><x>aa</x></q></r>");
+  auto meets = MeetsFor(doc, {"aa", "bb"});
+  ASSERT_EQ(meets.size(), 2u);
+  auto ranked = RankMeets(doc, std::move(meets));
+  EXPECT_EQ(ranked[0].sources_covered, 2u);
+  EXPECT_EQ(ranked[1].sources_covered, 1u);
+}
+
+TEST(Ranking, ComputesDocumentSpan) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto meets = MeetsFor(doc, {"Ben", "Bit"});
+  ASSERT_EQ(meets.size(), 1u);
+  Oid ben = FindCdataNode(doc, "Ben");
+  Oid bit = FindCdataNode(doc, "Bit");
+  auto ranked = RankMeets(doc, std::move(meets));
+  EXPECT_EQ(ranked[0].document_span, bit > ben ? bit - ben : ben - bit);
+}
+
+TEST(Ranking, FilterBySourceCoverage) {
+  auto doc = MustShred(
+      "<r><p><x>aa</x><y>bb</y></p><q><x>aa</x><x>aa</x></q></r>");
+  auto ranked = RankMeets(doc, MeetsFor(doc, {"aa", "bb"}));
+  auto filtered = FilterBySourceCoverage(std::move(ranked), 2);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(doc.tag(filtered[0].meet.meet), "p");
+}
+
+TEST(Ranking, EmptyInputYieldsEmpty) {
+  auto doc = MustShred("<a/>");
+  EXPECT_TRUE(RankMeets(doc, {}).empty());
+  EXPECT_TRUE(FilterBySourceCoverage({}, 1).empty());
+}
+
+TEST(Ranking, CustomWeights) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto meets = MeetsFor(doc, {"Ben", "Bit"});
+  RankingOptions heavy_distance;
+  heavy_distance.witness_distance_weight = 100.0;
+  auto ranked = RankMeets(doc, std::move(meets), heavy_distance);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_GT(ranked[0].score, 100.0);  // distance 4 * weight 100 dominates
+}
+
+}  // namespace
+}  // namespace core
+
+namespace model {
+namespace {
+
+using meetxml::testing::MustShred;
+
+TEST(Stats, PaperExampleNumbers) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto stats = ComputeStats(doc);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->node_count, 19u);
+  EXPECT_EQ(stats->element_count, 12u);
+  EXPECT_EQ(stats->cdata_count, 7u);
+  EXPECT_EQ(stats->string_count, 9u);
+  EXPECT_EQ(stats->path_count, 14u);
+  EXPECT_EQ(stats->max_depth, 6u);  // .../author/firstname/cdata
+  EXPECT_GT(stats->avg_depth, 1.0);
+  EXPECT_GE(stats->max_fanout, 3u);  // article has author+title+year
+}
+
+TEST(Stats, PathEntriesCoverEveryPath) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto stats = ComputeStats(doc);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->paths.size(), doc.paths().size());
+  size_t nodes = 0;
+  size_t strings = 0;
+  for (const PathStats& entry : stats->paths) {
+    nodes += entry.node_count;
+    strings += entry.string_count;
+  }
+  EXPECT_EQ(nodes, doc.node_count());
+  EXPECT_EQ(strings, doc.string_count());
+}
+
+TEST(Stats, StringBytesCounted) {
+  auto doc = MustShred("<a><b>hello</b><b>world!</b></a>");
+  auto stats = ComputeStats(doc);
+  ASSERT_TRUE(stats.ok());
+  size_t bytes = 0;
+  for (const PathStats& entry : stats->paths) {
+    bytes += entry.total_bytes;
+  }
+  EXPECT_EQ(bytes, 5u + 6u);
+}
+
+TEST(Stats, RenderListsLargestRelationsFirst) {
+  data::DblpOptions options;
+  options.end_year = 1985;
+  auto generated = data::GenerateDblp(options);
+  ASSERT_TRUE(generated.ok());
+  auto doc = Shred(*generated);
+  ASSERT_TRUE(doc.ok());
+  auto stats = ComputeStats(*doc);
+  ASSERT_TRUE(stats.ok());
+  std::string text = RenderStats(*stats, 5);
+  EXPECT_NE(text.find("nodes="), std::string::npos);
+  EXPECT_NE(text.find("more relations"), std::string::npos);
+  // The first listed relation is at least as big as the last.
+  std::string full = RenderStats(*stats, 0);
+  EXPECT_EQ(full.find("more relations"), std::string::npos);
+}
+
+TEST(Stats, RejectsUnfinalized) {
+  StoredDocument doc;
+  EXPECT_FALSE(ComputeStats(doc).ok());
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace meetxml

@@ -1,0 +1,157 @@
+// Tests for the SAX (event-based) parsing interface.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/sax.h"
+
+namespace meetxml {
+namespace xml {
+namespace {
+
+using util::Status;
+
+// Records every event as a compact trace string.
+class TraceHandler : public SaxHandler {
+ public:
+  Status StartDocument() override {
+    trace_ += "[doc ";
+    return Status::OK();
+  }
+  Status EndDocument() override {
+    trace_ += "doc]";
+    return Status::OK();
+  }
+  Status StartElement(std::string tag,
+                      std::vector<Attribute> attributes) override {
+    trace_ += "<" + tag;
+    for (const Attribute& attribute : attributes) {
+      trace_ += " " + attribute.name + "=" + attribute.value;
+    }
+    trace_ += "> ";
+    return Status::OK();
+  }
+  Status EndElement(std::string_view tag) override {
+    trace_ += "</" + std::string(tag) + "> ";
+    return Status::OK();
+  }
+  Status Text(std::string text) override {
+    trace_ += "'" + text + "' ";
+    return Status::OK();
+  }
+  Status Comment(std::string text) override {
+    trace_ += "#" + text + "# ";
+    return Status::OK();
+  }
+  Status ProcessingInstruction(std::string target,
+                               std::string data) override {
+    trace_ += "?" + target + ":" + data + "? ";
+    return Status::OK();
+  }
+
+  const std::string& trace() const { return trace_; }
+
+ private:
+  std::string trace_;
+};
+
+TEST(Sax, EmitsWellNestedEvents) {
+  TraceHandler handler;
+  MEETXML_CHECK_OK(ParseSax("<a><b>hi</b><c x=\"1\"/></a>", &handler));
+  EXPECT_EQ(handler.trace(),
+            "[doc <a> <b> 'hi' </b> <c x=1> </c> </a> doc]");
+}
+
+TEST(Sax, MergesAdjacentTextRuns) {
+  TraceHandler handler;
+  MEETXML_CHECK_OK(
+      ParseSax("<a>one <![CDATA[two]]> three</a>", &handler));
+  EXPECT_EQ(handler.trace(), "[doc <a> 'one two three' </a> doc]");
+}
+
+TEST(Sax, DroppedCommentDoesNotSplitText) {
+  TraceHandler handler;
+  MEETXML_CHECK_OK(ParseSax("<a>one<!-- x -->two</a>", &handler));
+  EXPECT_EQ(handler.trace(), "[doc <a> 'onetwo' </a> doc]");
+}
+
+TEST(Sax, KeptCommentSplitsText) {
+  ParseOptions options;
+  options.keep_comments = true;
+  TraceHandler handler;
+  MEETXML_CHECK_OK(ParseSax("<a>one<!-- x -->two</a>", &handler, options));
+  EXPECT_EQ(handler.trace(), "[doc <a> 'one' # x # 'two' </a> doc]");
+}
+
+TEST(Sax, ReportsProcessingInstructionsWhenKept) {
+  ParseOptions options;
+  options.keep_processing_instructions = true;
+  TraceHandler handler;
+  MEETXML_CHECK_OK(ParseSax("<a><?p data?></a>", &handler, options));
+  EXPECT_EQ(handler.trace(), "[doc <a> ?p:data? </a> doc]");
+}
+
+TEST(Sax, PropagatesParseErrors) {
+  TraceHandler handler;
+  Status status = ParseSax("<a><b></a>", &handler);
+  EXPECT_FALSE(status.ok());
+}
+
+// A handler abort must stop the parse and surface the handler's status.
+class AbortingHandler : public SaxHandler {
+ public:
+  Status StartElement(std::string tag,
+                      std::vector<Attribute> attributes) override {
+    (void)attributes;
+    ++elements_;
+    if (tag == "poison") {
+      return Status::ResourceExhausted("handler gave up");
+    }
+    return Status::OK();
+  }
+  int elements() const { return elements_; }
+
+ private:
+  int elements_ = 0;
+};
+
+TEST(Sax, HandlerCanAbortTheParse) {
+  AbortingHandler handler;
+  Status status = ParseSax("<a><ok/><poison/><never/></a>", &handler);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(handler.elements(), 3);  // a, ok, poison — never unreached
+}
+
+TEST(Sax, WhitespaceTextControlledByOptions) {
+  {
+    TraceHandler handler;
+    MEETXML_CHECK_OK(ParseSax("<a>  <b/>  </a>", &handler));
+    EXPECT_EQ(handler.trace(), "[doc <a> <b> </b> </a> doc]");
+  }
+  {
+    ParseOptions options;
+    options.discard_whitespace_text = false;
+    TraceHandler handler;
+    MEETXML_CHECK_OK(ParseSax("<a> <b/> </a>", &handler, options));
+    EXPECT_EQ(handler.trace(), "[doc <a> ' ' <b> </b> ' ' </a> doc]");
+  }
+}
+
+TEST(Sax, SelfClosingRootProducesBalancedEvents) {
+  TraceHandler handler;
+  MEETXML_CHECK_OK(ParseSax("<a/>", &handler));
+  EXPECT_EQ(handler.trace(), "[doc <a> </a> doc]");
+}
+
+TEST(Sax, DeepDocumentsStreamWithoutRecursion) {
+  std::string text;
+  for (int i = 0; i < 3000; ++i) text += "<d>";
+  for (int i = 0; i < 3000; ++i) text += "</d>";
+  SaxHandler noop;
+  MEETXML_CHECK_OK(ParseSax(text, &noop));
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace meetxml

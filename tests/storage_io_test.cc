@@ -1,0 +1,170 @@
+// Tests for binary persistence of the Monet transform: round-trips,
+// corruption rejection, file I/O.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/meet_pair.h"
+#include "data/dblp_gen.h"
+#include "data/paper_example.h"
+#include "data/random_tree.h"
+#include "model/reassembly.h"
+#include "model/shredder.h"
+#include "model/storage_io.h"
+#include "tests/test_util.h"
+#include "xml/serializer.h"
+
+namespace meetxml {
+namespace model {
+namespace {
+
+using meetxml::testing::FindCdataNode;
+using meetxml::testing::MustShred;
+
+StoredDocument RoundTrip(const StoredDocument& doc) {
+  auto bytes = SaveToBytes(doc);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  auto loaded = LoadFromBytes(*bytes);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return std::move(*loaded);
+}
+
+TEST(StorageIo, RoundTripsPaperExample) {
+  StoredDocument original = MustShred(data::PaperExampleXml());
+  StoredDocument loaded = RoundTrip(original);
+
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_EQ(loaded.string_count(), original.string_count());
+  EXPECT_EQ(loaded.paths().size(), original.paths().size());
+  for (bat::Oid oid = 0; oid < original.node_count(); ++oid) {
+    EXPECT_EQ(loaded.parent(oid), original.parent(oid));
+    EXPECT_EQ(loaded.path(oid), original.path(oid));
+    EXPECT_EQ(loaded.rank(oid), original.rank(oid));
+  }
+  // Reassembly of the loaded image matches the original document.
+  auto original_xml = ReassembleToXml(original, original.root(), 0);
+  auto loaded_xml = ReassembleToXml(loaded, loaded.root(), 0);
+  ASSERT_TRUE(original_xml.ok() && loaded_xml.ok());
+  EXPECT_EQ(*loaded_xml, *original_xml);
+}
+
+TEST(StorageIo, LoadedImageAnswersMeetQueries) {
+  StoredDocument loaded = RoundTrip(MustShred(data::PaperExampleXml()));
+  bat::Oid ben = FindCdataNode(loaded, "Ben");
+  bat::Oid bit = FindCdataNode(loaded, "Bit");
+  auto meet = core::MeetPair(loaded, ben, bit);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(loaded.tag(meet->meet), "author");
+}
+
+TEST(StorageIo, RejectsUnfinalizedDocument) {
+  StoredDocument doc;
+  PathId p = doc.mutable_paths()->Intern(bat::kInvalidPathId,
+                                         StepKind::kElement, "a");
+  doc.AppendNode(p, bat::kInvalidOid, 0);
+  EXPECT_FALSE(SaveToBytes(doc).ok());
+}
+
+TEST(StorageIo, RejectsGarbage) {
+  EXPECT_FALSE(LoadFromBytes("").ok());
+  EXPECT_FALSE(LoadFromBytes("not an image at all").ok());
+  EXPECT_FALSE(LoadFromBytes("MXM1").ok());  // header truncated
+}
+
+TEST(StorageIo, RejectsTruncation) {
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  auto bytes = SaveToBytes(doc);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut : {bytes->size() - 1, bytes->size() / 2, size_t{30}}) {
+    auto loaded = LoadFromBytes(bytes->substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(StorageIo, RejectsBitFlips) {
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  auto bytes = SaveToBytes(doc);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one byte in the payload: the checksum must catch it.
+  std::string corrupted = *bytes;
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  auto loaded = LoadFromBytes(corrupted);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"),
+            std::string::npos);
+}
+
+TEST(StorageIo, RejectsWrongVersion) {
+  StoredDocument doc = MustShred("<a/>");
+  auto bytes = SaveToBytes(doc);
+  ASSERT_TRUE(bytes.ok());
+  std::string wrong = *bytes;
+  wrong[4] = 99;  // version field
+  EXPECT_FALSE(LoadFromBytes(wrong).ok());
+}
+
+TEST(StorageIo, RejectsTrailingBytes) {
+  StoredDocument doc = MustShred("<a/>");
+  auto bytes = SaveToBytes(doc);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_FALSE(LoadFromBytes(*bytes + "extra").ok());
+}
+
+TEST(StorageIo, FileRoundTrip) {
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_io_test.mxm")
+          .string();
+  MEETXML_CHECK_OK(SaveToFile(doc, path));
+  auto loaded = LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->node_count(), doc.node_count());
+  std::remove(path.c_str());
+}
+
+TEST(StorageIo, MissingFileIsNotFound) {
+  auto loaded = LoadFromFile("/nonexistent/path/file.mxm");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+class StorageIoProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StorageIoProperty, RandomTreeRoundTrip) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.target_elements = 400;
+  auto generated = data::GenerateRandomTree(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+
+  StoredDocument loaded = RoundTrip(*shredded);
+  auto original_xml = ReassembleToXml(*shredded, shredded->root(), 0);
+  auto loaded_xml = ReassembleToXml(loaded, loaded.root(), 0);
+  ASSERT_TRUE(original_xml.ok() && loaded_xml.ok());
+  EXPECT_EQ(*loaded_xml, *original_xml);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageIoProperty,
+                         ::testing::Values(100, 200, 300, 400));
+
+TEST(StorageIo, DblpImageIsSmallerThanXml) {
+  data::DblpOptions options;
+  options.end_year = 1987;
+  auto xml_text = data::GenerateDblpXml(options);
+  ASSERT_TRUE(xml_text.ok());
+  auto doc = ShredXmlText(*xml_text);
+  ASSERT_TRUE(doc.ok());
+  auto bytes = SaveToBytes(*doc);
+  ASSERT_TRUE(bytes.ok());
+  // Sanity: the binary image is within 2x of the XML (it stores paths
+  // once, not per element).
+  EXPECT_LT(bytes->size(), xml_text->size() * 2);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace meetxml

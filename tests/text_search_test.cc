@@ -1,0 +1,305 @@
+// Tests for the tokenizer, inverted index and full-text search facade.
+
+#include <gtest/gtest.h>
+
+#include "core/meet_general.h"
+#include "data/dblp_gen.h"
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "text/search.h"
+#include "text/tokenizer.h"
+
+namespace meetxml {
+namespace text {
+namespace {
+
+using meetxml::testing::MustShred;
+
+// ---- Tokenizer ---------------------------------------------------------
+
+TEST(Tokenizer, SplitsOnNonAlnum) {
+  auto tokens = Tokenize("Hacking & RSI");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hacking");
+  EXPECT_EQ(tokens[1], "rsi");
+}
+
+TEST(Tokenizer, KeepsDigits) {
+  auto tokens = Tokenize("ICDE 1999, pages 14-23");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"icde", "1999", "pages",
+                                              "14", "23"}));
+}
+
+TEST(Tokenizer, RespectsMinLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  auto tokens = Tokenize("a bb ccc dddd", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ccc", "dddd"}));
+}
+
+TEST(Tokenizer, CanPreserveCase) {
+  TokenizerOptions options;
+  options.fold_case = false;
+  auto tokens = Tokenize("Ben Bit", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"Ben", "Bit"}));
+}
+
+TEST(Tokenizer, UniqueDeduplicates) {
+  auto tokens = TokenizeUnique("a b a b c");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Tokenizer, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,;! ").empty());
+}
+
+// ---- Inverted index ------------------------------------------------------
+
+TEST(InvertedIndex, IndexesCdataAndAttributes) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto index = InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->LookupWord("bit").empty());
+  EXPECT_FALSE(index->LookupWord("BB99").empty());  // attribute value
+  EXPECT_TRUE(index->LookupWord("absent").empty());
+  EXPECT_GT(index->vocabulary_size(), 10u);
+  EXPECT_GT(index->posting_count(), 0u);
+}
+
+TEST(InvertedIndex, WordLookupFoldsCase) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto index = InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->LookupWord("BIT").size(),
+            index->LookupWord("bit").size());
+}
+
+TEST(InvertedIndex, TrigramCandidatesAreSuperset) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto index = InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  auto candidates = index->TrigramCandidates("Hack");
+  ASSERT_TRUE(candidates.has_value());
+  // "How to Hack" and "Hacking & RSI" both contain "Hack".
+  EXPECT_GE(candidates->size(), 2u);
+}
+
+TEST(InvertedIndex, ShortNeedleFallsBackToScan) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto index = InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->TrigramCandidates("ab").has_value());
+}
+
+TEST(InvertedIndex, AbsentTrigramShortCircuits) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto index = InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  auto candidates = index->TrigramCandidates("zzzqqq");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_TRUE(candidates->empty());
+}
+
+// ---- Search facade -------------------------------------------------------
+
+TEST(FullTextSearch, ContainsMatchesSubstrings) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches = search->Search("Hack", MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->total(), 2u);  // both titles
+}
+
+TEST(FullTextSearch, ContainsIsCaseSensitive) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto exact = search->Search("hack", MatchMode::kContains);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->total(), 0u);
+  auto folded = search->Search("hack", MatchMode::kContainsIgnoreCase);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded->total(), 2u);
+}
+
+TEST(FullTextSearch, WordModeMatchesWholeWordsOnly) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto word = search->Search("Hack", MatchMode::kWord);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word->total(), 1u);  // "How to Hack" only, not "Hacking"
+}
+
+TEST(FullTextSearch, MatchesAttributeValues) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches = search->Search("BB99", MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->total(), 1u);
+  // Attribute match owners are the elements carrying the attribute.
+  const core::AssocSet& set = matches->sets.front();
+  EXPECT_EQ(doc.paths().kind(set.path), model::StepKind::kAttribute);
+  EXPECT_EQ(doc.tag(set.nodes.front()), "article");
+}
+
+TEST(FullTextSearch, GroupsMatchesByPath) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  // "1999" appears in two year cdatas (same path).
+  auto matches = search->Search("1999", MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->sets.size(), 1u);
+  EXPECT_EQ(matches->sets[0].nodes.size(), 2u);
+}
+
+TEST(FullTextSearch, PhraseMatchesConsecutiveWords) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches = search->Search("how to hack", MatchMode::kPhrase);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(matches->total(), 1u);
+}
+
+TEST(FullTextSearch, PhraseRequiresAdjacency) {
+  auto doc = MustShred("<a><t>alpha beta gamma</t><t>alpha gamma</t></a>");
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto adjacent = search->Search("alpha beta", MatchMode::kPhrase);
+  ASSERT_TRUE(adjacent.ok());
+  EXPECT_EQ(adjacent->total(), 1u);
+  auto gapped = search->Search("alpha gamma", MatchMode::kPhrase);
+  ASSERT_TRUE(gapped.ok());
+  EXPECT_EQ(gapped->total(), 1u);  // second cdata only
+  auto reversed = search->Search("beta alpha", MatchMode::kPhrase);
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(reversed->total(), 0u);
+}
+
+TEST(FullTextSearch, PhraseFoldsCaseAndPunctuation) {
+  auto doc = MustShred("<a><t>Hacking &amp; RSI</t></a>");
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches = search->Search("hacking rsi", MatchMode::kPhrase);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->total(), 1u);
+}
+
+TEST(FullTextSearch, SingleWordPhraseEqualsWordSearch) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto phrase = search->Search("hack", MatchMode::kPhrase);
+  auto word = search->Search("hack", MatchMode::kWord);
+  ASSERT_TRUE(phrase.ok() && word.ok());
+  EXPECT_EQ(phrase->total(), word->total());
+}
+
+TEST(FullTextSearch, PhraseWithNoIndexableWordsFails) {
+  auto doc = MustShred("<a>x</a>");
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  EXPECT_FALSE(search->Search("!!!", MatchMode::kPhrase).ok());
+}
+
+TEST(FullTextSearch, RejectsEmptyTerm) {
+  auto doc = MustShred("<a>x</a>");
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  EXPECT_FALSE(search->Search("", MatchMode::kContains).ok());
+}
+
+TEST(FullTextSearch, TrigramPathAgreesWithScan) {
+  // The same query through the trigram fast path and the brute scan
+  // must produce identical association sets.
+  data::DblpOptions options;
+  options.end_year = 1988;
+  options.icde_papers_per_year = 10;
+  options.other_papers_per_year = 30;
+  options.journal_articles_per_year = 10;
+  auto generated = data::GenerateDblp(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+
+  IndexOptions with;
+  IndexOptions without;
+  without.build_trigrams = false;
+  auto fast = FullTextSearch::Build(doc, with);
+  auto slow = FullTextSearch::Build(doc, without);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+
+  for (const char* term : {"ICDE", "1986", "Press", "SIGMOD"}) {
+    auto a = fast->Search(term, MatchMode::kContains);
+    auto b = slow->Search(term, MatchMode::kContains);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->sets.size(), b->sets.size()) << term;
+    for (size_t i = 0; i < a->sets.size(); ++i) {
+      EXPECT_EQ(a->sets[i].path, b->sets[i].path);
+      EXPECT_EQ(a->sets[i].nodes, b->sets[i].nodes);
+    }
+  }
+}
+
+// ---- End-to-end: the paper's §3.1 full-text + meet examples -------------
+
+TEST(FullTextSearch, EndToEndBenBitMeetsAtAuthor) {
+  auto doc = MustShred(data::PaperExampleXml());
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+  auto matches =
+      search->SearchAll({"Ben", "Bit"}, MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  auto inputs = FullTextSearch::ToMeetInput(*matches);
+  auto meets = core::MeetGeneral(doc, inputs);
+  ASSERT_TRUE(meets.ok());
+  ASSERT_EQ(meets->size(), 1u);
+  EXPECT_EQ(doc.tag((*meets)[0].meet), "author");
+}
+
+TEST(FullTextSearch, EndToEndIcdeCaseStudyShape) {
+  // A miniature of the paper's §5 case study: ICDE + year, root
+  // excluded; results are exactly the ICDE publications of that year.
+  data::DblpOptions options;
+  options.end_year = 1990;
+  options.icde_papers_per_year = 8;
+  options.other_papers_per_year = 20;
+  options.journal_articles_per_year = 5;
+  auto generated = data::GenerateDblp(options);
+  ASSERT_TRUE(generated.ok());
+  auto shredded = model::Shred(*generated);
+  ASSERT_TRUE(shredded.ok());
+  const model::StoredDocument& doc = *shredded;
+  auto search = FullTextSearch::Build(doc);
+  ASSERT_TRUE(search.ok());
+
+  auto matches =
+      search->SearchAll({"ICDE", "1990"}, MatchMode::kContains);
+  ASSERT_TRUE(matches.ok());
+  auto inputs = FullTextSearch::ToMeetInput(*matches);
+  auto meets =
+      core::MeetGeneral(doc, inputs, core::ExcludeRootOptions(doc));
+  ASSERT_TRUE(meets.ok());
+
+  size_t icde_pubs = 0;
+  for (const core::GeneralMeet& meet : *meets) {
+    if (doc.is_cdata(meet.meet)) continue;
+    if (doc.tag(meet.meet) == "inproceedings" ||
+        doc.tag(meet.meet) == "proceedings") {
+      ++icde_pubs;
+    }
+  }
+  // 8 inproceedings + 1 proceedings entry for ICDE 1990.
+  EXPECT_GE(icde_pubs, 8u);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace meetxml

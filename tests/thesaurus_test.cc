@@ -1,0 +1,137 @@
+// Tests for thesaurus-based query expansion (paper §4's "thesauri ...
+// to broaden a search that returned too few answers").
+
+#include <gtest/gtest.h>
+
+#include "core/meet_general.h"
+#include "data/paper_example.h"
+#include "model/shredder.h"
+#include "tests/test_util.h"
+#include "text/thesaurus.h"
+
+namespace meetxml {
+namespace text {
+namespace {
+
+using meetxml::testing::MustShred;
+
+TEST(Thesaurus, ExpandReturnsTermItselfFirst) {
+  Thesaurus thesaurus;
+  thesaurus.AddRing({"article", "paper", "publication"});
+  auto expansion = thesaurus.Expand("paper");
+  ASSERT_GE(expansion.size(), 3u);
+  EXPECT_EQ(expansion[0], "paper");
+}
+
+TEST(Thesaurus, RingIsSymmetric) {
+  Thesaurus thesaurus;
+  thesaurus.AddRing({"car", "automobile"});
+  auto a = thesaurus.Expand("car");
+  auto b = thesaurus.Expand("automobile");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_NE(std::find(a.begin(), a.end(), "automobile"), a.end());
+  EXPECT_NE(std::find(b.begin(), b.end(), "car"), b.end());
+}
+
+TEST(Thesaurus, UnknownTermExpandsToItself) {
+  Thesaurus thesaurus;
+  auto expansion = thesaurus.Expand("whatever");
+  ASSERT_EQ(expansion.size(), 1u);
+  EXPECT_EQ(expansion[0], "whatever");
+}
+
+TEST(Thesaurus, LookupsFoldCase) {
+  Thesaurus thesaurus;
+  thesaurus.AddRing({"Hack", "Crack"});
+  auto expansion = thesaurus.Expand("HACK");
+  EXPECT_EQ(expansion.size(), 2u);
+}
+
+TEST(Thesaurus, OverlappingRingsUnion) {
+  Thesaurus thesaurus;
+  thesaurus.AddRing({"a", "b"});
+  thesaurus.AddRing({"a", "c"});
+  auto expansion = thesaurus.Expand("a");
+  EXPECT_EQ(expansion.size(), 3u);
+}
+
+TEST(Thesaurus, FromTextParsesRingsAndComments) {
+  auto thesaurus = Thesaurus::FromText(
+      "# synonyms\n"
+      "car, automobile, vehicle\n"
+      "\n"
+      "hack , crack\n");
+  ASSERT_TRUE(thesaurus.ok()) << thesaurus.status();
+  EXPECT_EQ(thesaurus->Expand("vehicle").size(), 3u);
+  EXPECT_EQ(thesaurus->Expand("crack").size(), 2u);
+}
+
+TEST(Thesaurus, FromTextRejectsSingletonRing) {
+  EXPECT_FALSE(Thesaurus::FromText("lonely\n").ok());
+}
+
+// ---- SearchExpanded ------------------------------------------------------
+
+class SearchExpandedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = MustShred(data::PaperExampleXml());
+    auto search = FullTextSearch::Build(doc_);
+    ASSERT_TRUE(search.ok());
+    search_ = std::make_unique<FullTextSearch>(std::move(*search));
+    thesaurus_.AddRing({"hack", "crack", "exploit"});
+    thesaurus_.AddRing({"ben", "benjamin"});
+  }
+
+  model::StoredDocument doc_;
+  std::unique_ptr<FullTextSearch> search_;
+  Thesaurus thesaurus_;
+};
+
+TEST_F(SearchExpandedTest, MergesSynonymMatches) {
+  // 'exploit' alone matches nothing; the ring pulls in 'hack' matches.
+  auto matches = SearchExpanded(*search_, thesaurus_, "exploit");
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(matches->term, "exploit");
+  EXPECT_EQ(matches->total(), 2u);  // both titles contain "hack"
+}
+
+TEST_F(SearchExpandedTest, ExpandBelowGatesExpansion) {
+  ExpandedSearchOptions options;
+  options.expand_below = 1;  // only expand when direct search is empty
+  // Direct 'ben' already matches -> no expansion happens.
+  auto direct = SearchExpanded(*search_, thesaurus_, "ben", options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->total(), 1u);
+
+  // 'exploit' matches nothing -> expansion kicks in.
+  auto expanded = SearchExpanded(*search_, thesaurus_, "exploit", options);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->total(), 2u);
+}
+
+TEST_F(SearchExpandedTest, DeduplicatesAcrossSynonyms) {
+  // 'hack' and 'crack'... both "Hacking & RSI" and "How to Hack" match
+  // 'hack'; crack matches nothing; union must not duplicate.
+  auto matches = SearchExpanded(*search_, thesaurus_, "hack");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->total(), 2u);
+}
+
+TEST_F(SearchExpandedTest, ExpandedMatchesFeedTheMeet) {
+  // "benjamin" (via ring -> "ben") + "1999": nearest concept is the
+  // article, exactly as with the direct terms.
+  auto ben = SearchExpanded(*search_, thesaurus_, "benjamin");
+  auto year = search_->Search("1999", MatchMode::kContains);
+  ASSERT_TRUE(ben.ok() && year.ok());
+  auto inputs = FullTextSearch::ToMeetInput({*ben, *year});
+  auto meets = core::MeetGeneral(doc_, inputs);
+  ASSERT_TRUE(meets.ok());
+  ASSERT_FALSE(meets->empty());
+  EXPECT_EQ(doc_.tag((*meets)[0].meet), "article");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace meetxml

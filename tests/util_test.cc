@@ -1,0 +1,255 @@
+// Unit tests for util: Status/Result, string helpers, the deterministic
+// RNG.
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace meetxml {
+namespace util {
+namespace {
+
+// ---- Status ---------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing thing ", 42);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "missing thing 42");
+  EXPECT_EQ(status.ToString(), "Not found: missing thing 42");
+}
+
+TEST(Status, ConcatenatesMixedPieces) {
+  Status status = Status::InvalidArgument("x=", 1, ", y=", 2.5, " z");
+  EXPECT_NE(status.message().find("x=1"), std::string::npos);
+  EXPECT_NE(status.message().find("2.5"), std::string::npos);
+}
+
+TEST(Status, CopyAndMove) {
+  Status original = Status::Internal("boom");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsInternal());
+  EXPECT_TRUE(original.IsInternal());
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsInternal());
+}
+
+TEST(Status, AllConstructorsSetPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::NotImplemented("").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("").IsResourceExhausted());
+  EXPECT_TRUE(Status::UnexpectedEof("").IsUnexpectedEof());
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  auto fails = []() -> Status {
+    MEETXML_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(fails().IsNotFound());
+  auto passes = []() -> Status {
+    MEETXML_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(passes().ok());
+}
+
+// ---- Result ----------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(std::move(result).ValueOr(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(std::move(result).ValueOr("fallback"), "hello");
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(3));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).ValueOrDie();
+  EXPECT_EQ(*owned, 3);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("bad");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    MEETXML_ASSIGN_OR_RETURN(int value, inner(fail));
+    return value * 2;
+  };
+  EXPECT_EQ(*outer(false), 10);
+  EXPECT_TRUE(outer(true).status().IsInvalidArgument());
+}
+
+// ---- Strings ----------------------------------------------------------
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("bibliography", "bib"));
+  EXPECT_FALSE(StartsWith("bib", "bibliography"));
+  EXPECT_TRUE(EndsWith("path/cdata", "cdata"));
+  EXPECT_FALSE(EndsWith("cdata", "path/cdata"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(Strings, Contains) {
+  EXPECT_TRUE(Contains("Hacking & RSI", "&"));
+  EXPECT_FALSE(Contains("Hacking", "hack"));  // case-sensitive
+  EXPECT_TRUE(Contains("abc", ""));
+}
+
+TEST(Strings, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Hacking", "hack"));
+  EXPECT_TRUE(ContainsIgnoreCase("ICDE 1999", "icde"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(Strings, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD 123"), "mixed 123");
+}
+
+TEST(Strings, Split) {
+  auto parts = Split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");  // empty pieces kept
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(Strings, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join(std::vector<std::string>{"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, "/"), "");
+}
+
+TEST(Strings, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("1999"));
+  EXPECT_FALSE(IsAllDigits("19a9"));
+  EXPECT_FALSE(IsAllDigits(""));
+}
+
+// ---- Rng -----------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.2) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.2, 0.03);
+}
+
+TEST(Rng, NextWordShape) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    std::string word = rng.NextWord(3, 8);
+    EXPECT_GE(word.size(), 3u);
+    EXPECT_LE(word.size(), 8u);
+    for (char c : word) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(Rng, NextGeometricRespectsCap) {
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(rng.NextGeometric(0.9, 5), 5);
+  }
+  // p=0 -> always 0.
+  EXPECT_EQ(rng.NextGeometric(0.0, 5), 0);
+}
+
+TEST(Rng, PortableStream) {
+  // Guards dataset reproducibility: the first outputs for seed 42 are
+  // pinned. If this test ever fails, generated corpora changed.
+  Rng rng(42);
+  EXPECT_EQ(rng.Next64(), 0x15780b2e0c2ec716ULL);
+  EXPECT_EQ(rng.Next64(), 0x6104d9866d113a7eULL);
+  EXPECT_EQ(rng.Next64(), 0xae17533239e499a1ULL);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace meetxml
