@@ -1,5 +1,5 @@
 // Baseline LCA strategies, for the ablation benchmarks (AB1 in
-// DESIGN.md).
+// docs/paper_map.md).
 //
 // The paper's meet2 steers its ancestor walk with the path summary. We
 // compare against (a) the textbook mark-and-walk LCA that a system

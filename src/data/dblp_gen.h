@@ -1,7 +1,7 @@
 // Synthetic DBLP-shaped bibliography generator.
 //
 // Substitution for the real DBLP snapshot the paper's case study uses
-// (§5, Figure 7; see DESIGN.md §4). The generator reproduces the
+// (§5, Figure 7; see docs/paper_map.md). The generator reproduces the
 // properties the experiment depends on:
 //  * DBLP's element vocabulary (inproceedings/article/proceedings with
 //    author/title/pages/year/booktitle/journal/... children),

@@ -2,7 +2,7 @@
 //
 // Substitution for the ~200 MB file of "descriptions of multimedia data
 // items, extracted by feature detectors" used for the paper's Figure 6
-// (see DESIGN.md §4). The generator reproduces the two properties the
+// (see docs/paper_map.md). The generator reproduces the two properties the
 // experiment depends on:
 //  * a corpus large enough that full-text search dominates elapsed time,
 //  * node pairs at *controlled tree distance*: unique marker strings are

@@ -1,0 +1,28 @@
+// Smoke test for the umbrella header: #include "meetxml.h" alone must pull
+// in the entire public API and link cleanly. Catches umbrella-header drift
+// (a new public header that was never added to meetxml.h, or an entry that
+// rotted) as the tree grows.
+
+#include "meetxml.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, PullsInEveryLayer) {
+  // Touch one symbol per layer so the linker has to resolve against the
+  // library, not just the preprocessor.
+  EXPECT_TRUE(meetxml::util::Status::OK().ok());                    // util
+  EXPECT_EQ(meetxml::xml::EscapeText("a<b"), "a&lt;b");             // xml
+  EXPECT_NE(meetxml::bat::kInvalidOid, meetxml::bat::Oid{0});       // bat
+  auto doc = meetxml::model::ShredXmlText("<r><a>x</a></r>");       // model
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT(doc->node_count(), 0u);
+  EXPECT_FALSE(meetxml::text::Tokenize("meet operator").empty());   // text
+  auto meet = meetxml::core::MeetPair(*doc, doc->root(), doc->root());  // core
+  EXPECT_TRUE(meet.ok());
+  auto exec = meetxml::query::Executor::Build(*doc);                // query
+  EXPECT_TRUE(exec.ok());
+}
+
+}  // namespace
