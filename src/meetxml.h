@@ -13,6 +13,8 @@
 #define MEETXML_MEETXML_H_
 
 // Utilities.
+#include "util/byte_io.h"
+#include "util/file_io.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -32,6 +34,7 @@
 #include "bat/ops.h"
 
 // Data model and storage.
+#include "model/bulk_load.h"
 #include "model/document.h"
 #include "model/path_summary.h"
 #include "model/reassembly.h"
@@ -42,6 +45,7 @@
 
 // Full-text search.
 #include "text/cross_document.h"
+#include "text/index_io.h"
 #include "text/inverted_index.h"
 #include "text/search.h"
 #include "text/thesaurus.h"

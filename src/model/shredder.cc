@@ -88,77 +88,57 @@ Result<StoredDocument> ShredXmlText(std::string_view xml_text,
   return Shred(doc, options);
 }
 
-namespace {
+namespace internal {
 
-// SAX sink that feeds the Monet transform directly; mirrors the DOM
-// shredder's OID/rank/path assignment exactly (tested to agree).
-class StreamingShredSink : public xml::SaxHandler {
- public:
-  explicit StreamingShredSink(const ShredOptions& options)
-      : options_(options) {}
+util::Status ShredSink::StartElement(std::string tag,
+                                     std::vector<xml::Attribute> attributes) {
+  Frame* parent = stack_.empty() ? nullptr : &stack_.back();
+  PathId path = stored_.mutable_paths()->Intern(
+      parent == nullptr ? kInvalidPathId : parent->path, StepKind::kElement,
+      tag);
+  Oid oid =
+      stored_.AppendNode(path, parent == nullptr ? kInvalidOid : parent->oid,
+                         parent == nullptr ? 0 : parent->next_rank++);
+  for (xml::Attribute& attribute : attributes) {
+    PathId attr_path = stored_.mutable_paths()->Intern(
+        path, StepKind::kAttribute, attribute.name);
+    stored_.AppendString(attr_path, oid, std::move(attribute.value));
+  }
+  stack_.push_back(Frame{oid, path, 0});
+  return util::Status::OK();
+}
 
-  util::Status StartElement(
-      std::string tag, std::vector<xml::Attribute> attributes) override {
-    Frame* parent = stack_.empty() ? nullptr : &stack_.back();
-    PathId path = stored_.mutable_paths()->Intern(
-        parent == nullptr ? kInvalidPathId : parent->path,
-        StepKind::kElement, tag);
-    Oid oid = stored_.AppendNode(
-        path, parent == nullptr ? kInvalidOid : parent->oid,
-        parent == nullptr ? 0 : parent->next_rank++);
-    for (xml::Attribute& attribute : attributes) {
-      PathId attr_path = stored_.mutable_paths()->Intern(
-          path, StepKind::kAttribute, attribute.name);
-      stored_.AppendString(attr_path, oid, std::move(attribute.value));
-    }
-    stack_.push_back(Frame{oid, path, 0});
+util::Status ShredSink::EndElement(std::string_view tag) {
+  (void)tag;
+  stack_.pop_back();
+  return util::Status::OK();
+}
+
+util::Status ShredSink::Text(std::string text) {
+  if (options_.skip_whitespace_cdata &&
+      util::StripAsciiWhitespace(text).empty()) {
     return util::Status::OK();
   }
+  Frame& parent = stack_.back();
+  PathId cdata_path =
+      stored_.mutable_paths()->Intern(parent.path, StepKind::kCdata, "cdata");
+  Oid oid = stored_.AppendNode(cdata_path, parent.oid, parent.next_rank++);
+  stored_.AppendString(cdata_path, oid, std::move(text));
+  return util::Status::OK();
+}
 
-  util::Status EndElement(std::string_view tag) override {
-    (void)tag;
-    stack_.pop_back();
-    return util::Status::OK();
-  }
+Result<StoredDocument> ShredSink::TakeFinalized() {
+  MEETXML_RETURN_NOT_OK(stored_.Finalize());
+  return std::move(stored_);
+}
 
-  util::Status Text(std::string text) override {
-    if (options_.skip_whitespace_cdata &&
-        util::StripAsciiWhitespace(text).empty()) {
-      return util::Status::OK();
-    }
-    Frame& parent = stack_.back();
-    PathId cdata_path = stored_.mutable_paths()->Intern(
-        parent.path, StepKind::kCdata, "cdata");
-    Oid oid =
-        stored_.AppendNode(cdata_path, parent.oid, parent.next_rank++);
-    stored_.AppendString(cdata_path, oid, std::move(text));
-    return util::Status::OK();
-  }
-
-  Result<StoredDocument> Take() {
-    MEETXML_RETURN_NOT_OK(stored_.Finalize());
-    return std::move(stored_);
-  }
-
- private:
-  struct Frame {
-    Oid oid;
-    PathId path;
-    int next_rank;
-  };
-
-  ShredOptions options_;
-  StoredDocument stored_;
-  std::vector<Frame> stack_;
-};
-
-}  // namespace
+}  // namespace internal
 
 Result<StoredDocument> ShredXmlTextStreaming(std::string_view xml_text,
                                              const ShredOptions& options) {
-  StreamingShredSink sink(options);
+  internal::ShredSink sink(options);
   MEETXML_RETURN_NOT_OK(xml::ParseSax(xml_text, &sink));
-  return sink.Take();
+  return sink.TakeFinalized();
 }
 
 Result<StoredDocument> ShredXmlFile(const std::string& path,

@@ -5,10 +5,12 @@
 #define MEETXML_MODEL_SHREDDER_H_
 
 #include <string_view>
+#include <vector>
 
 #include "model/document.h"
 #include "util/result.h"
 #include "xml/dom.h"
+#include "xml/sax.h"
 
 namespace meetxml {
 namespace model {
@@ -45,6 +47,46 @@ util::Result<StoredDocument> ShredXmlTextStreaming(
 /// \brief Convenience: read file + parse + shred.
 util::Result<StoredDocument> ShredXmlFile(const std::string& path,
                                           const ShredOptions& options = {});
+
+namespace internal {
+
+/// \brief SAX sink implementing the streaming Monet transform: interns
+/// paths, assigns OIDs in document order and appends string
+/// associations exactly like the DOM shredder (tested to agree).
+///
+/// Exposed for the bulk-load pipeline (model/bulk_load.h), which runs
+/// one sink per corpus shard and later rebases the shard relations into
+/// the global document; regular callers use ShredXmlTextStreaming.
+class ShredSink : public xml::SaxHandler {
+ public:
+  explicit ShredSink(const ShredOptions& options) : options_(options) {}
+
+  util::Status StartElement(std::string tag,
+                            std::vector<xml::Attribute> attributes) override;
+  util::Status EndElement(std::string_view tag) override;
+  util::Status Text(std::string text) override;
+
+  /// \brief Finalized document, ready for queries (the normal path).
+  util::Result<StoredDocument> TakeFinalized();
+
+  /// \brief Raw builder output without derived structures. Shard
+  /// merging replays the relations into the global document, so
+  /// finalizing the shard would be wasted work.
+  StoredDocument TakeUnfinalized() { return std::move(stored_); }
+
+ private:
+  struct Frame {
+    Oid oid;
+    PathId path;
+    int next_rank;
+  };
+
+  ShredOptions options_;
+  StoredDocument stored_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace internal
 
 }  // namespace model
 }  // namespace meetxml

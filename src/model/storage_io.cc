@@ -3,16 +3,26 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/byte_io.h"
+#include "util/file_io.h"
+
 namespace meetxml {
 namespace model {
 
+using util::ByteReader;
+using util::ByteWriter;
 using util::Result;
 using util::Status;
 
 namespace {
 
-constexpr char kMagic[4] = {'M', 'X', 'M', '1'};
-constexpr uint32_t kVersion = 1;
+constexpr char kMagicV1[4] = {'M', 'X', 'M', '1'};
+constexpr char kMagicV2[4] = {'M', 'X', 'M', '2'};
+constexpr uint32_t kMinorV1 = 1;
+constexpr uint32_t kMinorV2 = 2;
+// Corruption guard: a directory claiming more sections than this is
+// rejected before any allocation happens.
+constexpr uint32_t kMaxSections = 1024;
 
 uint64_t Fnv1a(std::string_view bytes) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -23,84 +33,15 @@ uint64_t Fnv1a(std::string_view bytes) {
   return hash;
 }
 
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void Str(std::string_view s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out_.append(s.data(), s.size());
-  }
-  std::string Take() { return std::move(out_); }
-
- private:
-  void Raw(const void* data, size_t size) {
-    out_.append(static_cast<const char*>(data), size);
-  }
-  std::string out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  Result<uint8_t> U8() {
-    MEETXML_RETURN_NOT_OK(Need(1));
-    return static_cast<uint8_t>(bytes_[pos_++]);
-  }
-  Result<uint32_t> U32() {
-    MEETXML_RETURN_NOT_OK(Need(4));
-    uint32_t v;
-    std::memcpy(&v, bytes_.data() + pos_, 4);
-    pos_ += 4;
-    return v;
-  }
-  Result<uint64_t> U64() {
-    MEETXML_RETURN_NOT_OK(Need(8));
-    uint64_t v;
-    std::memcpy(&v, bytes_.data() + pos_, 8);
-    pos_ += 8;
-    return v;
-  }
-  Result<std::string> Str() {
-    MEETXML_ASSIGN_OR_RETURN(uint32_t size, U32());
-    MEETXML_RETURN_NOT_OK(Need(size));
-    std::string out(bytes_.substr(pos_, size));
-    pos_ += size;
-    return out;
-  }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-
- private:
-  Status Need(size_t n) {
-    if (pos_ + n > bytes_.size()) {
-      return Status::UnexpectedEof("truncated storage image at offset ",
-                                   pos_);
-    }
-    return Status::OK();
-  }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
-
-Result<std::string> SaveToBytes(const StoredDocument& doc) {
-  if (!doc.finalized()) {
-    return Status::InvalidArgument(
-        "only finalized documents can be saved");
-  }
-
-  Writer payload;
+std::string SerializeDocumentPayload(const StoredDocument& doc) {
+  ByteWriter payload;
   // Path summary, in id order (parents first by construction).
   const PathSummary& paths = doc.paths();
   payload.U32(static_cast<uint32_t>(paths.size()));
   for (PathId id = 0; id < paths.size(); ++id) {
     payload.U32(paths.parent(id));
     payload.U8(static_cast<uint8_t>(paths.kind(id)));
-    payload.Str(paths.label(id));
+    payload.StrU32(paths.label(id));
   }
   // Node columns.
   payload.U32(static_cast<uint32_t>(doc.node_count()));
@@ -120,53 +61,20 @@ Result<std::string> SaveToBytes(const StoredDocument& doc) {
   for (const auto& [path, owner, value] : strings) {
     payload.U32(path);
     payload.U32(owner);
-    payload.Str(value);
+    payload.StrU32(value);
   }
-
-  std::string body = payload.Take();
-  Writer header;
-  header.U8(static_cast<uint8_t>(kMagic[0]));
-  header.U8(static_cast<uint8_t>(kMagic[1]));
-  header.U8(static_cast<uint8_t>(kMagic[2]));
-  header.U8(static_cast<uint8_t>(kMagic[3]));
-  header.U32(kVersion);
-  header.U64(body.size());
-  header.U64(Fnv1a(body));
-  std::string out = header.Take();
-  out += body;
-  return out;
+  return payload.Take();
 }
 
-Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
-  Reader reader(bytes);
-  for (char expected : kMagic) {
-    MEETXML_ASSIGN_OR_RETURN(uint8_t byte, reader.U8());
-    if (static_cast<char>(byte) != expected) {
-      return Status::InvalidArgument("not a meetxml storage image");
-    }
-  }
-  MEETXML_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported storage version ",
-                                   version);
-  }
-  MEETXML_ASSIGN_OR_RETURN(uint64_t payload_size, reader.U64());
-  MEETXML_ASSIGN_OR_RETURN(uint64_t checksum, reader.U64());
-  constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
-  if (bytes.size() != kHeaderSize + payload_size) {
-    return Status::InvalidArgument("storage image size mismatch");
-  }
-  if (Fnv1a(bytes.substr(kHeaderSize)) != checksum) {
-    return Status::InvalidArgument("storage image checksum mismatch");
-  }
-
+Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
+  ByteReader reader(payload);
   StoredDocument doc;
   PathSummary* paths = doc.mutable_paths();
   MEETXML_ASSIGN_OR_RETURN(uint32_t path_count, reader.U32());
   for (uint32_t i = 0; i < path_count; ++i) {
     MEETXML_ASSIGN_OR_RETURN(uint32_t parent, reader.U32());
     MEETXML_ASSIGN_OR_RETURN(uint8_t kind, reader.U8());
-    MEETXML_ASSIGN_OR_RETURN(std::string label, reader.Str());
+    MEETXML_ASSIGN_OR_RETURN(std::string label, reader.StrU32());
     if (parent != bat::kInvalidPathId && parent >= i) {
       return Status::InvalidArgument(
           "corrupt image: path parent out of order");
@@ -183,6 +91,9 @@ Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
   }
 
   MEETXML_ASSIGN_OR_RETURN(uint32_t node_count, reader.U32());
+  if (node_count > reader.remaining() / 4) {
+    return Status::InvalidArgument("corrupt image: node count");
+  }
   std::vector<Oid> parents(node_count);
   std::vector<PathId> node_paths(node_count);
   std::vector<uint32_t> ranks(node_count);
@@ -214,7 +125,7 @@ Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
       return Status::InvalidArgument("corrupt image: string path id");
     }
     MEETXML_ASSIGN_OR_RETURN(uint32_t owner, reader.U32());
-    MEETXML_ASSIGN_OR_RETURN(std::string value, reader.Str());
+    MEETXML_ASSIGN_OR_RETURN(std::string value, reader.StrU32());
     if (owner >= node_count) {
       return Status::InvalidArgument("corrupt image: string owner");
     }
@@ -228,8 +139,188 @@ Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
   return doc;
 }
 
-Status SaveToFile(const StoredDocument& doc, const std::string& path) {
-  MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes(doc));
+}  // namespace
+
+Result<std::string> SaveToBytes(const StoredDocument& doc,
+                                const SaveOptions& options) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument(
+        "only finalized documents can be saved");
+  }
+  if (options.format_version != 1 && options.format_version != 2) {
+    return Status::InvalidArgument("unknown storage format version ",
+                                   options.format_version);
+  }
+
+  // Reject images the loader itself would refuse: too many sections, a
+  // stray document section or duplicate ids must fail at write time,
+  // not at the next restart.
+  if (options.extra_sections.size() > kMaxSections - 1) {
+    return Status::InvalidArgument("too many sections: ",
+                                   options.extra_sections.size() + 1);
+  }
+  for (size_t i = 0; i < options.extra_sections.size(); ++i) {
+    if (options.extra_sections[i].id == kDocumentSectionId) {
+      return Status::InvalidArgument(
+          "extra sections cannot use the document section id");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (options.extra_sections[j].id == options.extra_sections[i].id) {
+        return Status::InvalidArgument("duplicate section id ",
+                                       options.extra_sections[i].id);
+      }
+    }
+  }
+
+  std::string body = SerializeDocumentPayload(doc);
+
+  if (options.format_version == 1) {
+    if (!options.extra_sections.empty()) {
+      return Status::InvalidArgument(
+          "MXM1 images cannot carry extra sections");
+    }
+    ByteWriter header;
+    for (char c : kMagicV1) header.U8(static_cast<uint8_t>(c));
+    header.U32(kMinorV1);
+    header.U64(body.size());
+    header.U64(Fnv1a(body));
+    std::string out = header.Take();
+    out += body;
+    return out;
+  }
+
+  ByteWriter out;
+  for (char c : kMagicV2) out.U8(static_cast<uint8_t>(c));
+  out.U32(kMinorV2);
+  out.U32(static_cast<uint32_t>(1 + options.extra_sections.size()));
+  out.U32(kDocumentSectionId);
+  out.U64(body.size());
+  out.U64(Fnv1a(body));
+  for (const ImageSection& section : options.extra_sections) {
+    out.U32(section.id);
+    out.U64(section.bytes.size());
+    out.U64(Fnv1a(section.bytes));
+  }
+  std::string image = out.Take();
+  image += body;
+  for (const ImageSection& section : options.extra_sections) {
+    image += section.bytes;
+  }
+  return image;
+}
+
+Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
+  ByteReader reader(bytes);
+  char magic[4];
+  for (char& c : magic) {
+    MEETXML_ASSIGN_OR_RETURN(uint8_t byte, reader.U8());
+    c = static_cast<char>(byte);
+  }
+
+  if (std::memcmp(magic, kMagicV1, 4) == 0) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
+    // Policy: accept every minor up to the newest we know (minors are
+    // backward compatible); MXM1 minors start at 1.
+    if (version < 1 || version > kMinorV1) {
+      return Status::InvalidArgument("unsupported storage version ",
+                                     version);
+    }
+    MEETXML_ASSIGN_OR_RETURN(uint64_t payload_size, reader.U64());
+    MEETXML_ASSIGN_OR_RETURN(uint64_t checksum, reader.U64());
+    size_t header_size = reader.pos();
+    if (payload_size != bytes.size() - header_size) {
+      return Status::InvalidArgument("storage image size mismatch");
+    }
+    std::string_view payload = bytes.substr(header_size);
+    if (Fnv1a(payload) != checksum) {
+      return Status::InvalidArgument("storage image checksum mismatch");
+    }
+    MEETXML_ASSIGN_OR_RETURN(StoredDocument doc,
+                             ParseDocumentPayload(payload));
+    LoadedImage image;
+    image.doc = std::move(doc);
+    image.format_version = 1;
+    return image;
+  }
+
+  if (std::memcmp(magic, kMagicV2, 4) != 0) {
+    return Status::InvalidArgument("not a meetxml storage image");
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
+  // Policy: accept every minor up to the newest we know (minors are
+  // backward compatible); MXM2 minors start at 2.
+  if (version < 2 || version > kMinorV2) {
+    return Status::InvalidArgument("unsupported storage version ",
+                                   version);
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint32_t section_count, reader.U32());
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::InvalidArgument("corrupt image: section count ",
+                                   section_count);
+  }
+  struct DirEntry {
+    uint32_t id;
+    uint64_t size;
+    uint64_t checksum;
+  };
+  std::vector<DirEntry> directory(section_count);
+  for (DirEntry& entry : directory) {
+    MEETXML_ASSIGN_OR_RETURN(entry.id, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(entry.size, reader.U64());
+    MEETXML_ASSIGN_OR_RETURN(entry.checksum, reader.U64());
+  }
+  // The payloads must tile the rest of the image exactly.
+  uint64_t expected = 0;
+  uint64_t remaining = reader.remaining();
+  for (const DirEntry& entry : directory) {
+    if (entry.size > remaining - expected) {
+      return Status::InvalidArgument("corrupt image: section overruns");
+    }
+    expected += entry.size;
+  }
+  if (expected != remaining) {
+    return Status::InvalidArgument("storage image size mismatch");
+  }
+
+  LoadedImage image;
+  image.format_version = 2;
+  bool saw_document = false;
+  size_t offset = reader.pos();
+  for (const DirEntry& entry : directory) {
+    std::string_view payload =
+        bytes.substr(offset, static_cast<size_t>(entry.size));
+    offset += static_cast<size_t>(entry.size);
+    if (Fnv1a(payload) != entry.checksum) {
+      return Status::InvalidArgument("storage image checksum mismatch");
+    }
+    if (entry.id == kDocumentSectionId) {
+      if (saw_document) {
+        return Status::InvalidArgument(
+            "corrupt image: duplicate document section");
+      }
+      saw_document = true;
+      MEETXML_ASSIGN_OR_RETURN(image.doc, ParseDocumentPayload(payload));
+    } else {
+      // Forward compatibility: unknown sections are preserved verbatim
+      // for higher layers (or newer readers) to interpret.
+      image.extra_sections.push_back(
+          ImageSection{entry.id, std::string(payload)});
+    }
+  }
+  if (!saw_document) {
+    return Status::InvalidArgument("corrupt image: no document section");
+  }
+  return image;
+}
+
+Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
+  MEETXML_ASSIGN_OR_RETURN(LoadedImage image, LoadImageFromBytes(bytes));
+  return std::move(image.doc);
+}
+
+Status SaveToFile(const StoredDocument& doc, const std::string& path,
+                  const SaveOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes(doc, options));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::NotFound("cannot open for write: ", path);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -238,11 +329,13 @@ Status SaveToFile(const StoredDocument& doc, const std::string& path) {
 }
 
 Result<StoredDocument> LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open file: ", path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return LoadFromBytes(bytes);
+  MEETXML_ASSIGN_OR_RETURN(LoadedImage image, LoadImageFromFile(path));
+  return std::move(image.doc);
+}
+
+Result<LoadedImage> LoadImageFromFile(const std::string& path) {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
+  return LoadImageFromBytes(bytes);
 }
 
 }  // namespace model

@@ -6,22 +6,56 @@
 // XML. This module serializes the Monet transform — path summary,
 // per-OID columns and per-path string relations — into a compact,
 // versioned, checksummed binary image. Loading an image is a straight
-// column read: no XML parsing, no re-interning.
+// column read: no XML parsing, no re-interning. Since MXM2 an image is
+// a sequence of independently checksummed sections, so derived
+// structures (e.g. the full-text indexes, see text/index_io.h) persist
+// alongside the document and reload without a rebuild.
 //
-// Format (little-endian):
+// Versioning policy
+// -----------------
+//  * The 4-byte magic carries the major format version ("MXM1",
+//    "MXM2", ...). A major revision may change the container layout
+//    arbitrarily; readers accept every major they know and reject
+//    unknown magics. Writers always emit the newest major unless asked
+//    for an older one via SaveOptions::format_version (supported for
+//    fleet rollbacks; v1 cannot carry extra sections).
+//  * The u32 version field after the magic is the minor revision of
+//    that major. Minor revisions are backward compatible: a reader for
+//    (major, minor) loads every image with the same major and
+//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 2.
+//  * Within MXM2, compatibility evolves by adding sections: a loader
+//    skips section ids it does not recognize (their bytes are surfaced
+//    through LoadedImage::extra_sections), so old readers open new
+//    images as long as the document section is intact. The document
+//    section is mandatory.
+//  * Every section is length-framed and FNV-1a checksummed
+//    independently; loaders verify bounds and checksums before
+//    touching a payload, and semantic validation (path/OID ranges,
+//    parent ordering) runs on every load. Corrupted or truncated
+//    images are rejected, never partially applied
+//    (tests/storage_fuzz_test.cc pins this).
+//
+// MXM1 layout (little-endian):
 //   magic "MXM1" | u32 version | u64 payload_size | u64 fnv1a_checksum
-//   payload:
-//     path summary: u32 count, then per path: u32 parent, u8 kind,
-//                   string label
-//     nodes: u32 count, then parent[], path[], rank[] columns
-//     strings: u32 count, then (u32 path, u32 owner, string value)
-//              rows in global append (document) order
+//   payload: the document payload described below
+// MXM2 layout:
+//   magic "MXM2" | u32 version | u32 section_count
+//   section directory: per section u32 id | u64 size | u64 fnv1a
+//   section payloads, concatenated in directory order
+// Document payload (section kDocumentSectionId in MXM2):
+//   path summary: u32 count, then per path: u32 parent, u8 kind,
+//                 string label
+//   nodes: u32 count, then parent[], path[], rank[] columns
+//   strings: u32 count, then (u32 path, u32 owner, string value)
+//            rows in global append (document) order
 //   strings are u32 length + bytes.
 
 #ifndef MEETXML_MODEL_STORAGE_IO_H_
 #define MEETXML_MODEL_STORAGE_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "model/document.h"
 #include "util/result.h"
@@ -29,19 +63,67 @@
 namespace meetxml {
 namespace model {
 
-/// \brief Serializes a finalized document to a binary image.
-util::Result<std::string> SaveToBytes(const StoredDocument& doc);
+/// \brief Builds a section id from its four-character tag.
+constexpr uint32_t MakeSectionId(char a, char b, char c, char d) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(a)) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(b)) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(c)) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(d));
+}
 
-/// \brief Restores a document from a binary image. The result is
-/// finalized and ready for queries. Corrupted or truncated images are
-/// rejected (version, bounds and checksum are verified).
+/// The mandatory document section of an MXM2 image.
+inline constexpr uint32_t kDocumentSectionId = MakeSectionId('D', 'O', 'C', '0');
+/// Persisted full-text indexes (payload codec: text/index_io.h).
+inline constexpr uint32_t kTextIndexSectionId = MakeSectionId('T', 'I', 'D', 'X');
+
+/// \brief One named, independently checksummed byte range of an image.
+struct ImageSection {
+  uint32_t id = 0;
+  std::string bytes;
+};
+
+/// \brief Serialization knobs.
+struct SaveOptions {
+  /// Container major to emit: 2 (current) or 1 (legacy MXM1; supported
+  /// for rollbacks, cannot carry extra sections).
+  uint32_t format_version = 2;
+  /// Additional sections appended after the document section (v2 only).
+  std::vector<ImageSection> extra_sections;
+};
+
+/// \brief A loaded image: the document plus any sections the document
+/// loader itself does not interpret (absent in v1 images).
+struct LoadedImage {
+  StoredDocument doc;
+  uint32_t format_version = 0;
+  std::vector<ImageSection> extra_sections;
+};
+
+/// \brief Serializes a finalized document to a binary image.
+util::Result<std::string> SaveToBytes(const StoredDocument& doc,
+                                      const SaveOptions& options = {});
+
+/// \brief Restores a document from a binary image, accepting every
+/// known major version (MXM1 and MXM2); extra sections are ignored.
+/// The result is finalized and ready for queries. Corrupted or
+/// truncated images are rejected (version, bounds and checksums are
+/// verified).
 util::Result<StoredDocument> LoadFromBytes(std::string_view bytes);
 
+/// \brief Like LoadFromBytes, but also surfaces the sections the
+/// document loader did not consume — e.g. the persisted full-text
+/// indexes — for higher layers to interpret.
+util::Result<LoadedImage> LoadImageFromBytes(std::string_view bytes);
+
 /// \brief Saves to a file.
-util::Status SaveToFile(const StoredDocument& doc, const std::string& path);
+util::Status SaveToFile(const StoredDocument& doc, const std::string& path,
+                        const SaveOptions& options = {});
 
 /// \brief Loads from a file.
 util::Result<StoredDocument> LoadFromFile(const std::string& path);
+
+/// \brief Loads from a file, keeping extra sections.
+util::Result<LoadedImage> LoadImageFromFile(const std::string& path);
 
 }  // namespace model
 }  // namespace meetxml

@@ -137,11 +137,33 @@ std::string QueryResult::ToText() const {
 }
 
 Result<Executor> Executor::Build(const StoredDocument& doc) {
-  MEETXML_ASSIGN_OR_RETURN(text::FullTextSearch search,
-                           text::FullTextSearch::Build(doc));
   MEETXML_ASSIGN_OR_RETURN(core::IdrefGraph idrefs,
                            core::IdrefGraph::Build(doc));
-  return Executor(&doc, std::move(search), std::move(idrefs));
+  return Executor(&doc, std::move(idrefs), std::make_unique<LazySearch>());
+}
+
+Result<Executor> Executor::Build(const StoredDocument& doc,
+                                 text::FullTextSearch search) {
+  MEETXML_ASSIGN_OR_RETURN(core::IdrefGraph idrefs,
+                           core::IdrefGraph::Build(doc));
+  auto lazy = std::make_unique<LazySearch>();
+  lazy->search = std::move(search);
+  return Executor(&doc, std::move(idrefs), std::move(lazy));
+}
+
+Result<const text::FullTextSearch*> Executor::EnsureSearch() const {
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  if (!lazy_->search.has_value()) {
+    MEETXML_ASSIGN_OR_RETURN(text::FullTextSearch built,
+                             text::FullTextSearch::Build(*doc_));
+    lazy_->search = std::move(built);
+  }
+  return &*lazy_->search;
+}
+
+bool Executor::text_index_built() const {
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  return lazy_->search.has_value();
 }
 
 Result<std::vector<AssocSet>> Executor::EvaluateBinding(
@@ -173,9 +195,11 @@ Result<std::vector<AssocSet>> Executor::EvaluateBinding(
   }
   std::unordered_map<PathId, std::vector<Oid>> anchor_hits;
   if (anchor != nullptr) {
+    MEETXML_ASSIGN_OR_RETURN(const text::FullTextSearch* search,
+                             EnsureSearch());
     MEETXML_ASSIGN_OR_RETURN(
         text::TermMatches matches,
-        search_.Search(anchor->literal, text::MatchMode::kContains));
+        search->Search(anchor->literal, text::MatchMode::kContains));
     for (core::AssocSet& set : matches.sets) {
       anchor_hits.emplace(set.path, std::move(set.nodes));
     }

@@ -6,6 +6,9 @@
 #ifndef MEETXML_QUERY_EXECUTOR_H_
 #define MEETXML_QUERY_EXECUTOR_H_
 
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,11 +56,20 @@ struct QueryResult {
 
 /// \brief Executes queries against one stored document.
 ///
-/// Construction builds the full-text indexes once; Execute() can then be
-/// called any number of times. The document must outlive the executor.
+/// The full-text indexes are built lazily, on the first query with a
+/// text predicate — purely structural queries never pay the index tax —
+/// or installed up front from a persisted MXM2 image. Execute() can be
+/// called any number of times (laziness is thread-safe). The document
+/// must outlive the executor.
 class Executor {
  public:
   static util::Result<Executor> Build(const model::StoredDocument& doc);
+
+  /// \brief Builds an executor around a pre-built full-text engine,
+  /// e.g. `text::FullTextSearch::WithIndex(doc, *store.index)` after
+  /// `text::LoadStoreFromBytes` — no index construction happens.
+  static util::Result<Executor> Build(const model::StoredDocument& doc,
+                                      text::FullTextSearch search);
 
   /// \brief Executes a parsed query.
   util::Result<QueryResult> Execute(const Query& query,
@@ -77,6 +89,10 @@ class Executor {
   const model::StoredDocument& doc() const { return *doc_; }
   const core::IdrefGraph& idref_graph() const { return idrefs_; }
 
+  /// \brief True once the full-text engine exists (installed at Build
+  /// or forced by a text predicate). Structural queries leave it false.
+  bool text_index_built() const;
+
   /// \brief Installs the thesaurus backing SYNONYM predicates (paper
   /// §4's search broadening). Without one, SYNONYM behaves like
   /// ICONTAINS of the literal alone.
@@ -86,19 +102,28 @@ class Executor {
   const text::Thesaurus& thesaurus() const { return thesaurus_; }
 
  private:
-  Executor(const model::StoredDocument* doc, text::FullTextSearch search,
-           core::IdrefGraph idrefs)
-      : doc_(doc),
-        search_(std::move(search)),
-        idrefs_(std::move(idrefs)) {}
+  // Lazily constructed full-text engine. Behind a unique_ptr so the
+  // executor stays movable (std::mutex is not), and mutex-guarded so
+  // concurrent Execute() calls race safely to the one build.
+  struct LazySearch {
+    std::mutex mu;
+    std::optional<text::FullTextSearch> search;
+  };
+
+  Executor(const model::StoredDocument* doc, core::IdrefGraph idrefs,
+           std::unique_ptr<LazySearch> lazy)
+      : doc_(doc), idrefs_(std::move(idrefs)), lazy_(std::move(lazy)) {}
 
   /// Evaluates one binding: pattern match + predicate filtering.
   util::Result<std::vector<core::AssocSet>> EvaluateBinding(
       const Query& query, const Binding& binding) const;
 
+  /// The full-text engine, building it on first use.
+  util::Result<const text::FullTextSearch*> EnsureSearch() const;
+
   const model::StoredDocument* doc_;
-  text::FullTextSearch search_;
   core::IdrefGraph idrefs_;
+  std::unique_ptr<LazySearch> lazy_;
   text::Thesaurus thesaurus_;
 };
 

@@ -1,0 +1,236 @@
+#include "text/index_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "util/byte_io.h"
+#include "util/file_io.h"
+
+namespace meetxml {
+namespace text {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr uint8_t kCodecVersion = 1;
+
+uint64_t PostingKey(const Posting& posting) {
+  return (static_cast<uint64_t>(posting.path) << 32) |
+         static_cast<uint64_t>(posting.owner);
+}
+
+Posting PostingFromKey(uint64_t key) {
+  return Posting{static_cast<PathId>(key >> 32),
+                 static_cast<Oid>(key & 0xffffffffULL)};
+}
+
+void WritePostings(ByteWriter* out, const std::vector<Posting>& postings) {
+  out->Varint(postings.size());
+  uint64_t previous = 0;
+  for (size_t i = 0; i < postings.size(); ++i) {
+    uint64_t key = PostingKey(postings[i]);
+    out->Varint(i == 0 ? key : key - previous);
+    previous = key;
+  }
+}
+
+// Hot path of index load: decodes a whole delta list with raw pointers
+// (one bounds check per byte-read loop, no per-call Need), since a
+// DBLP-sized index decodes millions of varints.
+Result<std::vector<Posting>> ReadPostings(ByteReader* reader) {
+  MEETXML_ASSIGN_OR_RETURN(uint64_t count, reader->Varint());
+  // Each posting costs at least one delta byte.
+  if (count > reader->remaining()) {
+    return Status::InvalidArgument("corrupt index: posting count");
+  }
+  const char* p = reader->bytes().data() + reader->pos();
+  const char* end = reader->bytes().data() + reader->bytes().size();
+  std::vector<Posting> postings;
+  postings.reserve(static_cast<size_t>(count));
+  uint64_t key = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    int shift = 0;
+    while (true) {
+      if (p == end) {
+        return Status::UnexpectedEof("truncated index payload");
+      }
+      uint8_t byte = static_cast<uint8_t>(*p++);
+      delta |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) {
+        return Status::InvalidArgument("corrupt index: varint overflow");
+      }
+    }
+    if (i > 0 && delta == 0) {
+      return Status::InvalidArgument(
+          "corrupt index: postings not strictly increasing");
+    }
+    uint64_t next = i == 0 ? delta : key + delta;
+    if (i > 0 && next < key) {
+      return Status::InvalidArgument("corrupt index: posting overflow");
+    }
+    key = next;
+    postings.push_back(PostingFromKey(key));
+  }
+  reader->set_pos(static_cast<size_t>(p - reader->bytes().data()));
+  return postings;
+}
+
+}  // namespace
+
+std::string SerializeIndex(const InvertedIndex& index) {
+  ByteWriter out;
+  out.U8(kCodecVersion);
+  out.U8(index.tokenizer_options().fold_case ? 1 : 0);
+  out.Varint(index.tokenizer_options().min_token_length);
+  out.U8(index.has_trigrams() ? 1 : 0);
+
+  // Hash-map iteration order is unspecified; emit in sorted key order
+  // so equal indexes serialize to equal bytes (images are diffable and
+  // the parallel/sequential equivalence tests can compare bytes).
+  std::vector<const InvertedIndex::WordMap::value_type*> words;
+  words.reserve(index.words().size());
+  for (const auto& entry : index.words()) words.push_back(&entry);
+  std::sort(words.begin(), words.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  out.Varint(words.size());
+  for (const auto* entry : words) {
+    out.StrVarint(entry->first);
+    WritePostings(&out, entry->second);
+  }
+
+  std::vector<const InvertedIndex::TrigramMap::value_type*> trigrams;
+  trigrams.reserve(index.trigrams().size());
+  for (const auto& entry : index.trigrams()) trigrams.push_back(&entry);
+  std::sort(trigrams.begin(), trigrams.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  out.Varint(trigrams.size());
+  for (const auto* entry : trigrams) {
+    out.U32(entry->first);
+    WritePostings(&out, entry->second);
+  }
+  return out.Take();
+}
+
+Result<InvertedIndex> DeserializeIndex(std::string_view bytes) {
+  ByteReader reader(bytes);
+  MEETXML_ASSIGN_OR_RETURN(uint8_t codec, reader.U8());
+  if (codec != kCodecVersion) {
+    return Status::InvalidArgument("unsupported index codec ", codec);
+  }
+  TokenizerOptions tokenizer;
+  MEETXML_ASSIGN_OR_RETURN(uint8_t fold_case, reader.U8());
+  tokenizer.fold_case = fold_case != 0;
+  MEETXML_ASSIGN_OR_RETURN(uint64_t min_length, reader.Varint());
+  tokenizer.min_token_length = static_cast<size_t>(min_length);
+  MEETXML_ASSIGN_OR_RETURN(uint8_t has_trigrams, reader.U8());
+
+  InvertedIndex::WordMap words;
+  MEETXML_ASSIGN_OR_RETURN(uint64_t word_count, reader.Varint());
+  if (word_count > reader.remaining()) {
+    return Status::InvalidArgument("corrupt index: word count");
+  }
+  words.reserve(static_cast<size_t>(word_count));
+  for (uint64_t i = 0; i < word_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(std::string word, reader.StrVarint());
+    MEETXML_ASSIGN_OR_RETURN(std::vector<Posting> postings,
+                             ReadPostings(&reader));
+    if (!words.emplace(std::move(word), std::move(postings)).second) {
+      return Status::InvalidArgument("corrupt index: duplicate word");
+    }
+  }
+
+  InvertedIndex::TrigramMap trigrams;
+  MEETXML_ASSIGN_OR_RETURN(uint64_t trigram_count, reader.Varint());
+  if (trigram_count > reader.remaining()) {
+    return Status::InvalidArgument("corrupt index: trigram count");
+  }
+  trigrams.reserve(static_cast<size_t>(trigram_count));
+  for (uint64_t i = 0; i < trigram_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t key, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(std::vector<Posting> postings,
+                             ReadPostings(&reader));
+    if (!trigrams.emplace(key, std::move(postings)).second) {
+      return Status::InvalidArgument("corrupt index: duplicate trigram");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in index payload");
+  }
+  return InvertedIndex::Restore(std::move(words), std::move(trigrams),
+                                tokenizer, has_trigrams != 0);
+}
+
+Status ValidateIndexAgainst(const model::StoredDocument& doc,
+                            const InvertedIndex& index) {
+  auto check = [&](const std::vector<Posting>& postings) -> Status {
+    for (const Posting& posting : postings) {
+      if (posting.path >= doc.paths().size()) {
+        return Status::InvalidArgument("corrupt index: posting path");
+      }
+      if (posting.owner >= doc.node_count()) {
+        return Status::InvalidArgument("corrupt index: posting owner");
+      }
+    }
+    return Status::OK();
+  };
+  for (const auto& [word, postings] : index.words()) {
+    MEETXML_RETURN_NOT_OK(check(postings));
+  }
+  for (const auto& [key, postings] : index.trigrams()) {
+    MEETXML_RETURN_NOT_OK(check(postings));
+  }
+  return Status::OK();
+}
+
+Result<std::string> SaveStoreToBytes(const model::StoredDocument& doc,
+                                     const InvertedIndex* index) {
+  model::SaveOptions options;
+  if (index != nullptr) {
+    options.extra_sections.push_back(
+        model::ImageSection{model::kTextIndexSectionId,
+                            SerializeIndex(*index)});
+  }
+  return model::SaveToBytes(doc, options);
+}
+
+Result<PersistentStore> LoadStoreFromBytes(std::string_view bytes) {
+  MEETXML_ASSIGN_OR_RETURN(model::LoadedImage image,
+                           model::LoadImageFromBytes(bytes));
+  PersistentStore store;
+  store.doc = std::move(image.doc);
+  for (const model::ImageSection& section : image.extra_sections) {
+    if (section.id != model::kTextIndexSectionId) continue;
+    MEETXML_ASSIGN_OR_RETURN(InvertedIndex index,
+                             DeserializeIndex(section.bytes));
+    MEETXML_RETURN_NOT_OK(ValidateIndexAgainst(store.doc, index));
+    store.index = std::move(index);
+    break;
+  }
+  return store;
+}
+
+Status SaveStoreToFile(const model::StoredDocument& doc,
+                       const InvertedIndex* index, const std::string& path) {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveStoreToBytes(doc, index));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for write: ", path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write to ", path);
+  return Status::OK();
+}
+
+Result<PersistentStore> LoadStoreFromFile(const std::string& path) {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
+  return LoadStoreFromBytes(bytes);
+}
+
+}  // namespace text
+}  // namespace meetxml

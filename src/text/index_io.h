@@ -1,0 +1,80 @@
+// Persistence of the full-text indexes (MXM2 "TIDX" section).
+//
+// The paper's Fig. 6 experiment pays ~1207 ms for the full-text scan
+// that feeds the 2 ms meet — and this reproduction used to rebuild the
+// inverted word and trigram indexes from scratch on every
+// Executor::Build. Persisting them alongside the document in the MXM2
+// storage image (model/storage_io.h) turns index construction into a
+// straight decode: sorted posting lists are delta-encoded against a
+// packed (path, owner) key and reload without tokenizing a single
+// string.
+//
+// TIDX payload (little-endian, varints are LEB128):
+//   u8 codec version (1)
+//   u8 fold_case | varint min_token_length   (tokenizer options)
+//   u8 has_trigrams
+//   varint word count, then per word in lexicographic order:
+//     string | varint posting count | delta-encoded postings
+//   varint trigram count, then per trigram in ascending key order:
+//     u32 key | varint posting count | delta-encoded postings
+// Postings are sorted unique (path, owner) pairs packed into a u64
+// key `path << 32 | owner`; the first posting stores its key raw, the
+// rest store the (strictly positive) difference to the predecessor.
+
+#ifndef MEETXML_TEXT_INDEX_IO_H_
+#define MEETXML_TEXT_INDEX_IO_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/storage_io.h"
+#include "text/inverted_index.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace text {
+
+/// \brief Serializes an index into the TIDX section payload.
+/// Deterministic: equal indexes produce equal bytes.
+std::string SerializeIndex(const InvertedIndex& index);
+
+/// \brief Decodes a TIDX payload. Structural corruption (truncation,
+/// non-monotonic postings, duplicate words) is rejected; callers that
+/// pair the index with a document should also run
+/// ValidateIndexAgainst to bounds-check postings.
+util::Result<InvertedIndex> DeserializeIndex(std::string_view bytes);
+
+/// \brief Verifies that every posting refers to an existing path and
+/// node of `doc` — the cross-section consistency check run when an
+/// image carries both a document and an index.
+util::Status ValidateIndexAgainst(const model::StoredDocument& doc,
+                                  const InvertedIndex& index);
+
+/// \brief A store image's contents: the document plus, when the image
+/// carried a TIDX section, the ready-to-probe full-text index.
+struct PersistentStore {
+  model::StoredDocument doc;
+  std::optional<InvertedIndex> index;
+};
+
+/// \brief Saves an MXM2 image with the document and, when `index` is
+/// non-null, the persisted full-text indexes.
+util::Result<std::string> SaveStoreToBytes(const model::StoredDocument& doc,
+                                           const InvertedIndex* index);
+
+/// \brief Loads an image saved by SaveStoreToBytes (or any MXM1/MXM2
+/// image; `index` stays empty when the image has no TIDX section —
+/// v1 images never do — so callers rebuild lazily).
+util::Result<PersistentStore> LoadStoreFromBytes(std::string_view bytes);
+
+/// \brief File variants.
+util::Status SaveStoreToFile(const model::StoredDocument& doc,
+                             const InvertedIndex* index,
+                             const std::string& path);
+util::Result<PersistentStore> LoadStoreFromFile(const std::string& path);
+
+}  // namespace text
+}  // namespace meetxml
+
+#endif  // MEETXML_TEXT_INDEX_IO_H_

@@ -43,18 +43,42 @@ Result<InvertedIndex> InvertedIndex::Build(const StoredDocument& doc,
   index.tokenizer_options_ = options.tokenizer;
   index.has_trigrams_ = options.build_trigrams;
 
+  // Sizing heuristics: a bibliography-style corpus runs a few distinct
+  // words per string association and saturates the trigram key space
+  // quickly. Capped so a huge corpus cannot commit bucket arrays far
+  // beyond the distinct-key population (trigram keys top out at 2^24;
+  // vocabularies plateau long before that).
+  index.words_.reserve(
+      std::min<size_t>(doc.string_count() * 2, size_t{1} << 20));
+  if (options.build_trigrams) {
+    index.trigrams_.reserve(
+        std::min<size_t>(doc.string_count() * 4, size_t{1} << 22));
+  }
+
+  // All postings for one string are appended back to back, so a
+  // same-as-last check removes the bulk of within-string repetition
+  // (repeated words, overlapping repeated trigrams) at append time;
+  // cross-string duplicates cannot exist because each (path, row) is
+  // its own posting. The finalize pass below restores the global
+  // sorted/unique invariant in one sort+unique per list — cheaper than
+  // the per-string set semantics TokenizeUnique used to impose.
+  auto append = [](std::vector<Posting>* postings, Posting posting) {
+    if (postings->empty() || !(postings->back() == posting)) {
+      postings->push_back(posting);
+    }
+  };
+
   for (PathId path : doc.string_paths()) {
     const model::OidStrBat& table = doc.StringsAt(path);
     for (size_t row = 0; row < table.size(); ++row) {
       Posting posting{path, table.head(row)};
       const std::string& value = table.tail(row);
-      for (const std::string& token :
-           TokenizeUnique(value, options.tokenizer)) {
-        index.words_[token].push_back(posting);
+      for (const std::string& token : Tokenize(value, options.tokenizer)) {
+        append(&index.words_[token], posting);
       }
       if (options.build_trigrams && value.size() >= 3) {
         for (size_t i = 0; i + 3 <= value.size(); ++i) {
-          index.trigrams_[TrigramKey(value, i)].push_back(posting);
+          append(&index.trigrams_[TrigramKey(value, i)], posting);
         }
       }
     }
@@ -66,6 +90,20 @@ Result<InvertedIndex> InvertedIndex::Build(const StoredDocument& doc,
   }
   for (auto& [key, postings] : index.trigrams_) {
     SortUniquePostings(&postings);
+  }
+  return index;
+}
+
+InvertedIndex InvertedIndex::Restore(WordMap words, TrigramMap trigrams,
+                                     TokenizerOptions tokenizer_options,
+                                     bool has_trigrams) {
+  InvertedIndex index;
+  index.words_ = std::move(words);
+  index.trigrams_ = std::move(trigrams);
+  index.tokenizer_options_ = tokenizer_options;
+  index.has_trigrams_ = has_trigrams;
+  for (const auto& [word, postings] : index.words_) {
+    index.posting_count_ += postings.size();
   }
   return index;
 }

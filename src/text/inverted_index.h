@@ -53,9 +53,20 @@ struct IndexOptions {
 /// \brief Word + trigram inverted index.
 class InvertedIndex {
  public:
+  using WordMap = std::unordered_map<std::string, std::vector<Posting>>;
+  using TrigramMap = std::unordered_map<uint32_t, std::vector<Posting>>;
+
   /// \brief Indexes every string association of a finalized document.
   static util::Result<InvertedIndex> Build(const StoredDocument& doc,
                                            const IndexOptions& options = {});
+
+  /// \brief Reconstitutes an index from previously extracted state —
+  /// the deserialization entry point (see text/index_io.h). Every
+  /// posting vector must already be sorted and unique; posting_count
+  /// is recomputed.
+  static InvertedIndex Restore(WordMap words, TrigramMap trigrams,
+                               TokenizerOptions tokenizer_options,
+                               bool has_trigrams);
 
   /// \brief Postings of a whole word (case-folded per tokenizer
   /// options); empty vector if absent. Postings are sorted and unique.
@@ -73,11 +84,19 @@ class InvertedIndex {
   size_t trigram_count() const { return trigrams_.size(); }
   bool has_trigrams() const { return has_trigrams_; }
 
+  /// \brief Raw index state, exposed for persistence (text/index_io.h)
+  /// and invariant checks. Posting vectors are sorted and unique.
+  const WordMap& words() const { return words_; }
+  const TrigramMap& trigrams() const { return trigrams_; }
+  const TokenizerOptions& tokenizer_options() const {
+    return tokenizer_options_;
+  }
+
  private:
   InvertedIndex() = default;
 
-  std::unordered_map<std::string, std::vector<Posting>> words_;
-  std::unordered_map<uint32_t, std::vector<Posting>> trigrams_;
+  WordMap words_;
+  TrigramMap trigrams_;
   TokenizerOptions tokenizer_options_;
   size_t posting_count_ = 0;
   bool has_trigrams_ = false;

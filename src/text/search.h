@@ -53,6 +53,15 @@ class FullTextSearch {
   static util::Result<FullTextSearch> Build(const StoredDocument& doc,
                                             const IndexOptions& options = {});
 
+  /// \brief Wraps a pre-built index — e.g. one deserialized from an
+  /// MXM2 image (text/index_io.h) — skipping construction entirely.
+  /// The index must have been built over `doc` (or validated against
+  /// it); the document must outlive this object.
+  static FullTextSearch WithIndex(const StoredDocument& doc,
+                                  InvertedIndex index) {
+    return FullTextSearch(&doc, std::move(index));
+  }
+
   /// \brief Matches of one term under the given mode. Sets are grouped
   /// by path, each with sorted, unique node OIDs.
   util::Result<TermMatches> Search(std::string_view term,

@@ -1,0 +1,123 @@
+// Little-endian byte codec shared by the binary persistence layers
+// (model/storage_io, text/index_io): fixed-width integers, LEB128
+// varints, and length-prefixed strings over one bounds-checked cursor,
+// so framing fixes land in exactly one place.
+
+#ifndef MEETXML_UTIL_BYTE_IO_H_
+#define MEETXML_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace meetxml {
+namespace util {
+
+/// \brief Append-only encoder. Integers are little-endian; Varint is
+/// LEB128; strings carry an explicit length prefix (u32 or varint —
+/// pick one per format and stick with it).
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Varint(uint64_t v) {
+    while (v >= 0x80) {
+      U8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    U8(static_cast<uint8_t>(v));
+  }
+  void StrU32(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void StrVarint(std::string_view s) {
+    Varint(s.size());
+    out_.append(s.data(), s.size());
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    out_.append(static_cast<const char*>(data), size);
+  }
+  std::string out_;
+};
+
+/// \brief Bounds-checked decoder over a borrowed byte range. Every
+/// read reports a clean UnexpectedEof instead of running off the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8() {
+    MEETXML_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    MEETXML_RETURN_NOT_OK(Need(4));
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    MEETXML_RETURN_NOT_OK(Need(8));
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  Result<uint64_t> Varint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      MEETXML_ASSIGN_OR_RETURN(uint8_t byte, U8());
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    return Status::InvalidArgument("corrupt payload: varint overflow");
+  }
+  Result<std::string> StrU32() {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t size, U32());
+    return Chars(size);
+  }
+  Result<std::string> StrVarint() {
+    MEETXML_ASSIGN_OR_RETURN(uint64_t size, Varint());
+    return Chars(size);
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  std::string_view bytes() const { return bytes_; }
+  /// \brief Repositions the cursor after an external fast-path decode
+  /// over bytes(); `pos` must not exceed the underlying size.
+  void set_pos(size_t pos) { pos_ = pos <= bytes_.size() ? pos : pos_; }
+
+  Status Need(uint64_t n) {
+    if (n > bytes_.size() - pos_) {
+      return Status::UnexpectedEof("truncated payload at offset ", pos_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<std::string> Chars(uint64_t size) {
+    MEETXML_RETURN_NOT_OK(Need(size));
+    std::string out(bytes_.substr(pos_, static_cast<size_t>(size)));
+    pos_ += static_cast<size_t>(size);
+    return out;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_BYTE_IO_H_

@@ -1,0 +1,29 @@
+// Whole-file reads for the loaders (XML parse, storage images): one
+// open/read/error-report path instead of a copy per call site.
+
+#ifndef MEETXML_UTIL_FILE_IO_H_
+#define MEETXML_UTIL_FILE_IO_H_
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "util/result.h"
+
+namespace meetxml {
+namespace util {
+
+/// \brief Reads a file's entire contents into memory (binary mode).
+inline Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: ", path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed: ", path);
+  return content;
+}
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_FILE_IO_H_

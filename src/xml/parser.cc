@@ -1,10 +1,9 @@
 #include "xml/parser.h"
 
 #include <cctype>
-#include <fstream>
-#include <sstream>
 #include <vector>
 
+#include "util/file_io.h"
 #include "util/strings.h"
 #include "xml/escape.h"
 #include "xml/sax.h"
@@ -486,13 +485,8 @@ Result<Document> Parse(std::string_view input, const ParseOptions& options) {
 
 Result<Document> ParseFile(const std::string& path,
                            const ParseOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open file: ", path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string content = buffer.str();
+  MEETXML_ASSIGN_OR_RETURN(std::string content,
+                           util::ReadFileToString(path));
   return Parse(content, options);
 }
 

@@ -102,6 +102,34 @@ TEST(InvertedIndex, AbsentTrigramShortCircuits) {
   EXPECT_TRUE(candidates->empty());
 }
 
+TEST(InvertedIndex, PostingListsAreSortedAndUnique) {
+  // The sort+unique finalize pass (and the lookup/intersection code
+  // relying on it) requires every posting list — word and trigram — to
+  // be strictly increasing. Repetition-heavy strings ("aaaa", repeated
+  // words) exercise the within-string dedup.
+  auto doc = MustShred(
+      "<r><a>the the the aaaa bbbb the</a><a x=\"aaaa aaaa\">aaaa</a>"
+      "<b>mississippi mississippi</b></r>");
+  auto index = InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  auto check = [](const std::vector<Posting>& postings) {
+    for (size_t i = 1; i < postings.size(); ++i) {
+      EXPECT_TRUE(postings[i - 1] < postings[i]);
+    }
+  };
+  for (const auto& [word, postings] : index->words()) check(postings);
+  for (const auto& [key, postings] : index->trigrams()) check(postings);
+
+  data::DblpOptions dblp_options;
+  dblp_options.end_year = 1987;
+  auto dblp_xml = data::GenerateDblpXml(dblp_options);
+  ASSERT_TRUE(dblp_xml.ok());
+  auto dblp = InvertedIndex::Build(MustShred(*dblp_xml));
+  ASSERT_TRUE(dblp.ok());
+  for (const auto& [word, postings] : dblp->words()) check(postings);
+  for (const auto& [key, postings] : dblp->trigrams()) check(postings);
+}
+
 // ---- Search facade -------------------------------------------------------
 
 TEST(FullTextSearch, ContainsMatchesSubstrings) {
