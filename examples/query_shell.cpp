@@ -1,25 +1,42 @@
-// Interactive query shell over an XML file (or the built-in example).
+// Interactive query shell over a catalog of documents.
 //
-// Run:  ./query_shell [file.xml]
+// Run:  ./query_shell [file.xml | store.mxm ...]
 //
-// Commands:
-//   .paths            show the path summary (the relation catalog)
-//   .stats            document statistics
-//   .explain <query>  show the binding plan without executing
+// Every XML argument is shredded and added to the catalog under its
+// file stem; a .mxm argument loads a whole store image (catalog or
+// legacy single-document). With no arguments the built-in paper
+// example is loaded. Queries route through store::MultiExecutor to
+// every document the current scope matches, so answers come back as
+// (doc, concept) rows.
+//
+// Catalog commands:
+//   \open <file>      add an XML file / load a store image
+//   \docs             list the catalog (name, id, nodes, paths, index)
+//   \use <glob>       scope queries to matching documents (default *)
+//   \save <file>      persist the catalog as one image
+//   \history          show past input lines
+// Classic commands:
+//   .paths            path summaries of the scoped documents
+//   .stats            statistics of the scoped documents
+//   .explain <query>  binding plan (requires a single-document scope)
 //   .help             grammar cheat sheet
 //   .quit             exit
-//   <query>           e.g.  SELECT MEET(a, b) FROM doc//cdata a,
-//                            doc//cdata b WHERE a CONTAINS 'x'
-//                            AND b CONTAINS 'y'
+// Queries may span several lines; a trailing ';' submits. Example:
+//   SELECT MEET(a, b) FROM doc//cdata a, doc//cdata b
+//     WHERE a CONTAINS 'Bit' AND b CONTAINS '1999';
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "data/paper_example.h"
-#include "model/shredder.h"
+#include "model/bulk_load.h"
 #include "model/stats.h"
-#include "query/executor.h"
+#include "store/catalog.h"
+#include "store/multi_executor.h"
+#include "util/strings.h"
 
 using namespace meetxml;  // example code; the library itself never does this
 
@@ -35,73 +52,206 @@ void PrintHelp() {
   proj:    var | MEET(v...) | ANCESTORS(v...) | GMEET(v1, v2)
            | TAG(v) | PATH(v) | XML(v) | COUNT(v)
   pattern: tag/tag, * (any tag), // (any depth), @attr, cdata
-Example:
+Queries end with ';' and may span lines. \use <glob> picks the
+documents they run against. Example:
   SELECT MEET(o1, o2) FROM bibliography//cdata o1,
     bibliography//cdata o2
-    WHERE o1 CONTAINS 'Bit' AND o2 CONTAINS '1999'
+    WHERE o1 CONTAINS 'Bit' AND o2 CONTAINS '1999';
 )");
+}
+
+// A name for `path` that is unique in the catalog: the file stem,
+// suffixed with _2, _3, ... on collision.
+std::string UniqueName(const store::Catalog& catalog,
+                       const std::string& path) {
+  std::string stem = std::filesystem::path(path).stem().string();
+  if (stem.empty()) stem = "doc";
+  std::string name = stem;
+  for (int n = 2; catalog.Find(name) != nullptr; ++n) {
+    name = stem + "_" + std::to_string(n);
+  }
+  return name;
+}
+
+// Adds an XML file or loads a store image into `catalog`.
+bool OpenFile(store::Catalog* catalog, const std::string& path) {
+  if (util::EndsWith(path, ".mxm")) {
+    auto loaded = store::Catalog::LoadFromFile(path);
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+      return false;
+    }
+    if (!catalog->empty()) {
+      std::printf("replacing %zu existing document(s) (\\save first to "
+                  "keep them)\n",
+                  catalog->size());
+    }
+    *catalog = std::move(*loaded);
+    std::printf("loaded store image: %zu document(s)\n", catalog->size());
+    return true;
+  }
+  auto doc = model::BulkShredXmlFile(path);
+  if (!doc.ok()) {
+    std::printf("error: %s\n", doc.status().ToString().c_str());
+    return false;
+  }
+  std::string name = UniqueName(*catalog, path);
+  auto added = catalog->Add(name, std::move(*doc));
+  if (!added.ok()) {
+    std::printf("error: %s\n", added.status().ToString().c_str());
+    return false;
+  }
+  const store::NamedDocument* entry = catalog->Find(name);
+  std::printf("added '%s' (doc %u): %zu nodes, %zu paths\n", name.c_str(),
+              entry->id, entry->doc.node_count(),
+              entry->doc.paths().size());
+  return true;
+}
+
+void ListDocs(const store::Catalog& catalog, std::string_view scope) {
+  if (catalog.empty()) {
+    std::printf("(catalog is empty — \\open a file)\n");
+    return;
+  }
+  for (const store::NamedDocument* entry : catalog.entries()) {
+    bool indexed = entry->index.has_value() ||
+                   (entry->executor != nullptr &&
+                    entry->executor->text_index() != nullptr);
+    std::printf("  %c %-20s id=%-4u %8zu nodes  %5zu paths  %s\n",
+                util::GlobMatch(scope, entry->name) ? '*' : ' ',
+                entry->name.c_str(), entry->id, entry->doc.node_count(),
+                entry->doc.paths().size(),
+                indexed ? "indexed" : "lazy index");
+  }
+  std::printf("('*' marks documents in the current scope '%s')\n",
+              std::string(scope).c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Result<model::StoredDocument> doc_result =
-      argc > 1 ? model::ShredXmlFile(argv[1])
-               : model::ShredXmlText(data::PaperExampleXml());
-  if (!doc_result.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 doc_result.status().ToString().c_str());
-    return 1;
+  store::Catalog catalog;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      if (!OpenFile(&catalog, argv[i])) return 1;
+    }
+  } else {
+    auto doc = model::ShredXmlText(data::PaperExampleXml());
+    MEETXML_CHECK_OK(doc.status());
+    MEETXML_CHECK_OK(catalog.Add("bibliography", std::move(*doc)).status());
   }
-  const model::StoredDocument& doc = *doc_result;
-  auto executor_result = query::Executor::Build(doc);
-  MEETXML_CHECK_OK(executor_result.status());
-  const query::Executor& executor = *executor_result;
+  store::MultiExecutor multi(&catalog);
+  std::string scope = "*";
 
-  std::printf("meetxml shell — %zu nodes, %zu paths. Type .help for the "
-              "grammar, .quit to exit.\n",
-              doc.node_count(), doc.paths().size());
+  std::printf("meetxml shell — %zu document(s). Type .help for the "
+              "grammar, \\docs for the catalog, .quit to exit.\n",
+              catalog.size());
 
+  std::vector<std::string> history;
+  std::string pending;  // multi-line query being accumulated
   std::string line;
   while (true) {
-    std::printf("meet> ");
+    std::printf(pending.empty() ? "meet> " : "....> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (line.empty()) continue;
-    if (line == ".quit" || line == ".exit") break;
-    if (line == ".help") {
-      PrintHelp();
-      continue;
-    }
-    if (line == ".stats") {
-      auto stats = model::ComputeStats(doc);
-      if (stats.ok()) {
-        std::printf("%s", model::RenderStats(*stats, 15).c_str());
-      }
-      continue;
-    }
-    if (line == ".paths") {
-      for (bat::PathId id = 0; id < doc.paths().size(); ++id) {
-        std::printf("  %s\n", doc.paths().ToString(id).c_str());
-      }
-      continue;
-    }
-    if (line.rfind(".explain ", 0) == 0) {
-      auto plan = executor.ExplainText(line.substr(9));
-      if (plan.ok()) {
-        std::printf("%s", plan->c_str());
+    std::string_view stripped = util::StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    history.emplace_back(stripped);
+
+    // Commands run immediately; they never join a multi-line query.
+    if (pending.empty() && (stripped[0] == '.' || stripped[0] == '\\')) {
+      std::string command(stripped);
+      if (command == ".quit" || command == ".exit") break;
+      if (command == ".help") {
+        PrintHelp();
+      } else if (command == "\\docs" || command == ".docs") {
+        ListDocs(catalog, scope);
+      } else if (command == "\\history") {
+        for (size_t i = 0; i < history.size(); ++i) {
+          std::printf("%4zu  %s\n", i + 1, history[i].c_str());
+        }
+      } else if (util::StartsWith(command, "\\use ")) {
+        std::string requested(
+            util::StripAsciiWhitespace(command.substr(5)));
+        if (catalog.MatchNames(requested).empty()) {
+          std::printf("scope '%s' matches no document (\\docs lists "
+                      "them); scope unchanged\n",
+                      requested.c_str());
+        } else {
+          scope = requested;
+          std::printf("scope: %s (%zu document(s))\n", scope.c_str(),
+                      catalog.MatchNames(scope).size());
+        }
+      } else if (util::StartsWith(command, "\\open ")) {
+        OpenFile(&catalog,
+                 std::string(util::StripAsciiWhitespace(command.substr(6))));
+      } else if (util::StartsWith(command, "\\save ")) {
+        std::string path(util::StripAsciiWhitespace(command.substr(6)));
+        auto saved = catalog.SaveToFile(path);
+        if (saved.ok()) {
+          std::printf("saved %zu document(s) -> %s\n", catalog.size(),
+                      path.c_str());
+        } else {
+          std::printf("error: %s\n", saved.ToString().c_str());
+        }
+      } else if (command == ".stats") {
+        for (const std::string& name : catalog.MatchNames(scope)) {
+          auto stats = model::ComputeStats(catalog.Find(name)->doc);
+          std::printf("-- %s --\n", name.c_str());
+          if (stats.ok()) {
+            std::printf("%s", model::RenderStats(*stats, 15).c_str());
+          }
+        }
+      } else if (command == ".paths") {
+        for (const std::string& name : catalog.MatchNames(scope)) {
+          const model::StoredDocument& doc = catalog.Find(name)->doc;
+          std::printf("-- %s --\n", name.c_str());
+          for (bat::PathId id = 0; id < doc.paths().size(); ++id) {
+            std::printf("  %s\n", doc.paths().ToString(id).c_str());
+          }
+        }
+      } else if (util::StartsWith(command, ".explain ")) {
+        std::vector<std::string> scoped = catalog.MatchNames(scope);
+        if (scoped.size() != 1) {
+          std::printf("explain needs a single-document scope; \\use a "
+                      "document name first\n");
+          continue;
+        }
+        auto executor = catalog.ExecutorFor(scoped.front());
+        if (!executor.ok()) {
+          std::printf("error: %s\n",
+                      executor.status().ToString().c_str());
+          continue;
+        }
+        auto plan = (*executor)->ExplainText(command.substr(9));
+        if (plan.ok()) {
+          std::printf("%s", plan->c_str());
+        } else {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+        }
       } else {
-        std::printf("error: %s\n", plan.status().ToString().c_str());
+        std::printf("unknown command: %s (.help lists commands)\n",
+                    command.c_str());
       }
       continue;
     }
-    auto result = executor.ExecuteText(line);
+
+    // Query text: accumulate until a line ends with ';'.
+    if (!pending.empty()) pending += ' ';
+    pending.append(stripped);
+    if (pending.back() != ';') continue;
+    pending.pop_back();
+    std::string query_text;
+    std::swap(query_text, pending);
+
+    auto result = multi.ExecuteText(scope, query_text);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    std::printf("%s(%zu rows)\n", result->ToText().c_str(),
-                result->rows.size());
+    std::printf("%s(%zu rows over %zu document(s))\n",
+                result->ToText().c_str(), result->rows.size(),
+                result->per_document.size());
   }
   return 0;
 }

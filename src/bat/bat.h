@@ -46,6 +46,11 @@ class Bat {
   const H& head(size_t row) const { return head_[row]; }
   const T& tail(size_t row) const { return tail_[row]; }
 
+  /// \brief Mutable tail access, for callers that adopt (move out) the
+  /// values of a table they are about to discard — e.g. the bulk-load
+  /// merge draining shard string relations without copying.
+  T& mutable_tail(size_t row) { return tail_[row]; }
+
   const std::vector<H>& heads() const { return head_; }
   const std::vector<T>& tails() const { return tail_; }
 

@@ -70,4 +70,8 @@
 #include "query/parser.h"
 #include "query/path_match.h"
 
+// Multi-document store.
+#include "store/catalog.h"
+#include "store/multi_executor.h"
+
 #endif  // MEETXML_MEETXML_H_

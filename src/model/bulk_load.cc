@@ -234,15 +234,19 @@ namespace {
 // node's path, then its string associations in their original append
 // order — reproduces the exact Intern/Append call sequence of the
 // sequential streaming shredder, which is what makes the merged
-// document bit-identical to the sequential output.
-void MergeShard(const StoredDocument& shard, StoredDocument* global,
+// document bit-identical to the sequential output. The shard is
+// consumed: its string values are moved, not copied, into the global
+// document, so the merge never holds two copies of a shard's text and
+// peak memory stays near one corpus worth of strings.
+void MergeShard(StoredDocument&& shard, StoredDocument* global,
                 PathId global_root_path, int* root_next_rank) {
   if (shard.node_count() <= 1) return;  // nothing but the wrapper root
 
-  std::vector<std::vector<std::pair<PathId, std::string_view>>>
-      owner_strings(shard.node_count());
-  for (const auto& [path, owner, value] : shard.StringsInAppendOrder()) {
-    owner_strings[owner].emplace_back(path, value);
+  std::vector<std::vector<std::pair<PathId, std::string>>> owner_strings(
+      shard.node_count());
+  for (auto& [path, owner, value] :
+       std::move(shard).TakeStringsInAppendOrder()) {
+    owner_strings[owner].emplace_back(path, std::move(value));
   }
 
   const PathSummary& shard_paths = shard.paths();
@@ -273,9 +277,9 @@ void MergeShard(const StoredDocument& shard, StoredDocument* global,
     // The wrapper root never owns strings (it has no attributes, and
     // top-level text becomes cdata nodes), so every association is
     // replayed here, right after its owning node — sequential order.
-    for (const auto& [local_path, value] : owner_strings[local]) {
+    for (auto& [local_path, value] : owner_strings[local]) {
       global->AppendString(map_path(local_path), global_oid,
-                           std::string(value));
+                           std::move(value));
     }
   }
 }
@@ -392,8 +396,11 @@ Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
   }
 
   int root_next_rank = 0;
-  for (const StoredDocument& shard : shards) {
-    MergeShard(shard, &global, root_path, &root_next_rank);
+  for (StoredDocument& shard : shards) {
+    MergeShard(std::move(shard), &global, root_path, &root_next_rank);
+    // Release the drained shard's columns before the next one merges,
+    // keeping peak memory at one corpus plus a single shard's skeleton.
+    shard = StoredDocument();
   }
   MEETXML_RETURN_NOT_OK(global.Finalize());
   return global;

@@ -97,6 +97,20 @@ StoredDocument::StringsInAppendOrder() const {
   return out;
 }
 
+std::vector<std::tuple<PathId, Oid, std::string>>
+StoredDocument::TakeStringsInAppendOrder() && {
+  std::vector<std::tuple<PathId, Oid, std::string>> out(string_count_);
+  for (PathId p = 0; p < strings_.size(); ++p) {
+    OidStrBat& table = strings_[p];
+    for (size_t row = 0; row < table.size(); ++row) {
+      out[string_seq_[p][row]] =
+          std::make_tuple(p, table.head(row),
+                          std::move(table.mutable_tail(row)));
+    }
+  }
+  return out;
+}
+
 Oid StoredDocument::AppendNode(PathId path, Oid parent, int rank) {
   Oid oid = static_cast<Oid>(parent_.size());
   parent_.push_back(parent);

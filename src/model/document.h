@@ -132,6 +132,13 @@ class StoredDocument {
   std::vector<std::tuple<PathId, Oid, std::string_view>>
   StringsInAppendOrder() const;
 
+  /// \brief Like StringsInAppendOrder, but *moves* the string values
+  /// out of the relations — the bulk-load merge drains each shard this
+  /// way instead of copying every string once more. The document's
+  /// string relations are left hollow; discard it afterwards.
+  std::vector<std::tuple<PathId, Oid, std::string>>
+  TakeStringsInAppendOrder() &&;
+
   // --- Builder interface (used by the shredder) ---------------------
 
   /// \brief Adds a node; OIDs must be appended densely (DFS order).

@@ -20,6 +20,9 @@ constexpr char kMagicV1[4] = {'M', 'X', 'M', '1'};
 constexpr char kMagicV2[4] = {'M', 'X', 'M', '2'};
 constexpr uint32_t kMinorV1 = 1;
 constexpr uint32_t kMinorV2 = 2;
+// Newest MXM2 minor a reader accepts; 3 added multi-document catalog
+// images (several DOC0 sections + a CTLG directory, store/catalog.h).
+constexpr uint32_t kMaxMinorV2 = 3;
 // Corruption guard: a directory claiming more sections than this is
 // rejected before any allocation happens.
 constexpr uint32_t kMaxSections = 1024;
@@ -139,7 +142,53 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
   return doc;
 }
 
+// Shared v2 container writer; takes pointers so callers can mix owned
+// and borrowed sections without copying payloads.
+Result<std::string> WriteContainer(
+    const std::vector<const ImageSection*>& sections, uint32_t minor) {
+  if (minor < kMinorV2 || minor > kMaxMinorV2) {
+    return Status::InvalidArgument("unknown MXM2 minor revision ", minor);
+  }
+  if (sections.empty() || sections.size() > kMaxSections) {
+    return Status::InvalidArgument("bad section count: ", sections.size());
+  }
+  ByteWriter out;
+  for (char c : kMagicV2) out.U8(static_cast<uint8_t>(c));
+  out.U32(minor);
+  out.U32(static_cast<uint32_t>(sections.size()));
+  for (const ImageSection* section : sections) {
+    out.U32(section->id);
+    out.U64(section->bytes.size());
+    out.U64(Fnv1a(section->bytes));
+  }
+  std::string image = out.Take();
+  for (const ImageSection* section : sections) {
+    image += section->bytes;
+  }
+  return image;
+}
+
 }  // namespace
+
+Result<std::string> SerializeDocumentSection(const StoredDocument& doc) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument(
+        "only finalized documents can be saved");
+  }
+  return SerializeDocumentPayload(doc);
+}
+
+Result<StoredDocument> ParseDocumentSection(std::string_view payload) {
+  return ParseDocumentPayload(payload);
+}
+
+Result<std::string> SaveSectionsToBytes(
+    const std::vector<ImageSection>& sections, uint32_t minor) {
+  std::vector<const ImageSection*> pointers;
+  pointers.reserve(sections.size());
+  for (const ImageSection& section : sections) pointers.push_back(&section);
+  return WriteContainer(pointers, minor);
+}
 
 Result<std::string> SaveToBytes(const StoredDocument& doc,
                                 const SaveOptions& options) {
@@ -189,27 +238,17 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
     return out;
   }
 
-  ByteWriter out;
-  for (char c : kMagicV2) out.U8(static_cast<uint8_t>(c));
-  out.U32(kMinorV2);
-  out.U32(static_cast<uint32_t>(1 + options.extra_sections.size()));
-  out.U32(kDocumentSectionId);
-  out.U64(body.size());
-  out.U64(Fnv1a(body));
+  std::vector<const ImageSection*> pointers;
+  pointers.reserve(1 + options.extra_sections.size());
+  ImageSection document_section{kDocumentSectionId, std::move(body)};
+  pointers.push_back(&document_section);
   for (const ImageSection& section : options.extra_sections) {
-    out.U32(section.id);
-    out.U64(section.bytes.size());
-    out.U64(Fnv1a(section.bytes));
+    pointers.push_back(&section);
   }
-  std::string image = out.Take();
-  image += body;
-  for (const ImageSection& section : options.extra_sections) {
-    image += section.bytes;
-  }
-  return image;
+  return WriteContainer(pointers, kMinorV2);
 }
 
-Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
+Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
   ByteReader reader(bytes);
   char magic[4];
   for (char& c : magic) {
@@ -235,11 +274,9 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
     if (Fnv1a(payload) != checksum) {
       return Status::InvalidArgument("storage image checksum mismatch");
     }
-    MEETXML_ASSIGN_OR_RETURN(StoredDocument doc,
-                             ParseDocumentPayload(payload));
-    LoadedImage image;
-    image.doc = std::move(doc);
-    image.format_version = 1;
+    SectionImage image;
+    image.minor = kMinorV1;
+    image.sections.push_back(SectionView{kDocumentSectionId, payload});
     return image;
   }
 
@@ -249,7 +286,7 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
   MEETXML_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
   // Policy: accept every minor up to the newest we know (minors are
   // backward compatible); MXM2 minors start at 2.
-  if (version < 2 || version > kMinorV2) {
+  if (version < kMinorV2 || version > kMaxMinorV2) {
     return Status::InvalidArgument("unsupported storage version ",
                                    version);
   }
@@ -282,9 +319,9 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
     return Status::InvalidArgument("storage image size mismatch");
   }
 
-  LoadedImage image;
-  image.format_version = 2;
-  bool saw_document = false;
+  SectionImage image;
+  image.minor = version;
+  image.sections.reserve(section_count);
   size_t offset = reader.pos();
   for (const DirEntry& entry : directory) {
     std::string_view payload =
@@ -293,18 +330,30 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
     if (Fnv1a(payload) != entry.checksum) {
       return Status::InvalidArgument("storage image checksum mismatch");
     }
-    if (entry.id == kDocumentSectionId) {
+    image.sections.push_back(SectionView{entry.id, payload});
+  }
+  return image;
+}
+
+Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
+  MEETXML_ASSIGN_OR_RETURN(SectionImage raw, LoadSectionsFromBytes(bytes));
+  LoadedImage image;
+  image.format_version = raw.minor == kMinorV1 ? 1 : 2;
+  bool saw_document = false;
+  for (const SectionView& section : raw.sections) {
+    if (section.id == kDocumentSectionId) {
       if (saw_document) {
         return Status::InvalidArgument(
             "corrupt image: duplicate document section");
       }
       saw_document = true;
-      MEETXML_ASSIGN_OR_RETURN(image.doc, ParseDocumentPayload(payload));
+      MEETXML_ASSIGN_OR_RETURN(image.doc,
+                               ParseDocumentPayload(section.bytes));
     } else {
       // Forward compatibility: unknown sections are preserved verbatim
       // for higher layers (or newer readers) to interpret.
       image.extra_sections.push_back(
-          ImageSection{entry.id, std::string(payload)});
+          ImageSection{section.id, std::string(section.bytes)});
     }
   }
   if (!saw_document) {

@@ -22,12 +22,20 @@
 //  * The u32 version field after the magic is the minor revision of
 //    that major. Minor revisions are backward compatible: a reader for
 //    (major, minor) loads every image with the same major and
-//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 2.
+//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 3.
 //  * Within MXM2, compatibility evolves by adding sections: a loader
 //    skips section ids it does not recognize (their bytes are surfaced
 //    through LoadedImage::extra_sections), so old readers open new
-//    images as long as the document section is intact. The document
-//    section is mandatory.
+//    images as long as the document section is intact. For the
+//    single-document API in this header the document section is
+//    mandatory and unique; writers stamp such images minor 2.
+//  * Minor 3 (the multi-document catalog, store/catalog.h) is the one
+//    container-level extension so far: an image may carry several DOC0
+//    and TIDX sections, tied together by a CTLG section that names
+//    them. Catalog writers stamp minor 3 only when more than one
+//    document is aboard, so single-document catalogs still open under
+//    older minor-2 readers; the single-document loaders below keep
+//    rejecting multi-DOC0 images ("duplicate document section").
 //  * Every section is length-framed and FNV-1a checksummed
 //    independently; loaders verify bounds and checksums before
 //    touching a payload, and semantic validation (path/OID ranges,
@@ -55,6 +63,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/document.h"
@@ -75,11 +84,29 @@ constexpr uint32_t MakeSectionId(char a, char b, char c, char d) {
 inline constexpr uint32_t kDocumentSectionId = MakeSectionId('D', 'O', 'C', '0');
 /// Persisted full-text indexes (payload codec: text/index_io.h).
 inline constexpr uint32_t kTextIndexSectionId = MakeSectionId('T', 'I', 'D', 'X');
+/// Multi-document catalog directory (payload codec: store/catalog.h).
+inline constexpr uint32_t kCatalogSectionId = MakeSectionId('C', 'T', 'L', 'G');
 
 /// \brief One named, independently checksummed byte range of an image.
 struct ImageSection {
   uint32_t id = 0;
   std::string bytes;
+};
+
+/// \brief A borrowed view of one image section (zero-copy: the view
+/// aliases the image bytes handed to the loader).
+struct SectionView {
+  uint32_t id = 0;
+  std::string_view bytes;
+};
+
+/// \brief A raw MXM2 container view: the minor revision plus every
+/// section in directory order, bounds and checksums verified, payloads
+/// not yet interpreted. MXM1 images surface as minor 1 with a single
+/// synthetic document section. Views borrow from the loaded bytes.
+struct SectionImage {
+  uint32_t minor = 0;
+  std::vector<SectionView> sections;
 };
 
 /// \brief Serialization knobs.
@@ -102,6 +129,33 @@ struct LoadedImage {
 /// \brief Serializes a finalized document to a binary image.
 util::Result<std::string> SaveToBytes(const StoredDocument& doc,
                                       const SaveOptions& options = {});
+
+// --- Container layer (used by multi-document images) -----------------
+//
+// The single-document Save/Load functions above are wrappers over this
+// raw section API; store/catalog.h uses it directly to write images
+// carrying several DOC0/TIDX pairs plus a CTLG directory.
+
+/// \brief Writes an MXM2 container around `sections`, in order. `minor`
+/// is the revision stamp: 2 for images a single-document reader can
+/// open, 3 when the section set needs catalog semantics (several DOC0
+/// sections). Section ids may repeat — interpreting duplicates is the
+/// caller's contract (the single-document writer rejects them earlier).
+util::Result<std::string> SaveSectionsToBytes(
+    const std::vector<ImageSection>& sections, uint32_t minor = 2);
+
+/// \brief Parses any MXM1/MXM2 container: verifies magic, version
+/// bounds, directory tiling and per-section checksums, and returns the
+/// raw sections without interpreting payloads.
+util::Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes);
+
+/// \brief Encodes one document as a DOC0 section payload (the document
+/// must be finalized).
+util::Result<std::string> SerializeDocumentSection(const StoredDocument& doc);
+
+/// \brief Decodes a DOC0 section payload; the result is finalized.
+/// Semantic validation (path/OID ranges, parent ordering) runs here.
+util::Result<StoredDocument> ParseDocumentSection(std::string_view payload);
 
 /// \brief Restores a document from a binary image, accepting every
 /// known major version (MXM1 and MXM2); extra sections are ignored.

@@ -107,7 +107,9 @@ std::string FormatOid(Oid oid) { return "o" + std::to_string(oid); }
 
 }  // namespace
 
-std::string QueryResult::ToText() const {
+std::string RenderTable(const std::vector<std::string>& columns,
+                        const std::vector<std::vector<std::string>>& rows,
+                        bool truncated) {
   std::vector<size_t> widths(columns.size());
   for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
   for (const auto& row : rows) {
@@ -134,6 +136,10 @@ std::string QueryResult::ToText() const {
   for (const auto& row : rows) emit_row(row);
   if (truncated) out += "(truncated)\n";
   return out;
+}
+
+std::string QueryResult::ToText() const {
+  return RenderTable(columns, rows, truncated);
 }
 
 Result<Executor> Executor::Build(const StoredDocument& doc) {
@@ -164,6 +170,16 @@ Result<const text::FullTextSearch*> Executor::EnsureSearch() const {
 bool Executor::text_index_built() const {
   std::lock_guard<std::mutex> lock(lazy_->mu);
   return lazy_->search.has_value();
+}
+
+const text::InvertedIndex* Executor::text_index() const {
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  return lazy_->search.has_value() ? &lazy_->search->index() : nullptr;
+}
+
+void Executor::InstallTextSearch(text::FullTextSearch search) {
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  if (!lazy_->search.has_value()) lazy_->search = std::move(search);
 }
 
 Result<std::vector<AssocSet>> Executor::EvaluateBinding(

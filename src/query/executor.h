@@ -30,6 +30,12 @@ struct ExecuteOptions {
   size_t max_rows = 100000;
 };
 
+/// \brief Renders columns + rows as an aligned ASCII table — the one
+/// formatter behind QueryResult::ToText and store::MultiResult::ToText.
+std::string RenderTable(const std::vector<std::string>& columns,
+                        const std::vector<std::vector<std::string>>& rows,
+                        bool truncated);
+
 /// \brief A query result: a small relational table, plus structured
 /// access to meet results for programmatic callers.
 struct QueryResult {
@@ -92,6 +98,24 @@ class Executor {
   /// \brief True once the full-text engine exists (installed at Build
   /// or forced by a text predicate). Structural queries leave it false.
   bool text_index_built() const;
+
+  /// \brief The built inverted index, or nullptr when none exists yet.
+  /// Lets store::Catalog persist an index this executor built lazily
+  /// without rebuilding it. The pointer stays valid for the executor's
+  /// lifetime (the engine, once built, is never torn down).
+  const text::InvertedIndex* text_index() const;
+
+  /// \brief The full-text engine, built on first use — the handle
+  /// cross-document probes (text/cross_document.h) take per target.
+  util::Result<const text::FullTextSearch*> TextSearch() const {
+    return EnsureSearch();
+  }
+
+  /// \brief Installs a pre-built engine after construction; no-op when
+  /// one already exists. Lets store::Catalog build the executor first
+  /// (the fallible step) and hand over a persisted index only once the
+  /// build has succeeded — a failed Build never consumes the index.
+  void InstallTextSearch(text::FullTextSearch search);
 
   /// \brief Installs the thesaurus backing SYNONYM predicates (paper
   /// §4's search broadening). Without one, SYNONYM behaves like

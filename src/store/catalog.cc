@@ -1,0 +1,382 @@
+#include "store/catalog.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "model/storage_io.h"
+#include "text/index_io.h"
+#include "util/byte_io.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace meetxml {
+namespace store {
+
+using model::ImageSection;
+using model::SectionView;
+using model::StoredDocument;
+using util::ByteReader;
+using util::ByteWriter;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr uint8_t kCatalogCodecVersion = 1;
+
+Status ValidateName(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("document names cannot be empty");
+  }
+  if (name.find_first_of("*?") != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "document name '", name,
+        "' contains glob metacharacters (reserved for scopes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+NamedDocument* Catalog::FindMutable(std::string_view name) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+const NamedDocument* Catalog::Find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+const NamedDocument* Catalog::FindById(DocId id) const {
+  for (const auto& entry : entries_) {
+    if (entry->id == id) return entry.get();
+  }
+  return nullptr;
+}
+
+Result<const model::StoredDocument*> Catalog::Get(
+    std::string_view name) const {
+  const NamedDocument* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no document named '", name,
+                            "' in the catalog");
+  }
+  return &entry->doc;
+}
+
+Result<DocId> Catalog::Add(std::string name, StoredDocument doc) {
+  MEETXML_RETURN_NOT_OK(ValidateName(name));
+  if (!doc.finalized()) {
+    return Status::InvalidArgument(
+        "only finalized documents can join the catalog");
+  }
+  if (Find(name) != nullptr) {
+    return Status::InvalidArgument("document '", name,
+                                 "' is already in the catalog");
+  }
+  auto entry = std::make_unique<NamedDocument>();
+  entry->id = next_id_++;
+  entry->name = std::move(name);
+  entry->doc = std::move(doc);
+  DocId id = entry->id;
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+Result<DocId> Catalog::Add(std::string name, StoredDocument doc,
+                           text::InvertedIndex index) {
+  MEETXML_RETURN_NOT_OK(text::ValidateIndexAgainst(doc, index));
+  MEETXML_ASSIGN_OR_RETURN(DocId id, Add(std::move(name), std::move(doc)));
+  entries_.back()->index = std::move(index);
+  return id;
+}
+
+Status Catalog::Remove(std::string_view name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->name == name) {
+      entries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no document named '", name,
+                          "' in the catalog");
+}
+
+Status Catalog::Rename(std::string_view from, std::string to) {
+  MEETXML_RETURN_NOT_OK(ValidateName(to));
+  NamedDocument* entry = FindMutable(from);
+  if (entry == nullptr) {
+    return Status::NotFound("no document named '", from,
+                            "' in the catalog");
+  }
+  if (to != from && Find(to) != nullptr) {
+    return Status::InvalidArgument("document '", to,
+                                 "' is already in the catalog");
+  }
+  entry->name = std::move(to);
+  return Status::OK();
+}
+
+std::vector<const NamedDocument*> Catalog::entries() const {
+  std::vector<const NamedDocument*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.get());
+  return out;
+}
+
+std::vector<std::string> Catalog::MatchNames(std::string_view glob) const {
+  std::vector<std::string> out;
+  for (const auto& entry : entries_) {
+    if (util::GlobMatch(glob, entry->name)) out.push_back(entry->name);
+  }
+  return out;
+}
+
+Result<const query::Executor*> Catalog::ExecutorFor(std::string_view name) {
+  NamedDocument* entry = FindMutable(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no document named '", name,
+                            "' in the catalog");
+  }
+  if (entry->executor == nullptr) {
+    // Build first (the fallible step), hand the index over only on
+    // success — a failed build must not hollow the persisted index.
+    MEETXML_ASSIGN_OR_RETURN(query::Executor built,
+                             query::Executor::Build(entry->doc));
+    entry->executor = std::make_unique<query::Executor>(std::move(built));
+    if (entry->index.has_value()) {
+      entry->executor->InstallTextSearch(text::FullTextSearch::WithIndex(
+          entry->doc, std::move(*entry->index)));
+      // The index now lives inside the executor (text_index() hands it
+      // back for Save); holding a second copy would double memory.
+      entry->index.reset();
+    }
+  }
+  return entry->executor.get();
+}
+
+Status Catalog::EnsureIndex(std::string_view name) {
+  NamedDocument* entry = FindMutable(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no document named '", name,
+                            "' in the catalog");
+  }
+  if (entry->index.has_value()) return Status::OK();
+  if (entry->executor != nullptr) {
+    // Force the executor's own lazy build: the index lands where its
+    // text predicates will use it, and text_index() exposes it to
+    // Save — a sidecar copy would be built twice and used once.
+    return entry->executor->TextSearch().status();
+  }
+  MEETXML_ASSIGN_OR_RETURN(text::InvertedIndex index,
+                           text::InvertedIndex::Build(entry->doc));
+  entry->index = std::move(index);
+  return Status::OK();
+}
+
+Result<std::string> Catalog::SaveToBytes() const {
+  // Section order: CTLG first, then per entry its DOC0 and (when an
+  // index exists anywhere — on the entry or inside its executor) TIDX.
+  std::vector<ImageSection> sections;
+  sections.emplace_back();  // CTLG placeholder, payload filled below
+
+  ByteWriter directory;
+  directory.U8(kCatalogCodecVersion);
+  directory.Varint(next_id_);
+  directory.Varint(entries_.size());
+  for (const auto& entry : entries_) {
+    MEETXML_ASSIGN_OR_RETURN(std::string doc_payload,
+                             model::SerializeDocumentSection(entry->doc));
+    directory.Varint(entry->id);
+    directory.StrVarint(entry->name);
+    directory.Varint(sections.size());
+    sections.push_back(
+        ImageSection{model::kDocumentSectionId, std::move(doc_payload)});
+    const text::InvertedIndex* index =
+        entry->index.has_value()
+            ? &*entry->index
+            : (entry->executor != nullptr ? entry->executor->text_index()
+                                          : nullptr);
+    if (index != nullptr) {
+      directory.Varint(sections.size() + 1);  // 0 means "no index"
+      sections.push_back(ImageSection{model::kTextIndexSectionId,
+                                      text::SerializeIndex(*index)});
+    } else {
+      directory.Varint(0);
+    }
+  }
+  sections.front() =
+      ImageSection{model::kCatalogSectionId, directory.Take()};
+
+  // One document degrades gracefully under legacy minor-2 readers (the
+  // CTLG section is skipped as unknown); several DOC0 sections need
+  // the minor-3 contract.
+  uint32_t minor = entries_.size() > 1 ? 3 : 2;
+  return model::SaveSectionsToBytes(sections, minor);
+}
+
+Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
+  MEETXML_ASSIGN_OR_RETURN(model::SectionImage image,
+                           model::LoadSectionsFromBytes(bytes));
+
+  const SectionView* catalog_section = nullptr;
+  for (const SectionView& section : image.sections) {
+    if (section.id != model::kCatalogSectionId) continue;
+    if (catalog_section != nullptr) {
+      return Status::InvalidArgument(
+          "corrupt image: duplicate catalog section");
+    }
+    catalog_section = &section;
+  }
+
+  Catalog catalog;
+  if (catalog_section == nullptr) {
+    // Legacy single-document image (MXM1, or MXM2 written by the
+    // single-document API): one entry, named after the root tag.
+    MEETXML_ASSIGN_OR_RETURN(model::LoadedImage legacy,
+                             model::LoadImageFromBytes(bytes));
+    std::optional<text::InvertedIndex> index;
+    for (const ImageSection& section : legacy.extra_sections) {
+      if (section.id != model::kTextIndexSectionId) continue;
+      MEETXML_ASSIGN_OR_RETURN(text::InvertedIndex decoded,
+                               text::DeserializeIndex(section.bytes));
+      MEETXML_RETURN_NOT_OK(
+          text::ValidateIndexAgainst(legacy.doc, decoded));
+      index = std::move(decoded);
+      break;
+    }
+    std::string name = legacy.doc.tag(legacy.doc.root());
+    if (!ValidateName(name).ok()) name = "doc";
+    if (index.has_value()) {
+      MEETXML_RETURN_NOT_OK(catalog
+                                .Add(std::move(name),
+                                     std::move(legacy.doc),
+                                     std::move(*index))
+                                .status());
+    } else {
+      MEETXML_RETURN_NOT_OK(
+          catalog.Add(std::move(name), std::move(legacy.doc)).status());
+    }
+    return catalog;
+  }
+
+  ByteReader reader(catalog_section->bytes);
+  MEETXML_ASSIGN_OR_RETURN(uint8_t codec, reader.U8());
+  if (codec != kCatalogCodecVersion) {
+    return Status::InvalidArgument("unsupported catalog codec ", codec);
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint64_t next_id, reader.Varint());
+  // next_id must stay below the invalid sentinel so every future Add
+  // hands out a usable id; anything larger is corruption (and would
+  // silently truncate in the u32 member below).
+  if (next_id >= kInvalidDocId) {
+    return Status::InvalidArgument("corrupt catalog: next_doc_id ",
+                                   next_id);
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint64_t entry_count, reader.Varint());
+  if (entry_count > image.sections.size()) {
+    // Every entry owns at least a DOC0 section; more entries than
+    // sections is structurally impossible.
+    return Status::InvalidArgument("corrupt catalog: entry count ",
+                                   entry_count);
+  }
+
+  std::vector<bool> claimed(image.sections.size(), false);
+  claimed[static_cast<size_t>(catalog_section - image.sections.data())] =
+      true;
+  auto claim = [&](uint64_t at, uint32_t want_id) -> Status {
+    if (at >= image.sections.size()) {
+      return Status::InvalidArgument(
+          "corrupt catalog: section index out of range");
+    }
+    if (image.sections[at].id != want_id) {
+      return Status::InvalidArgument(
+          "corrupt catalog: section type mismatch");
+    }
+    if (claimed[at]) {
+      return Status::InvalidArgument(
+          "corrupt catalog: section referenced twice");
+    }
+    claimed[at] = true;
+    return Status::OK();
+  };
+
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
+    MEETXML_ASSIGN_OR_RETURN(std::string name, reader.StrVarint());
+    MEETXML_ASSIGN_OR_RETURN(uint64_t doc_at, reader.Varint());
+    MEETXML_ASSIGN_OR_RETURN(uint64_t index_at_plus_one, reader.Varint());
+    if (id >= next_id) {
+      return Status::InvalidArgument(
+          "corrupt catalog: document id beyond next_doc_id");
+    }
+    if (catalog.FindById(static_cast<DocId>(id)) != nullptr) {
+      return Status::InvalidArgument(
+          "corrupt catalog: duplicate document id");
+    }
+    MEETXML_RETURN_NOT_OK(claim(doc_at, model::kDocumentSectionId));
+    MEETXML_ASSIGN_OR_RETURN(
+        StoredDocument doc,
+        model::ParseDocumentSection(image.sections[doc_at].bytes));
+
+    std::optional<text::InvertedIndex> index;
+    if (index_at_plus_one != 0) {
+      uint64_t index_at = index_at_plus_one - 1;
+      MEETXML_RETURN_NOT_OK(claim(index_at, model::kTextIndexSectionId));
+      MEETXML_ASSIGN_OR_RETURN(
+          text::InvertedIndex decoded,
+          text::DeserializeIndex(image.sections[index_at].bytes));
+      MEETXML_RETURN_NOT_OK(text::ValidateIndexAgainst(doc, decoded));
+      index = std::move(decoded);
+    }
+
+    // Add() re-validates the name and enforces uniqueness; it assigns
+    // sequential ids, so the persisted id is restored afterwards.
+    Result<DocId> added =
+        index.has_value()
+            ? catalog.Add(std::move(name), std::move(doc),
+                          std::move(*index))
+            : catalog.Add(std::move(name), std::move(doc));
+    MEETXML_RETURN_NOT_OK(added.status());
+    catalog.entries_.back()->id = static_cast<DocId>(id);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in catalog section");
+  }
+  // Document and index sections a CTLG image does not reference are
+  // writer bugs or tampering, not forward compatibility (new ids are
+  // how the format grows); reject them.
+  for (size_t at = 0; at < image.sections.size(); ++at) {
+    uint32_t id = image.sections[at].id;
+    if (!claimed[at] && (id == model::kDocumentSectionId ||
+                         id == model::kTextIndexSectionId)) {
+      return Status::InvalidArgument(
+          "corrupt catalog: unreferenced document or index section");
+    }
+  }
+  catalog.next_id_ = static_cast<DocId>(next_id);
+  return catalog;
+}
+
+Status Catalog::SaveToFile(const std::string& path) const {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for write: ", path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write to ", path);
+  return Status::OK();
+}
+
+Result<Catalog> Catalog::LoadFromFile(const std::string& path) {
+  MEETXML_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
+  return LoadFromBytes(bytes);
+}
+
+}  // namespace store
+}  // namespace meetxml

@@ -1,0 +1,155 @@
+// Multi-document store catalog: many named documents, one image.
+//
+// The paper's DBLP case study (§5) runs nearest-concept queries over a
+// *collection* of bibliographic documents, and §4 combines the meet
+// with full-text search to find a concept from one bibliography inside
+// another. Until now the persistence layer could hold exactly one
+// StoredDocument per image, so every multi-corpus workload re-shredded
+// its XML on start-up. The catalog closes that gap: it manages a set
+// of named documents (add/remove/rename/get, stable document ids) and
+// persists all of them — each with its optional full-text index — in a
+// single MXM2 image.
+//
+// Image layout (minor 3 when more than one document is aboard, minor 2
+// otherwise so legacy readers can still open one-document catalogs):
+//   CTLG section: the catalog directory (codec below)
+//   per document, one DOC0 section (model/storage_io.h payload) and,
+//   when an index exists, one TIDX section (text/index_io.h payload)
+//
+// CTLG payload (little-endian, varints are LEB128):
+//   u8 codec version (1)
+//   varint next_doc_id
+//   varint entry count, then per entry in ascending id order:
+//     varint doc id | name (varint length + bytes)
+//     varint doc section index (position in the image directory)
+//     varint index section index + 1 (0 = the document has no TIDX)
+// Every DOC0/TIDX section must be referenced by exactly one entry;
+// dangling or doubly-referenced sections are rejected. Legacy MXM1 and
+// single-document MXM2 images (no CTLG section) load as a one-entry
+// catalog named after the document's root tag.
+
+#ifndef MEETXML_STORE_CATALOG_H_
+#define MEETXML_STORE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/document.h"
+#include "query/executor.h"
+#include "text/inverted_index.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace store {
+
+/// \brief Stable identifier of a catalog document. Ids are assigned
+/// once at Add and survive save/load, rename and the removal of other
+/// documents; they are never reused.
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDocId = 0xffffffffu;
+
+/// \brief One named document of the catalog.
+struct NamedDocument {
+  DocId id = kInvalidDocId;
+  std::string name;
+  model::StoredDocument doc;
+  /// Full-text index handed to Add / loaded from the image; moved into
+  /// the executor on first ExecutorFor (retrieve it back through
+  /// Executor::text_index()).
+  std::optional<text::InvertedIndex> index;
+  /// Lazily built per-document executor, cached across queries.
+  std::unique_ptr<query::Executor> executor;
+};
+
+/// \brief A set of named documents behind one store image.
+///
+/// Entries live behind stable pointers: Add/Remove/Rename of one
+/// document never invalidates another entry's document or executor.
+/// Not thread-safe for mutation; concurrent queries through already
+/// built executors are safe (query::Executor::Execute is const).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// \brief Adds a finalized document under a unique, non-empty name.
+  /// Names must not contain the glob metacharacters '*' and '?', which
+  /// are reserved for scope patterns (multi_executor.h).
+  util::Result<DocId> Add(std::string name, model::StoredDocument doc);
+
+  /// \brief Adds a document along with its pre-built full-text index
+  /// (validated against the document).
+  util::Result<DocId> Add(std::string name, model::StoredDocument doc,
+                          text::InvertedIndex index);
+
+  /// \brief Removes a document; its id is retired, never reused.
+  util::Status Remove(std::string_view name);
+
+  /// \brief Renames a document; the id is unchanged.
+  util::Status Rename(std::string_view from, std::string to);
+
+  /// \brief The entry with this name; nullptr when absent.
+  const NamedDocument* Find(std::string_view name) const;
+  /// \brief The entry with this id; nullptr when absent.
+  const NamedDocument* FindById(DocId id) const;
+
+  /// \brief The document behind `name`, as an error-carrying lookup.
+  util::Result<const model::StoredDocument*> Get(
+      std::string_view name) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief Every entry in ascending id (== insertion) order.
+  std::vector<const NamedDocument*> entries() const;
+
+  /// \brief Names matching a glob scope (util::GlobMatch), in ascending
+  /// id order. "*" selects everything.
+  std::vector<std::string> MatchNames(std::string_view glob) const;
+
+  /// \brief The cached executor for one document, built on first use —
+  /// around the persisted index when the entry has one, lazily
+  /// index-building otherwise.
+  util::Result<const query::Executor*> ExecutorFor(std::string_view name);
+
+  /// \brief Builds (and caches) the full-text index of one document so
+  /// the next Save persists it. No-op when an index already exists,
+  /// either on the entry or inside its executor.
+  util::Status EnsureIndex(std::string_view name);
+
+  /// \brief Serializes the whole catalog into one image. Documents
+  /// whose index exists (persisted, EnsureIndex'd, or lazily built by
+  /// an executor) carry a TIDX section; the rest rebuild lazily after
+  /// load.
+  util::Result<std::string> SaveToBytes() const;
+
+  /// \brief Loads a catalog image — or any legacy MXM1/MXM2
+  /// single-document image, which becomes a one-entry catalog named
+  /// after its root tag.
+  static util::Result<Catalog> LoadFromBytes(std::string_view bytes);
+
+  /// \brief File variants.
+  util::Status SaveToFile(const std::string& path) const;
+  static util::Result<Catalog> LoadFromFile(const std::string& path);
+
+ private:
+  NamedDocument* FindMutable(std::string_view name);
+
+  // unique_ptr keeps entry addresses stable across vector growth, so
+  // executors (which point at their documents) survive Add/Remove of
+  // sibling entries.
+  std::vector<std::unique_ptr<NamedDocument>> entries_;
+  DocId next_id_ = 0;
+};
+
+}  // namespace store
+}  // namespace meetxml
+
+#endif  // MEETXML_STORE_CATALOG_H_

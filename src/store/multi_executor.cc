@@ -1,0 +1,214 @@
+#include "store/multi_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace meetxml {
+namespace store {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Runs `body(i)` for every index on a pool sized to the work; the
+// same pick-next-atomically loop as the bulk-load shard workers.
+template <typename Body>
+void FanOut(size_t count, Body body) {
+  unsigned workers = static_cast<unsigned>(
+      std::min<size_t>(count,
+                       std::max(1u, std::thread::hardware_concurrency())));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& thread : pool) thread.join();
+}
+
+}  // namespace
+
+std::string MultiResult::ToText() const {
+  return query::RenderTable(columns, rows, truncated);
+}
+
+Result<MultiResult> MultiExecutor::Execute(
+    std::string_view scope, const query::Query& query,
+    const query::ExecuteOptions& options) {
+  std::vector<std::string> names = catalog_->MatchNames(scope);
+  if (names.empty()) {
+    return Status::NotFound("scope '", scope,
+                            "' matches no catalog document");
+  }
+
+  // Build missing executors serially (mutates the catalog), then fan
+  // the read-only execution out across documents.
+  std::vector<const query::Executor*> executors;
+  executors.reserve(names.size());
+  for (const std::string& name : names) {
+    MEETXML_ASSIGN_OR_RETURN(const query::Executor* executor,
+                             catalog_->ExecutorFor(name));
+    executors.push_back(executor);
+  }
+
+  std::vector<Result<query::QueryResult>> outcomes(
+      names.size(), Status::Internal("query did not run"));
+  FanOut(names.size(), [&](size_t i) {
+    outcomes[i] = executors[i]->Execute(query, options);
+  });
+
+  MultiResult merged;
+  for (size_t i = 0; i < names.size(); ++i) {
+    MEETXML_RETURN_NOT_OK(outcomes[i].status());
+    DocumentResult entry;
+    entry.id = catalog_->Find(names[i])->id;
+    entry.name = names[i];
+    entry.result = std::move(*outcomes[i]);
+    merged.truncated = merged.truncated || entry.result.truncated;
+    merged.per_document.push_back(std::move(entry));
+  }
+
+  merged.columns.push_back("doc");
+  const query::QueryResult& first = merged.per_document.front().result;
+  merged.columns.insert(merged.columns.end(), first.columns.begin(),
+                        first.columns.end());
+
+  // Merge order: MEET rows are globally re-ranked by the paper's
+  // witness-distance heuristic (rows and meets are parallel vectors in
+  // a MEET QueryResult); everything else keeps document order.
+  bool rank_by_distance =
+      !query.projections.empty() &&
+      query.projections.front().kind == query::Projection::Kind::kMeet;
+  struct RowRef {
+    int distance;
+    size_t doc;
+    size_t row;
+  };
+  std::vector<RowRef> order;
+  for (size_t d = 0; d < merged.per_document.size(); ++d) {
+    const query::QueryResult& result = merged.per_document[d].result;
+    for (size_t r = 0; r < result.rows.size(); ++r) {
+      int distance =
+          rank_by_distance && r < result.meets.size()
+              ? result.meets[r].witness_distance
+              : 0;
+      order.push_back(RowRef{distance, d, r});
+    }
+  }
+  if (rank_by_distance) {
+    std::stable_sort(order.begin(), order.end(),
+                     [](const RowRef& a, const RowRef& b) {
+                       return a.distance < b.distance;
+                     });
+  }
+
+  size_t row_cap = options.max_rows;
+  if (query.limit.has_value()) {
+    row_cap = std::min(row_cap, static_cast<size_t>(*query.limit));
+  }
+  merged.rows.reserve(std::min(order.size(), row_cap));
+  for (const RowRef& ref : order) {
+    if (merged.rows.size() >= row_cap) {
+      merged.truncated = true;
+      break;
+    }
+    const DocumentResult& from = merged.per_document[ref.doc];
+    std::vector<std::string> row;
+    row.reserve(1 + from.result.rows[ref.row].size());
+    row.push_back(from.name);
+    row.insert(row.end(), from.result.rows[ref.row].begin(),
+               from.result.rows[ref.row].end());
+    merged.rows.push_back(std::move(row));
+  }
+  return merged;
+}
+
+Result<MultiResult> MultiExecutor::ExecuteText(
+    std::string_view scope, std::string_view query_text,
+    const query::ExecuteOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(query::Query query,
+                           query::ParseQuery(query_text));
+  return Execute(scope, query, options);
+}
+
+Result<std::vector<CrossMatch>> MultiExecutor::FindEverywhere(
+    std::string_view source, bat::Oid subtree, std::string_view scope,
+    const text::CrossFindOptions& options) {
+  const NamedDocument* source_entry = catalog_->Find(source);
+  if (source_entry == nullptr) {
+    return Status::NotFound("no document named '", source,
+                            "' in the catalog");
+  }
+  if (subtree >= source_entry->doc.node_count()) {
+    return Status::NotFound("no node with OID ", subtree, " in '",
+                            source, "'");
+  }
+
+  std::vector<std::string> scoped = catalog_->MatchNames(scope);
+  if (scoped.empty()) {
+    // Same contract as Execute: an empty scope is almost always a
+    // typo'd glob, not "no concepts found". (A scope matching only the
+    // source legitimately yields zero targets below.)
+    return Status::NotFound("scope '", scope,
+                            "' matches no catalog document");
+  }
+  std::vector<std::string> targets;
+  for (std::string& name : scoped) {
+    if (name != source_entry->name) targets.push_back(std::move(name));
+  }
+  std::vector<const query::Executor*> executors;
+  executors.reserve(targets.size());
+  for (const std::string& name : targets) {
+    MEETXML_ASSIGN_OR_RETURN(const query::Executor* executor,
+                             catalog_->ExecutorFor(name));
+    executors.push_back(executor);
+  }
+
+  // The per-target probe forces the target's full-text engine; running
+  // it inside the fan-out parallelizes those index builds too (the
+  // executor's lazy build is thread-safe).
+  std::vector<Result<std::vector<core::GeneralMeet>>> outcomes(
+      targets.size(), Status::Internal("probe did not run"));
+  FanOut(targets.size(), [&](size_t i) {
+    Result<const text::FullTextSearch*> search =
+        executors[i]->TextSearch();
+    if (!search.ok()) {
+      outcomes[i] = search.status();
+      return;
+    }
+    outcomes[i] = text::FindInOtherDocument(
+        source_entry->doc, subtree, executors[i]->doc(), **search,
+        options);
+  });
+
+  std::vector<CrossMatch> matches;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    MEETXML_RETURN_NOT_OK(outcomes[i].status());
+    DocId id = catalog_->Find(targets[i])->id;
+    for (core::GeneralMeet& meet : *outcomes[i]) {
+      matches.push_back(CrossMatch{id, targets[i], std::move(meet)});
+    }
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const CrossMatch& a, const CrossMatch& b) {
+                     return a.meet.witness_distance <
+                            b.meet.witness_distance;
+                   });
+  return matches;
+}
+
+}  // namespace store
+}  // namespace meetxml

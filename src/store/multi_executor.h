@@ -1,0 +1,102 @@
+// Cross-document query routing over a store::Catalog.
+//
+// The paper's DBLP case study queries a *collection* of bibliographies;
+// pazpar2-style federated metasearch puts many named sources behind one
+// query surface and merges their ranked results. MultiExecutor is that
+// surface for the catalog: a parsed query is routed to one document, a
+// name-glob subset, or all documents; per-document execution fans out
+// on a thread pool (reusing query::Executor and the lazy per-document
+// text indexes); and the per-document answers merge into
+// document-qualified rows — for MEET projections re-ranked globally by
+// the paper's witness-distance heuristic, so the best nearest concept
+// wins regardless of which document it lives in.
+
+#ifndef MEETXML_STORE_MULTI_EXECUTOR_H_
+#define MEETXML_STORE_MULTI_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/meet_general.h"
+#include "query/executor.h"
+#include "store/catalog.h"
+#include "text/cross_document.h"
+
+namespace meetxml {
+namespace store {
+
+/// \brief One document's share of a fanned-out query.
+struct DocumentResult {
+  DocId id = kInvalidDocId;
+  std::string name;
+  query::QueryResult result;
+};
+
+/// \brief The merged answer of a multi-document query.
+struct MultiResult {
+  /// "doc" followed by the per-document result columns.
+  std::vector<std::string> columns;
+  /// Document-qualified rows: row[0] is the document name. MEET rows
+  /// are globally re-ranked by ascending witness distance; other
+  /// projections keep (document, row) order.
+  std::vector<std::vector<std::string>> rows;
+  /// Structured per-document access (meets, stats, exact counts).
+  std::vector<DocumentResult> per_document;
+  bool truncated = false;
+
+  /// \brief Renders an aligned ASCII table, like QueryResult::ToText.
+  std::string ToText() const;
+};
+
+/// \brief One cross-document hit of FindEverywhere: the nearest concept
+/// a foreign document has for the probed item.
+struct CrossMatch {
+  DocId id = kInvalidDocId;
+  std::string name;
+  core::GeneralMeet meet;
+};
+
+/// \brief Executes queries against a set of catalog documents.
+///
+/// The catalog must outlive the MultiExecutor. Execution mutates the
+/// catalog only by building missing per-document executors (serially,
+/// before the fan-out); the fan-out itself is read-only and safe to
+/// run concurrently with other readers.
+class MultiExecutor {
+ public:
+  explicit MultiExecutor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Routes a parsed query to every document whose name matches
+  /// `scope` ("*" = all, "dblp*" = subset, exact name = one document)
+  /// and merges the answers. An empty match set is an error — it
+  /// almost always means a typo'd scope.
+  util::Result<MultiResult> Execute(
+      std::string_view scope, const query::Query& query,
+      const query::ExecuteOptions& options = {});
+
+  /// \brief Parses and routes query text.
+  util::Result<MultiResult> ExecuteText(
+      std::string_view scope, std::string_view query_text,
+      const query::ExecuteOptions& options = {});
+
+  /// \brief Cross-document meet (paper §4 / text/cross_document.h) over
+  /// the whole store: extracts probe strings from the subtree rooted at
+  /// `subtree` in `source`, full-text searches them in every *other*
+  /// scoped document, and returns each document's nearest concepts,
+  /// globally ordered by ascending witness distance. A scope matching
+  /// no document at all is an error (like Execute); a scope matching
+  /// only the source returns an empty list.
+  util::Result<std::vector<CrossMatch>> FindEverywhere(
+      std::string_view source, bat::Oid subtree,
+      std::string_view scope = "*",
+      const text::CrossFindOptions& options = {});
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace store
+}  // namespace meetxml
+
+#endif  // MEETXML_STORE_MULTI_EXECUTOR_H_

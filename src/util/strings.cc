@@ -104,5 +104,31 @@ bool IsAllDigits(std::string_view s) {
   });
 }
 
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative backtracking over the last '*': linear in practice, no
+  // recursion, no pathological blow-up on repeated stars.
+  size_t p = 0;
+  size_t t = 0;
+  size_t star = std::string_view::npos;
+  size_t star_text = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_text = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_text;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 }  // namespace util
 }  // namespace meetxml

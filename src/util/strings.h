@@ -40,6 +40,12 @@ std::string Join(const std::vector<std::string_view>& pieces,
 /// \brief True if every byte is an ASCII digit and `s` is non-empty.
 bool IsAllDigits(std::string_view s);
 
+/// \brief Shell-style glob match: `*` matches any run (including the
+/// empty one), `?` matches exactly one byte, everything else matches
+/// itself, case-sensitively. Used for catalog name scoping
+/// (store/multi_executor.h).
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
 }  // namespace util
 }  // namespace meetxml
 

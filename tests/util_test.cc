@@ -250,6 +250,25 @@ TEST(Rng, PortableStream) {
   EXPECT_EQ(rng.Next64(), 0xae17533239e499a1ULL);
 }
 
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("dblp", "dblp"));
+  EXPECT_FALSE(GlobMatch("dblp", "dblp2"));
+  EXPECT_TRUE(GlobMatch("dblp*", "dblp_1999"));
+  EXPECT_FALSE(GlobMatch("dblp*", "mm_dblp"));
+  EXPECT_TRUE(GlobMatch("*_1999", "dblp_1999"));
+  EXPECT_TRUE(GlobMatch("d?lp", "dblp"));
+  EXPECT_FALSE(GlobMatch("d?lp", "dlp"));
+  EXPECT_TRUE(GlobMatch("*a*b*", "xxaxxbxx"));
+  EXPECT_FALSE(GlobMatch("*a*b*", "xxbxxaxx"));
+  EXPECT_TRUE(GlobMatch("**", "x"));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("", ""));
+  // Case-sensitive, like document names.
+  EXPECT_FALSE(GlobMatch("DBLP*", "dblp_1999"));
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace meetxml

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bench trend check: fail CI when a benchmark regresses hard.
+
+Compares a freshly produced Google Benchmark JSON file against the
+archived baseline from the previous run and exits non-zero when any
+benchmark's wall time grew beyond the threshold (default 2x) — the
+tripwire for the BENCH_*.json trajectory the bench-smoke job archives.
+
+Usage:
+    check_bench_trend.py CURRENT.json BASELINE.json [--threshold 2.0]
+
+Skips cleanly (exit 0, with a note) when the baseline file does not
+exist or cannot be parsed — first runs and cache evictions must not
+fail the job. Benchmarks present on only one side are reported but
+never fatal: adding or renaming a benchmark is not a regression.
+"""
+
+import argparse
+import json
+import sys
+
+# Everything is compared in nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in ns} for a GBench JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        unit = bench.get("time_unit", "ns")
+        if name is None or real_time is None or unit not in _UNIT_NS:
+            continue
+        times[name] = float(real_time) * _UNIT_NS[unit]
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced GBench JSON")
+    parser.add_argument("baseline", help="previous run's GBench JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current wall time exceeds threshold * baseline",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_times(args.baseline)
+    except (OSError, ValueError) as error:
+        print(f"trend check skipped: no usable baseline ({error})")
+        return 0
+    current = load_times(args.current)
+    if not baseline or not current:
+        print("trend check skipped: empty benchmark list")
+        return 0
+
+    regressions = []
+    for name in sorted(current):
+        if name not in baseline:
+            print(f"  new benchmark (no baseline): {name}")
+            continue
+        before, after = baseline[name], current[name]
+        ratio = after / before if before > 0 else float("inf")
+        marker = "REGRESSION" if ratio > args.threshold else "ok"
+        print(
+            f"  {marker:>10}  {name}: {before / 1e6:.3f} ms -> "
+            f"{after / 1e6:.3f} ms ({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  benchmark disappeared: {name}")
+
+    if regressions:
+        print(
+            f"{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold}x:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"trend check passed ({len(current)} benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
