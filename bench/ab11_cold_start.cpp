@@ -1,0 +1,203 @@
+// AB11 — ablation: cold start, image bytes -> hot executor.
+//
+// The paper's value proposition is "bulk-load DBLP once, query
+// interactively ever after", which makes the image-to-executor path
+// the product's cold-start latency. This bench isolates the two
+// levers this repo pulls on it:
+//
+// Part 1 — payload codec: the row-oriented DOC0 payload replays one
+// framed (path, owner, value) row per string (an allocation and a
+// dispatch each), the columnar DOC1 payload memcpys whole columns and
+// adopts one value arena per path. Expected shape: DOC1 decodes the
+// dblp corpus several times faster (the acceptance bar is >= 3x for
+// executor-from-image).
+//
+// Part 2 — catalog fan-out: a multi-document store's sections are
+// independently checksummed byte ranges, so Catalog::LoadFromBytes
+// decodes them on a thread pool. Expected shape: open time for an
+// 8-document catalog scales near-linearly with threads until the
+// serial container scan dominates.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "model/storage_io.h"
+#include "query/executor.h"
+#include "store/catalog.h"
+#include "text/index_io.h"
+#include "xml/serializer.h"
+
+using namespace meetxml;
+
+namespace {
+
+// Same corpus shape as ab9 so the two benches stay comparable.
+const model::StoredDocument& SharedDoc() {
+  static model::StoredDocument* doc = [] {
+    data::DblpOptions options;
+    options.icde_papers_per_year = 50;
+    options.other_papers_per_year = 150;
+    options.journal_articles_per_year = 50;
+    auto generated = data::GenerateDblp(options);
+    MEETXML_CHECK_OK(generated.status());
+    xml::SerializeOptions serialize_options;
+    serialize_options.indent = 1;
+    std::string xml_text = xml::Serialize(*generated, serialize_options);
+    auto shredded = model::ShredXmlTextStreaming(xml_text);
+    MEETXML_CHECK_OK(shredded.status());
+    return new model::StoredDocument(std::move(*shredded));
+  }();
+  return *doc;
+}
+
+const std::string& Image(model::DocumentPayloadFormat format) {
+  auto make = [](model::DocumentPayloadFormat payload_format) {
+    model::SaveOptions options;
+    options.payload_format = payload_format;
+    auto bytes = model::SaveToBytes(SharedDoc(), options);
+    MEETXML_CHECK_OK(bytes.status());
+    return new std::string(std::move(*bytes));
+  };
+  static const std::string* row =
+      make(model::DocumentPayloadFormat::kRowOriented);
+  static const std::string* columnar =
+      make(model::DocumentPayloadFormat::kColumnar);
+  return format == model::DocumentPayloadFormat::kColumnar ? *columnar
+                                                           : *row;
+}
+
+// ---- Part 1: payload codec ----------------------------------------------
+
+void ExecutorFromImage(benchmark::State& state,
+                       model::DocumentPayloadFormat format) {
+  const std::string& bytes = Image(format);
+  for (auto _ : state) {
+    auto store = text::LoadStoreFromBytes(bytes);
+    MEETXML_CHECK_OK(store.status());
+    auto executor = query::Executor::Build(store->doc);
+    MEETXML_CHECK_OK(executor.status());
+    benchmark::DoNotOptimize(executor);
+  }
+  state.counters["image_MB"] = static_cast<double>(bytes.size()) / 1e6;
+  state.counters["MB_per_s"] = benchmark::Counter(
+      static_cast<double>(bytes.size()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ExecutorFromImageDoc0(benchmark::State& state) {
+  ExecutorFromImage(state, model::DocumentPayloadFormat::kRowOriented);
+}
+BENCHMARK(BM_ExecutorFromImageDoc0)->Unit(benchmark::kMillisecond);
+
+void BM_ExecutorFromImageDoc1(benchmark::State& state) {
+  ExecutorFromImage(state, model::DocumentPayloadFormat::kColumnar);
+}
+BENCHMARK(BM_ExecutorFromImageDoc1)->Unit(benchmark::kMillisecond);
+
+// The pure payload decode, without the executor build on top.
+void DocumentDecode(benchmark::State& state,
+                    model::DocumentPayloadFormat format) {
+  const std::string& bytes = Image(format);
+  for (auto _ : state) {
+    auto doc = model::LoadFromBytes(bytes);
+    MEETXML_CHECK_OK(doc.status());
+    benchmark::DoNotOptimize(doc);
+  }
+}
+
+void BM_DocumentDecodeDoc0(benchmark::State& state) {
+  DocumentDecode(state, model::DocumentPayloadFormat::kRowOriented);
+}
+BENCHMARK(BM_DocumentDecodeDoc0)->Unit(benchmark::kMillisecond);
+
+void BM_DocumentDecodeDoc1(benchmark::State& state) {
+  DocumentDecode(state, model::DocumentPayloadFormat::kColumnar);
+}
+BENCHMARK(BM_DocumentDecodeDoc1)->Unit(benchmark::kMillisecond);
+
+// ---- Part 2: catalog open fan-out ---------------------------------------
+
+// A catalog of `count` mid-sized documents, serialized once per
+// (count, format) pair.
+const std::string& CatalogImage(int count,
+                                model::DocumentPayloadFormat format) {
+  static std::map<std::pair<int, int>, std::string>* cache =
+      new std::map<std::pair<int, int>, std::string>();
+  auto key = std::make_pair(count, static_cast<int>(format));
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  store::Catalog catalog;
+  for (int i = 0; i < count; ++i) {
+    data::DblpOptions options;
+    options.seed = 7 + i;
+    options.icde_papers_per_year = 10;
+    options.other_papers_per_year = 40;
+    options.journal_articles_per_year = 10;
+    auto generated = data::GenerateDblp(options);
+    MEETXML_CHECK_OK(generated.status());
+    auto shredded =
+        model::ShredXmlTextStreaming(xml::Serialize(*generated));
+    MEETXML_CHECK_OK(shredded.status());
+    MEETXML_CHECK_OK(
+        catalog.Add("dblp_" + std::to_string(i), std::move(*shredded))
+            .status());
+  }
+  auto bytes = catalog.SaveToBytes(format);
+  MEETXML_CHECK_OK(bytes.status());
+  return (*cache)[key] = std::move(*bytes);
+}
+
+// Args: (document count, decode threads).
+void BM_CatalogOpen(benchmark::State& state) {
+  const std::string& bytes = CatalogImage(
+      static_cast<int>(state.range(0)),
+      model::DocumentPayloadFormat::kColumnar);
+  store::CatalogLoadOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    auto catalog = store::Catalog::LoadFromBytes(bytes, options);
+    MEETXML_CHECK_OK(catalog.status());
+    benchmark::DoNotOptimize(catalog);
+  }
+  state.counters["docs"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_CatalogOpen)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// The serial row-oriented reference: what an 8-document store paid
+// before this PR (legacy payload, one decode thread).
+void BM_CatalogOpenDoc0Serial(benchmark::State& state) {
+  const std::string& bytes = CatalogImage(
+      static_cast<int>(state.range(0)),
+      model::DocumentPayloadFormat::kRowOriented);
+  store::CatalogLoadOptions options;
+  options.threads = 1;
+  for (auto _ : state) {
+    auto catalog = store::Catalog::LoadFromBytes(bytes, options);
+    MEETXML_CHECK_OK(catalog.status());
+    benchmark::DoNotOptimize(catalog);
+  }
+  state.counters["docs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CatalogOpenDoc0Serial)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -76,7 +76,10 @@ std::string UniqueName(const store::Catalog& catalog,
 // Adds an XML file or loads a store image into `catalog`.
 bool OpenFile(store::Catalog* catalog, const std::string& path) {
   if (util::EndsWith(path, ".mxm")) {
-    auto loaded = store::Catalog::LoadFromFile(path);
+    store::CatalogLoadStats stats;
+    store::CatalogLoadOptions options;
+    options.stats = &stats;
+    auto loaded = store::Catalog::LoadFromFile(path, options);
     if (!loaded.ok()) {
       std::printf("error: %s\n", loaded.status().ToString().c_str());
       return false;
@@ -87,7 +90,17 @@ bool OpenFile(store::Catalog* catalog, const std::string& path) {
                   catalog->size());
     }
     *catalog = std::move(*loaded);
-    std::printf("loaded store image: %zu document(s)\n", catalog->size());
+    std::printf("loaded store image: %zu document(s) in %.2f ms "
+                "(%u decode thread(s))\n",
+                catalog->size(), stats.total_ms, stats.threads_used);
+    // Per-document decode report: who pays the legacy DOC0 tax, who
+    // rides the columnar path, who reloads a persisted index.
+    for (const auto& doc_stats : stats.documents) {
+      std::printf("  %-20s %s %8.2f ms%s\n", doc_stats.name.c_str(),
+                  doc_stats.columnar ? "DOC1" : "DOC0",
+                  doc_stats.decode_ms,
+                  doc_stats.indexed ? "  (+persisted index)" : "");
+    }
     return true;
   }
   auto doc = model::BulkShredXmlFile(path);

@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -45,11 +47,6 @@ class Bat {
 
   const H& head(size_t row) const { return head_[row]; }
   const T& tail(size_t row) const { return tail_[row]; }
-
-  /// \brief Mutable tail access, for callers that adopt (move out) the
-  /// values of a table they are about to discard — e.g. the bulk-load
-  /// merge draining shard string relations without copying.
-  T& mutable_tail(size_t row) { return tail_[row]; }
 
   const std::vector<H>& heads() const { return head_; }
   const std::vector<T>& tails() const { return tail_; }
@@ -124,10 +121,99 @@ class Bat {
 
 /// BAT of tree edges or lifted association sets: (oid, oid).
 using OidOidBat = Bat<Oid, Oid>;
-/// BAT of leaf values: (oid, string) — attribute values and cdata.
-using OidStrBat = Bat<Oid, std::string>;
 /// BAT of ranks: (oid, int) — sibling order (Definition 1's rank).
 using OidIntBat = Bat<Oid, int>;
+
+/// \brief A (oid, string) BAT backed by a string arena: attribute
+/// values and cdata leaves.
+///
+/// Instead of one heap-allocated std::string per row, all values of
+/// the relation live concatenated in a single blob; a row is the
+/// half-open byte range [ends[row-1], ends[row]). This is the BAT-as-
+/// raw-column layout MonetDB bulk loads thrive on: the persistence
+/// layer can adopt (or emit) the three columns with a memcpy each, and
+/// a full-relation scan touches one contiguous allocation instead of
+/// chasing a pointer per row. End offsets are u32, capping one
+/// relation's value bytes at 4 GiB — far above any per-path relation
+/// of the corpora this engine targets, and exactly the width the DOC1
+/// image format frames. Appends beyond the cap set offsets_overflowed()
+/// instead of silently wrapping; StoredDocument::Finalize turns the
+/// flag into a load/build error.
+class StrBat {
+ public:
+  StrBat() = default;
+
+  /// \brief Appends one association; the value bytes are copied into
+  /// the arena. Rows past the 4 GiB arena cap mark the relation
+  /// overflowed (their offsets would not be representable).
+  void Append(Oid head, std::string_view tail) {
+    head_.push_back(head);
+    blob_.append(tail.data(), tail.size());
+    if (blob_.size() > kMaxArenaBytes) overflowed_ = true;
+    ends_.push_back(static_cast<uint32_t>(blob_.size()));
+  }
+
+  void Reserve(size_t rows) {
+    head_.reserve(rows);
+    ends_.reserve(rows);
+  }
+
+  /// \brief Pre-sizes the arena; `bytes` is the expected total value
+  /// length across all rows.
+  void ReserveBytes(size_t bytes) { blob_.reserve(bytes); }
+
+  size_t size() const { return head_.size(); }
+  bool empty() const { return head_.empty(); }
+
+  Oid head(size_t row) const { return head_[row]; }
+  std::string_view tail(size_t row) const {
+    size_t begin = row == 0 ? 0 : ends_[row - 1];
+    return std::string_view(blob_).substr(begin, ends_[row] - begin);
+  }
+
+  const std::vector<Oid>& heads() const { return head_; }
+  /// \brief Cumulative end offsets into the arena, one per row
+  /// (ends[size()-1] == tail_blob().size()).
+  const std::vector<uint32_t>& tail_ends() const { return ends_; }
+  /// \brief The arena: every value, concatenated in row order.
+  const std::string& tail_blob() const { return blob_; }
+
+  /// \brief Takes ownership of pre-built columns — the zero-copy bulk
+  /// ingestion path of the columnar (DOC1) image loader. Requires
+  /// `heads.size() == ends.size()`, `ends` non-decreasing and
+  /// `ends.back() == blob.size()` (callers validate; this class only
+  /// stores).
+  void AdoptColumns(std::vector<Oid> heads, std::vector<uint32_t> ends,
+                    std::string blob) {
+    head_ = std::move(heads);
+    ends_ = std::move(ends);
+    blob_ = std::move(blob);
+  }
+
+  /// \brief True when an Append pushed the arena past the u32 offset
+  /// space; the relation's tails are unreliable and the owning
+  /// document must refuse to finalize.
+  bool offsets_overflowed() const { return overflowed_; }
+
+  /// \brief Logical row equality. Equal row sequences imply equal
+  /// columns (ends are cumulative lengths), so this is a plain
+  /// column compare.
+  bool operator==(const StrBat& other) const {
+    return head_ == other.head_ && ends_ == other.ends_ &&
+           blob_ == other.blob_;
+  }
+
+ private:
+  static constexpr size_t kMaxArenaBytes = 0xffffffffu;
+
+  std::vector<Oid> head_;
+  std::vector<uint32_t> ends_;
+  std::string blob_;
+  bool overflowed_ = false;
+};
+
+/// BAT of leaf values: (oid, string) — attribute values and cdata.
+using OidStrBat = StrBat;
 
 /// \brief Hash index over a BAT's head column: head value -> row numbers.
 ///

@@ -110,11 +110,12 @@ std::unordered_set<H> IntersectHeads(const Bat<H, T1>& left,
 
 /// \brief Rows whose tail string satisfies `pred` (e.g. the paper's
 /// `contains`). The workhorse of full-text scans over leaf BATs.
-template <typename H>
-Bat<H, std::string> SelectTail(
-    const Bat<H, std::string>& table,
-    const std::function<bool(std::string_view)>& pred) {
-  Bat<H, std::string> out;
+/// (String BATs are arena-backed, so the head type is fixed to Oid;
+/// the template parameter survives for source compatibility.)
+template <typename H = Oid>
+StrBat SelectTail(const StrBat& table,
+                  const std::function<bool(std::string_view)>& pred) {
+  StrBat out;
   for (size_t row = 0; row < table.size(); ++row) {
     if (pred(table.tail(row))) out.Append(table.head(row), table.tail(row));
   }

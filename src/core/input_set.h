@@ -46,7 +46,7 @@ inline Assoc AssocForNode(const StoredDocument& doc, Oid node) {
 /// "there is a path p in the path summary so that ∀o ∈ Σ : path(o) = p"
 /// (paper §3.2).
 struct AssocSet {
-  PathId path;
+  PathId path = bat::kInvalidPathId;
   std::vector<Oid> nodes;
 
   size_t size() const { return nodes.size(); }

@@ -14,7 +14,13 @@ using util::Status;
 
 namespace {
 
-std::string TagName(int index) { return "t" + std::to_string(index); }
+std::string TagName(int index) {
+  // append instead of operator+("t", ...): the rvalue-string overload
+  // trips a GCC 12 -Wrestrict false positive under heavy inlining.
+  std::string out = "t";
+  out += std::to_string(index);
+  return out;
+}
 
 struct Budget {
   int remaining;

@@ -15,6 +15,7 @@
 // Utilities.
 #include "util/byte_io.h"
 #include "util/file_io.h"
+#include "util/mmap_file.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"

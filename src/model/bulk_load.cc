@@ -234,19 +234,20 @@ namespace {
 // node's path, then its string associations in their original append
 // order — reproduces the exact Intern/Append call sequence of the
 // sequential streaming shredder, which is what makes the merged
-// document bit-identical to the sequential output. The shard is
-// consumed: its string values are moved, not copied, into the global
-// document, so the merge never holds two copies of a shard's text and
-// peak memory stays near one corpus worth of strings.
+// document bit-identical to the sequential output. String values are
+// borrowed from the shard's per-path arenas (valid for the duration of
+// the merge) and land in the global document with one arena append
+// each — no per-string allocation. The shard's arenas stay alive until
+// its merge finishes (the caller releases the shard right after), so
+// peak memory is one corpus plus a single shard's columns.
 void MergeShard(StoredDocument&& shard, StoredDocument* global,
                 PathId global_root_path, int* root_next_rank) {
   if (shard.node_count() <= 1) return;  // nothing but the wrapper root
 
-  std::vector<std::vector<std::pair<PathId, std::string>>> owner_strings(
-      shard.node_count());
-  for (auto& [path, owner, value] :
-       std::move(shard).TakeStringsInAppendOrder()) {
-    owner_strings[owner].emplace_back(path, std::move(value));
+  std::vector<std::vector<std::pair<PathId, std::string_view>>>
+      owner_strings(shard.node_count());
+  for (const auto& [path, owner, value] : shard.StringsInAppendOrder()) {
+    owner_strings[owner].emplace_back(path, value);
   }
 
   const PathSummary& shard_paths = shard.paths();
@@ -277,9 +278,8 @@ void MergeShard(StoredDocument&& shard, StoredDocument* global,
     // The wrapper root never owns strings (it has no attributes, and
     // top-level text becomes cdata nodes), so every association is
     // replayed here, right after its owning node — sequential order.
-    for (auto& [local_path, value] : owner_strings[local]) {
-      global->AppendString(map_path(local_path), global_oid,
-                           std::move(value));
+    for (const auto& [local_path, value] : owner_strings[local]) {
+      global->AppendString(map_path(local_path), global_oid, value);
     }
   }
 }

@@ -42,10 +42,18 @@ const OidStrBat& StoredDocument::StringsAt(PathId path) const {
 std::vector<std::string_view> StoredDocument::StringValuesAt(
     PathId path, Oid owner) const {
   std::vector<std::string_view> out;
-  if (path >= string_index_.size()) return out;
+  if (path >= string_sorted_.size()) return out;
+  const OidStrBat& table = strings_[path];
+  if (string_sorted_[path]) {
+    const std::vector<Oid>& heads = table.heads();
+    auto range = std::equal_range(heads.begin(), heads.end(), owner);
+    for (auto it = range.first; it != range.second; ++it) {
+      out.push_back(table.tail(static_cast<size_t>(it - heads.begin())));
+    }
+    return out;
+  }
   auto it = string_index_[path].find(owner);
   if (it == string_index_[path].end()) return out;
-  const OidStrBat& table = strings_[path];
   for (uint32_t row : it->second) out.push_back(table.tail(row));
   return out;
 }
@@ -59,14 +67,24 @@ std::vector<StringAssociation> StoredDocument::AttributesOf(
   PathId element_path = path_[element];
   for (PathId child : paths_.children(element_path)) {
     if (paths_.kind(child) != StepKind::kAttribute) continue;
-    if (child >= string_index_.size()) continue;
-    auto it = string_index_[child].find(element);
-    if (it == string_index_[child].end()) continue;
+    if (child >= string_sorted_.size()) continue;
     const OidStrBat& table = strings_[child];
-    for (uint32_t row : it->second) {
+    auto emit = [&](uint32_t row) {
       collected.emplace_back(
           string_seq_[child][row],
-          StringAssociation{child, element, table.tail(row)});
+          StringAssociation{child, element,
+                            std::string(table.tail(row))});
+    };
+    if (string_sorted_[child]) {
+      const std::vector<Oid>& heads = table.heads();
+      auto range = std::equal_range(heads.begin(), heads.end(), element);
+      for (auto it = range.first; it != range.second; ++it) {
+        emit(static_cast<uint32_t>(it - heads.begin()));
+      }
+    } else {
+      auto it = string_index_[child].find(element);
+      if (it == string_index_[child].end()) continue;
+      for (uint32_t row : it->second) emit(row);
     }
   }
   std::sort(collected.begin(), collected.end(),
@@ -90,25 +108,17 @@ StoredDocument::StringsInAppendOrder() const {
     const OidStrBat& table = strings_[p];
     for (size_t row = 0; row < table.size(); ++row) {
       out[string_seq_[p][row]] =
-          std::make_tuple(p, table.head(row),
-                          std::string_view(table.tail(row)));
+          std::make_tuple(p, table.head(row), table.tail(row));
     }
   }
   return out;
 }
 
-std::vector<std::tuple<PathId, Oid, std::string>>
-StoredDocument::TakeStringsInAppendOrder() && {
-  std::vector<std::tuple<PathId, Oid, std::string>> out(string_count_);
-  for (PathId p = 0; p < strings_.size(); ++p) {
-    OidStrBat& table = strings_[p];
-    for (size_t row = 0; row < table.size(); ++row) {
-      out[string_seq_[p][row]] =
-          std::make_tuple(p, table.head(row),
-                          std::move(table.mutable_tail(row)));
-    }
-  }
-  return out;
+const std::vector<uint64_t>& StoredDocument::StringSeqAt(
+    PathId path) const {
+  static const std::vector<uint64_t> kEmptySeq;
+  if (path >= string_seq_.size()) return kEmptySeq;
+  return string_seq_[path];
 }
 
 Oid StoredDocument::AppendNode(PathId path, Oid parent, int rank) {
@@ -123,17 +133,119 @@ Oid StoredDocument::AppendNode(PathId path, Oid parent, int rank) {
   return oid;
 }
 
+void StoredDocument::ReserveNodes(size_t count) {
+  parent_.reserve(count);
+  path_.reserve(count);
+  rank_.reserve(count);
+}
+
 void StoredDocument::AppendString(PathId path, Oid owner,
-                                  std::string value) {
+                                  std::string_view value) {
   if (path >= strings_.size()) {
     strings_.resize(path + 1);
     string_seq_.resize(path + 1);
   }
   if (strings_[path].empty()) string_paths_.push_back(path);
-  strings_[path].Append(owner, std::move(value));
+  strings_[path].Append(owner, value);
   string_seq_[path].push_back(string_count_);
   ++string_count_;
   finalized_ = false;
+}
+
+util::Status StoredDocument::AdoptNodeColumns(std::vector<Oid> parents,
+                                              std::vector<PathId> paths,
+                                              std::vector<int> ranks) {
+  if (!parent_.empty()) {
+    return Status::InvalidArgument(
+        "node columns can only be adopted into an empty document");
+  }
+  if (parents.size() != paths.size() || parents.size() != ranks.size()) {
+    return Status::InvalidArgument("node column lengths differ");
+  }
+  if (parents.empty()) {
+    return Status::InvalidArgument("cannot adopt zero nodes");
+  }
+  if (parents[0] != kInvalidOid) {
+    return Status::InvalidArgument("node 0 must be the parentless root");
+  }
+  for (size_t i = 1; i < parents.size(); ++i) {
+    if (parents[i] >= i) {
+      return Status::InvalidArgument(
+          "parent OIDs must precede children (DFS order)");
+    }
+  }
+  for (PathId path : paths) {
+    if (path >= paths_.size()) {
+      return Status::InvalidArgument("node path id out of range");
+    }
+  }
+
+  parent_ = std::move(parents);
+  path_ = std::move(paths);
+  rank_ = std::move(ranks);
+
+  // Derive the per-path edge relations in one counted pass instead of
+  // a push_back per node; edge_paths_ keeps first-appearance order,
+  // exactly what the append path would have produced.
+  std::vector<uint32_t> per_path(paths_.size(), 0);
+  PathId max_path = 0;
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (per_path[path_[i]]++ == 0) edge_paths_.push_back(path_[i]);
+    max_path = std::max(max_path, path_[i]);
+  }
+  edges_.resize(max_path + 1);
+  for (PathId p : edge_paths_) edges_[p].Reserve(per_path[p]);
+  for (size_t i = 0; i < path_.size(); ++i) {
+    edges_[path_[i]].Append(parent_[i], static_cast<Oid>(i));
+  }
+  finalized_ = false;
+  return Status::OK();
+}
+
+util::Status StoredDocument::AdoptStringRelation(
+    PathId path, std::vector<Oid> owners, std::vector<uint32_t> ends,
+    std::string blob, std::vector<uint64_t> seq) {
+  if (path >= paths_.size()) {
+    return Status::InvalidArgument("string path id out of range");
+  }
+  if (owners.size() != ends.size() || owners.size() != seq.size()) {
+    return Status::InvalidArgument("string column lengths differ");
+  }
+  if (owners.empty()) {
+    return Status::InvalidArgument(
+        "string relations are never empty; do not adopt one");
+  }
+  if (path < strings_.size() && !strings_[path].empty()) {
+    return Status::InvalidArgument("string relation adopted twice");
+  }
+  for (Oid owner : owners) {
+    if (owner >= parent_.size()) {
+      return Status::InvalidArgument("string owner out of range");
+    }
+  }
+  uint32_t previous = 0;
+  for (uint32_t end : ends) {
+    if (end < previous) {
+      return Status::InvalidArgument("string offsets not monotonic");
+    }
+    previous = end;
+  }
+  if (ends.back() != blob.size()) {
+    return Status::InvalidArgument(
+        "string blob size does not match the last offset");
+  }
+
+  if (path >= strings_.size()) {
+    strings_.resize(path + 1);
+    string_seq_.resize(path + 1);
+  }
+  string_paths_.push_back(path);
+  string_count_ += owners.size();
+  strings_[path].AdoptColumns(std::move(owners), std::move(ends),
+                              std::move(blob));
+  string_seq_[path] = std::move(seq);
+  finalized_ = false;
+  return Status::OK();
 }
 
 Status StoredDocument::Finalize() {
@@ -168,13 +280,27 @@ Status StoredDocument::Finalize() {
     child_list_[cursor[parent_[i]]++] = static_cast<Oid>(i);
   }
 
-  // Per-path string indexes for reassembly and value look-ups.
+  // Owner look-ups for reassembly and value probes: document-order
+  // relations have sorted owner columns and binary-search in place
+  // (nothing to build — the common case and the whole cold-start
+  // path); anything else gets the hash index.
+  string_sorted_.assign(strings_.size(), 1);
   string_index_.assign(strings_.size(), {});
   for (PathId p = 0; p < strings_.size(); ++p) {
     const OidStrBat& table = strings_[p];
+    if (table.offsets_overflowed()) {
+      return Status::InvalidArgument(
+          "string relation at path ", p,
+          " exceeds the 4 GiB value-arena limit");
+    }
+    const std::vector<Oid>& heads = table.heads();
+    bool sorted = std::is_sorted(heads.begin(), heads.end());
+    if (sorted) continue;
+    string_sorted_[p] = 0;
+    auto& index = string_index_[p];
+    index.reserve(table.size());
     for (size_t row = 0; row < table.size(); ++row) {
-      string_index_[p][table.head(row)].push_back(
-          static_cast<uint32_t>(row));
+      index[heads[row]].push_back(static_cast<uint32_t>(row));
     }
   }
 

@@ -128,30 +128,69 @@ class StoredDocument {
 
   /// \brief All string associations in their original append (document)
   /// order — the order that reassembly uses to restore per-element
-  /// attribute order. Used by persistence.
+  /// attribute order. Used by persistence. Views borrow from the
+  /// per-path arenas and stay valid until the relations are mutated.
   std::vector<std::tuple<PathId, Oid, std::string_view>>
   StringsInAppendOrder() const;
 
-  /// \brief Like StringsInAppendOrder, but *moves* the string values
-  /// out of the relations — the bulk-load merge drains each shard this
-  /// way instead of copying every string once more. The document's
-  /// string relations are left hollow; discard it afterwards.
-  std::vector<std::tuple<PathId, Oid, std::string>>
-  TakeStringsInAppendOrder() &&;
+  /// \brief The global append sequence of every row of StringsAt(path),
+  /// parallel to that relation — the permutation column the columnar
+  /// image format persists.
+  const std::vector<uint64_t>& StringSeqAt(PathId path) const;
 
   // --- Builder interface (used by the shredder) ---------------------
 
   /// \brief Adds a node; OIDs must be appended densely (DFS order).
   Oid AppendNode(PathId path, Oid parent, int rank);
 
-  /// \brief Adds a string association (attribute value or cdata text).
-  void AppendString(PathId path, Oid owner, std::string value);
+  /// \brief Pre-sizes the per-OID columns (bulk loaders know the node
+  /// count up front).
+  void ReserveNodes(size_t count);
+
+  /// \brief Adds a string association (attribute value or cdata text);
+  /// the value bytes are copied into the relation's arena.
+  void AppendString(PathId path, Oid owner, std::string_view value);
+
+  // --- Column-level bulk ingestion (used by the image loader) -------
+  //
+  // The columnar (DOC1) load path moves whole columns in instead of
+  // replaying one Append per row. Both calls validate the structural
+  // invariants the append path establishes implicitly and reject bad
+  // columns without mutating the document. Mixing the two interfaces
+  // is allowed only in the order append-after-adopt never runs:
+  // adoption requires pristine (empty) targets.
+
+  /// \brief Installs the three per-OID columns at once and derives the
+  /// per-path edge relations. Requires an empty document, equal column
+  /// lengths, a parentless node 0 and parents[i] < i for i > 0 (DFS
+  /// order); every path id must be interned in paths().
+  util::Status AdoptNodeColumns(std::vector<Oid> parents,
+                                std::vector<PathId> paths,
+                                std::vector<int> ranks);
+
+  /// \brief Installs one path's entire string relation: owner column,
+  /// cumulative value end-offsets, the concatenated value blob, and
+  /// the global append-sequence column (see StringSeqAt). Requires the
+  /// nodes to be present (owners are bounds-checked), a path with no
+  /// strings yet, matching column lengths, non-decreasing ends with
+  /// ends.back() == blob.size(). Seq values are validated globally by
+  /// the caller (they must form a permutation across all relations).
+  util::Status AdoptStringRelation(PathId path, std::vector<Oid> owners,
+                                   std::vector<uint32_t> ends,
+                                   std::string blob,
+                                   std::vector<uint64_t> seq);
 
   /// \brief Builds derived structures (children CSR, string indexes).
   /// Must be called once after shredding, before queries.
   util::Status Finalize();
 
   bool finalized() const { return finalized_; }
+
+  // --- Raw column access (used by persistence) ----------------------
+
+  const std::vector<Oid>& parent_column() const { return parent_; }
+  const std::vector<PathId>& path_column() const { return path_; }
+  const std::vector<int>& rank_column() const { return rank_; }
 
  private:
   PathSummary paths_;
@@ -175,7 +214,14 @@ class StoredDocument {
   std::vector<uint32_t> child_offsets_;
   std::vector<Oid> child_list_;
 
-  // Derived: per-path owner -> rows index for string relations.
+  // Derived: owner look-up for string relations. Relations built in
+  // document order have non-decreasing owner columns (the shredder
+  // and the image loaders both append that way), so Finalize marks
+  // them sorted and owner probes binary-search the head column
+  // directly — no index to build on the cold-start path. Relations
+  // appended out of order (possible through the public builder API)
+  // fall back to a per-path owner -> rows hash index.
+  std::vector<uint8_t> string_sorted_;
   std::vector<std::unordered_map<Oid, std::vector<uint32_t>>> string_index_;
 
   bool finalized_ = false;

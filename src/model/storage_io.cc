@@ -1,10 +1,11 @@
 #include "model/storage_io.h"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 
 #include "util/byte_io.h"
-#include "util/file_io.h"
+#include "util/mmap_file.h"
 
 namespace meetxml {
 namespace model {
@@ -20,32 +21,129 @@ constexpr char kMagicV1[4] = {'M', 'X', 'M', '1'};
 constexpr char kMagicV2[4] = {'M', 'X', 'M', '2'};
 constexpr uint32_t kMinorV1 = 1;
 constexpr uint32_t kMinorV2 = 2;
+// The minor revision columnar (DOC1) document sections require.
+constexpr uint32_t kMinorV2Columnar = 4;
 // Newest MXM2 minor a reader accepts; 3 added multi-document catalog
-// images (several DOC0 sections + a CTLG directory, store/catalog.h).
-constexpr uint32_t kMaxMinorV2 = 3;
+// images (several document sections + a CTLG directory,
+// store/catalog.h), 4 added the columnar DOC1 payload.
+constexpr uint32_t kMaxMinorV2 = 4;
 // Corruption guard: a directory claiming more sections than this is
 // rejected before any allocation happens.
 constexpr uint32_t kMaxSections = 1024;
 
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
 uint64_t Fnv1a(std::string_view bytes) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
+  uint64_t hash = kFnvOffset;
   for (unsigned char c : bytes) {
     hash ^= c;
-    hash *= 0x100000001b3ULL;
+    hash *= kFnvPrime;
   }
   return hash;
 }
 
-std::string SerializeDocumentPayload(const StoredDocument& doc) {
-  ByteWriter payload;
-  // Path summary, in id order (parents first by construction).
-  const PathSummary& paths = doc.paths();
-  payload.U32(static_cast<uint32_t>(paths.size()));
-  for (PathId id = 0; id < paths.size(); ++id) {
-    payload.U32(paths.parent(id));
-    payload.U8(static_cast<uint8_t>(paths.kind(id)));
-    payload.StrU32(paths.label(id));
+// Section checksum for minor >= 4 images: FNV-1a steps over 8-byte
+// chunks in four interleaved lanes, lanes folded and the tail absorbed
+// byte-wise. Byte-serial FNV-1a is latency-bound at one multiply per
+// byte (~0.5 GB/s) and was costing more than the columnar decode it
+// guards; the four independent lanes run at memory speed while any
+// flipped chunk still lands in its lane and survives the fold into the
+// final 64-bit compare. Images up to minor 3 keep the byte-serial
+// checksum so every existing image verifies unchanged.
+uint64_t Fnv1aLanes(std::string_view bytes) {
+  uint64_t lanes[4] = {kFnvOffset, kFnvOffset ^ 1, kFnvOffset ^ 2,
+                       kFnvOffset ^ 3};
+  const char* data = bytes.data();
+  size_t size = bytes.size();
+  size_t at = 0;
+  for (; at + 32 <= size; at += 32) {
+    for (int lane = 0; lane < 4; ++lane) {
+      uint64_t chunk;
+      std::memcpy(&chunk, data + at + lane * 8, 8);
+      lanes[lane] = (lanes[lane] ^ chunk) * kFnvPrime;
+    }
   }
+  uint64_t hash = kFnvOffset;
+  for (uint64_t lane : lanes) hash = (hash ^ lane) * kFnvPrime;
+  for (; at < size; ++at) {
+    hash ^= static_cast<unsigned char>(data[at]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t SectionChecksum(uint32_t minor, std::string_view bytes) {
+  return minor >= kMinorV2Columnar ? Fnv1aLanes(bytes) : Fnv1a(bytes);
+}
+
+// The columnar codec memcpys whole integer columns; these pin the
+// in-memory element widths and byte order the raw little-endian
+// arrays assume (big-endian hosts would need byte swaps here).
+static_assert(sizeof(Oid) == 4 && sizeof(PathId) == 4 && sizeof(int) == 4,
+              "columnar payloads assume 4-byte node columns");
+static_assert(std::endian::native == std::endian::little,
+              "columnar payloads memcpy little-endian columns");
+
+// Reinterprets an integer column as its raw byte image (the writer
+// side of the memcpy-decodable DOC1 arrays).
+template <typename T>
+std::string_view ColumnBytes(const std::vector<T>& column) {
+  return std::string_view(reinterpret_cast<const char*>(column.data()),
+                          column.size() * sizeof(T));
+}
+
+// Reads `count` little-endian u32 values into a 4-byte-element vector
+// with a single bounds check and a single memcpy.
+template <typename T>
+Result<std::vector<T>> ReadU32Column(ByteReader* reader, size_t count) {
+  MEETXML_ASSIGN_OR_RETURN(std::string_view raw, reader->View(count * 4));
+  std::vector<T> column(count);
+  std::memcpy(column.data(), raw.data(), raw.size());
+  return column;
+}
+
+// --- Path summary (shared by both payload codecs) ---------------------
+
+void SerializePathSummary(const PathSummary& paths, ByteWriter* payload) {
+  // In id order (parents first by construction).
+  payload->U32(static_cast<uint32_t>(paths.size()));
+  for (PathId id = 0; id < paths.size(); ++id) {
+    payload->U32(paths.parent(id));
+    payload->U8(static_cast<uint8_t>(paths.kind(id)));
+    payload->StrU32(paths.label(id));
+  }
+}
+
+Result<uint32_t> ParsePathSummary(ByteReader* reader, StoredDocument* doc) {
+  PathSummary* paths = doc->mutable_paths();
+  MEETXML_ASSIGN_OR_RETURN(uint32_t path_count, reader->U32());
+  for (uint32_t i = 0; i < path_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t parent, reader->U32());
+    MEETXML_ASSIGN_OR_RETURN(uint8_t kind, reader->U8());
+    MEETXML_ASSIGN_OR_RETURN(std::string_view label, reader->StrViewU32());
+    if (parent != bat::kInvalidPathId && parent >= i) {
+      return Status::InvalidArgument(
+          "corrupt image: path parent out of order");
+    }
+    if (kind > static_cast<uint8_t>(StepKind::kCdata)) {
+      return Status::InvalidArgument("corrupt image: bad step kind");
+    }
+    PathId interned =
+        paths->Intern(parent, static_cast<StepKind>(kind), label);
+    if (interned != i) {
+      return Status::InvalidArgument(
+          "corrupt image: duplicate path entry");
+    }
+  }
+  return path_count;
+}
+
+// --- DOC0: row-oriented payload ---------------------------------------
+
+std::string SerializeRowDocumentPayload(const StoredDocument& doc) {
+  ByteWriter payload;
+  SerializePathSummary(doc.paths(), &payload);
   // Node columns.
   payload.U32(static_cast<uint32_t>(doc.node_count()));
   for (Oid oid = 0; oid < doc.node_count(); ++oid) {
@@ -72,26 +170,8 @@ std::string SerializeDocumentPayload(const StoredDocument& doc) {
 Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
   ByteReader reader(payload);
   StoredDocument doc;
-  PathSummary* paths = doc.mutable_paths();
-  MEETXML_ASSIGN_OR_RETURN(uint32_t path_count, reader.U32());
-  for (uint32_t i = 0; i < path_count; ++i) {
-    MEETXML_ASSIGN_OR_RETURN(uint32_t parent, reader.U32());
-    MEETXML_ASSIGN_OR_RETURN(uint8_t kind, reader.U8());
-    MEETXML_ASSIGN_OR_RETURN(std::string label, reader.StrU32());
-    if (parent != bat::kInvalidPathId && parent >= i) {
-      return Status::InvalidArgument(
-          "corrupt image: path parent out of order");
-    }
-    if (kind > static_cast<uint8_t>(StepKind::kCdata)) {
-      return Status::InvalidArgument("corrupt image: bad step kind");
-    }
-    PathId interned =
-        paths->Intern(parent, static_cast<StepKind>(kind), label);
-    if (interned != i) {
-      return Status::InvalidArgument(
-          "corrupt image: duplicate path entry");
-    }
-  }
+  MEETXML_ASSIGN_OR_RETURN(uint32_t path_count,
+                           ParsePathSummary(&reader, &doc));
 
   MEETXML_ASSIGN_OR_RETURN(uint32_t node_count, reader.U32());
   if (node_count > reader.remaining() / 4) {
@@ -112,6 +192,7 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
   for (uint32_t i = 0; i < node_count; ++i) {
     MEETXML_ASSIGN_OR_RETURN(ranks[i], reader.U32());
   }
+  doc.ReserveNodes(node_count);
   for (uint32_t i = 0; i < node_count; ++i) {
     if (i > 0 && parents[i] >= i) {
       return Status::InvalidArgument(
@@ -128,11 +209,11 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
       return Status::InvalidArgument("corrupt image: string path id");
     }
     MEETXML_ASSIGN_OR_RETURN(uint32_t owner, reader.U32());
-    MEETXML_ASSIGN_OR_RETURN(std::string value, reader.StrU32());
+    MEETXML_ASSIGN_OR_RETURN(std::string_view value, reader.StrViewU32());
     if (owner >= node_count) {
       return Status::InvalidArgument("corrupt image: string owner");
     }
-    doc.AppendString(path, owner, std::move(value));
+    doc.AppendString(path, owner, value);
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in storage image");
@@ -140,6 +221,123 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
 
   MEETXML_RETURN_NOT_OK(doc.Finalize());
   return doc;
+}
+
+// --- DOC1: columnar payload -------------------------------------------
+
+std::string SerializeColumnarDocumentPayload(const StoredDocument& doc) {
+  ByteWriter payload;
+  SerializePathSummary(doc.paths(), &payload);
+  // Node columns as raw arrays — the reader memcpys them back.
+  payload.U32(static_cast<uint32_t>(doc.node_count()));
+  payload.Bytes(ColumnBytes(doc.parent_column()));
+  payload.Bytes(ColumnBytes(doc.path_column()));
+  payload.Bytes(ColumnBytes(doc.rank_column()));
+  // String relations grouped by path, in first-append order so a
+  // loaded document re-serializes byte-identically.
+  payload.U32(static_cast<uint32_t>(doc.string_count()));
+  payload.U32(static_cast<uint32_t>(doc.string_paths().size()));
+  for (PathId path : doc.string_paths()) {
+    const bat::StrBat& table = doc.StringsAt(path);
+    payload.U32(path);
+    payload.U32(static_cast<uint32_t>(table.size()));
+    payload.Bytes(ColumnBytes(table.heads()));
+    // The append-order permutation column (u64 in memory, u32 on disk:
+    // the global count is u32-framed).
+    for (uint64_t seq : doc.StringSeqAt(path)) {
+      payload.U32(static_cast<uint32_t>(seq));
+    }
+    payload.Bytes(ColumnBytes(table.tail_ends()));
+    payload.Bytes(table.tail_blob());
+  }
+  return payload.Take();
+}
+
+Result<StoredDocument> ParseColumnarDocumentPayload(
+    std::string_view payload) {
+  ByteReader reader(payload);
+  StoredDocument doc;
+  MEETXML_ASSIGN_OR_RETURN(uint32_t path_count,
+                           ParsePathSummary(&reader, &doc));
+  (void)path_count;  // AdoptNodeColumns re-checks against paths().
+
+  MEETXML_ASSIGN_OR_RETURN(uint32_t node_count, reader.U32());
+  // Guard before allocating: three 4-byte columns per node.
+  if (node_count > reader.remaining() / 12) {
+    return Status::InvalidArgument("corrupt image: node count");
+  }
+  MEETXML_ASSIGN_OR_RETURN(std::vector<Oid> parents,
+                           ReadU32Column<Oid>(&reader, node_count));
+  MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> node_paths,
+                           ReadU32Column<PathId>(&reader, node_count));
+  MEETXML_ASSIGN_OR_RETURN(std::vector<int> ranks,
+                           ReadU32Column<int>(&reader, node_count));
+  Status adopted = doc.AdoptNodeColumns(
+      std::move(parents), std::move(node_paths), std::move(ranks));
+  if (!adopted.ok()) {
+    return Status::InvalidArgument("corrupt image: ", adopted.message());
+  }
+
+  MEETXML_ASSIGN_OR_RETURN(uint32_t total_strings, reader.U32());
+  MEETXML_ASSIGN_OR_RETURN(uint32_t group_count, reader.U32());
+  // Every string row costs at least 12 bytes across its three columns,
+  // every group at least 8 bytes of framing; reject impossible counts
+  // before the permutation bitmap allocates.
+  if (total_strings > reader.remaining() / 12 ||
+      group_count > reader.remaining() / 8) {
+    return Status::InvalidArgument("corrupt image: string counts");
+  }
+  std::vector<bool> seq_seen(total_strings, false);
+  uint64_t rows_total = 0;
+  for (uint32_t g = 0; g < group_count; ++g) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t path, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(uint32_t rows, reader.U32());
+    if (rows == 0 || rows > reader.remaining() / 12) {
+      return Status::InvalidArgument("corrupt image: string row count");
+    }
+    MEETXML_ASSIGN_OR_RETURN(std::vector<Oid> owners,
+                             ReadU32Column<Oid>(&reader, rows));
+    MEETXML_ASSIGN_OR_RETURN(std::vector<uint32_t> seq32,
+                             ReadU32Column<uint32_t>(&reader, rows));
+    std::vector<uint64_t> seq(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (seq32[r] >= total_strings || seq_seen[seq32[r]]) {
+        return Status::InvalidArgument(
+            "corrupt image: string order is not a permutation");
+      }
+      seq_seen[seq32[r]] = true;
+      seq[r] = seq32[r];
+    }
+    MEETXML_ASSIGN_OR_RETURN(std::vector<uint32_t> ends,
+                             ReadU32Column<uint32_t>(&reader, rows));
+    MEETXML_ASSIGN_OR_RETURN(std::string_view blob,
+                             reader.View(ends.back()));
+    Status adopted_strings = doc.AdoptStringRelation(
+        path, std::move(owners), std::move(ends), std::string(blob),
+        std::move(seq));
+    if (!adopted_strings.ok()) {
+      return Status::InvalidArgument("corrupt image: ",
+                                     adopted_strings.message());
+    }
+    rows_total += rows;
+  }
+  if (rows_total != total_strings) {
+    return Status::InvalidArgument(
+        "corrupt image: string order is not a permutation");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in storage image");
+  }
+
+  MEETXML_RETURN_NOT_OK(doc.Finalize());
+  return doc;
+}
+
+std::string SerializeDocumentPayload(const StoredDocument& doc,
+                                     DocumentPayloadFormat format) {
+  return format == DocumentPayloadFormat::kColumnar
+             ? SerializeColumnarDocumentPayload(doc)
+             : SerializeRowDocumentPayload(doc);
 }
 
 // Shared v2 container writer; takes pointers so callers can mix owned
@@ -159,7 +357,7 @@ Result<std::string> WriteContainer(
   for (const ImageSection* section : sections) {
     out.U32(section->id);
     out.U64(section->bytes.size());
-    out.U64(Fnv1a(section->bytes));
+    out.U64(SectionChecksum(minor, section->bytes));
   }
   std::string image = out.Take();
   for (const ImageSection* section : sections) {
@@ -170,16 +368,34 @@ Result<std::string> WriteContainer(
 
 }  // namespace
 
-Result<std::string> SerializeDocumentSection(const StoredDocument& doc) {
+Result<std::string> SerializeDocumentSection(const StoredDocument& doc,
+                                             DocumentPayloadFormat format) {
   if (!doc.finalized()) {
     return Status::InvalidArgument(
         "only finalized documents can be saved");
   }
-  return SerializeDocumentPayload(doc);
+  return SerializeDocumentPayload(doc, format);
 }
 
 Result<StoredDocument> ParseDocumentSection(std::string_view payload) {
   return ParseDocumentPayload(payload);
+}
+
+Result<StoredDocument> ParseColumnarDocumentSection(
+    std::string_view payload) {
+  return ParseColumnarDocumentPayload(payload);
+}
+
+Result<StoredDocument> ParseAnyDocumentSection(uint32_t section_id,
+                                               std::string_view payload) {
+  if (section_id == kColumnarDocumentSectionId) {
+    return ParseColumnarDocumentPayload(payload);
+  }
+  if (section_id == kDocumentSectionId) {
+    return ParseDocumentPayload(payload);
+  }
+  return Status::InvalidArgument("not a document section id: ",
+                                 section_id);
 }
 
 Result<std::string> SaveSectionsToBytes(
@@ -209,9 +425,9 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
                                    options.extra_sections.size() + 1);
   }
   for (size_t i = 0; i < options.extra_sections.size(); ++i) {
-    if (options.extra_sections[i].id == kDocumentSectionId) {
+    if (IsDocumentSectionId(options.extra_sections[i].id)) {
       return Status::InvalidArgument(
-          "extra sections cannot use the document section id");
+          "extra sections cannot use a document section id");
     }
     for (size_t j = 0; j < i; ++j) {
       if (options.extra_sections[j].id == options.extra_sections[i].id) {
@@ -221,13 +437,15 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
     }
   }
 
-  std::string body = SerializeDocumentPayload(doc);
-
   if (options.format_version == 1) {
     if (!options.extra_sections.empty()) {
       return Status::InvalidArgument(
           "MXM1 images cannot carry extra sections");
     }
+    // MXM1 predates the columnar payload; its single payload is always
+    // row-oriented, whatever payload_format says.
+    std::string body =
+        SerializeDocumentPayload(doc, DocumentPayloadFormat::kRowOriented);
     ByteWriter header;
     for (char c : kMagicV1) header.U8(static_cast<uint8_t>(c));
     header.U32(kMinorV1);
@@ -238,14 +456,19 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
     return out;
   }
 
+  bool columnar =
+      options.payload_format == DocumentPayloadFormat::kColumnar;
+  std::string body = SerializeDocumentPayload(doc, options.payload_format);
   std::vector<const ImageSection*> pointers;
   pointers.reserve(1 + options.extra_sections.size());
-  ImageSection document_section{kDocumentSectionId, std::move(body)};
+  ImageSection document_section{
+      columnar ? kColumnarDocumentSectionId : kDocumentSectionId,
+      std::move(body)};
   pointers.push_back(&document_section);
   for (const ImageSection& section : options.extra_sections) {
     pointers.push_back(&section);
   }
-  return WriteContainer(pointers, kMinorV2);
+  return WriteContainer(pointers, columnar ? kMinorV2Columnar : kMinorV2);
 }
 
 Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
@@ -327,7 +550,7 @@ Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
     std::string_view payload =
         bytes.substr(offset, static_cast<size_t>(entry.size));
     offset += static_cast<size_t>(entry.size);
-    if (Fnv1a(payload) != entry.checksum) {
+    if (SectionChecksum(version, payload) != entry.checksum) {
       return Status::InvalidArgument("storage image checksum mismatch");
     }
     image.sections.push_back(SectionView{entry.id, payload});
@@ -341,14 +564,14 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
   image.format_version = raw.minor == kMinorV1 ? 1 : 2;
   bool saw_document = false;
   for (const SectionView& section : raw.sections) {
-    if (section.id == kDocumentSectionId) {
+    if (IsDocumentSectionId(section.id)) {
       if (saw_document) {
         return Status::InvalidArgument(
             "corrupt image: duplicate document section");
       }
       saw_document = true;
-      MEETXML_ASSIGN_OR_RETURN(image.doc,
-                               ParseDocumentPayload(section.bytes));
+      MEETXML_ASSIGN_OR_RETURN(
+          image.doc, ParseAnyDocumentSection(section.id, section.bytes));
     } else {
       // Forward compatibility: unknown sections are preserved verbatim
       // for higher layers (or newer readers) to interpret.
@@ -383,8 +606,11 @@ Result<StoredDocument> LoadFromFile(const std::string& path) {
 }
 
 Result<LoadedImage> LoadImageFromFile(const std::string& path) {
-  MEETXML_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
-  return LoadImageFromBytes(bytes);
+  // Decode straight out of the mapping (page cache) instead of copying
+  // the whole image into a string first; everything LoadedImage keeps
+  // is owned, so the mapping can end with this scope.
+  MEETXML_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
+  return LoadImageFromBytes(file.bytes());
 }
 
 }  // namespace model

@@ -22,41 +22,77 @@
 //  * The u32 version field after the magic is the minor revision of
 //    that major. Minor revisions are backward compatible: a reader for
 //    (major, minor) loads every image with the same major and
-//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 3.
+//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 4.
 //  * Within MXM2, compatibility evolves by adding sections: a loader
 //    skips section ids it does not recognize (their bytes are surfaced
 //    through LoadedImage::extra_sections), so old readers open new
 //    images as long as the document section is intact. For the
 //    single-document API in this header the document section is
-//    mandatory and unique; writers stamp such images minor 2.
-//  * Minor 3 (the multi-document catalog, store/catalog.h) is the one
-//    container-level extension so far: an image may carry several DOC0
-//    and TIDX sections, tied together by a CTLG section that names
-//    them. Catalog writers stamp minor 3 only when more than one
+//    mandatory and unique; writers stamp row-oriented (DOC0) images
+//    minor 2.
+//  * Minor 3 (the multi-document catalog, store/catalog.h) is the
+//    first container-level extension: an image may carry several
+//    document and TIDX sections, tied together by a CTLG section that
+//    names them. Catalog writers stamp minor 3 only when more than one
 //    document is aboard, so single-document catalogs still open under
 //    older minor-2 readers; the single-document loaders below keep
-//    rejecting multi-DOC0 images ("duplicate document section").
-//  * Every section is length-framed and FNV-1a checksummed
-//    independently; loaders verify bounds and checksums before
-//    touching a payload, and semantic validation (path/OID ranges,
-//    parent ordering) runs on every load. Corrupted or truncated
-//    images are rejected, never partially applied
-//    (tests/storage_fuzz_test.cc pins this).
+//    rejecting multi-document-section images ("duplicate document
+//    section").
+//  * Minor 4 introduces the columnar document payload, section id
+//    "DOC1". A DOC1 section replaces a DOC0 section one-for-one (same
+//    document, different payload codec); the minor bump is what stops
+//    a minor-3 reader from opening an image whose only document
+//    section it cannot decode. Writers emit DOC1 by default;
+//    SaveOptions::payload_format pins DOC0 (and format_version pins
+//    MXM1) for fleet rollbacks, and every reader keeps accepting all
+//    older layouts. DOC0 and DOC1 images of the same document load to
+//    byte-identically re-serializable documents
+//    (tests/storage_io_test.cc pins the equivalence).
+//  * Every section is length-framed and checksummed independently;
+//    loaders verify bounds and checksums before touching a payload,
+//    and semantic validation (path/OID ranges, parent ordering, string
+//    offsets and the append-order permutation) runs on every load.
+//    Corrupted or truncated images are rejected, never partially
+//    applied (tests/storage_fuzz_test.cc pins this). The checksum
+//    algorithm is keyed by the minor: images up to minor 3 use
+//    byte-serial FNV-1a (bit-compatible with every existing image);
+//    minor-4 images use a four-lane chunked FNV-1a variant that
+//    verifies at memory speed instead of one multiply per byte —
+//    the container scan must not cost more than the columnar decode
+//    it protects.
 //
 // MXM1 layout (little-endian):
 //   magic "MXM1" | u32 version | u64 payload_size | u64 fnv1a_checksum
-//   payload: the document payload described below
+//   payload: the DOC0 document payload described below
 // MXM2 layout:
 //   magic "MXM2" | u32 version | u32 section_count
 //   section directory: per section u32 id | u64 size | u64 fnv1a
 //   section payloads, concatenated in directory order
-// Document payload (section kDocumentSectionId in MXM2):
+// DOC0 document payload (row-oriented):
 //   path summary: u32 count, then per path: u32 parent, u8 kind,
 //                 string label
 //   nodes: u32 count, then parent[], path[], rank[] columns
 //   strings: u32 count, then (u32 path, u32 owner, string value)
 //            rows in global append (document) order
 //   strings are u32 length + bytes.
+// DOC1 document payload (columnar, memcpy-decodable):
+//   path summary: identical to DOC0
+//   nodes: u32 count, then parent[], path[], rank[] as three raw
+//          little-endian u32 arrays of `count` elements each
+//   strings: u32 total_count | u32 group_count, then one group per
+//            path that owns strings, in first-append order:
+//     u32 path | u32 row_count (> 0)
+//     owner[]: row_count raw u32 — the owning node of each row
+//     seq[]:   row_count raw u32 — the row's position in the global
+//              append order; across all groups the seq values form a
+//              permutation of [0, total_count), which is what keeps
+//              reassembly (per-element attribute order) bit-identical
+//     ends[]:  row_count raw u32 — cumulative value end offsets;
+//              row r's value is blob[ends[r-1], ends[r])
+//     blob: ends[row_count-1] bytes, all values concatenated
+//   No per-row path id, no per-string length framing: loading is a
+//   handful of memcpys per relation instead of one allocation and one
+//   dispatch per string.
 
 #ifndef MEETXML_MODEL_STORAGE_IO_H_
 #define MEETXML_MODEL_STORAGE_IO_H_
@@ -80,12 +116,27 @@ constexpr uint32_t MakeSectionId(char a, char b, char c, char d) {
          static_cast<uint32_t>(static_cast<unsigned char>(d));
 }
 
-/// The mandatory document section of an MXM2 image.
+/// The row-oriented document section of an MXM2 image (legacy writer
+/// default through minor 3).
 inline constexpr uint32_t kDocumentSectionId = MakeSectionId('D', 'O', 'C', '0');
+/// The columnar document section (writer default since minor 4).
+inline constexpr uint32_t kColumnarDocumentSectionId =
+    MakeSectionId('D', 'O', 'C', '1');
 /// Persisted full-text indexes (payload codec: text/index_io.h).
 inline constexpr uint32_t kTextIndexSectionId = MakeSectionId('T', 'I', 'D', 'X');
 /// Multi-document catalog directory (payload codec: store/catalog.h).
 inline constexpr uint32_t kCatalogSectionId = MakeSectionId('C', 'T', 'L', 'G');
+
+/// \brief True for both document section ids (DOC0 and DOC1).
+inline constexpr bool IsDocumentSectionId(uint32_t id) {
+  return id == kDocumentSectionId || id == kColumnarDocumentSectionId;
+}
+
+/// \brief Which codec a document section payload uses.
+enum class DocumentPayloadFormat : uint32_t {
+  kRowOriented = 0,  ///< DOC0: one framed (path, owner, value) row per string.
+  kColumnar = 1,     ///< DOC1: raw columns + per-path value arenas.
+};
 
 /// \brief One named, independently checksummed byte range of an image.
 struct ImageSection {
@@ -112,8 +163,12 @@ struct SectionImage {
 /// \brief Serialization knobs.
 struct SaveOptions {
   /// Container major to emit: 2 (current) or 1 (legacy MXM1; supported
-  /// for rollbacks, cannot carry extra sections).
+  /// for rollbacks, cannot carry extra sections, always row-oriented).
   uint32_t format_version = 2;
+  /// Document payload codec for MXM2 images. Columnar (DOC1, the
+  /// default) stamps minor 4; row-oriented (DOC0) stamps minor 2 so
+  /// older readers still open the image — the rollback knob.
+  DocumentPayloadFormat payload_format = DocumentPayloadFormat::kColumnar;
   /// Additional sections appended after the document section (v2 only).
   std::vector<ImageSection> extra_sections;
 };
@@ -138,9 +193,10 @@ util::Result<std::string> SaveToBytes(const StoredDocument& doc,
 
 /// \brief Writes an MXM2 container around `sections`, in order. `minor`
 /// is the revision stamp: 2 for images a single-document reader can
-/// open, 3 when the section set needs catalog semantics (several DOC0
-/// sections). Section ids may repeat — interpreting duplicates is the
-/// caller's contract (the single-document writer rejects them earlier).
+/// open, 3 when the section set needs catalog semantics (several
+/// document sections), 4 when any document section is columnar (DOC1).
+/// Section ids may repeat — interpreting duplicates is the caller's
+/// contract (the single-document writer rejects them earlier).
 util::Result<std::string> SaveSectionsToBytes(
     const std::vector<ImageSection>& sections, uint32_t minor = 2);
 
@@ -149,13 +205,29 @@ util::Result<std::string> SaveSectionsToBytes(
 /// raw sections without interpreting payloads.
 util::Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes);
 
-/// \brief Encodes one document as a DOC0 section payload (the document
-/// must be finalized).
-util::Result<std::string> SerializeDocumentSection(const StoredDocument& doc);
+/// \brief Encodes one document as a document section payload in the
+/// requested codec (the document must be finalized). The matching
+/// section id is kDocumentSectionId for kRowOriented and
+/// kColumnarDocumentSectionId for kColumnar.
+util::Result<std::string> SerializeDocumentSection(
+    const StoredDocument& doc,
+    DocumentPayloadFormat format = DocumentPayloadFormat::kColumnar);
 
-/// \brief Decodes a DOC0 section payload; the result is finalized.
-/// Semantic validation (path/OID ranges, parent ordering) runs here.
+/// \brief Decodes a DOC0 (row-oriented) section payload; the result is
+/// finalized. Semantic validation (path/OID ranges, parent ordering)
+/// runs here.
 util::Result<StoredDocument> ParseDocumentSection(std::string_view payload);
+
+/// \brief Decodes a DOC1 (columnar) section payload; the result is
+/// finalized. Semantic validation (path/OID ranges, parent ordering,
+/// string offsets, the append-order permutation) runs here.
+util::Result<StoredDocument> ParseColumnarDocumentSection(
+    std::string_view payload);
+
+/// \brief Dispatches on the section id to the right payload codec;
+/// `section_id` must satisfy IsDocumentSectionId.
+util::Result<StoredDocument> ParseAnyDocumentSection(
+    uint32_t section_id, std::string_view payload);
 
 /// \brief Restores a document from a binary image, accepting every
 /// known major version (MXM1 and MXM2); extra sections are ignored.
@@ -173,10 +245,12 @@ util::Result<LoadedImage> LoadImageFromBytes(std::string_view bytes);
 util::Status SaveToFile(const StoredDocument& doc, const std::string& path,
                         const SaveOptions& options = {});
 
-/// \brief Loads from a file.
+/// \brief Loads from a file. The image is memory-mapped (util/
+/// mmap_file.h) and decoded straight out of the page cache; platforms
+/// without mmap fall back to a buffered read.
 util::Result<StoredDocument> LoadFromFile(const std::string& path);
 
-/// \brief Loads from a file, keeping extra sections.
+/// \brief Loads from a file (memory-mapped), keeping extra sections.
 util::Result<LoadedImage> LoadImageFromFile(const std::string& path);
 
 }  // namespace model

@@ -103,7 +103,13 @@ bool IsDistanceConjunct(const BoolExpr& expr) {
          expr.leaf.kind == Predicate::Kind::kDistanceLe;
 }
 
-std::string FormatOid(Oid oid) { return "o" + std::to_string(oid); }
+std::string FormatOid(Oid oid) {
+  // append instead of operator+("o", ...): the rvalue-string overload
+  // trips a GCC 12 -Wrestrict false positive under heavy inlining.
+  std::string out = "o";
+  out += std::to_string(oid);
+  return out;
+}
 
 }  // namespace
 

@@ -1,14 +1,17 @@
 #include "store/catalog.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 #include "model/storage_io.h"
 #include "text/index_io.h"
 #include "util/byte_io.h"
-#include "util/file_io.h"
+#include "util/mmap_file.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace meetxml {
 namespace store {
@@ -180,9 +183,16 @@ Status Catalog::EnsureIndex(std::string_view name) {
   return Status::OK();
 }
 
-Result<std::string> Catalog::SaveToBytes() const {
-  // Section order: CTLG first, then per entry its DOC0 and (when an
-  // index exists anywhere — on the entry or inside its executor) TIDX.
+Result<std::string> Catalog::SaveToBytes(
+    model::DocumentPayloadFormat payload_format) const {
+  // Section order: CTLG first, then per entry its document section and
+  // (when an index exists anywhere — on the entry or inside its
+  // executor) TIDX.
+  bool columnar =
+      payload_format == model::DocumentPayloadFormat::kColumnar;
+  uint32_t document_section_id = columnar
+                                     ? model::kColumnarDocumentSectionId
+                                     : model::kDocumentSectionId;
   std::vector<ImageSection> sections;
   sections.emplace_back();  // CTLG placeholder, payload filled below
 
@@ -191,13 +201,14 @@ Result<std::string> Catalog::SaveToBytes() const {
   directory.Varint(next_id_);
   directory.Varint(entries_.size());
   for (const auto& entry : entries_) {
-    MEETXML_ASSIGN_OR_RETURN(std::string doc_payload,
-                             model::SerializeDocumentSection(entry->doc));
+    MEETXML_ASSIGN_OR_RETURN(
+        std::string doc_payload,
+        model::SerializeDocumentSection(entry->doc, payload_format));
     directory.Varint(entry->id);
     directory.StrVarint(entry->name);
     directory.Varint(sections.size());
     sections.push_back(
-        ImageSection{model::kDocumentSectionId, std::move(doc_payload)});
+        ImageSection{document_section_id, std::move(doc_payload)});
     const text::InvertedIndex* index =
         entry->index.has_value()
             ? &*entry->index
@@ -214,14 +225,22 @@ Result<std::string> Catalog::SaveToBytes() const {
   sections.front() =
       ImageSection{model::kCatalogSectionId, directory.Take()};
 
-  // One document degrades gracefully under legacy minor-2 readers (the
-  // CTLG section is skipped as unknown); several DOC0 sections need
-  // the minor-3 contract.
-  uint32_t minor = entries_.size() > 1 ? 3 : 2;
+  // Minor stamp: the bump exists only to stop readers from opening
+  // images they cannot decode, so columnar images need minor 4 only
+  // when a DOC1 section is actually aboard (an empty catalog carries
+  // none). Row-oriented images: one document degrades gracefully under
+  // legacy minor-2 readers (the CTLG section is skipped as unknown);
+  // several DOC0 sections need the minor-3 contract.
+  uint32_t minor = columnar && !entries_.empty()
+                       ? 4
+                       : (entries_.size() > 1 ? 3 : 2);
   return model::SaveSectionsToBytes(sections, minor);
 }
 
-Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
+Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
+                                       const CatalogLoadOptions& options) {
+  util::Timer total_timer;
+  if (options.stats != nullptr) *options.stats = CatalogLoadStats{};
   MEETXML_ASSIGN_OR_RETURN(model::SectionImage image,
                            model::LoadSectionsFromBytes(bytes));
 
@@ -239,6 +258,7 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
   if (catalog_section == nullptr) {
     // Legacy single-document image (MXM1, or MXM2 written by the
     // single-document API): one entry, named after the root tag.
+    util::Timer decode_timer;
     MEETXML_ASSIGN_OR_RETURN(model::LoadedImage legacy,
                              model::LoadImageFromBytes(bytes));
     std::optional<text::InvertedIndex> index;
@@ -251,8 +271,17 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
       index = std::move(decoded);
       break;
     }
+    double decode_ms = decode_timer.ElapsedMillis();
+    bool columnar = false;
+    for (const SectionView& section : image.sections) {
+      if (section.id == model::kColumnarDocumentSectionId) columnar = true;
+    }
     std::string name = legacy.doc.tag(legacy.doc.root());
     if (!ValidateName(name).ok()) name = "doc";
+    if (options.stats != nullptr) {
+      options.stats->documents.push_back(CatalogLoadStats::DocumentStats{
+          name, decode_ms, columnar, index.has_value()});
+    }
     if (index.has_value()) {
       MEETXML_RETURN_NOT_OK(catalog
                                 .Add(std::move(name),
@@ -262,6 +291,9 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
     } else {
       MEETXML_RETURN_NOT_OK(
           catalog.Add(std::move(name), std::move(legacy.doc)).status());
+    }
+    if (options.stats != nullptr) {
+      options.stats->total_ms = total_timer.ElapsedMillis();
     }
     return catalog;
   }
@@ -281,7 +313,7 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
   }
   MEETXML_ASSIGN_OR_RETURN(uint64_t entry_count, reader.Varint());
   if (entry_count > image.sections.size()) {
-    // Every entry owns at least a DOC0 section; more entries than
+    // Every entry owns at least a document section; more entries than
     // sections is structurally impossible.
     return Status::InvalidArgument("corrupt catalog: entry count ",
                                    entry_count);
@@ -290,12 +322,15 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
   std::vector<bool> claimed(image.sections.size(), false);
   claimed[static_cast<size_t>(catalog_section - image.sections.data())] =
       true;
-  auto claim = [&](uint64_t at, uint32_t want_id) -> Status {
+  auto claim = [&](uint64_t at, bool want_document) -> Status {
     if (at >= image.sections.size()) {
       return Status::InvalidArgument(
           "corrupt catalog: section index out of range");
     }
-    if (image.sections[at].id != want_id) {
+    bool type_ok = want_document
+                       ? model::IsDocumentSectionId(image.sections[at].id)
+                       : image.sections[at].id == model::kTextIndexSectionId;
+    if (!type_ok) {
       return Status::InvalidArgument(
           "corrupt catalog: section type mismatch");
     }
@@ -307,44 +342,44 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
     return Status::OK();
   };
 
+  // Phase 1 (serial): parse and validate the directory. Structural
+  // errors surface before any document decode starts.
+  struct DirectoryEntry {
+    DocId id = kInvalidDocId;
+    std::string name;
+    size_t doc_at = 0;
+    // Persisted encoding kept verbatim: 0 = no index, otherwise the
+    // section position + 1. (A plain position with 0-as-none would
+    // misread images whose TIDX legitimately sits at position 0.)
+    size_t index_at_plus_one = 0;
+  };
+  std::vector<DirectoryEntry> directory;
+  directory.reserve(static_cast<size_t>(entry_count));
   for (uint64_t i = 0; i < entry_count; ++i) {
+    DirectoryEntry entry;
     MEETXML_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
-    MEETXML_ASSIGN_OR_RETURN(std::string name, reader.StrVarint());
+    MEETXML_ASSIGN_OR_RETURN(entry.name, reader.StrVarint());
     MEETXML_ASSIGN_OR_RETURN(uint64_t doc_at, reader.Varint());
     MEETXML_ASSIGN_OR_RETURN(uint64_t index_at_plus_one, reader.Varint());
     if (id >= next_id) {
       return Status::InvalidArgument(
           "corrupt catalog: document id beyond next_doc_id");
     }
-    if (catalog.FindById(static_cast<DocId>(id)) != nullptr) {
-      return Status::InvalidArgument(
-          "corrupt catalog: duplicate document id");
+    entry.id = static_cast<DocId>(id);
+    for (const DirectoryEntry& earlier : directory) {
+      if (earlier.id == entry.id) {
+        return Status::InvalidArgument(
+            "corrupt catalog: duplicate document id");
+      }
     }
-    MEETXML_RETURN_NOT_OK(claim(doc_at, model::kDocumentSectionId));
-    MEETXML_ASSIGN_OR_RETURN(
-        StoredDocument doc,
-        model::ParseDocumentSection(image.sections[doc_at].bytes));
-
-    std::optional<text::InvertedIndex> index;
+    MEETXML_RETURN_NOT_OK(claim(doc_at, /*want_document=*/true));
+    entry.doc_at = static_cast<size_t>(doc_at);
     if (index_at_plus_one != 0) {
       uint64_t index_at = index_at_plus_one - 1;
-      MEETXML_RETURN_NOT_OK(claim(index_at, model::kTextIndexSectionId));
-      MEETXML_ASSIGN_OR_RETURN(
-          text::InvertedIndex decoded,
-          text::DeserializeIndex(image.sections[index_at].bytes));
-      MEETXML_RETURN_NOT_OK(text::ValidateIndexAgainst(doc, decoded));
-      index = std::move(decoded);
+      MEETXML_RETURN_NOT_OK(claim(index_at, /*want_document=*/false));
+      entry.index_at_plus_one = static_cast<size_t>(index_at_plus_one);
     }
-
-    // Add() re-validates the name and enforces uniqueness; it assigns
-    // sequential ids, so the persisted id is restored afterwards.
-    Result<DocId> added =
-        index.has_value()
-            ? catalog.Add(std::move(name), std::move(doc),
-                          std::move(*index))
-            : catalog.Add(std::move(name), std::move(doc));
-    MEETXML_RETURN_NOT_OK(added.status());
-    catalog.entries_.back()->id = static_cast<DocId>(id);
+    directory.push_back(std::move(entry));
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in catalog section");
@@ -354,13 +389,104 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes) {
   // how the format grows); reject them.
   for (size_t at = 0; at < image.sections.size(); ++at) {
     uint32_t id = image.sections[at].id;
-    if (!claimed[at] && (id == model::kDocumentSectionId ||
+    if (!claimed[at] && (model::IsDocumentSectionId(id) ||
                          id == model::kTextIndexSectionId)) {
       return Status::InvalidArgument(
           "corrupt catalog: unreferenced document or index section");
     }
   }
+
+  // Phase 2 (parallel): decode every entry's sections on a thread
+  // pool — the sections are independently checksummed byte ranges, so
+  // workers share nothing but the input image. Same pool pattern as
+  // model/bulk_load; errors are collected per entry and the first one
+  // in directory order wins, matching what a serial decode would have
+  // reported.
+  struct DecodedEntry {
+    Status status = Status::OK();
+    StoredDocument doc;
+    std::optional<text::InvertedIndex> index;
+    double decode_ms = 0;
+  };
+  std::vector<DecodedEntry> decoded(directory.size());
+  auto decode_one = [&](size_t i) {
+    DecodedEntry& out = decoded[i];
+    util::Timer decode_timer;
+    const SectionView& doc_section = image.sections[directory[i].doc_at];
+    Result<StoredDocument> doc =
+        model::ParseAnyDocumentSection(doc_section.id, doc_section.bytes);
+    if (!doc.ok()) {
+      out.status = doc.status();
+      return;
+    }
+    out.doc = std::move(*doc);
+    if (directory[i].index_at_plus_one != 0) {
+      Result<text::InvertedIndex> index = text::DeserializeIndex(
+          image.sections[directory[i].index_at_plus_one - 1].bytes);
+      if (!index.ok()) {
+        out.status = index.status();
+        return;
+      }
+      Status valid = text::ValidateIndexAgainst(out.doc, *index);
+      if (!valid.ok()) {
+        out.status = valid;
+        return;
+      }
+      out.index = std::move(*index);
+    }
+    out.decode_ms = decode_timer.ElapsedMillis();
+  };
+  unsigned threads = options.threads != 0
+                         ? options.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers = static_cast<unsigned>(
+      std::min<size_t>(threads, directory.size()));
+  if (workers > 1) {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (size_t i = next.fetch_add(1); i < directory.size();
+           i = next.fetch_add(1)) {
+        decode_one(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& thread : pool) thread.join();
+  } else {
+    for (size_t i = 0; i < directory.size(); ++i) decode_one(i);
+  }
+  for (const DecodedEntry& entry : decoded) {
+    MEETXML_RETURN_NOT_OK(entry.status);
+  }
+
+  // Phase 3 (serial): assemble the catalog. Add() re-validates the
+  // name and enforces uniqueness; it assigns sequential ids, so the
+  // persisted id is restored afterwards.
+  for (size_t i = 0; i < directory.size(); ++i) {
+    if (options.stats != nullptr) {
+      options.stats->documents.push_back(CatalogLoadStats::DocumentStats{
+          directory[i].name, decoded[i].decode_ms,
+          image.sections[directory[i].doc_at].id ==
+              model::kColumnarDocumentSectionId,
+          decoded[i].index.has_value()});
+    }
+    Result<DocId> added =
+        decoded[i].index.has_value()
+            ? catalog.Add(std::move(directory[i].name),
+                          std::move(decoded[i].doc),
+                          std::move(*decoded[i].index))
+            : catalog.Add(std::move(directory[i].name),
+                          std::move(decoded[i].doc));
+    MEETXML_RETURN_NOT_OK(added.status());
+    catalog.entries_.back()->id = directory[i].id;
+  }
   catalog.next_id_ = static_cast<DocId>(next_id);
+  if (options.stats != nullptr) {
+    options.stats->threads_used = std::max(1u, workers);
+    options.stats->total_ms = total_timer.ElapsedMillis();
+  }
   return catalog;
 }
 
@@ -373,9 +499,12 @@ Status Catalog::SaveToFile(const std::string& path) const {
   return Status::OK();
 }
 
-Result<Catalog> Catalog::LoadFromFile(const std::string& path) {
-  MEETXML_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
-  return LoadFromBytes(bytes);
+Result<Catalog> Catalog::LoadFromFile(const std::string& path,
+                                      const CatalogLoadOptions& options) {
+  // Decode out of a file mapping; the catalog owns everything it
+  // keeps, so the mapping ends with this scope.
+  MEETXML_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
+  return LoadFromBytes(file.bytes(), options);
 }
 
 }  // namespace store

@@ -10,11 +10,14 @@
 // persists all of them — each with its optional full-text index — in a
 // single MXM2 image.
 //
-// Image layout (minor 3 when more than one document is aboard, minor 2
-// otherwise so legacy readers can still open one-document catalogs):
+// Image layout:
 //   CTLG section: the catalog directory (codec below)
-//   per document, one DOC0 section (model/storage_io.h payload) and,
+//   per document, one document section — columnar DOC1 by default,
+//   row-oriented DOC0 when pinned (model/storage_io.h payloads) — and,
 //   when an index exists, one TIDX section (text/index_io.h payload)
+// Minor stamp: 4 when any document section is columnar, otherwise 3
+// for multi-document images and 2 for one-document images (which
+// legacy single-document readers can still open).
 //
 // CTLG payload (little-endian, varints are LEB128):
 //   u8 codec version (1)
@@ -23,10 +26,16 @@
 //     varint doc id | name (varint length + bytes)
 //     varint doc section index (position in the image directory)
 //     varint index section index + 1 (0 = the document has no TIDX)
-// Every DOC0/TIDX section must be referenced by exactly one entry;
+// Every document/TIDX section must be referenced by exactly one entry;
 // dangling or doubly-referenced sections are rejected. Legacy MXM1 and
 // single-document MXM2 images (no CTLG section) load as a one-entry
 // catalog named after the document's root tag.
+//
+// Loading decodes the per-document sections in parallel on a thread
+// pool (the checksummed sections are independent by construction), so
+// a multi-document store opens in roughly the time of its largest
+// document; CatalogLoadOptions::threads pins the pool size and the
+// first failing entry, in directory order, wins error reporting.
 
 #ifndef MEETXML_STORE_CATALOG_H_
 #define MEETXML_STORE_CATALOG_H_
@@ -39,12 +48,44 @@
 #include <vector>
 
 #include "model/document.h"
+#include "model/storage_io.h"
 #include "query/executor.h"
 #include "text/inverted_index.h"
 #include "util/result.h"
 
 namespace meetxml {
 namespace store {
+
+/// \brief Per-load observability: how long each document's sections
+/// took to decode and which payload codec they used. Filled when a
+/// CatalogLoadOptions::stats pointer is supplied (the query shell's
+/// `\open` report).
+struct CatalogLoadStats {
+  struct DocumentStats {
+    std::string name;
+    /// Wall time decoding this document's sections (document + index),
+    /// measured on the decoding worker.
+    double decode_ms = 0;
+    /// True when the document section was columnar (DOC1).
+    bool columnar = false;
+    /// True when a persisted TIDX section was decoded alongside.
+    bool indexed = false;
+  };
+  std::vector<DocumentStats> documents;
+  /// End-to-end LoadFromBytes wall time.
+  double total_ms = 0;
+  /// Decode workers actually used (1 for legacy/serial loads).
+  unsigned threads_used = 1;
+};
+
+/// \brief Knobs for Catalog::LoadFromBytes / LoadFromFile.
+struct CatalogLoadOptions {
+  /// Decode workers; 0 means std::thread::hardware_concurrency(),
+  /// 1 pins the serial path.
+  unsigned threads = 0;
+  /// When non-null, receives per-document decode timings.
+  CatalogLoadStats* stats = nullptr;
+};
 
 /// \brief Stable identifier of a catalog document. Ids are assigned
 /// once at Add and survive save/load, rename and the removal of other
@@ -127,17 +168,23 @@ class Catalog {
   /// \brief Serializes the whole catalog into one image. Documents
   /// whose index exists (persisted, EnsureIndex'd, or lazily built by
   /// an executor) carry a TIDX section; the rest rebuild lazily after
-  /// load.
-  util::Result<std::string> SaveToBytes() const;
+  /// load. `payload_format` picks the document codec — columnar DOC1
+  /// (default) or row-oriented DOC0 for rollback images.
+  util::Result<std::string> SaveToBytes(
+      model::DocumentPayloadFormat payload_format =
+          model::DocumentPayloadFormat::kColumnar) const;
 
   /// \brief Loads a catalog image — or any legacy MXM1/MXM2
   /// single-document image, which becomes a one-entry catalog named
-  /// after its root tag.
-  static util::Result<Catalog> LoadFromBytes(std::string_view bytes);
+  /// after its root tag. Per-document sections decode in parallel
+  /// (first error in directory order wins); see CatalogLoadOptions.
+  static util::Result<Catalog> LoadFromBytes(
+      std::string_view bytes, const CatalogLoadOptions& options = {});
 
-  /// \brief File variants.
+  /// \brief File variants; loading decodes from a memory-mapped image.
   util::Status SaveToFile(const std::string& path) const;
-  static util::Result<Catalog> LoadFromFile(const std::string& path);
+  static util::Result<Catalog> LoadFromFile(
+      const std::string& path, const CatalogLoadOptions& options = {});
 
  private:
   NamedDocument* FindMutable(std::string_view name);

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "util/byte_io.h"
-#include "util/file_io.h"
+#include "util/mmap_file.h"
 
 namespace meetxml {
 namespace text {
@@ -228,8 +228,10 @@ Status SaveStoreToFile(const model::StoredDocument& doc,
 }
 
 Result<PersistentStore> LoadStoreFromFile(const std::string& path) {
-  MEETXML_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
-  return LoadStoreFromBytes(bytes);
+  // Decode out of a file mapping; PersistentStore owns everything it
+  // keeps, so the mapping ends with this scope.
+  MEETXML_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
+  return LoadStoreFromBytes(file.bytes());
 }
 
 }  // namespace text

@@ -72,7 +72,7 @@ Result<InvertedIndex> InvertedIndex::Build(const StoredDocument& doc,
     const model::OidStrBat& table = doc.StringsAt(path);
     for (size_t row = 0; row < table.size(); ++row) {
       Posting posting{path, table.head(row)};
-      const std::string& value = table.tail(row);
+      std::string_view value = table.tail(row);
       for (const std::string& token : Tokenize(value, options.tokenizer)) {
         append(&index.words_[token], posting);
       }

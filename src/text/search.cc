@@ -23,7 +23,7 @@ std::vector<Posting> FullTextSearch::ScanContains(std::string_view needle,
   for (PathId path : doc_->string_paths()) {
     const model::OidStrBat& table = doc_->StringsAt(path);
     for (size_t row = 0; row < table.size(); ++row) {
-      const std::string& value = table.tail(row);
+      std::string_view value = table.tail(row);
       bool hit = ignore_case ? util::ContainsIgnoreCase(value, needle)
                              : util::Contains(value, needle);
       if (hit) out.push_back(Posting{path, table.head(row)});

@@ -39,6 +39,10 @@ class ByteWriter {
     Varint(s.size());
     out_.append(s.data(), s.size());
   }
+  /// \brief Appends raw bytes with no framing — the caller's format
+  /// carries the length. The columnar payloads emit whole integer
+  /// columns this way, one append per column.
+  void Bytes(std::string_view s) { out_.append(s.data(), s.size()); }
   std::string Take() { return std::move(out_); }
 
  private:
@@ -88,6 +92,21 @@ class ByteReader {
   Result<std::string> StrVarint() {
     MEETXML_ASSIGN_OR_RETURN(uint64_t size, Varint());
     return Chars(size);
+  }
+  /// \brief Zero-copy StrU32: the view borrows from the underlying
+  /// bytes, so it stays valid only as long as they do. Lets decoders
+  /// skip the per-string allocation StrU32 pays.
+  Result<std::string_view> StrViewU32() {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t size, U32());
+    return View(size);
+  }
+  /// \brief Borrows the next `n` bytes and advances — the bulk read
+  /// behind memcpy-decodable integer columns.
+  Result<std::string_view> View(uint64_t n) {
+    MEETXML_RETURN_NOT_OK(Need(n));
+    std::string_view out = bytes_.substr(pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return out;
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }

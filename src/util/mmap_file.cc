@@ -1,0 +1,66 @@
+#include "util/mmap_file.h"
+
+#include "util/file_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MEETXML_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace meetxml {
+namespace util {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+#if defined(MEETXML_HAVE_MMAP)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      MmapFile file;
+      if (st.st_size == 0) {
+        // Empty files map to an empty view without calling mmap (which
+        // rejects zero-length mappings).
+        ::close(fd);
+        return file;
+      }
+      void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
+      // The mapping keeps its own reference; the descriptor is done
+      // either way.
+      ::close(fd);
+      if (mapped != MAP_FAILED) {
+        file.mapped_ = mapped;
+        file.mapped_size_ = static_cast<size_t>(st.st_size);
+        return file;
+      }
+      // mmap refused (exotic filesystem, resource limits): fall through
+      // to the buffered read below.
+    } else {
+      ::close(fd);
+    }
+  }
+  // A failed open still goes through the buffered reader so the error
+  // message (NotFound with the path) stays in one place.
+#endif
+  MEETXML_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  MmapFile file;
+  file.buffer_ = std::move(content);
+  return file;
+}
+
+void MmapFile::Release() {
+#if defined(MEETXML_HAVE_MMAP)
+  if (mapped_ != nullptr) {
+    ::munmap(mapped_, mapped_size_);
+  }
+#endif
+  mapped_ = nullptr;
+  mapped_size_ = 0;
+  buffer_.clear();
+}
+
+}  // namespace util
+}  // namespace meetxml

@@ -1,0 +1,80 @@
+// Read-only memory-mapped files for the image loaders.
+//
+// Opening a multi-hundred-megabyte store image used to mean reading the
+// whole file into a std::string before the first section checksum ran.
+// MmapFile maps the file instead: the loader decodes straight out of
+// the page cache, pages fault in as the section scan touches them, and
+// the copy (plus its transient doubling of peak RSS) disappears. On
+// platforms without mmap — or when mapping fails for any reason — the
+// wrapper silently falls back to the buffered read, so callers are
+// portable without caring which path they got.
+//
+// The view returned by bytes() is valid for the lifetime of the
+// MmapFile object; loaders must finish decoding (copying what they
+// keep) before letting it go out of scope.
+
+#ifndef MEETXML_UTIL_MMAP_FILE_H_
+#define MEETXML_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/result.h"
+
+namespace meetxml {
+namespace util {
+
+/// \brief A read-only file, memory-mapped when the platform allows it
+/// and buffered into memory otherwise. Move-only RAII: the mapping (or
+/// buffer) is released on destruction.
+class MmapFile {
+ public:
+  /// \brief Opens and maps `path`. NotFound when the file cannot be
+  /// opened; mapping failures fall back to a buffered read.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile() { Release(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mapped_ = other.mapped_;
+      mapped_size_ = other.mapped_size_;
+      buffer_ = std::move(other.buffer_);
+      other.mapped_ = nullptr;
+      other.mapped_size_ = 0;
+    }
+    return *this;
+  }
+
+  /// \brief The file's contents; valid while this object lives.
+  std::string_view bytes() const {
+    if (mapped_ != nullptr) {
+      return std::string_view(static_cast<const char*>(mapped_),
+                              mapped_size_);
+    }
+    return buffer_;
+  }
+
+  /// \brief True when the contents are served by a mapping rather than
+  /// a heap buffer (introspection for tests and diagnostics).
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+ private:
+  void Release();
+
+  void* mapped_ = nullptr;
+  size_t mapped_size_ = 0;
+  std::string buffer_;
+};
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_MMAP_FILE_H_

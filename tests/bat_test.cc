@@ -29,6 +29,30 @@ TEST(Bat, AppendAndAccess) {
   EXPECT_FALSE(table.empty());
 }
 
+TEST(StrBat, ArenaBackedColumns) {
+  StrBat table;
+  table.Append(1, "ab");
+  table.Append(2, "");  // empty values are legal rows
+  table.Append(3, "xyz");
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.tail(0), "ab");
+  EXPECT_EQ(table.tail(1), "");
+  EXPECT_EQ(table.tail(2), "xyz");
+  // One arena, cumulative end offsets.
+  EXPECT_EQ(table.tail_blob(), "abxyz");
+  EXPECT_EQ(table.tail_ends(), (std::vector<uint32_t>{2, 2, 5}));
+}
+
+TEST(StrBat, AdoptColumnsMatchesAppend) {
+  StrBat appended;
+  appended.Append(1, "ab");
+  appended.Append(2, "xyz");
+  StrBat adopted;
+  adopted.AdoptColumns({1, 2}, {2, 5}, "abxyz");
+  EXPECT_EQ(adopted, appended);
+  EXPECT_EQ(adopted.tail(1), "xyz");
+}
+
 TEST(Bat, ReverseSwapsColumns) {
   OidOidBat table = MakeBat({{1, 10}, {2, 20}});
   OidOidBat reversed = table.Reversed();

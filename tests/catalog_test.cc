@@ -183,6 +183,156 @@ TEST(Catalog, EnsureIndexAfterExecutorBuildsExactlyOneIndex) {
   EXPECT_TRUE(loaded.Find("paper")->index.has_value());
 }
 
+TEST(Catalog, RowAndColumnarCatalogImagesLoadIdentically) {
+  // The catalog-level byte-equality pin: a DOC0-pinned image and the
+  // default DOC1 image restore the same catalog, shown by both loads
+  // re-serializing to the very same bytes.
+  Catalog catalog;
+  StoredDocument paper = MustShred(data::PaperExampleXml());
+  auto index = text::InvertedIndex::Build(paper);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(
+      catalog.Add("paper", std::move(paper), std::move(*index)).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+
+  auto columnar = catalog.SaveToBytes();
+  auto row = catalog.SaveToBytes(model::DocumentPayloadFormat::kRowOriented);
+  ASSERT_TRUE(columnar.ok() && row.ok());
+  EXPECT_EQ((*columnar)[4], 4);  // minor revision
+  EXPECT_EQ((*row)[4], 3);
+
+  auto from_columnar = Catalog::LoadFromBytes(*columnar);
+  auto from_row = Catalog::LoadFromBytes(*row);
+  ASSERT_TRUE(from_columnar.ok()) << from_columnar.status();
+  ASSERT_TRUE(from_row.ok()) << from_row.status();
+  auto columnar_again = from_row->SaveToBytes();
+  auto row_again =
+      from_columnar->SaveToBytes(model::DocumentPayloadFormat::kRowOriented);
+  ASSERT_TRUE(columnar_again.ok() && row_again.ok());
+  EXPECT_EQ(*columnar_again, *columnar);
+  EXPECT_EQ(*row_again, *row);
+}
+
+TEST(Catalog, EmptyCatalogStaysLegacyReadable) {
+  // No document sections aboard means nothing needs the minor-4
+  // contract: an empty catalog stays a minor-2 image that older
+  // readers can open.
+  Catalog catalog;
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)[4], 2);
+  auto loaded = Catalog::LoadFromBytes(*bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(Catalog, ParallelAndSerialDecodeAgree) {
+  Catalog catalog;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+
+  CatalogLoadStats serial_stats;
+  CatalogLoadOptions serial{1, &serial_stats};
+  auto serial_loaded = Catalog::LoadFromBytes(*bytes, serial);
+  ASSERT_TRUE(serial_loaded.ok()) << serial_loaded.status();
+
+  CatalogLoadStats parallel_stats;
+  CatalogLoadOptions parallel{8, &parallel_stats};
+  auto parallel_loaded = Catalog::LoadFromBytes(*bytes, parallel);
+  ASSERT_TRUE(parallel_loaded.ok()) << parallel_loaded.status();
+
+  auto serial_bytes = serial_loaded->SaveToBytes();
+  auto parallel_bytes = parallel_loaded->SaveToBytes();
+  ASSERT_TRUE(serial_bytes.ok() && parallel_bytes.ok());
+  EXPECT_EQ(*parallel_bytes, *serial_bytes);
+  EXPECT_EQ(*parallel_bytes, *bytes);
+
+  EXPECT_EQ(serial_stats.threads_used, 1u);
+  EXPECT_EQ(parallel_stats.threads_used, 8u);
+  ASSERT_EQ(parallel_stats.documents.size(), 8u);
+  for (const auto& doc_stats : parallel_stats.documents) {
+    EXPECT_TRUE(doc_stats.columnar);
+    EXPECT_FALSE(doc_stats.indexed);
+  }
+}
+
+TEST(Catalog, ParallelDecodeReportsTheFirstBrokenEntry) {
+  // Corrupt one document section (bypassing its checksum by
+  // re-wrapping) and make sure the fan-out load still fails cleanly.
+  Catalog catalog;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+  auto sections = model::LoadSectionsFromBytes(*bytes);
+  ASSERT_TRUE(sections.ok());
+  std::vector<model::ImageSection> tampered;
+  size_t doc_sections = 0;
+  for (const model::SectionView& section : sections->sections) {
+    std::string payload(section.bytes);
+    if (model::IsDocumentSectionId(section.id) && ++doc_sections == 3) {
+      payload.resize(payload.size() / 2);  // truncate the third document
+    }
+    tampered.push_back(model::ImageSection{section.id, std::move(payload)});
+  }
+  auto rewritten = model::SaveSectionsToBytes(tampered, 4);
+  ASSERT_TRUE(rewritten.ok());
+  for (unsigned threads : {1u, 8u}) {
+    CatalogLoadOptions options;
+    options.threads = threads;
+    auto loaded = Catalog::LoadFromBytes(*rewritten, options);
+    EXPECT_FALSE(loaded.ok()) << "threads=" << threads;
+  }
+}
+
+TEST(Catalog, TidxAtDirectoryPositionZeroIsNotDropped) {
+  // The writer emits CTLG first, but the format does not require it:
+  // a TIDX sitting at directory position 0 must still reach its
+  // document (position 0 is a valid section reference, not a "no
+  // index" sentinel).
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  auto index = text::InvertedIndex::Build(doc);
+  ASSERT_TRUE(index.ok());
+  size_t postings = index->posting_count();
+  auto doc_payload = model::SerializeDocumentSection(doc);
+  ASSERT_TRUE(doc_payload.ok());
+
+  util::ByteWriter directory;
+  directory.U8(1);       // codec version
+  directory.Varint(1);   // next_doc_id
+  directory.Varint(1);   // one entry
+  directory.Varint(0);   // id
+  directory.StrVarint("paper");
+  directory.Varint(2);   // doc section position
+  directory.Varint(1);   // index section position + 1 -> position 0
+  auto image = model::SaveSectionsToBytes(
+      {model::ImageSection{model::kTextIndexSectionId,
+                           text::SerializeIndex(*index)},
+       model::ImageSection{model::kCatalogSectionId, directory.Take()},
+       model::ImageSection{model::kColumnarDocumentSectionId,
+                           std::move(*doc_payload)}},
+      4);
+  ASSERT_TRUE(image.ok());
+
+  auto loaded = Catalog::LoadFromBytes(*image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_NE(loaded->Find("paper"), nullptr);
+  ASSERT_TRUE(loaded->Find("paper")->index.has_value());
+  EXPECT_EQ(loaded->Find("paper")->index->posting_count(), postings);
+}
+
 TEST(Catalog, RejectsOverflowingNextDocId) {
   // A crafted CTLG whose next_doc_id exceeds the u32 id space would
   // truncate and hand out duplicate ids on the next Add; the loader
@@ -227,19 +377,25 @@ TEST(Catalog, LegacyStoreBundleKeepsItsIndex) {
 }
 
 TEST(Catalog, SingleDocumentCatalogDegradesToLegacyReaders) {
-  // A one-document catalog is stamped minor 2: the single-document
-  // loaders skip the CTLG section and still get the document (and its
-  // TIDX). A multi-document catalog needs minor 3 and is rejected by
-  // the single-document API.
+  // A one-document row-oriented catalog is stamped minor 2: the
+  // single-document loaders skip the CTLG section and still get the
+  // document (and its TIDX). The DOC1 default opens through the same
+  // API too (minor 4 readers understand both payloads). A
+  // multi-document catalog is rejected by the single-document API.
   Catalog catalog;
   ASSERT_TRUE(
       catalog.Add("paper", MustShred(data::PaperExampleXml())).ok());
   MEETXML_CHECK_OK(catalog.EnsureIndex("paper"));
-  auto single = catalog.SaveToBytes();
-  ASSERT_TRUE(single.ok());
-  auto store = text::LoadStoreFromBytes(*single);
-  ASSERT_TRUE(store.ok()) << store.status();
-  EXPECT_TRUE(store->index.has_value());
+  for (auto format : {model::DocumentPayloadFormat::kRowOriented,
+                      model::DocumentPayloadFormat::kColumnar}) {
+    auto single = catalog.SaveToBytes(format);
+    ASSERT_TRUE(single.ok());
+    auto store = text::LoadStoreFromBytes(*single);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_TRUE(store->index.has_value());
+  }
+  EXPECT_EQ((*catalog.SaveToBytes(
+      model::DocumentPayloadFormat::kRowOriented))[4], 2);
 
   ASSERT_TRUE(catalog.Add("second", MustShred("<a><b>x</b></a>")).ok());
   auto multi = catalog.SaveToBytes();

@@ -13,6 +13,7 @@
 #include "data/paper_example.h"
 #include "model/storage_io.h"
 #include "store/catalog.h"
+#include "util/byte_io.h"
 #include "text/index_io.h"
 #include "text/inverted_index.h"
 #include "tests/test_util.h"
@@ -23,10 +24,15 @@ namespace {
 
 using meetxml::testing::MustShred;
 
-std::string Image(uint32_t format_version) {
+// Fuzz parameter: 1 = MXM1, 2 = MXM2 with the row-oriented DOC0
+// payload, 4 = MXM2 with the columnar DOC1 payload (the value doubles
+// as the expected minor revision of the emitted image).
+std::string Image(uint32_t param) {
   StoredDocument doc = MustShred(data::PaperExampleXml());
   SaveOptions options;
-  options.format_version = format_version;
+  options.format_version = param == 1 ? 1 : 2;
+  options.payload_format = param == 4 ? DocumentPayloadFormat::kColumnar
+                                      : DocumentPayloadFormat::kRowOriented;
   auto bytes = SaveToBytes(doc, options);
   EXPECT_TRUE(bytes.ok()) << bytes.status();
   return *bytes;
@@ -46,10 +52,11 @@ TEST_P(StorageFuzz, EveryByteFlipFails) {
   // In a doc-only image every byte is load-bearing: magic, version and
   // directory flips trip structural checks, payload flips trip the
   // section checksum. Flip every byte through three masks. The one
-  // legal exception: an MXM2 minor-field flip can land on another
-  // accepted minor (2 <-> 3, minors are backward compatible by
+  // legal exception: a minor-2 image's minor-field flip can land on
+  // another accepted minor (2 <-> 3, minors are backward compatible by
   // policy), in which case the load must succeed with the document
-  // fully intact.
+  // fully intact. (From minor 4 no accepted minor is reachable under
+  // these masks, so every DOC1-image flip must fail.)
   StoredDocument original = MustShred(data::PaperExampleXml());
   std::string bytes = Image(GetParam());
   for (uint8_t mask : {0x01, 0x40, 0xff}) {
@@ -94,9 +101,12 @@ TEST_P(StorageFuzz, PseudoRandomMutationsNeverCrash) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Formats, StorageFuzz, ::testing::Values(1u, 2u),
+INSTANTIATE_TEST_SUITE_P(Formats, StorageFuzz,
+                         ::testing::Values(1u, 2u, 4u),
                          [](const auto& info) {
-                           return info.param == 1 ? "MXM1" : "MXM2";
+                           if (info.param == 1) return "MXM1";
+                           return info.param == 2 ? "MXM2DOC0"
+                                                  : "MXM2DOC1";
                          });
 
 TEST(StorageFuzzCrafted, BadMagicAndHeaders) {
@@ -119,16 +129,189 @@ TEST(StorageFuzzCrafted, BadMagicAndHeaders) {
 
 TEST(StorageFuzzCrafted, WriterRejectsUnloadableSectionSets) {
   // Images the loader would refuse must fail at save time, not at the
-  // next restart.
+  // next restart. Both document section ids are off-limits as extras.
   StoredDocument doc = MustShred("<a><b>x</b></a>");
   SaveOptions dup_doc;
   dup_doc.extra_sections.push_back(ImageSection{kDocumentSectionId, "x"});
   EXPECT_FALSE(SaveToBytes(doc, dup_doc).ok());
 
+  SaveOptions dup_columnar;
+  dup_columnar.extra_sections.push_back(
+      ImageSection{kColumnarDocumentSectionId, "x"});
+  EXPECT_FALSE(SaveToBytes(doc, dup_columnar).ok());
+
   SaveOptions dup_id;
   dup_id.extra_sections.push_back(ImageSection{kTextIndexSectionId, "x"});
   dup_id.extra_sections.push_back(ImageSection{kTextIndexSectionId, "y"});
   EXPECT_FALSE(SaveToBytes(doc, dup_id).ok());
+}
+
+// --- Crafted DOC1 payload corruptions ---------------------------------
+//
+// The columnar codec trusts nothing: every field below is handcrafted
+// so one structural invariant at a time can be broken — offsets out of
+// bounds, blobs shorter than the last offset, an append-order column
+// that is not a permutation — and the loader must reject each image
+// cleanly, never applying it partially.
+
+// A two-node document (<a>xyz</a>): element path 0, cdata path 1, one
+// string. Every knob overrides one field of the valid encoding.
+struct Doc1Knobs {
+  std::vector<uint32_t> parents{0xffffffffu, 0};
+  std::vector<uint32_t> node_paths{0, 1};
+  std::vector<uint32_t> ranks{0, 0};
+  uint32_t total_strings = 1;
+  uint32_t group_count = 1;
+  std::vector<uint32_t> group_paths{1};
+  std::vector<std::vector<uint32_t>> owners{{1}};
+  std::vector<std::vector<uint32_t>> seqs{{0}};
+  std::vector<std::vector<uint32_t>> ends{{3}};
+  std::vector<std::string> blobs{"xyz"};
+  std::string trailing;
+};
+
+std::string CraftDoc1Image(const Doc1Knobs& knobs) {
+  util::ByteWriter payload;
+  // Path summary: 0 = element "a" (root), 1 = cdata below it.
+  payload.U32(2);
+  payload.U32(0xffffffffu);
+  payload.U8(0);  // StepKind::kElement
+  payload.StrU32("a");
+  payload.U32(0);
+  payload.U8(2);  // StepKind::kCdata
+  payload.StrU32("cdata");
+  // Node columns.
+  payload.U32(static_cast<uint32_t>(knobs.parents.size()));
+  for (uint32_t v : knobs.parents) payload.U32(v);
+  for (uint32_t v : knobs.node_paths) payload.U32(v);
+  for (uint32_t v : knobs.ranks) payload.U32(v);
+  // String groups.
+  payload.U32(knobs.total_strings);
+  payload.U32(knobs.group_count);
+  for (size_t g = 0; g < knobs.group_paths.size(); ++g) {
+    payload.U32(knobs.group_paths[g]);
+    payload.U32(static_cast<uint32_t>(knobs.owners[g].size()));
+    for (uint32_t v : knobs.owners[g]) payload.U32(v);
+    for (uint32_t v : knobs.seqs[g]) payload.U32(v);
+    for (uint32_t v : knobs.ends[g]) payload.U32(v);
+    payload.Bytes(knobs.blobs[g]);
+  }
+  payload.Bytes(knobs.trailing);
+  auto image = SaveSectionsToBytes(
+      {ImageSection{kColumnarDocumentSectionId, payload.Take()}}, 4);
+  EXPECT_TRUE(image.ok()) << image.status();
+  return *image;
+}
+
+TEST(StorageFuzzCrafted, CraftedDoc1BaselineLoads) {
+  // The untampered encoding must load — otherwise the corruption
+  // cases below would pass for the wrong reason.
+  auto loaded = LoadFromBytes(CraftDoc1Image(Doc1Knobs{}));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->node_count(), 2u);
+  EXPECT_EQ(loaded->string_count(), 1u);
+  EXPECT_EQ(loaded->CdataValue(1), "xyz");
+
+  // And it is bit-identical to what the writer emits for the same
+  // document, pinning the crafted encoding to the real codec.
+  auto written = SaveToBytes(MustShred("<a>xyz</a>"));
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(CraftDoc1Image(Doc1Knobs{}), *written);
+}
+
+TEST(StorageFuzzCrafted, Doc1RejectsBadNodeColumns) {
+  {
+    Doc1Knobs knobs;  // non-root node whose parent does not precede it
+    knobs.parents = {0xffffffffu, 1};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // node 0 with a parent
+    knobs.parents = {0, 0};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // node path beyond the path summary
+    knobs.node_paths = {0, 9};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+}
+
+TEST(StorageFuzzCrafted, Doc1RejectsBadStringColumns) {
+  {
+    Doc1Knobs knobs;  // owner beyond the node count
+    knobs.owners = {{5}};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // group path beyond the path summary
+    knobs.group_paths = {7};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // empty group
+    knobs.owners = {{}};
+    knobs.seqs = {{}};
+    knobs.ends = {{}};
+    knobs.blobs = {""};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // the same path adopted by two groups
+    knobs.total_strings = 2;
+    knobs.group_count = 2;
+    knobs.group_paths = {1, 1};
+    knobs.owners = {{1}, {1}};
+    knobs.seqs = {{0}, {1}};
+    knobs.ends = {{3}, {3}};
+    knobs.blobs = {"xyz", "xyz"};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+}
+
+TEST(StorageFuzzCrafted, Doc1RejectsBadOffsets) {
+  {
+    Doc1Knobs knobs;  // offsets run out of the payload: blob shorter
+    knobs.ends = {{100}};  // than the last offset claims
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // offsets not monotonic
+    knobs.total_strings = 2;
+    knobs.owners = {{1, 1}};
+    knobs.seqs = {{0, 1}};
+    knobs.ends = {{2, 1}};
+    knobs.blobs = {"x"};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+}
+
+TEST(StorageFuzzCrafted, Doc1RejectsBrokenPermutation) {
+  {
+    Doc1Knobs knobs;  // seq beyond the global string count
+    knobs.seqs = {{4}};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // duplicate seq value
+    knobs.total_strings = 2;
+    knobs.owners = {{1, 1}};
+    knobs.seqs = {{0, 0}};
+    knobs.ends = {{1, 2}};
+    knobs.blobs = {"ab"};
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+  {
+    Doc1Knobs knobs;  // declared count larger than the rows delivered
+    knobs.total_strings = 2;
+    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  }
+}
+
+TEST(StorageFuzzCrafted, Doc1RejectsTrailingPayloadBytes) {
+  Doc1Knobs knobs;
+  knobs.trailing = "x";
+  EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
 }
 
 TEST(StorageFuzzCrafted, BadSectionLengths) {

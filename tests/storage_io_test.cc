@@ -130,6 +130,98 @@ TEST(StorageIo, MissingFileIsNotFound) {
   EXPECT_TRUE(loaded.status().IsNotFound());
 }
 
+// --- Columnar (DOC1) vs row-oriented (DOC0) payloads ------------------
+
+TEST(StorageIo, ColumnarIsTheDefaultAndStampsMinor4) {
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  auto bytes = SaveToBytes(doc);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)[4], 4);  // minor revision field
+  auto sections = LoadSectionsFromBytes(*bytes);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->sections.size(), 1u);
+  EXPECT_EQ(sections->sections[0].id, kColumnarDocumentSectionId);
+
+  SaveOptions row_options;
+  row_options.payload_format = DocumentPayloadFormat::kRowOriented;
+  auto row_bytes = SaveToBytes(doc, row_options);
+  ASSERT_TRUE(row_bytes.ok());
+  EXPECT_EQ((*row_bytes)[4], 2);
+  auto row_sections = LoadSectionsFromBytes(*row_bytes);
+  ASSERT_TRUE(row_sections.ok());
+  EXPECT_EQ(row_sections->sections[0].id, kDocumentSectionId);
+}
+
+// The byte-equality pin: a DOC0-saved image and a DOC1-saved image of
+// the same document load to byte-identically re-serializable
+// documents, in both directions.
+void ExpectFormatsRoundTripIdentically(const StoredDocument& doc) {
+  SaveOptions row_options;
+  row_options.payload_format = DocumentPayloadFormat::kRowOriented;
+  auto row_bytes = SaveToBytes(doc, row_options);
+  auto columnar_bytes = SaveToBytes(doc);
+  ASSERT_TRUE(row_bytes.ok() && columnar_bytes.ok());
+
+  auto from_row = LoadFromBytes(*row_bytes);
+  auto from_columnar = LoadFromBytes(*columnar_bytes);
+  ASSERT_TRUE(from_row.ok()) << from_row.status();
+  ASSERT_TRUE(from_columnar.ok()) << from_columnar.status();
+
+  // Re-serializing either load in either format reproduces the
+  // original writer's bytes exactly.
+  auto row_again = SaveToBytes(*from_columnar, row_options);
+  auto columnar_again = SaveToBytes(*from_row);
+  ASSERT_TRUE(row_again.ok() && columnar_again.ok());
+  EXPECT_EQ(*row_again, *row_bytes);
+  EXPECT_EQ(*columnar_again, *columnar_bytes);
+}
+
+TEST(StorageIo, RowAndColumnarImagesLoadByteIdentically) {
+  ExpectFormatsRoundTripIdentically(MustShred(data::PaperExampleXml()));
+}
+
+TEST(StorageIo, RowAndColumnarAgreeOnDblp) {
+  data::DblpOptions options;
+  options.end_year = 1987;
+  auto xml_text = data::GenerateDblpXml(options);
+  ASSERT_TRUE(xml_text.ok());
+  auto doc = ShredXmlText(*xml_text);
+  ASSERT_TRUE(doc.ok());
+  ExpectFormatsRoundTripIdentically(*doc);
+}
+
+TEST(StorageIo, ColumnarSurvivesExtraSections)  {
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  SaveOptions options;
+  options.extra_sections.push_back(
+      ImageSection{MakeSectionId('X', 'T', 'R', 'A'), "opaque"});
+  auto bytes = SaveToBytes(doc, options);
+  ASSERT_TRUE(bytes.ok());
+  auto image = LoadImageFromBytes(*bytes);
+  ASSERT_TRUE(image.ok()) << image.status();
+  EXPECT_EQ(image->doc.node_count(), doc.node_count());
+  ASSERT_EQ(image->extra_sections.size(), 1u);
+  EXPECT_EQ(image->extra_sections[0].bytes, "opaque");
+}
+
+TEST(StorageIo, Mxm1IsAlwaysRowOriented) {
+  // MXM1 predates DOC1; asking for v1 + columnar still writes the
+  // legacy payload, so rollback images stay readable everywhere.
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  SaveOptions v1;
+  v1.format_version = 1;
+  auto bytes = SaveToBytes(doc, v1);
+  SaveOptions v1_columnar;
+  v1_columnar.format_version = 1;
+  v1_columnar.payload_format = DocumentPayloadFormat::kColumnar;
+  auto bytes_columnar = SaveToBytes(doc, v1_columnar);
+  ASSERT_TRUE(bytes.ok() && bytes_columnar.ok());
+  EXPECT_EQ(*bytes, *bytes_columnar);
+  auto loaded = LoadFromBytes(*bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->node_count(), doc.node_count());
+}
+
 class StorageIoProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(StorageIoProperty, RandomTreeRoundTrip) {
@@ -146,6 +238,8 @@ TEST_P(StorageIoProperty, RandomTreeRoundTrip) {
   auto loaded_xml = ReassembleToXml(loaded, loaded.root(), 0);
   ASSERT_TRUE(original_xml.ok() && loaded_xml.ok());
   EXPECT_EQ(*loaded_xml, *original_xml);
+
+  ExpectFormatsRoundTripIdentically(*shredded);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StorageIoProperty,

@@ -1,8 +1,12 @@
 // Unit tests for util: Status/Result, string helpers, the deterministic
 // RNG.
 
+#include <filesystem>
+#include <fstream>
+
 #include <gtest/gtest.h>
 
+#include "util/mmap_file.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -267,6 +271,54 @@ TEST(Strings, GlobMatch) {
   EXPECT_TRUE(GlobMatch("", ""));
   // Case-sensitive, like document names.
   EXPECT_FALSE(GlobMatch("DBLP*", "dblp_1999"));
+}
+
+TEST(MmapFile, MapsFileContents) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_mmap_test.bin")
+          .string();
+  const std::string content("mapped bytes \0 with nul", 23);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+  }
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->bytes(), content);  // NUL byte and all
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFile, EmptyFileYieldsEmptyView) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_mmap_empty.bin")
+          .string();
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_TRUE(file->bytes().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFile, MissingFileIsNotFound) {
+  auto file = MmapFile::Open("/nonexistent/path/nothing.bin");
+  ASSERT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsNotFound());
+}
+
+TEST(MmapFile, MoveTransfersTheMapping) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_mmap_move.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "payload";
+  }
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  MmapFile moved = std::move(*file);
+  EXPECT_EQ(moved.bytes(), "payload");
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -6,6 +6,12 @@ archived baseline from the previous run and exits non-zero when any
 benchmark's wall time grew beyond the threshold (default 2x) — the
 tripwire for the BENCH_*.json trajectory the bench-smoke job archives.
 
+Registered trend files (one invocation each in the CI bench-smoke
+job): BENCH_ab9_bulk_load.json (parallel load + persisted indexes),
+BENCH_ab10_catalog.json (multi-document fan-out) and
+BENCH_ab11_cold_start.json (image -> hot executor; guards the
+columnar DOC1 decode and parallel catalog-open wins).
+
 Usage:
     check_bench_trend.py CURRENT.json BASELINE.json [--threshold 2.0]
 
