@@ -2,21 +2,30 @@
 //
 // The paper's value proposition is "bulk-load DBLP once, query
 // interactively ever after", which makes the image-to-executor path
-// the product's cold-start latency. This bench isolates the two
+// the product's cold-start latency. This bench isolates the three
 // levers this repo pulls on it:
 //
 // Part 1 — payload codec: the row-oriented DOC0 payload replays one
 // framed (path, owner, value) row per string (an allocation and a
-// dispatch each), the columnar DOC1 payload memcpys whole columns and
-// adopts one value arena per path. Expected shape: DOC1 decodes the
-// dblp corpus several times faster (the acceptance bar is >= 3x for
-// executor-from-image).
+// dispatch each), the columnar payloads memcpy whole columns and
+// adopt one value arena per path. Expected shape: columnar decodes
+// the dblp corpus several times faster (the acceptance bar is >= 3x
+// for executor-from-image).
+//
+// Part 1b — load mode: a copy-mode columnar load still memcpys every
+// node column and string blob out of the image; a view-mode (kView)
+// load of the aligned DOC2 payload borrows them as spans instead —
+// zero per-column copies, bytes_copied == 0 (reported as a counter).
+// Expected shape: document decode drops to validation + derived-
+// structure cost, and the gap widens with corpus size since the
+// copied bytes scale with the corpus while validation is cheap.
 //
 // Part 2 — catalog fan-out: a multi-document store's sections are
 // independently checksummed byte ranges, so Catalog::LoadFromBytes
 // decodes them on a thread pool. Expected shape: open time for an
 // 8-document catalog scales near-linearly with threads until the
-// serial container scan dominates.
+// serial container scan dominates; the view-mode series shows the
+// same fan-out with near-zero copied bytes per document.
 
 #include <benchmark/benchmark.h>
 
@@ -65,10 +74,19 @@ const std::string& Image(model::DocumentPayloadFormat format) {
   };
   static const std::string* row =
       make(model::DocumentPayloadFormat::kRowOriented);
+  static const std::string* unaligned =
+      make(model::DocumentPayloadFormat::kColumnarUnaligned);
   static const std::string* columnar =
       make(model::DocumentPayloadFormat::kColumnar);
-  return format == model::DocumentPayloadFormat::kColumnar ? *columnar
-                                                           : *row;
+  switch (format) {
+    case model::DocumentPayloadFormat::kRowOriented:
+      return *row;
+    case model::DocumentPayloadFormat::kColumnarUnaligned:
+      return *unaligned;
+    case model::DocumentPayloadFormat::kColumnar:
+      break;
+  }
+  return *columnar;
 }
 
 // ---- Part 1: payload codec ----------------------------------------------
@@ -95,9 +113,14 @@ void BM_ExecutorFromImageDoc0(benchmark::State& state) {
 BENCHMARK(BM_ExecutorFromImageDoc0)->Unit(benchmark::kMillisecond);
 
 void BM_ExecutorFromImageDoc1(benchmark::State& state) {
-  ExecutorFromImage(state, model::DocumentPayloadFormat::kColumnar);
+  ExecutorFromImage(state, model::DocumentPayloadFormat::kColumnarUnaligned);
 }
 BENCHMARK(BM_ExecutorFromImageDoc1)->Unit(benchmark::kMillisecond);
+
+void BM_ExecutorFromImageDoc2(benchmark::State& state) {
+  ExecutorFromImage(state, model::DocumentPayloadFormat::kColumnar);
+}
+BENCHMARK(BM_ExecutorFromImageDoc2)->Unit(benchmark::kMillisecond);
 
 // The pure payload decode, without the executor build on top.
 void DocumentDecode(benchmark::State& state,
@@ -116,9 +139,57 @@ void BM_DocumentDecodeDoc0(benchmark::State& state) {
 BENCHMARK(BM_DocumentDecodeDoc0)->Unit(benchmark::kMillisecond);
 
 void BM_DocumentDecodeDoc1(benchmark::State& state) {
-  DocumentDecode(state, model::DocumentPayloadFormat::kColumnar);
+  DocumentDecode(state, model::DocumentPayloadFormat::kColumnarUnaligned);
 }
 BENCHMARK(BM_DocumentDecodeDoc1)->Unit(benchmark::kMillisecond);
+
+// ---- Part 1b: copy vs. view (zero-copy) load mode -----------------------
+
+void DocumentDecodeMode(benchmark::State& state, model::LoadMode mode) {
+  const std::string& bytes = Image(model::DocumentPayloadFormat::kColumnar);
+  model::LoadStats stats;
+  model::LoadOptions options;
+  options.mode = mode;
+  options.stats = &stats;
+  for (auto _ : state) {
+    stats = model::LoadStats{};
+    auto doc = model::LoadFromBytes(bytes, options);
+    MEETXML_CHECK_OK(doc.status());
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["copied_MB"] =
+      static_cast<double>(stats.bytes_copied) / 1e6;
+  state.counters["viewed_MB"] =
+      static_cast<double>(stats.bytes_viewed) / 1e6;
+}
+
+void BM_DocumentDecodeDoc2Copy(benchmark::State& state) {
+  DocumentDecodeMode(state, model::LoadMode::kCopy);
+}
+BENCHMARK(BM_DocumentDecodeDoc2Copy)->Unit(benchmark::kMillisecond);
+
+void BM_DocumentDecodeDoc2View(benchmark::State& state) {
+  DocumentDecodeMode(state, model::LoadMode::kView);
+}
+BENCHMARK(BM_DocumentDecodeDoc2View)->Unit(benchmark::kMillisecond);
+
+void BM_ExecutorFromImageDoc2View(benchmark::State& state) {
+  const std::string& bytes = Image(model::DocumentPayloadFormat::kColumnar);
+  model::LoadOptions options;
+  options.mode = model::LoadMode::kView;
+  for (auto _ : state) {
+    auto store = text::LoadStoreFromBytes(bytes, options);
+    MEETXML_CHECK_OK(store.status());
+    auto executor = query::Executor::Build(store->doc);
+    MEETXML_CHECK_OK(executor.status());
+    benchmark::DoNotOptimize(executor);
+  }
+  state.counters["image_MB"] = static_cast<double>(bytes.size()) / 1e6;
+  state.counters["MB_per_s"] = benchmark::Counter(
+      static_cast<double>(bytes.size()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExecutorFromImageDoc2View)->Unit(benchmark::kMillisecond);
 
 // ---- Part 2: catalog open fan-out ---------------------------------------
 
@@ -178,8 +249,46 @@ BENCHMARK(BM_CatalogOpen)
     ->Args({8, 8})
     ->Unit(benchmark::kMillisecond);
 
+// Zero-copy catalog open: same fan-out, but every DOC2 section is
+// decoded as a view-backed document borrowing from the image —
+// per-document copied bytes sit at zero (counter) and the open is
+// dominated by the directory scan plus validation.
+// Args: (document count, decode threads).
+void BM_CatalogOpenView(benchmark::State& state) {
+  const std::string& bytes = CatalogImage(
+      static_cast<int>(state.range(0)),
+      model::DocumentPayloadFormat::kColumnar);
+  store::CatalogLoadStats stats;
+  store::CatalogLoadOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  options.mode = model::LoadMode::kView;
+  options.stats = &stats;
+  for (auto _ : state) {
+    stats = store::CatalogLoadStats{};  // counters are per-open
+    auto catalog = store::Catalog::LoadFromBytes(bytes, options);
+    MEETXML_CHECK_OK(catalog.status());
+    benchmark::DoNotOptimize(catalog);
+  }
+  uint64_t copied = 0;
+  uint64_t viewed = 0;
+  for (const auto& doc_stats : stats.documents) {
+    copied += doc_stats.bytes_copied;
+    viewed += doc_stats.bytes_viewed;
+  }
+  state.counters["docs"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["copied_MB"] = static_cast<double>(copied) / 1e6;
+  state.counters["viewed_MB"] = static_cast<double>(viewed) / 1e6;
+}
+BENCHMARK(BM_CatalogOpenView)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+
 // The serial row-oriented reference: what an 8-document store paid
-// before this PR (legacy payload, one decode thread).
+// before this PR series (legacy payload, one decode thread).
 void BM_CatalogOpenDoc0Serial(benchmark::State& state) {
   const std::string& bytes = CatalogImage(
       static_cast<int>(state.range(0)),

@@ -13,15 +13,211 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bat/oid.h"
 
 namespace meetxml {
 namespace bat {
+
+/// \brief A read-mostly column that either owns its values or borrows
+/// them from an external byte image (a mapped store file).
+///
+/// This is the ownership primitive behind zero-copy open: the image
+/// loaders hand out columns that alias the mapped file (SetView), and
+/// the first mutating call promotes the column to owned storage by
+/// copying the borrowed range (EnsureOwned — copy-on-write at column
+/// granularity). Readers never branch: data()/size() are kept current
+/// across appends, adoption and promotion, so a hot-loop access costs
+/// exactly a pointer index in both states.
+///
+/// Lifetime: a view column is valid only while its backing bytes are;
+/// whoever installs a view is responsible for pinning the backing
+/// (model::StoredDocument pins a shared mapping handle per document).
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  Column(const Column& other) { *this = other; }
+  Column& operator=(const Column& other) {
+    if (this != &other) {
+      own_ = other.own_;
+      view_ = other.view_;
+      if (view_) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        Sync();
+      }
+    }
+    return *this;
+  }
+  Column(Column&& other) noexcept { *this = std::move(other); }
+  Column& operator=(Column&& other) noexcept {
+    if (this != &other) {
+      // Moving the vector moves its heap buffer wholesale, so a data_
+      // pointer into it stays valid under the new owner.
+      own_ = std::move(other.own_);
+      view_ = other.view_;
+      data_ = other.data_;
+      size_ = other.size_;
+      other.own_.clear();
+      other.view_ = false;
+      other.Sync();
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  /// \brief True while the column borrows from external bytes.
+  bool is_view() const { return view_; }
+
+  void push_back(const T& value) {
+    EnsureOwned();
+    own_.push_back(value);
+    Sync();
+  }
+  void reserve(size_t n) {
+    if (view_) return;  // a view has nothing to pre-size
+    own_.reserve(n);
+    Sync();
+  }
+  void clear() {
+    own_.clear();
+    view_ = false;
+    Sync();
+  }
+
+  /// \brief Takes ownership of pre-built values (the copy-mode bulk
+  /// ingestion path).
+  void Adopt(std::vector<T> values) {
+    own_ = std::move(values);
+    view_ = false;
+    Sync();
+  }
+
+  /// \brief Borrows `values` without copying (the view-mode ingestion
+  /// path). The caller guarantees the range outlives the column or any
+  /// promotion of it.
+  void SetView(std::span<const T> values) {
+    own_.clear();
+    own_.shrink_to_fit();
+    view_ = true;
+    data_ = values.data();
+    size_ = values.size();
+  }
+
+  /// \brief Copy-on-write promotion: after this call the column owns
+  /// its values and no longer references the backing bytes. No-op when
+  /// already owned.
+  void EnsureOwned() {
+    if (!view_) return;
+    own_.assign(data_, data_ + size_);
+    view_ = false;
+    Sync();
+  }
+
+  bool operator==(const Column& other) const {
+    return std::equal(begin(), end(), other.begin(), other.end());
+  }
+
+ private:
+  void Sync() {
+    data_ = own_.data();
+    size_ = own_.size();
+  }
+
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool view_ = false;
+};
+
+/// \brief Column<char> semantics for a string arena: owns a blob or
+/// borrows one from a mapped image, with the same copy-on-write
+/// promotion contract as Column.
+class ArenaColumn {
+ public:
+  ArenaColumn() = default;
+
+  ArenaColumn(const ArenaColumn& other) { *this = other; }
+  ArenaColumn& operator=(const ArenaColumn& other) {
+    if (this != &other) {
+      own_ = other.own_;
+      view_ = other.view_;
+      bytes_ = view_ ? other.bytes_ : std::string_view(own_);
+    }
+    return *this;
+  }
+  ArenaColumn(ArenaColumn&& other) noexcept { *this = std::move(other); }
+  ArenaColumn& operator=(ArenaColumn&& other) noexcept {
+    if (this != &other) {
+      own_ = std::move(other.own_);
+      view_ = other.view_;
+      bytes_ = view_ ? other.bytes_ : std::string_view(own_);
+      other.own_.clear();
+      other.view_ = false;
+      other.bytes_ = std::string_view(other.own_);
+    }
+    return *this;
+  }
+
+  size_t size() const { return bytes_.size(); }
+  std::string_view view() const { return bytes_; }
+  bool is_view() const { return view_; }
+
+  void Append(std::string_view bytes) {
+    EnsureOwned();
+    own_.append(bytes.data(), bytes.size());
+    bytes_ = own_;
+  }
+  void reserve(size_t n) {
+    if (!view_) {
+      own_.reserve(n);
+      bytes_ = own_;
+    }
+  }
+
+  void Adopt(std::string blob) {
+    own_ = std::move(blob);
+    view_ = false;
+    bytes_ = own_;
+  }
+  void SetView(std::string_view blob) {
+    own_.clear();
+    own_.shrink_to_fit();
+    view_ = true;
+    bytes_ = blob;
+  }
+  void EnsureOwned() {
+    if (!view_) return;
+    own_.assign(bytes_.data(), bytes_.size());
+    view_ = false;
+    bytes_ = own_;
+  }
+
+  bool operator==(const ArenaColumn& other) const {
+    return bytes_ == other.bytes_;
+  }
+
+ private:
+  std::string own_;
+  std::string_view bytes_;
+  bool view_ = false;
+};
 
 /// \brief A binary association table with typed head and tail columns.
 ///
@@ -131,24 +327,28 @@ using OidIntBat = Bat<Oid, int>;
 /// the relation live concatenated in a single blob; a row is the
 /// half-open byte range [ends[row-1], ends[row]). This is the BAT-as-
 /// raw-column layout MonetDB bulk loads thrive on: the persistence
-/// layer can adopt (or emit) the three columns with a memcpy each, and
-/// a full-relation scan touches one contiguous allocation instead of
-/// chasing a pointer per row. End offsets are u32, capping one
-/// relation's value bytes at 4 GiB — far above any per-path relation
-/// of the corpora this engine targets, and exactly the width the DOC1
-/// image format frames. Appends beyond the cap set offsets_overflowed()
-/// instead of silently wrapping; StoredDocument::Finalize turns the
-/// flag into a load/build error.
+/// layer can adopt (or emit) the three columns with a memcpy each — or,
+/// since the zero-copy refactor, borrow them straight out of a mapped
+/// image (AdoptColumnViews) and never copy at all. A view-backed
+/// relation promotes itself to owned storage the moment a mutating
+/// call (Append) touches it; reads are identical in both states.
+/// End offsets are u32, capping one relation's value bytes at 4 GiB —
+/// far above any per-path relation of the corpora this engine targets,
+/// and exactly the width the columnar image formats frame. Appends
+/// beyond the cap set offsets_overflowed() instead of silently
+/// wrapping; StoredDocument::Finalize turns the flag into a load/build
+/// error.
 class StrBat {
  public:
   StrBat() = default;
 
   /// \brief Appends one association; the value bytes are copied into
-  /// the arena. Rows past the 4 GiB arena cap mark the relation
-  /// overflowed (their offsets would not be representable).
+  /// the arena (promoting a view-backed relation to owned first). Rows
+  /// past the 4 GiB arena cap mark the relation overflowed (their
+  /// offsets would not be representable).
   void Append(Oid head, std::string_view tail) {
     head_.push_back(head);
-    blob_.append(tail.data(), tail.size());
+    blob_.Append(tail);
     if (blob_.size() > kMaxArenaBytes) overflowed_ = true;
     ends_.push_back(static_cast<uint32_t>(blob_.size()));
   }
@@ -168,26 +368,52 @@ class StrBat {
   Oid head(size_t row) const { return head_[row]; }
   std::string_view tail(size_t row) const {
     size_t begin = row == 0 ? 0 : ends_[row - 1];
-    return std::string_view(blob_).substr(begin, ends_[row] - begin);
+    return blob_.view().substr(begin, ends_[row] - begin);
   }
 
-  const std::vector<Oid>& heads() const { return head_; }
+  std::span<const Oid> heads() const { return head_.span(); }
   /// \brief Cumulative end offsets into the arena, one per row
   /// (ends[size()-1] == tail_blob().size()).
-  const std::vector<uint32_t>& tail_ends() const { return ends_; }
+  std::span<const uint32_t> tail_ends() const { return ends_.span(); }
   /// \brief The arena: every value, concatenated in row order.
-  const std::string& tail_blob() const { return blob_; }
+  std::string_view tail_blob() const { return blob_.view(); }
 
-  /// \brief Takes ownership of pre-built columns — the zero-copy bulk
-  /// ingestion path of the columnar (DOC1) image loader. Requires
+  /// \brief Takes ownership of pre-built columns — the copy-mode bulk
+  /// ingestion path of the columnar image loaders. Requires
   /// `heads.size() == ends.size()`, `ends` non-decreasing and
   /// `ends.back() == blob.size()` (callers validate; this class only
   /// stores).
   void AdoptColumns(std::vector<Oid> heads, std::vector<uint32_t> ends,
                     std::string blob) {
-    head_ = std::move(heads);
-    ends_ = std::move(ends);
-    blob_ = std::move(blob);
+    head_.Adopt(std::move(heads));
+    ends_.Adopt(std::move(ends));
+    blob_.Adopt(std::move(blob));
+  }
+
+  /// \brief Borrows pre-built columns without copying — the view-mode
+  /// (zero-copy) ingestion path. Same structural requirements as
+  /// AdoptColumns; additionally the caller must keep the backing bytes
+  /// alive for as long as this relation stays view-backed (see
+  /// StoredDocument's pinned backing handle).
+  void AdoptColumnViews(std::span<const Oid> heads,
+                        std::span<const uint32_t> ends,
+                        std::string_view blob) {
+    head_.SetView(heads);
+    ends_.SetView(ends);
+    blob_.SetView(blob);
+  }
+
+  /// \brief True while any column borrows from external bytes.
+  bool is_view() const {
+    return head_.is_view() || ends_.is_view() || blob_.is_view();
+  }
+
+  /// \brief Promotes every column to owned storage (no-op when already
+  /// owned); afterwards the relation no longer references its backing.
+  void EnsureOwned() {
+    head_.EnsureOwned();
+    ends_.EnsureOwned();
+    blob_.EnsureOwned();
   }
 
   /// \brief True when an Append pushed the arena past the u32 offset
@@ -195,7 +421,8 @@ class StrBat {
   /// document must refuse to finalize.
   bool offsets_overflowed() const { return overflowed_; }
 
-  /// \brief Logical row equality. Equal row sequences imply equal
+  /// \brief Logical row equality — view- and owned-backed relations
+  /// with the same rows compare equal. Equal row sequences imply equal
   /// columns (ends are cumulative lengths), so this is a plain
   /// column compare.
   bool operator==(const StrBat& other) const {
@@ -206,9 +433,9 @@ class StrBat {
  private:
   static constexpr size_t kMaxArenaBytes = 0xffffffffu;
 
-  std::vector<Oid> head_;
-  std::vector<uint32_t> ends_;
-  std::string blob_;
+  Column<Oid> head_;
+  Column<uint32_t> ends_;
+  ArenaColumn blob_;
   bool overflowed_ = false;
 };
 

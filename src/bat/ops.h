@@ -110,8 +110,12 @@ std::unordered_set<H> IntersectHeads(const Bat<H, T1>& left,
 
 /// \brief Rows whose tail string satisfies `pred` (e.g. the paper's
 /// `contains`). The workhorse of full-text scans over leaf BATs.
-/// (String BATs are arena-backed, so the head type is fixed to Oid;
-/// the template parameter survives for source compatibility.)
+/// Works identically over owned and view-backed (mapped-image)
+/// relations — tails are read through the arena view either way — and
+/// always produces an owned result, so a selection never extends the
+/// input's backing lifetime. (String BATs are arena-backed, so the
+/// head type is fixed to Oid; the template parameter survives for
+/// source compatibility.)
 template <typename H = Oid>
 StrBat SelectTail(const StrBat& table,
                   const std::function<bool(std::string_view)>& pred) {

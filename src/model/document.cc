@@ -1,6 +1,7 @@
 #include "model/document.h"
 
 #include <algorithm>
+#include <span>
 
 namespace meetxml {
 namespace model {
@@ -45,7 +46,7 @@ std::vector<std::string_view> StoredDocument::StringValuesAt(
   if (path >= string_sorted_.size()) return out;
   const OidStrBat& table = strings_[path];
   if (string_sorted_[path]) {
-    const std::vector<Oid>& heads = table.heads();
+    std::span<const Oid> heads = table.heads();
     auto range = std::equal_range(heads.begin(), heads.end(), owner);
     for (auto it = range.first; it != range.second; ++it) {
       out.push_back(table.tail(static_cast<size_t>(it - heads.begin())));
@@ -76,7 +77,7 @@ std::vector<StringAssociation> StoredDocument::AttributesOf(
                             std::string(table.tail(row))});
     };
     if (string_sorted_[child]) {
-      const std::vector<Oid>& heads = table.heads();
+      std::span<const Oid> heads = table.heads();
       auto range = std::equal_range(heads.begin(), heads.end(), element);
       for (auto it = range.first; it != range.second; ++it) {
         emit(static_cast<uint32_t>(it - heads.begin()));
@@ -114,11 +115,9 @@ StoredDocument::StringsInAppendOrder() const {
   return out;
 }
 
-const std::vector<uint64_t>& StoredDocument::StringSeqAt(
-    PathId path) const {
-  static const std::vector<uint64_t> kEmptySeq;
-  if (path >= string_seq_.size()) return kEmptySeq;
-  return string_seq_[path];
+std::span<const uint32_t> StoredDocument::StringSeqAt(PathId path) const {
+  if (path >= string_seq_.size()) return {};
+  return string_seq_[path].span();
 }
 
 Oid StoredDocument::AppendNode(PathId path, Oid parent, int rank) {
@@ -147,19 +146,19 @@ void StoredDocument::AppendString(PathId path, Oid owner,
   }
   if (strings_[path].empty()) string_paths_.push_back(path);
   strings_[path].Append(owner, value);
-  string_seq_[path].push_back(string_count_);
+  string_seq_[path].push_back(static_cast<uint32_t>(string_count_));
   ++string_count_;
   finalized_ = false;
 }
 
-util::Status StoredDocument::AdoptNodeColumns(std::vector<Oid> parents,
-                                              std::vector<PathId> paths,
-                                              std::vector<int> ranks) {
+util::Status StoredDocument::CheckNodeColumns(
+    std::span<const Oid> parents, std::span<const PathId> paths,
+    size_t rank_count) const {
   if (!parent_.empty()) {
     return Status::InvalidArgument(
         "node columns can only be adopted into an empty document");
   }
-  if (parents.size() != paths.size() || parents.size() != ranks.size()) {
+  if (parents.size() != paths.size() || parents.size() != rank_count) {
     return Status::InvalidArgument("node column lengths differ");
   }
   if (parents.empty()) {
@@ -179,14 +178,15 @@ util::Status StoredDocument::AdoptNodeColumns(std::vector<Oid> parents,
       return Status::InvalidArgument("node path id out of range");
     }
   }
+  return Status::OK();
+}
 
-  parent_ = std::move(parents);
-  path_ = std::move(paths);
-  rank_ = std::move(ranks);
-
+void StoredDocument::DeriveEdgeRelations() {
   // Derive the per-path edge relations in one counted pass instead of
   // a push_back per node; edge_paths_ keeps first-appearance order,
-  // exactly what the append path would have produced.
+  // exactly what the append path would have produced. (The edges are
+  // derived structures, so they are always owned — view-backed
+  // documents only borrow the raw columns they were decoded from.)
   std::vector<uint32_t> per_path(paths_.size(), 0);
   PathId max_path = 0;
   for (size_t i = 0; i < path_.size(); ++i) {
@@ -199,16 +199,38 @@ util::Status StoredDocument::AdoptNodeColumns(std::vector<Oid> parents,
     edges_[path_[i]].Append(parent_[i], static_cast<Oid>(i));
   }
   finalized_ = false;
+}
+
+util::Status StoredDocument::AdoptNodeColumns(std::vector<Oid> parents,
+                                              std::vector<PathId> paths,
+                                              std::vector<int> ranks) {
+  MEETXML_RETURN_NOT_OK(CheckNodeColumns(parents, paths, ranks.size()));
+  parent_.Adopt(std::move(parents));
+  path_.Adopt(std::move(paths));
+  rank_.Adopt(std::move(ranks));
+  DeriveEdgeRelations();
   return Status::OK();
 }
 
-util::Status StoredDocument::AdoptStringRelation(
-    PathId path, std::vector<Oid> owners, std::vector<uint32_t> ends,
-    std::string blob, std::vector<uint64_t> seq) {
+util::Status StoredDocument::AdoptNodeColumnViews(
+    std::span<const Oid> parents, std::span<const PathId> paths,
+    std::span<const int> ranks) {
+  MEETXML_RETURN_NOT_OK(CheckNodeColumns(parents, paths, ranks.size()));
+  parent_.SetView(parents);
+  path_.SetView(paths);
+  rank_.SetView(ranks);
+  DeriveEdgeRelations();
+  return Status::OK();
+}
+
+util::Status StoredDocument::CheckStringRelation(
+    PathId path, std::span<const Oid> owners,
+    std::span<const uint32_t> ends, size_t blob_size,
+    size_t seq_count) const {
   if (path >= paths_.size()) {
     return Status::InvalidArgument("string path id out of range");
   }
-  if (owners.size() != ends.size() || owners.size() != seq.size()) {
+  if (owners.size() != ends.size() || owners.size() != seq_count) {
     return Status::InvalidArgument("string column lengths differ");
   }
   if (owners.empty()) {
@@ -230,22 +252,66 @@ util::Status StoredDocument::AdoptStringRelation(
     }
     previous = end;
   }
-  if (ends.back() != blob.size()) {
+  if (ends.back() != blob_size) {
     return Status::InvalidArgument(
         "string blob size does not match the last offset");
   }
+  return Status::OK();
+}
 
+void StoredDocument::GrowStringTables(PathId path) {
   if (path >= strings_.size()) {
     strings_.resize(path + 1);
     string_seq_.resize(path + 1);
   }
   string_paths_.push_back(path);
+  finalized_ = false;
+}
+
+util::Status StoredDocument::AdoptStringRelation(
+    PathId path, std::vector<Oid> owners, std::vector<uint32_t> ends,
+    std::string blob, std::vector<uint32_t> seq) {
+  MEETXML_RETURN_NOT_OK(
+      CheckStringRelation(path, owners, ends, blob.size(), seq.size()));
+  GrowStringTables(path);
   string_count_ += owners.size();
   strings_[path].AdoptColumns(std::move(owners), std::move(ends),
                               std::move(blob));
-  string_seq_[path] = std::move(seq);
-  finalized_ = false;
+  string_seq_[path].Adopt(std::move(seq));
   return Status::OK();
+}
+
+util::Status StoredDocument::AdoptStringRelationViews(
+    PathId path, std::span<const Oid> owners,
+    std::span<const uint32_t> ends, std::string_view blob,
+    std::span<const uint32_t> seq) {
+  MEETXML_RETURN_NOT_OK(
+      CheckStringRelation(path, owners, ends, blob.size(), seq.size()));
+  GrowStringTables(path);
+  string_count_ += owners.size();
+  strings_[path].AdoptColumnViews(owners, ends, blob);
+  string_seq_[path].SetView(seq);
+  return Status::OK();
+}
+
+bool StoredDocument::view_backed() const {
+  if (parent_.is_view() || path_.is_view() || rank_.is_view()) return true;
+  for (const OidStrBat& table : strings_) {
+    if (table.is_view()) return true;
+  }
+  for (const bat::Column<uint32_t>& seq : string_seq_) {
+    if (seq.is_view()) return true;
+  }
+  return false;
+}
+
+void StoredDocument::EnsureOwned() {
+  parent_.EnsureOwned();
+  path_.EnsureOwned();
+  rank_.EnsureOwned();
+  for (OidStrBat& table : strings_) table.EnsureOwned();
+  for (bat::Column<uint32_t>& seq : string_seq_) seq.EnsureOwned();
+  backing_.reset();
 }
 
 Status StoredDocument::Finalize() {
@@ -293,7 +359,7 @@ Status StoredDocument::Finalize() {
           "string relation at path ", p,
           " exceeds the 4 GiB value-arena limit");
     }
-    const std::vector<Oid>& heads = table.heads();
+    std::span<const Oid> heads = table.heads();
     bool sorted = std::is_sorted(heads.begin(), heads.end());
     if (sorted) continue;
     string_sorted_[p] = 0;

@@ -15,6 +15,8 @@
 #ifndef MEETXML_MODEL_DOCUMENT_H_
 #define MEETXML_MODEL_DOCUMENT_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -135,8 +137,9 @@ class StoredDocument {
 
   /// \brief The global append sequence of every row of StringsAt(path),
   /// parallel to that relation — the permutation column the columnar
-  /// image format persists.
-  const std::vector<uint64_t>& StringSeqAt(PathId path) const;
+  /// image formats persist. (u32: the global string count is u32-framed
+  /// on disk, so the wider in-memory type bought nothing but bytes.)
+  std::span<const uint32_t> StringSeqAt(PathId path) const;
 
   // --- Builder interface (used by the shredder) ---------------------
 
@@ -151,14 +154,21 @@ class StoredDocument {
   /// the value bytes are copied into the relation's arena.
   void AppendString(PathId path, Oid owner, std::string_view value);
 
-  // --- Column-level bulk ingestion (used by the image loader) -------
+  // --- Column-level bulk ingestion (used by the image loaders) ------
   //
-  // The columnar (DOC1) load path moves whole columns in instead of
-  // replaying one Append per row. Both calls validate the structural
+  // The columnar load path moves whole columns in instead of replaying
+  // one Append per row — by value (Adopt*, the copy-mode path) or by
+  // borrowing spans straight out of a mapped image (Adopt*Views, the
+  // view-mode zero-copy path). All calls validate the structural
   // invariants the append path establishes implicitly and reject bad
   // columns without mutating the document. Mixing the two interfaces
   // is allowed only in the order append-after-adopt never runs:
   // adoption requires pristine (empty) targets.
+  //
+  // View-mode lifetime contract: the borrowed spans must stay valid
+  // for the life of the document (or until EnsureOwned promotes it).
+  // Loaders pin the backing mapping into the document with PinBacking
+  // so the contract holds by construction.
 
   /// \brief Installs the three per-OID columns at once and derives the
   /// per-path edge relations. Requires an empty document, equal column
@@ -167,6 +177,12 @@ class StoredDocument {
   util::Status AdoptNodeColumns(std::vector<Oid> parents,
                                 std::vector<PathId> paths,
                                 std::vector<int> ranks);
+
+  /// \brief View-mode AdoptNodeColumns: same validation, but the
+  /// columns borrow from the caller's bytes instead of copying.
+  util::Status AdoptNodeColumnViews(std::span<const Oid> parents,
+                                    std::span<const PathId> paths,
+                                    std::span<const int> ranks);
 
   /// \brief Installs one path's entire string relation: owner column,
   /// cumulative value end-offsets, the concatenated value blob, and
@@ -178,7 +194,15 @@ class StoredDocument {
   util::Status AdoptStringRelation(PathId path, std::vector<Oid> owners,
                                    std::vector<uint32_t> ends,
                                    std::string blob,
-                                   std::vector<uint64_t> seq);
+                                   std::vector<uint32_t> seq);
+
+  /// \brief View-mode AdoptStringRelation: same validation, borrowed
+  /// columns.
+  util::Status AdoptStringRelationViews(PathId path,
+                                        std::span<const Oid> owners,
+                                        std::span<const uint32_t> ends,
+                                        std::string_view blob,
+                                        std::span<const uint32_t> seq);
 
   /// \brief Builds derived structures (children CSR, string indexes).
   /// Must be called once after shredding, before queries.
@@ -186,26 +210,57 @@ class StoredDocument {
 
   bool finalized() const { return finalized_; }
 
+  // --- Ownership (view-backed documents) ----------------------------
+
+  /// \brief True while any column or relation still borrows from the
+  /// image it was loaded from. Mutating APIs promote the structures
+  /// they touch; EnsureOwned promotes everything.
+  bool view_backed() const;
+
+  /// \brief Promotes every view-backed column and relation to owned
+  /// storage and releases the pinned backing. After this call the
+  /// document is self-contained regardless of how it was loaded.
+  void EnsureOwned();
+
+  /// \brief Pins the object that owns this document's borrowed bytes
+  /// (a shared util::MmapFile, or any image buffer). Held until
+  /// destruction or EnsureOwned, so view-backed columns can never
+  /// dangle.
+  void PinBacking(std::shared_ptr<const void> backing) {
+    backing_ = std::move(backing);
+  }
+  const std::shared_ptr<const void>& backing() const { return backing_; }
+
   // --- Raw column access (used by persistence) ----------------------
 
-  const std::vector<Oid>& parent_column() const { return parent_; }
-  const std::vector<PathId>& path_column() const { return path_; }
-  const std::vector<int>& rank_column() const { return rank_; }
+  std::span<const Oid> parent_column() const { return parent_.span(); }
+  std::span<const PathId> path_column() const { return path_.span(); }
+  std::span<const int> rank_column() const { return rank_.span(); }
 
  private:
+  util::Status CheckNodeColumns(std::span<const Oid> parents,
+                                std::span<const PathId> paths,
+                                size_t rank_count) const;
+  void DeriveEdgeRelations();
+  util::Status CheckStringRelation(PathId path, std::span<const Oid> owners,
+                                   std::span<const uint32_t> ends,
+                                   size_t blob_size, size_t seq_count) const;
+  void GrowStringTables(PathId path);
+
   PathSummary paths_;
 
-  // Dense per-OID columns.
-  std::vector<Oid> parent_;
-  std::vector<PathId> path_;
-  std::vector<int> rank_;
+  // Dense per-OID columns; owned after shredding, possibly borrowed
+  // from a pinned image after a view-mode load.
+  bat::Column<Oid> parent_;
+  bat::Column<PathId> path_;
+  bat::Column<int> rank_;
 
   // Per-path relations, indexed by PathId (resized lazily).
   std::vector<OidOidBat> edges_;
   std::vector<OidStrBat> strings_;
   // Global append sequence per string-relation row, parallel to
   // strings_[p]; restores per-element attribute order on reassembly.
-  std::vector<std::vector<uint64_t>> string_seq_;
+  std::vector<bat::Column<uint32_t>> string_seq_;
   std::vector<PathId> string_paths_;
   std::vector<PathId> edge_paths_;
   size_t string_count_ = 0;
@@ -223,6 +278,11 @@ class StoredDocument {
   // fall back to a per-path owner -> rows hash index.
   std::vector<uint8_t> string_sorted_;
   std::vector<std::unordered_map<Oid, std::vector<uint32_t>>> string_index_;
+
+  // Keep-alive for view-backed columns: the mapped image (or byte
+  // buffer) the spans borrow from. Type-erased so documents can pin a
+  // util::MmapFile, a std::string, or anything else that owns bytes.
+  std::shared_ptr<const void> backing_;
 
   bool finalized_ = false;
 };

@@ -2,9 +2,10 @@
 
 #include <bit>
 #include <cstring>
-#include <fstream>
+#include <span>
 
 #include "util/byte_io.h"
+#include "util/file_io.h"
 #include "util/mmap_file.h"
 
 namespace meetxml {
@@ -21,12 +22,18 @@ constexpr char kMagicV1[4] = {'M', 'X', 'M', '1'};
 constexpr char kMagicV2[4] = {'M', 'X', 'M', '2'};
 constexpr uint32_t kMinorV1 = 1;
 constexpr uint32_t kMinorV2 = 2;
-// The minor revision columnar (DOC1) document sections require.
+// The minor revision unaligned columnar (DOC1) document sections
+// require.
 constexpr uint32_t kMinorV2Columnar = 4;
+// The minor revision aligned columnar (DOC2) sections require; also
+// the first minor whose container aligns section payloads to 4-byte
+// file offsets.
+constexpr uint32_t kMinorV2AlignedColumnar = 5;
 // Newest MXM2 minor a reader accepts; 3 added multi-document catalog
 // images (several document sections + a CTLG directory,
-// store/catalog.h), 4 added the columnar DOC1 payload.
-constexpr uint32_t kMaxMinorV2 = 4;
+// store/catalog.h), 4 added the columnar DOC1 payload, 5 added the
+// aligned DOC2 payload and container section alignment.
+constexpr uint32_t kMaxMinorV2 = 5;
 // Corruption guard: a directory claiming more sections than this is
 // rejected before any allocation happens.
 constexpr uint32_t kMaxSections = 1024;
@@ -77,18 +84,19 @@ uint64_t SectionChecksum(uint32_t minor, std::string_view bytes) {
   return minor >= kMinorV2Columnar ? Fnv1aLanes(bytes) : Fnv1a(bytes);
 }
 
-// The columnar codec memcpys whole integer columns; these pin the
-// in-memory element widths and byte order the raw little-endian
-// arrays assume (big-endian hosts would need byte swaps here).
+// The columnar codecs memcpy (or view) whole integer columns; these
+// pin the in-memory element widths and byte order the raw
+// little-endian arrays assume (big-endian hosts would need byte swaps
+// here).
 static_assert(sizeof(Oid) == 4 && sizeof(PathId) == 4 && sizeof(int) == 4,
               "columnar payloads assume 4-byte node columns");
 static_assert(std::endian::native == std::endian::little,
               "columnar payloads memcpy little-endian columns");
 
 // Reinterprets an integer column as its raw byte image (the writer
-// side of the memcpy-decodable DOC1 arrays).
+// side of the memcpy-decodable columnar arrays).
 template <typename T>
-std::string_view ColumnBytes(const std::vector<T>& column) {
+std::string_view ColumnBytes(std::span<const T> column) {
   return std::string_view(reinterpret_cast<const char*>(column.data()),
                           column.size() * sizeof(T));
 }
@@ -103,7 +111,16 @@ Result<std::vector<T>> ReadU32Column(ByteReader* reader, size_t count) {
   return column;
 }
 
-// --- Path summary (shared by both payload codecs) ---------------------
+// Reinterprets the next `count` u32 values as a typed span over the
+// image — the zero-copy read. Callers guarantee 4-byte alignment
+// (DOC2 pads for it; CanViewPayload checks the base pointer).
+template <typename T>
+Result<std::span<const T>> ViewU32Column(ByteReader* reader, size_t count) {
+  MEETXML_ASSIGN_OR_RETURN(std::string_view raw, reader->View(count * 4));
+  return std::span<const T>(reinterpret_cast<const T*>(raw.data()), count);
+}
+
+// --- Path summary (shared by all payload codecs) ----------------------
 
 void SerializePathSummary(const PathSummary& paths, ByteWriter* payload) {
   // In id order (parents first by construction).
@@ -167,7 +184,8 @@ std::string SerializeRowDocumentPayload(const StoredDocument& doc) {
   return payload.Take();
 }
 
-Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
+Result<StoredDocument> ParseRowDocumentPayload(std::string_view payload,
+                                               const LoadOptions& options) {
   ByteReader reader(payload);
   StoredDocument doc;
   MEETXML_ASSIGN_OR_RETURN(uint32_t path_count,
@@ -203,6 +221,7 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
   }
 
   MEETXML_ASSIGN_OR_RETURN(uint32_t string_count, reader.U32());
+  uint64_t value_bytes = 0;
   for (uint32_t i = 0; i < string_count; ++i) {
     MEETXML_ASSIGN_OR_RETURN(uint32_t path, reader.U32());
     if (path >= path_count) {
@@ -213,6 +232,7 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
     if (owner >= node_count) {
       return Status::InvalidArgument("corrupt image: string owner");
     }
+    value_bytes += value.size();
     doc.AppendString(path, owner, value);
   }
   if (!reader.AtEnd()) {
@@ -220,15 +240,28 @@ Result<StoredDocument> ParseDocumentPayload(std::string_view payload) {
   }
 
   MEETXML_RETURN_NOT_OK(doc.Finalize());
+  if (options.stats != nullptr) {
+    // Rows replay through the append path: every column value and
+    // string byte is copied out of the image.
+    options.stats->bytes_copied +=
+        uint64_t{12} * node_count + uint64_t{8} * string_count + value_bytes;
+    options.stats->mode_used = LoadMode::kCopy;
+  }
   return doc;
 }
 
-// --- DOC1: columnar payload -------------------------------------------
+// --- DOC1/DOC2: columnar payloads -------------------------------------
 
-std::string SerializeColumnarDocumentPayload(const StoredDocument& doc) {
+std::string SerializeColumnarDocumentPayload(const StoredDocument& doc,
+                                             bool aligned) {
   ByteWriter payload;
   SerializePathSummary(doc.paths(), &payload);
-  // Node columns as raw arrays — the reader memcpys them back.
+  // DOC2 pads so every raw u32 column below lands on a 4-byte payload
+  // offset (the container aligns the payload itself); after the path
+  // summary and after each variable-length blob are the only two spots
+  // where alignment can break.
+  if (aligned) payload.AlignTo4();
+  // Node columns as raw arrays — the reader memcpys (or views) them.
   payload.U32(static_cast<uint32_t>(doc.node_count()));
   payload.Bytes(ColumnBytes(doc.parent_column()));
   payload.Bytes(ColumnBytes(doc.path_column()));
@@ -242,38 +275,65 @@ std::string SerializeColumnarDocumentPayload(const StoredDocument& doc) {
     payload.U32(path);
     payload.U32(static_cast<uint32_t>(table.size()));
     payload.Bytes(ColumnBytes(table.heads()));
-    // The append-order permutation column (u64 in memory, u32 on disk:
-    // the global count is u32-framed).
-    for (uint64_t seq : doc.StringSeqAt(path)) {
-      payload.U32(static_cast<uint32_t>(seq));
-    }
+    // The append-order permutation column.
+    payload.Bytes(ColumnBytes(doc.StringSeqAt(path)));
     payload.Bytes(ColumnBytes(table.tail_ends()));
     payload.Bytes(table.tail_blob());
+    if (aligned) payload.AlignTo4();
   }
   return payload.Take();
 }
 
+// True when a view-mode decode can actually borrow: the payload must
+// be the aligned codec and sit on a 4-byte base address (the framed
+// offsets take care of the rest). In-memory buffers and mapped files
+// are always suitably aligned in practice; the check is the safety
+// net that turns an exotic caller into a silent copy instead of
+// undefined behavior.
+bool CanViewPayload(std::string_view payload, bool aligned,
+                    const LoadOptions& options) {
+  return aligned && options.mode == LoadMode::kView &&
+         reinterpret_cast<uintptr_t>(payload.data()) % 4 == 0;
+}
+
 Result<StoredDocument> ParseColumnarDocumentPayload(
-    std::string_view payload) {
+    std::string_view payload, bool aligned, const LoadOptions& options) {
+  bool view = CanViewPayload(payload, aligned, options);
+  uint64_t borrowed = 0;  // column/blob bytes served as views
+  uint64_t copied = 0;    // column/blob bytes memcpy'd out of the image
   ByteReader reader(payload);
   StoredDocument doc;
   MEETXML_ASSIGN_OR_RETURN(uint32_t path_count,
                            ParsePathSummary(&reader, &doc));
-  (void)path_count;  // AdoptNodeColumns re-checks against paths().
+  (void)path_count;  // the adopt calls re-check against paths().
+  if (aligned) MEETXML_RETURN_NOT_OK(reader.AlignTo4());
 
   MEETXML_ASSIGN_OR_RETURN(uint32_t node_count, reader.U32());
   // Guard before allocating: three 4-byte columns per node.
   if (node_count > reader.remaining() / 12) {
     return Status::InvalidArgument("corrupt image: node count");
   }
-  MEETXML_ASSIGN_OR_RETURN(std::vector<Oid> parents,
-                           ReadU32Column<Oid>(&reader, node_count));
-  MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> node_paths,
-                           ReadU32Column<PathId>(&reader, node_count));
-  MEETXML_ASSIGN_OR_RETURN(std::vector<int> ranks,
-                           ReadU32Column<int>(&reader, node_count));
-  Status adopted = doc.AdoptNodeColumns(
-      std::move(parents), std::move(node_paths), std::move(ranks));
+  Status adopted = Status::OK();
+  if (view) {
+    MEETXML_ASSIGN_OR_RETURN(std::span<const Oid> parents,
+                             ViewU32Column<Oid>(&reader, node_count));
+    MEETXML_ASSIGN_OR_RETURN(std::span<const PathId> node_paths,
+                             ViewU32Column<PathId>(&reader, node_count));
+    MEETXML_ASSIGN_OR_RETURN(std::span<const int> ranks,
+                             ViewU32Column<int>(&reader, node_count));
+    adopted = doc.AdoptNodeColumnViews(parents, node_paths, ranks);
+    borrowed += uint64_t{12} * node_count;
+  } else {
+    MEETXML_ASSIGN_OR_RETURN(std::vector<Oid> parents,
+                             ReadU32Column<Oid>(&reader, node_count));
+    MEETXML_ASSIGN_OR_RETURN(std::vector<PathId> node_paths,
+                             ReadU32Column<PathId>(&reader, node_count));
+    MEETXML_ASSIGN_OR_RETURN(std::vector<int> ranks,
+                             ReadU32Column<int>(&reader, node_count));
+    adopted = doc.AdoptNodeColumns(std::move(parents), std::move(node_paths),
+                                   std::move(ranks));
+    copied += uint64_t{12} * node_count;
+  }
   if (!adopted.ok()) {
     return Status::InvalidArgument("corrupt image: ", adopted.message());
   }
@@ -295,26 +355,56 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
     if (rows == 0 || rows > reader.remaining() / 12) {
       return Status::InvalidArgument("corrupt image: string row count");
     }
-    MEETXML_ASSIGN_OR_RETURN(std::vector<Oid> owners,
-                             ReadU32Column<Oid>(&reader, rows));
-    MEETXML_ASSIGN_OR_RETURN(std::vector<uint32_t> seq32,
-                             ReadU32Column<uint32_t>(&reader, rows));
-    std::vector<uint64_t> seq(rows);
+    // The three columns and the blob are framed identically in both
+    // modes; view the ranges first, validate the permutation, then
+    // either borrow them outright or copy them into owned storage.
+    MEETXML_ASSIGN_OR_RETURN(std::string_view owners_raw,
+                             reader.View(uint64_t{rows} * 4));
+    MEETXML_ASSIGN_OR_RETURN(std::string_view seq_raw,
+                             reader.View(uint64_t{rows} * 4));
+    MEETXML_ASSIGN_OR_RETURN(std::string_view ends_raw,
+                             reader.View(uint64_t{rows} * 4));
+    uint32_t blob_size;
+    std::memcpy(&blob_size, ends_raw.data() + (uint64_t{rows} - 1) * 4, 4);
+    MEETXML_ASSIGN_OR_RETURN(std::string_view blob,
+                             reader.View(blob_size));
+    if (aligned) MEETXML_RETURN_NOT_OK(reader.AlignTo4());
+    // Validate the append-order permutation from the raw bytes — the
+    // one per-row scan neither mode can skip (a corrupt image must
+    // fail decode, never hand out a bogus reassembly order).
     for (uint32_t r = 0; r < rows; ++r) {
-      if (seq32[r] >= total_strings || seq_seen[seq32[r]]) {
+      uint32_t seq;
+      std::memcpy(&seq, seq_raw.data() + uint64_t{r} * 4, 4);
+      if (seq >= total_strings || seq_seen[seq]) {
         return Status::InvalidArgument(
             "corrupt image: string order is not a permutation");
       }
-      seq_seen[seq32[r]] = true;
-      seq[r] = seq32[r];
+      seq_seen[seq] = true;
     }
-    MEETXML_ASSIGN_OR_RETURN(std::vector<uint32_t> ends,
-                             ReadU32Column<uint32_t>(&reader, rows));
-    MEETXML_ASSIGN_OR_RETURN(std::string_view blob,
-                             reader.View(ends.back()));
-    Status adopted_strings = doc.AdoptStringRelation(
-        path, std::move(owners), std::move(ends), std::string(blob),
-        std::move(seq));
+    Status adopted_strings = Status::OK();
+    if (view) {
+      adopted_strings = doc.AdoptStringRelationViews(
+          path,
+          std::span<const Oid>(
+              reinterpret_cast<const Oid*>(owners_raw.data()), rows),
+          std::span<const uint32_t>(
+              reinterpret_cast<const uint32_t*>(ends_raw.data()), rows),
+          blob,
+          std::span<const uint32_t>(
+              reinterpret_cast<const uint32_t*>(seq_raw.data()), rows));
+      borrowed += uint64_t{12} * rows + blob.size();
+    } else {
+      std::vector<Oid> owners(rows);
+      std::memcpy(owners.data(), owners_raw.data(), owners_raw.size());
+      std::vector<uint32_t> seq(rows);
+      std::memcpy(seq.data(), seq_raw.data(), seq_raw.size());
+      std::vector<uint32_t> ends(rows);
+      std::memcpy(ends.data(), ends_raw.data(), ends_raw.size());
+      adopted_strings = doc.AdoptStringRelation(
+          path, std::move(owners), std::move(ends), std::string(blob),
+          std::move(seq));
+      copied += uint64_t{12} * rows + blob.size();
+    }
     if (!adopted_strings.ok()) {
       return Status::InvalidArgument("corrupt image: ",
                                      adopted_strings.message());
@@ -330,14 +420,38 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
   }
 
   MEETXML_RETURN_NOT_OK(doc.Finalize());
+  if (view) doc.PinBacking(options.backing);
+  if (options.stats != nullptr) {
+    options.stats->bytes_copied += copied;
+    options.stats->bytes_viewed += borrowed;
+    options.stats->mode_used = view ? LoadMode::kView : LoadMode::kCopy;
+  }
   return doc;
 }
 
 std::string SerializeDocumentPayload(const StoredDocument& doc,
                                      DocumentPayloadFormat format) {
-  return format == DocumentPayloadFormat::kColumnar
-             ? SerializeColumnarDocumentPayload(doc)
-             : SerializeRowDocumentPayload(doc);
+  switch (format) {
+    case DocumentPayloadFormat::kRowOriented:
+      return SerializeRowDocumentPayload(doc);
+    case DocumentPayloadFormat::kColumnarUnaligned:
+      return SerializeColumnarDocumentPayload(doc, /*aligned=*/false);
+    case DocumentPayloadFormat::kColumnar:
+      break;
+  }
+  return SerializeColumnarDocumentPayload(doc, /*aligned=*/true);
+}
+
+uint32_t MinorForPayloadFormat(DocumentPayloadFormat format) {
+  switch (format) {
+    case DocumentPayloadFormat::kRowOriented:
+      return kMinorV2;
+    case DocumentPayloadFormat::kColumnarUnaligned:
+      return kMinorV2Columnar;
+    case DocumentPayloadFormat::kColumnar:
+      break;
+  }
+  return kMinorV2AlignedColumnar;
 }
 
 // Shared v2 container writer; takes pointers so callers can mix owned
@@ -361,12 +475,30 @@ Result<std::string> WriteContainer(
   }
   std::string image = out.Take();
   for (const ImageSection* section : sections) {
+    // Minor >= 5 containers start every payload on a 4-byte file
+    // offset so aligned (DOC2) payloads stay aligned after the
+    // variable-length sections before them.
+    if (minor >= kMinorV2AlignedColumnar) {
+      while (image.size() % 4 != 0) image.push_back('\0');
+    }
     image += section->bytes;
   }
   return image;
 }
 
 }  // namespace
+
+uint32_t DocumentSectionIdFor(DocumentPayloadFormat format) {
+  switch (format) {
+    case DocumentPayloadFormat::kRowOriented:
+      return kDocumentSectionId;
+    case DocumentPayloadFormat::kColumnarUnaligned:
+      return kColumnarDocumentSectionId;
+    case DocumentPayloadFormat::kColumnar:
+      break;
+  }
+  return kAlignedColumnarDocumentSectionId;
+}
 
 Result<std::string> SerializeDocumentSection(const StoredDocument& doc,
                                              DocumentPayloadFormat format) {
@@ -377,22 +509,33 @@ Result<std::string> SerializeDocumentSection(const StoredDocument& doc,
   return SerializeDocumentPayload(doc, format);
 }
 
-Result<StoredDocument> ParseDocumentSection(std::string_view payload) {
-  return ParseDocumentPayload(payload);
+Result<StoredDocument> ParseDocumentSection(std::string_view payload,
+                                            const LoadOptions& options) {
+  return ParseRowDocumentPayload(payload, options);
 }
 
 Result<StoredDocument> ParseColumnarDocumentSection(
-    std::string_view payload) {
-  return ParseColumnarDocumentPayload(payload);
+    std::string_view payload, const LoadOptions& options) {
+  return ParseColumnarDocumentPayload(payload, /*aligned=*/false, options);
+}
+
+Result<StoredDocument> ParseAlignedColumnarDocumentSection(
+    std::string_view payload, const LoadOptions& options) {
+  return ParseColumnarDocumentPayload(payload, /*aligned=*/true, options);
 }
 
 Result<StoredDocument> ParseAnyDocumentSection(uint32_t section_id,
-                                               std::string_view payload) {
+                                               std::string_view payload,
+                                               const LoadOptions& options) {
+  if (section_id == kAlignedColumnarDocumentSectionId) {
+    return ParseColumnarDocumentPayload(payload, /*aligned=*/true, options);
+  }
   if (section_id == kColumnarDocumentSectionId) {
-    return ParseColumnarDocumentPayload(payload);
+    return ParseColumnarDocumentPayload(payload, /*aligned=*/false,
+                                        options);
   }
   if (section_id == kDocumentSectionId) {
-    return ParseDocumentPayload(payload);
+    return ParseRowDocumentPayload(payload, options);
   }
   return Status::InvalidArgument("not a document section id: ",
                                  section_id);
@@ -442,8 +585,8 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
       return Status::InvalidArgument(
           "MXM1 images cannot carry extra sections");
     }
-    // MXM1 predates the columnar payload; its single payload is always
-    // row-oriented, whatever payload_format says.
+    // MXM1 predates the columnar payloads; its single payload is
+    // always row-oriented, whatever payload_format says.
     std::string body =
         SerializeDocumentPayload(doc, DocumentPayloadFormat::kRowOriented);
     ByteWriter header;
@@ -456,19 +599,16 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
     return out;
   }
 
-  bool columnar =
-      options.payload_format == DocumentPayloadFormat::kColumnar;
   std::string body = SerializeDocumentPayload(doc, options.payload_format);
   std::vector<const ImageSection*> pointers;
   pointers.reserve(1 + options.extra_sections.size());
-  ImageSection document_section{
-      columnar ? kColumnarDocumentSectionId : kDocumentSectionId,
-      std::move(body)};
+  ImageSection document_section{DocumentSectionIdFor(options.payload_format),
+                                std::move(body)};
   pointers.push_back(&document_section);
   for (const ImageSection& section : options.extra_sections) {
     pointers.push_back(&section);
   }
-  return WriteContainer(pointers, columnar ? kMinorV2Columnar : kMinorV2);
+  return WriteContainer(pointers, MinorForPayloadFormat(options.payload_format));
 }
 
 Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
@@ -529,36 +669,43 @@ Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
     MEETXML_ASSIGN_OR_RETURN(entry.size, reader.U64());
     MEETXML_ASSIGN_OR_RETURN(entry.checksum, reader.U64());
   }
-  // The payloads must tile the rest of the image exactly.
-  uint64_t expected = 0;
-  uint64_t remaining = reader.remaining();
-  for (const DirEntry& entry : directory) {
-    if (entry.size > remaining - expected) {
-      return Status::InvalidArgument("corrupt image: section overruns");
-    }
-    expected += entry.size;
-  }
-  if (expected != remaining) {
-    return Status::InvalidArgument("storage image size mismatch");
-  }
 
+  // Walk the payloads: for minor >= 5 every payload starts at the
+  // next 4-byte file offset (the padding must be zero); the payloads
+  // plus padding must tile the rest of the image exactly.
   SectionImage image;
   image.minor = version;
   image.sections.reserve(section_count);
-  size_t offset = reader.pos();
+  uint64_t offset = reader.pos();
   for (const DirEntry& entry : directory) {
+    if (version >= kMinorV2AlignedColumnar) {
+      while (offset % 4 != 0) {
+        if (offset >= bytes.size() || bytes[offset] != '\0') {
+          return Status::InvalidArgument(
+              "corrupt image: bad section alignment padding");
+        }
+        ++offset;
+      }
+    }
+    if (entry.size > bytes.size() - offset) {
+      return Status::InvalidArgument("corrupt image: section overruns");
+    }
     std::string_view payload =
         bytes.substr(offset, static_cast<size_t>(entry.size));
-    offset += static_cast<size_t>(entry.size);
+    offset += entry.size;
     if (SectionChecksum(version, payload) != entry.checksum) {
       return Status::InvalidArgument("storage image checksum mismatch");
     }
     image.sections.push_back(SectionView{entry.id, payload});
   }
+  if (offset != bytes.size()) {
+    return Status::InvalidArgument("storage image size mismatch");
+  }
   return image;
 }
 
-Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
+Result<LoadedImage> LoadImageFromBytes(std::string_view bytes,
+                                       const LoadOptions& options) {
   MEETXML_ASSIGN_OR_RETURN(SectionImage raw, LoadSectionsFromBytes(bytes));
   LoadedImage image;
   image.format_version = raw.minor == kMinorV1 ? 1 : 2;
@@ -571,7 +718,8 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
       }
       saw_document = true;
       MEETXML_ASSIGN_OR_RETURN(
-          image.doc, ParseAnyDocumentSection(section.id, section.bytes));
+          image.doc,
+          ParseAnyDocumentSection(section.id, section.bytes, options));
     } else {
       // Forward compatibility: unknown sections are preserved verbatim
       // for higher layers (or newer readers) to interpret.
@@ -585,32 +733,46 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes) {
   return image;
 }
 
-Result<StoredDocument> LoadFromBytes(std::string_view bytes) {
-  MEETXML_ASSIGN_OR_RETURN(LoadedImage image, LoadImageFromBytes(bytes));
+Result<StoredDocument> LoadFromBytes(std::string_view bytes,
+                                     const LoadOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(LoadedImage image,
+                           LoadImageFromBytes(bytes, options));
   return std::move(image.doc);
 }
 
 Status SaveToFile(const StoredDocument& doc, const std::string& path,
                   const SaveOptions& options) {
   MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes(doc, options));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for write: ", path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("short write to ", path);
-  return Status::OK();
+  return util::WriteFileAtomic(path, bytes);
 }
 
-Result<StoredDocument> LoadFromFile(const std::string& path) {
-  MEETXML_ASSIGN_OR_RETURN(LoadedImage image, LoadImageFromFile(path));
+Result<StoredDocument> LoadFromFile(const std::string& path,
+                                    const LoadOptions& options) {
+  MEETXML_ASSIGN_OR_RETURN(LoadedImage image,
+                           LoadImageFromFile(path, options));
   return std::move(image.doc);
 }
 
-Result<LoadedImage> LoadImageFromFile(const std::string& path) {
+Result<LoadedImage> LoadImageFromFile(const std::string& path,
+                                      const LoadOptions& options) {
+  if (options.mode == LoadMode::kView) {
+    // Zero-copy open: the shared mapping is pinned into the decoded
+    // document, which owns the last word on when it unmaps.
+    MEETXML_ASSIGN_OR_RETURN(
+        std::shared_ptr<const util::MmapFile> file,
+        util::MmapFile::OpenShared(path,
+                                   util::MmapFile::Advice::kWillNeed));
+    LoadOptions pinned = options;
+    pinned.backing = file;
+    return LoadImageFromBytes(file->bytes(), pinned);
+  }
   // Decode straight out of the mapping (page cache) instead of copying
   // the whole image into a string first; everything LoadedImage keeps
   // is owned, so the mapping can end with this scope.
-  MEETXML_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
-  return LoadImageFromBytes(file.bytes());
+  MEETXML_ASSIGN_OR_RETURN(
+      util::MmapFile file,
+      util::MmapFile::Open(path, util::MmapFile::Advice::kSequential));
+  return LoadImageFromBytes(file.bytes(), options);
 }
 
 }  // namespace model

@@ -42,12 +42,22 @@
 //    "DOC1". A DOC1 section replaces a DOC0 section one-for-one (same
 //    document, different payload codec); the minor bump is what stops
 //    a minor-3 reader from opening an image whose only document
-//    section it cannot decode. Writers emit DOC1 by default;
-//    SaveOptions::payload_format pins DOC0 (and format_version pins
-//    MXM1) for fleet rollbacks, and every reader keeps accepting all
-//    older layouts. DOC0 and DOC1 images of the same document load to
-//    byte-identically re-serializable documents
+//    section it cannot decode. DOC0 and DOC1 images of the same
+//    document load to byte-identically re-serializable documents
 //    (tests/storage_io_test.cc pins the equivalence).
+//  * Minor 5 introduces the aligned columnar payload, section id
+//    "DOC2" (the writer default), and container-level section
+//    alignment: every raw integer column inside a DOC2 payload — and,
+//    in minor >= 5 images, every section payload in the container —
+//    starts on a 4-byte boundary (zero padding, excluded from section
+//    sizes and checksums). Alignment is what makes true zero-copy
+//    open possible: a view-mode load can hand out typed spans over
+//    the mapped image only if the columns are aligned for their
+//    element type. Writers emit DOC2 by default;
+//    SaveOptions::payload_format pins DOC1 (kColumnarUnaligned, for
+//    minor-4 reader fleets) or DOC0 (kRowOriented, readable
+//    everywhere), and format_version pins MXM1 — every reader keeps
+//    accepting all older layouts.
 //  * Every section is length-framed and checksummed independently;
 //    loaders verify bounds and checksums before touching a payload,
 //    and semantic validation (path/OID ranges, parent ordering, string
@@ -56,7 +66,7 @@
 //    applied (tests/storage_fuzz_test.cc pins this). The checksum
 //    algorithm is keyed by the minor: images up to minor 3 use
 //    byte-serial FNV-1a (bit-compatible with every existing image);
-//    minor-4 images use a four-lane chunked FNV-1a variant that
+//    minor-4+ images use a four-lane chunked FNV-1a variant that
 //    verifies at memory speed instead of one multiply per byte —
 //    the container scan must not cost more than the columnar decode
 //    it protects.
@@ -67,7 +77,10 @@
 // MXM2 layout:
 //   magic "MXM2" | u32 version | u32 section_count
 //   section directory: per section u32 id | u64 size | u64 fnv1a
-//   section payloads, concatenated in directory order
+//   section payloads, concatenated in directory order (for version
+//   >= 5, each payload is preceded by zero padding to the next 4-byte
+//   file offset; the padding belongs to the container, not to any
+//   section)
 // DOC0 document payload (row-oriented):
 //   path summary: u32 count, then per path: u32 parent, u8 kind,
 //                 string label
@@ -93,11 +106,45 @@
 //   No per-row path id, no per-string length framing: loading is a
 //   handful of memcpys per relation instead of one allocation and one
 //   dispatch per string.
+// DOC2 document payload (columnar, view-decodable):
+//   identical to DOC1, except that zero padding to the next 4-byte
+//   payload offset is inserted after the path summary and after every
+//   group's blob, so each raw u32 column sits 4-byte aligned within
+//   the payload (and, via the container alignment above, within the
+//   file). A view-mode load serves the columns as spans over the
+//   mapped image with zero copies; a copy-mode load memcpys them
+//   exactly as DOC1 does.
+//
+// Zero-copy (view-mode) lifetime contract
+// ---------------------------------------
+// LoadOptions::mode selects who owns the decoded columns:
+//  * kCopy (default): every column is copied out of the image; the
+//    image bytes may be released the moment the loader returns.
+//  * kView: DOC2 node columns, string columns and value blobs are
+//    borrowed as spans/views over the image bytes — no per-column
+//    memcpy happens (LoadStats::bytes_copied counts what little the
+//    decoder still owns: interned path labels and derived structures
+//    are built either way). The caller must guarantee the image bytes
+//    outlive every decoded document. The file loaders do this
+//    automatically: they open the file through
+//    util::MmapFile::OpenShared and pin the mapping into each decoded
+//    document (StoredDocument::PinBacking), so the mapping is
+//    released exactly when the last borrowing document is destroyed
+//    or promoted via EnsureOwned(). Byte-level loaders pass the
+//    ownership burden to the caller unless LoadOptions::backing is
+//    set. Mutating a view-backed document (AppendString, column
+//    adoption, bulk-load merge) promotes the touched structures to
+//    owned storage first — copy-on-write at column granularity —
+//    and never invalidates other borrowers of the same image.
+//  * DOC0/DOC1 sections silently fall back to copy mode (their
+//    columns are unaligned or row-framed); LoadStats::mode_used
+//    reports what actually happened.
 
 #ifndef MEETXML_MODEL_STORAGE_IO_H_
 #define MEETXML_MODEL_STORAGE_IO_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -119,23 +166,32 @@ constexpr uint32_t MakeSectionId(char a, char b, char c, char d) {
 /// The row-oriented document section of an MXM2 image (legacy writer
 /// default through minor 3).
 inline constexpr uint32_t kDocumentSectionId = MakeSectionId('D', 'O', 'C', '0');
-/// The columnar document section (writer default since minor 4).
+/// The unaligned columnar document section (writer default of minor 4).
 inline constexpr uint32_t kColumnarDocumentSectionId =
     MakeSectionId('D', 'O', 'C', '1');
+/// The aligned columnar document section (writer default since
+/// minor 5; the only payload a view-mode load can borrow from).
+inline constexpr uint32_t kAlignedColumnarDocumentSectionId =
+    MakeSectionId('D', 'O', 'C', '2');
 /// Persisted full-text indexes (payload codec: text/index_io.h).
 inline constexpr uint32_t kTextIndexSectionId = MakeSectionId('T', 'I', 'D', 'X');
 /// Multi-document catalog directory (payload codec: store/catalog.h).
 inline constexpr uint32_t kCatalogSectionId = MakeSectionId('C', 'T', 'L', 'G');
 
-/// \brief True for both document section ids (DOC0 and DOC1).
+/// \brief True for every document section id (DOC0, DOC1 and DOC2).
 inline constexpr bool IsDocumentSectionId(uint32_t id) {
-  return id == kDocumentSectionId || id == kColumnarDocumentSectionId;
+  return id == kDocumentSectionId || id == kColumnarDocumentSectionId ||
+         id == kAlignedColumnarDocumentSectionId;
 }
 
 /// \brief Which codec a document section payload uses.
 enum class DocumentPayloadFormat : uint32_t {
   kRowOriented = 0,  ///< DOC0: one framed (path, owner, value) row per string.
-  kColumnar = 1,     ///< DOC1: raw columns + per-path value arenas.
+  kColumnar = 1,     ///< DOC2: aligned raw columns — the writer default.
+  /// DOC1: the minor-4 columnar payload without column alignment.
+  /// Rollback knob for fleets still running minor-4 readers; loads in
+  /// copy mode only.
+  kColumnarUnaligned = 2,
 };
 
 /// \brief One named, independently checksummed byte range of an image.
@@ -165,12 +221,44 @@ struct SaveOptions {
   /// Container major to emit: 2 (current) or 1 (legacy MXM1; supported
   /// for rollbacks, cannot carry extra sections, always row-oriented).
   uint32_t format_version = 2;
-  /// Document payload codec for MXM2 images. Columnar (DOC1, the
-  /// default) stamps minor 4; row-oriented (DOC0) stamps minor 2 so
-  /// older readers still open the image — the rollback knob.
+  /// Document payload codec for MXM2 images. Aligned columnar (DOC2,
+  /// the default) stamps minor 5; unaligned columnar (DOC1) stamps
+  /// minor 4 and row-oriented (DOC0) stamps minor 2, so older readers
+  /// still open the image — the rollback knobs.
   DocumentPayloadFormat payload_format = DocumentPayloadFormat::kColumnar;
   /// Additional sections appended after the document section (v2 only).
   std::vector<ImageSection> extra_sections;
+};
+
+/// \brief Who owns the decoded columns (see the lifetime contract in
+/// the header comment).
+enum class LoadMode : uint32_t {
+  kCopy = 0,  ///< Columns are copied out of the image (self-contained).
+  kView = 1,  ///< DOC2 columns borrow from the image bytes (zero-copy).
+};
+
+/// \brief Per-load observability for the zero-copy path.
+struct LoadStats {
+  /// Image bytes memcpy'd into owned column/blob storage. Near zero
+  /// for a view-mode DOC2 load (path labels and derived structures
+  /// are not image copies and are not counted).
+  uint64_t bytes_copied = 0;
+  /// Image bytes served as borrowed views (0 in copy mode).
+  uint64_t bytes_viewed = 0;
+  /// What actually happened: kView only when the document section was
+  /// DOC2 and view adoption succeeded; DOC0/DOC1 fall back to kCopy.
+  LoadMode mode_used = LoadMode::kCopy;
+};
+
+/// \brief Deserialization knobs.
+struct LoadOptions {
+  LoadMode mode = LoadMode::kCopy;
+  /// Optional keep-alive pinned into every view-backed document (the
+  /// file loaders put the shared mapping here). Byte-level view-mode
+  /// loads without a backing leave the lifetime burden on the caller.
+  std::shared_ptr<const void> backing;
+  /// When non-null, receives copy/view byte counts for this load.
+  LoadStats* stats = nullptr;
 };
 
 /// \brief A loaded image: the document plus any sections the document
@@ -194,9 +282,11 @@ util::Result<std::string> SaveToBytes(const StoredDocument& doc,
 /// \brief Writes an MXM2 container around `sections`, in order. `minor`
 /// is the revision stamp: 2 for images a single-document reader can
 /// open, 3 when the section set needs catalog semantics (several
-/// document sections), 4 when any document section is columnar (DOC1).
-/// Section ids may repeat — interpreting duplicates is the caller's
-/// contract (the single-document writer rejects them earlier).
+/// document sections), 4 when any document section is unaligned
+/// columnar (DOC1), 5 when any is aligned columnar (DOC2; minor >= 5
+/// containers also align every section payload to a 4-byte file
+/// offset). Section ids may repeat — interpreting duplicates is the
+/// caller's contract (the single-document writer rejects them earlier).
 util::Result<std::string> SaveSectionsToBytes(
     const std::vector<ImageSection>& sections, uint32_t minor = 2);
 
@@ -207,51 +297,74 @@ util::Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes);
 
 /// \brief Encodes one document as a document section payload in the
 /// requested codec (the document must be finalized). The matching
-/// section id is kDocumentSectionId for kRowOriented and
-/// kColumnarDocumentSectionId for kColumnar.
+/// section id is kDocumentSectionId for kRowOriented,
+/// kColumnarDocumentSectionId for kColumnarUnaligned and
+/// kAlignedColumnarDocumentSectionId for kColumnar.
 util::Result<std::string> SerializeDocumentSection(
     const StoredDocument& doc,
     DocumentPayloadFormat format = DocumentPayloadFormat::kColumnar);
 
+/// \brief The section id SerializeDocumentSection pairs with `format`.
+uint32_t DocumentSectionIdFor(DocumentPayloadFormat format);
+
 /// \brief Decodes a DOC0 (row-oriented) section payload; the result is
 /// finalized. Semantic validation (path/OID ranges, parent ordering)
-/// runs here.
-util::Result<StoredDocument> ParseDocumentSection(std::string_view payload);
+/// runs here. Always copies (row framing cannot be borrowed).
+util::Result<StoredDocument> ParseDocumentSection(
+    std::string_view payload, const LoadOptions& options = {});
 
-/// \brief Decodes a DOC1 (columnar) section payload; the result is
-/// finalized. Semantic validation (path/OID ranges, parent ordering,
-/// string offsets, the append-order permutation) runs here.
+/// \brief Decodes a DOC1 (unaligned columnar) section payload; the
+/// result is finalized. Semantic validation (path/OID ranges, parent
+/// ordering, string offsets, the append-order permutation) runs here.
+/// View mode falls back to copying (the columns are unaligned).
 util::Result<StoredDocument> ParseColumnarDocumentSection(
-    std::string_view payload);
+    std::string_view payload, const LoadOptions& options = {});
+
+/// \brief Decodes a DOC2 (aligned columnar) section payload; the
+/// result is finalized, with the same semantic validation as DOC1. In
+/// view mode the node columns, string columns and value blobs borrow
+/// from `payload` — see the lifetime contract above.
+util::Result<StoredDocument> ParseAlignedColumnarDocumentSection(
+    std::string_view payload, const LoadOptions& options = {});
 
 /// \brief Dispatches on the section id to the right payload codec;
 /// `section_id` must satisfy IsDocumentSectionId.
 util::Result<StoredDocument> ParseAnyDocumentSection(
-    uint32_t section_id, std::string_view payload);
+    uint32_t section_id, std::string_view payload,
+    const LoadOptions& options = {});
 
 /// \brief Restores a document from a binary image, accepting every
 /// known major version (MXM1 and MXM2); extra sections are ignored.
 /// The result is finalized and ready for queries. Corrupted or
 /// truncated images are rejected (version, bounds and checksums are
 /// verified).
-util::Result<StoredDocument> LoadFromBytes(std::string_view bytes);
+util::Result<StoredDocument> LoadFromBytes(std::string_view bytes,
+                                           const LoadOptions& options = {});
 
 /// \brief Like LoadFromBytes, but also surfaces the sections the
 /// document loader did not consume — e.g. the persisted full-text
 /// indexes — for higher layers to interpret.
-util::Result<LoadedImage> LoadImageFromBytes(std::string_view bytes);
+util::Result<LoadedImage> LoadImageFromBytes(std::string_view bytes,
+                                             const LoadOptions& options = {});
 
-/// \brief Saves to a file.
+/// \brief Saves to a file. The write is atomic: bytes land in a
+/// temporary sibling that is renamed over `path`, so a concurrent
+/// view-mode borrower of the old image keeps its (old-inode) mapping
+/// and readers never observe a torn file.
 util::Status SaveToFile(const StoredDocument& doc, const std::string& path,
                         const SaveOptions& options = {});
 
 /// \brief Loads from a file. The image is memory-mapped (util/
 /// mmap_file.h) and decoded straight out of the page cache; platforms
-/// without mmap fall back to a buffered read.
-util::Result<StoredDocument> LoadFromFile(const std::string& path);
+/// without mmap fall back to a buffered read. In view mode the
+/// mapping is opened shared and pinned into the decoded document
+/// (LoadOptions::backing is ignored; the file's own mapping wins).
+util::Result<StoredDocument> LoadFromFile(const std::string& path,
+                                          const LoadOptions& options = {});
 
 /// \brief Loads from a file (memory-mapped), keeping extra sections.
-util::Result<LoadedImage> LoadImageFromFile(const std::string& path);
+util::Result<LoadedImage> LoadImageFromFile(const std::string& path,
+                                            const LoadOptions& options = {});
 
 }  // namespace model
 }  // namespace meetxml

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <fstream>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "model/storage_io.h"
 #include "text/index_io.h"
 #include "util/byte_io.h"
+#include "util/file_io.h"
 #include "util/mmap_file.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -188,11 +189,8 @@ Result<std::string> Catalog::SaveToBytes(
   // Section order: CTLG first, then per entry its document section and
   // (when an index exists anywhere — on the entry or inside its
   // executor) TIDX.
-  bool columnar =
-      payload_format == model::DocumentPayloadFormat::kColumnar;
-  uint32_t document_section_id = columnar
-                                     ? model::kColumnarDocumentSectionId
-                                     : model::kDocumentSectionId;
+  uint32_t document_section_id =
+      model::DocumentSectionIdFor(payload_format);
   std::vector<ImageSection> sections;
   sections.emplace_back();  // CTLG placeholder, payload filled below
 
@@ -226,14 +224,21 @@ Result<std::string> Catalog::SaveToBytes(
       ImageSection{model::kCatalogSectionId, directory.Take()};
 
   // Minor stamp: the bump exists only to stop readers from opening
-  // images they cannot decode, so columnar images need minor 4 only
-  // when a DOC1 section is actually aboard (an empty catalog carries
-  // none). Row-oriented images: one document degrades gracefully under
-  // legacy minor-2 readers (the CTLG section is skipped as unknown);
-  // several DOC0 sections need the minor-3 contract.
-  uint32_t minor = columnar && !entries_.empty()
-                       ? 4
-                       : (entries_.size() > 1 ? 3 : 2);
+  // images they cannot decode, so columnar images need minor 5 (DOC2)
+  // or 4 (DOC1) only when such a section is actually aboard (an empty
+  // catalog carries none). Row-oriented images: one document degrades
+  // gracefully under legacy minor-2 readers (the CTLG section is
+  // skipped as unknown); several DOC0 sections need the minor-3
+  // contract.
+  uint32_t minor = entries_.size() > 1 ? 3 : 2;
+  if (!entries_.empty()) {
+    if (payload_format == model::DocumentPayloadFormat::kColumnar) {
+      minor = 5;
+    } else if (payload_format ==
+               model::DocumentPayloadFormat::kColumnarUnaligned) {
+      minor = 4;
+    }
+  }
   return model::SaveSectionsToBytes(sections, minor);
 }
 
@@ -254,13 +259,21 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     catalog_section = &section;
   }
 
+  model::LoadOptions doc_options;
+  doc_options.mode = options.mode;
+  doc_options.backing = options.backing;
+
   Catalog catalog;
   if (catalog_section == nullptr) {
     // Legacy single-document image (MXM1, or MXM2 written by the
     // single-document API): one entry, named after the root tag.
     util::Timer decode_timer;
-    MEETXML_ASSIGN_OR_RETURN(model::LoadedImage legacy,
-                             model::LoadImageFromBytes(bytes));
+    model::LoadStats doc_stats;
+    model::LoadOptions legacy_options = doc_options;
+    legacy_options.stats = &doc_stats;
+    MEETXML_ASSIGN_OR_RETURN(
+        model::LoadedImage legacy,
+        model::LoadImageFromBytes(bytes, legacy_options));
     std::optional<text::InvertedIndex> index;
     for (const ImageSection& section : legacy.extra_sections) {
       if (section.id != model::kTextIndexSectionId) continue;
@@ -274,13 +287,18 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     double decode_ms = decode_timer.ElapsedMillis();
     bool columnar = false;
     for (const SectionView& section : image.sections) {
-      if (section.id == model::kColumnarDocumentSectionId) columnar = true;
+      if (model::IsDocumentSectionId(section.id) &&
+          section.id != model::kDocumentSectionId) {
+        columnar = true;
+      }
     }
     std::string name = legacy.doc.tag(legacy.doc.root());
     if (!ValidateName(name).ok()) name = "doc";
     if (options.stats != nullptr) {
       options.stats->documents.push_back(CatalogLoadStats::DocumentStats{
-          name, decode_ms, columnar, index.has_value()});
+          name, decode_ms, columnar, index.has_value(),
+          doc_stats.mode_used, doc_stats.bytes_copied,
+          doc_stats.bytes_viewed});
     }
     if (index.has_value()) {
       MEETXML_RETURN_NOT_OK(catalog
@@ -407,14 +425,17 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     StoredDocument doc;
     std::optional<text::InvertedIndex> index;
     double decode_ms = 0;
+    model::LoadStats load_stats;
   };
   std::vector<DecodedEntry> decoded(directory.size());
   auto decode_one = [&](size_t i) {
     DecodedEntry& out = decoded[i];
     util::Timer decode_timer;
     const SectionView& doc_section = image.sections[directory[i].doc_at];
-    Result<StoredDocument> doc =
-        model::ParseAnyDocumentSection(doc_section.id, doc_section.bytes);
+    model::LoadOptions entry_options = doc_options;
+    entry_options.stats = &out.load_stats;
+    Result<StoredDocument> doc = model::ParseAnyDocumentSection(
+        doc_section.id, doc_section.bytes, entry_options);
     if (!doc.ok()) {
       out.status = doc.status();
       return;
@@ -468,9 +489,11 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     if (options.stats != nullptr) {
       options.stats->documents.push_back(CatalogLoadStats::DocumentStats{
           directory[i].name, decoded[i].decode_ms,
-          image.sections[directory[i].doc_at].id ==
-              model::kColumnarDocumentSectionId,
-          decoded[i].index.has_value()});
+          image.sections[directory[i].doc_at].id !=
+              model::kDocumentSectionId,
+          decoded[i].index.has_value(), decoded[i].load_stats.mode_used,
+          decoded[i].load_stats.bytes_copied,
+          decoded[i].load_stats.bytes_viewed});
     }
     Result<DocId> added =
         decoded[i].index.has_value()
@@ -492,18 +515,31 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
 
 Status Catalog::SaveToFile(const std::string& path) const {
   MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for write: ", path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("short write to ", path);
-  return Status::OK();
+  // Atomic (temp + rename): a view-backed catalog loaded from this
+  // very path keeps borrowing from the old inode's mapping while the
+  // new image takes over the directory entry.
+  return util::WriteFileAtomic(path, bytes);
 }
 
 Result<Catalog> Catalog::LoadFromFile(const std::string& path,
                                       const CatalogLoadOptions& options) {
+  if (options.mode == model::LoadMode::kView) {
+    // Zero-copy open: every view-backed document pins the shared
+    // mapping, so the catalog keeps it alive exactly as long as any
+    // of its documents borrows from it.
+    MEETXML_ASSIGN_OR_RETURN(
+        std::shared_ptr<const util::MmapFile> file,
+        util::MmapFile::OpenShared(path,
+                                   util::MmapFile::Advice::kWillNeed));
+    CatalogLoadOptions pinned = options;
+    pinned.backing = file;
+    return LoadFromBytes(file->bytes(), pinned);
+  }
   // Decode out of a file mapping; the catalog owns everything it
   // keeps, so the mapping ends with this scope.
-  MEETXML_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
+  MEETXML_ASSIGN_OR_RETURN(
+      util::MmapFile file,
+      util::MmapFile::Open(path, util::MmapFile::Advice::kSequential));
   return LoadFromBytes(file.bytes(), options);
 }
 

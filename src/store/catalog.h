@@ -12,12 +12,24 @@
 //
 // Image layout:
 //   CTLG section: the catalog directory (codec below)
-//   per document, one document section — columnar DOC1 by default,
-//   row-oriented DOC0 when pinned (model/storage_io.h payloads) — and,
-//   when an index exists, one TIDX section (text/index_io.h payload)
-// Minor stamp: 4 when any document section is columnar, otherwise 3
-// for multi-document images and 2 for one-document images (which
-// legacy single-document readers can still open).
+//   per document, one document section — aligned columnar DOC2 by
+//   default, DOC1/DOC0 when pinned (model/storage_io.h payloads) —
+//   and, when an index exists, one TIDX section (text/index_io.h
+//   payload)
+// Minor stamp: 5 when any document section is aligned columnar
+// (DOC2), 4 for unaligned columnar (DOC1), otherwise 3 for
+// multi-document images and 2 for one-document images (which legacy
+// single-document readers can still open).
+//
+// Zero-copy open: CatalogLoadOptions::mode == kView decodes every
+// DOC2 section as a view-backed document borrowing straight from the
+// image bytes (model/storage_io.h's lifetime contract).
+// Catalog::LoadFromFile pins the shared file mapping into each
+// borrowing document, so the catalog keeps the mapping alive for
+// exactly as long as any of its documents needs it — including across
+// a SaveToFile to a different path, and across SaveToFile to the
+// *same* path (saves are atomic temp-file + rename; the borrowers
+// keep the old inode's mapping).
 //
 // CTLG payload (little-endian, varints are LEB128):
 //   u8 codec version (1)
@@ -66,10 +78,18 @@ struct CatalogLoadStats {
     /// Wall time decoding this document's sections (document + index),
     /// measured on the decoding worker.
     double decode_ms = 0;
-    /// True when the document section was columnar (DOC1).
+    /// True when the document section was columnar (DOC1 or DOC2).
     bool columnar = false;
     /// True when a persisted TIDX section was decoded alongside.
     bool indexed = false;
+    /// What actually happened to this document's columns: kView only
+    /// for DOC2 sections decoded under CatalogLoadOptions::mode ==
+    /// kView; everything else copies.
+    model::LoadMode mode = model::LoadMode::kCopy;
+    /// Image bytes memcpy'd into owned columns (near zero on the
+    /// zero-copy path) vs. borrowed as views over the mapping.
+    uint64_t bytes_copied = 0;
+    uint64_t bytes_viewed = 0;
   };
   std::vector<DocumentStats> documents;
   /// End-to-end LoadFromBytes wall time.
@@ -85,6 +105,14 @@ struct CatalogLoadOptions {
   unsigned threads = 0;
   /// When non-null, receives per-document decode timings.
   CatalogLoadStats* stats = nullptr;
+  /// kView borrows DOC2 columns from the image instead of copying
+  /// them (model/storage_io.h's lifetime contract; non-DOC2 sections
+  /// fall back to copying). LoadFromFile pins the file mapping
+  /// automatically; byte-level view loads either set `backing` or
+  /// leave the caller responsible for the bytes' lifetime.
+  model::LoadMode mode = model::LoadMode::kCopy;
+  /// Optional keep-alive pinned into every view-backed document.
+  std::shared_ptr<const void> backing;
 };
 
 /// \brief Stable identifier of a catalog document. Ids are assigned
@@ -168,8 +196,9 @@ class Catalog {
   /// \brief Serializes the whole catalog into one image. Documents
   /// whose index exists (persisted, EnsureIndex'd, or lazily built by
   /// an executor) carry a TIDX section; the rest rebuild lazily after
-  /// load. `payload_format` picks the document codec — columnar DOC1
-  /// (default) or row-oriented DOC0 for rollback images.
+  /// load. `payload_format` picks the document codec — aligned
+  /// columnar DOC2 (default), or DOC1/DOC0 for rollback images.
+  /// View-backed documents serialize fine (reads never promote).
   util::Result<std::string> SaveToBytes(
       model::DocumentPayloadFormat payload_format =
           model::DocumentPayloadFormat::kColumnar) const;
@@ -181,7 +210,10 @@ class Catalog {
   static util::Result<Catalog> LoadFromBytes(
       std::string_view bytes, const CatalogLoadOptions& options = {});
 
-  /// \brief File variants; loading decodes from a memory-mapped image.
+  /// \brief File variants; loading decodes from a memory-mapped image
+  /// (pinned into the documents in view mode), saving is atomic
+  /// (temp file + rename), so saving over the image a view-backed
+  /// catalog was loaded from is safe.
   util::Status SaveToFile(const std::string& path) const;
   static util::Result<Catalog> LoadFromFile(
       const std::string& path, const CatalogLoadOptions& options = {});

@@ -1,10 +1,11 @@
 #include "text/index_io.h"
 
 #include <algorithm>
-#include <fstream>
+#include <memory>
 #include <vector>
 
 #include "util/byte_io.h"
+#include "util/file_io.h"
 #include "util/mmap_file.h"
 
 namespace meetxml {
@@ -201,9 +202,10 @@ Result<std::string> SaveStoreToBytes(const model::StoredDocument& doc,
   return model::SaveToBytes(doc, options);
 }
 
-Result<PersistentStore> LoadStoreFromBytes(std::string_view bytes) {
+Result<PersistentStore> LoadStoreFromBytes(std::string_view bytes,
+                                           const model::LoadOptions& options) {
   MEETXML_ASSIGN_OR_RETURN(model::LoadedImage image,
-                           model::LoadImageFromBytes(bytes));
+                           model::LoadImageFromBytes(bytes, options));
   PersistentStore store;
   store.doc = std::move(image.doc);
   for (const model::ImageSection& section : image.extra_sections) {
@@ -220,18 +222,28 @@ Result<PersistentStore> LoadStoreFromBytes(std::string_view bytes) {
 Status SaveStoreToFile(const model::StoredDocument& doc,
                        const InvertedIndex* index, const std::string& path) {
   MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveStoreToBytes(doc, index));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for write: ", path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("short write to ", path);
-  return Status::OK();
+  return util::WriteFileAtomic(path, bytes);
 }
 
-Result<PersistentStore> LoadStoreFromFile(const std::string& path) {
+Result<PersistentStore> LoadStoreFromFile(const std::string& path,
+                                          const model::LoadOptions& options) {
+  if (options.mode == model::LoadMode::kView) {
+    // Zero-copy open: the document borrows from the shared mapping and
+    // pins it (model/storage_io.h's lifetime contract).
+    MEETXML_ASSIGN_OR_RETURN(
+        std::shared_ptr<const util::MmapFile> file,
+        util::MmapFile::OpenShared(path,
+                                   util::MmapFile::Advice::kWillNeed));
+    model::LoadOptions pinned = options;
+    pinned.backing = file;
+    return LoadStoreFromBytes(file->bytes(), pinned);
+  }
   // Decode out of a file mapping; PersistentStore owns everything it
   // keeps, so the mapping ends with this scope.
-  MEETXML_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
-  return LoadStoreFromBytes(file.bytes());
+  MEETXML_ASSIGN_OR_RETURN(
+      util::MmapFile file,
+      util::MmapFile::Open(path, util::MmapFile::Advice::kSequential));
+  return LoadStoreFromBytes(file.bytes(), options);
 }
 
 }  // namespace text

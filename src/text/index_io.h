@@ -65,14 +65,20 @@ util::Result<std::string> SaveStoreToBytes(const model::StoredDocument& doc,
 
 /// \brief Loads an image saved by SaveStoreToBytes (or any MXM1/MXM2
 /// image; `index` stays empty when the image has no TIDX section —
-/// v1 images never do — so callers rebuild lazily).
-util::Result<PersistentStore> LoadStoreFromBytes(std::string_view bytes);
+/// v1 images never do — so callers rebuild lazily). `options` selects
+/// the load mode: in view mode the document borrows its columns from
+/// `bytes` under model/storage_io.h's lifetime contract (the index is
+/// always decoded into owned postings).
+util::Result<PersistentStore> LoadStoreFromBytes(
+    std::string_view bytes, const model::LoadOptions& options = {});
 
-/// \brief File variants.
+/// \brief File variants. Saving is atomic (temp file + rename);
+/// view-mode loading pins the shared mapping into the document.
 util::Status SaveStoreToFile(const model::StoredDocument& doc,
                              const InvertedIndex* index,
                              const std::string& path);
-util::Result<PersistentStore> LoadStoreFromFile(const std::string& path);
+util::Result<PersistentStore> LoadStoreFromFile(
+    const std::string& path, const model::LoadOptions& options = {});
 
 }  // namespace text
 }  // namespace meetxml

@@ -43,6 +43,14 @@ class ByteWriter {
   /// carries the length. The columnar payloads emit whole integer
   /// columns this way, one append per column.
   void Bytes(std::string_view s) { out_.append(s.data(), s.size()); }
+  /// \brief Zero-pads to the next 4-byte boundary (relative to the
+  /// start of this writer's output). The aligned columnar payload
+  /// emits this before raw u32 columns so a mapped image can serve
+  /// them as typed views without misaligned loads.
+  void AlignTo4() {
+    while (out_.size() % 4 != 0) out_.push_back('\0');
+  }
+  size_t size() const { return out_.size(); }
   std::string Take() { return std::move(out_); }
 
  private:
@@ -107,6 +115,22 @@ class ByteReader {
     std::string_view out = bytes_.substr(pos_, static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
     return out;
+  }
+
+  /// \brief Consumes the padding ByteWriter::AlignTo4 emitted. The
+  /// bytes must be zero — anything else is corruption, and letting it
+  /// slide would break the image byte-determinism the round-trip
+  /// tests pin.
+  Status AlignTo4() {
+    while (pos_ % 4 != 0) {
+      MEETXML_ASSIGN_OR_RETURN(uint8_t byte, U8());
+      if (byte != 0) {
+        return Status::InvalidArgument(
+            "corrupt payload: nonzero alignment padding at offset ",
+            pos_ - 1);
+      }
+    }
+    return Status::OK();
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }

@@ -1,14 +1,24 @@
-// Whole-file reads for the loaders (XML parse, storage images): one
-// open/read/error-report path instead of a copy per call site.
+// Whole-file reads and atomic writes for the loaders and savers (XML
+// parse, storage images): one open/read/error-report path instead of
+// a copy per call site.
 
 #ifndef MEETXML_UTIL_FILE_IO_H_
 #define MEETXML_UTIL_FILE_IO_H_
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <string_view>
 
 #include "util/result.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MEETXML_HAVE_FSYNC 1
+#endif
 
 namespace meetxml {
 namespace util {
@@ -21,6 +31,64 @@ inline Result<std::string> ReadFileToString(const std::string& path) {
                       std::istreambuf_iterator<char>());
   if (in.bad()) return Status::Internal("read failed: ", path);
   return content;
+}
+
+/// \brief Writes `bytes` to `path` atomically: the data lands in a
+/// uniquely named temporary sibling that is fsync'd and renamed over
+/// the target, so readers never observe a torn file (even across a
+/// crash right after the rename, and even when several savers race on
+/// the same path — last rename wins with a complete image). On
+/// platforms without POSIX rename-over semantics the old file is
+/// removed first — a small visibility window, but never a torn file,
+/// and no worse than the truncating overwrite it replaced. Crucially
+/// for the zero-copy load path, overwriting an image that is currently
+/// memory-mapped by a view-backed document replaces the directory
+/// entry while the borrower keeps its mapping of the old inode.
+/// (Truncating in place would SIGBUS every borrower.)
+inline Status WriteFileAtomic(const std::string& path,
+                              std::string_view bytes) {
+  // Unique per process and per call, so concurrent savers never write
+  // through the same temp file (a start-time tag stands in for the
+  // pid where one isn't available).
+  static std::atomic<uint64_t> counter{0};
+  static const uint64_t process_tag =
+#if defined(MEETXML_HAVE_FSYNC)
+      static_cast<uint64_t>(::getpid());
+#else
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+  std::string tmp = path + ".tmp." + std::to_string(process_tag) + "." +
+                    std::to_string(counter.fetch_add(1));
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::NotFound("cannot open for write: ", tmp);
+  }
+  bool written =
+      bytes.empty() ||
+      std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size();
+  written = std::fflush(out) == 0 && written;
+#if defined(MEETXML_HAVE_FSYNC)
+  // Durability before visibility: the rename must never install a file
+  // whose data a crash could still lose.
+  written = ::fsync(::fileno(out)) == 0 && written;
+#endif
+  written = std::fclose(out) == 0 && written;
+  if (!written) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to ", tmp);
+  }
+#if !defined(MEETXML_HAVE_FSYNC)
+  // std::rename cannot replace an existing destination everywhere
+  // (Windows EEXIST): drop the old file first. Not atomic there, but
+  // no worse than the in-place truncating write it replaced.
+  std::remove(path.c_str());
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename ", tmp, " over ", path);
+  }
+  return Status::OK();
 }
 
 }  // namespace util

@@ -1,5 +1,8 @@
 #include "util/mmap_file.h"
 
+#include <cerrno>
+#include <cstring>
+
 #include "util/file_io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -13,42 +16,89 @@
 namespace meetxml {
 namespace util {
 
-Result<MmapFile> MmapFile::Open(const std::string& path) {
+namespace {
+
+// errno rendered for error messages; strerror is not re-entrant on
+// every libc, but the loaders only open files from one thread at a
+// time and a garbled message is the worst possible outcome.
+std::string ErrnoText(int err) {
+  const char* text = std::strerror(err);
+  return text != nullptr ? std::string(text) : std::string("unknown error");
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path, Advice advice) {
 #if defined(MEETXML_HAVE_MMAP)
   int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    struct stat st;
-    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
-      MmapFile file;
-      if (st.st_size == 0) {
-        // Empty files map to an empty view without calling mmap (which
-        // rejects zero-length mappings).
-        ::close(fd);
-        return file;
-      }
-      void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size),
-                            PROT_READ, MAP_PRIVATE, fd, 0);
-      // The mapping keeps its own reference; the descriptor is done
-      // either way.
-      ::close(fd);
-      if (mapped != MAP_FAILED) {
-        file.mapped_ = mapped;
-        file.mapped_size_ = static_cast<size_t>(st.st_size);
-        return file;
-      }
-      // mmap refused (exotic filesystem, resource limits): fall through
-      // to the buffered read below.
-    } else {
-      ::close(fd);
-    }
+  if (fd < 0) {
+    return Status::NotFound("cannot open ", path, ": ", ErrnoText(errno));
   }
-  // A failed open still goes through the buffered reader so the error
-  // message (NotFound with the path) stays in one place.
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+    if (st.st_size == 0) {
+      ::close(fd);
+      return Status::InvalidArgument("cannot map ", path,
+                                     ": file is empty");
+    }
+    MmapFile file;
+    void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping keeps its own reference; the descriptor is done
+    // either way.
+    ::close(fd);
+    if (mapped != MAP_FAILED) {
+      file.mapped_ = mapped;
+      file.mapped_size_ = static_cast<size_t>(st.st_size);
+      file.Advise(advice);
+      return file;
+    }
+    // mmap refused (exotic filesystem, resource limits): fall through
+    // to the buffered read below.
+  } else {
+    // Not a regular file (fifo, directory, device): the buffered
+    // reader gets to try — it reports its own error when it can't.
+    ::close(fd);
+  }
 #endif
   MEETXML_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  if (content.empty()) {
+    return Status::InvalidArgument("cannot map ", path, ": file is empty");
+  }
   MmapFile file;
   file.buffer_ = std::move(content);
   return file;
+}
+
+Result<std::shared_ptr<const MmapFile>> MmapFile::OpenShared(
+    const std::string& path, Advice advice) {
+  MEETXML_ASSIGN_OR_RETURN(MmapFile file, Open(path, advice));
+  return std::make_shared<const MmapFile>(std::move(file));
+}
+
+void MmapFile::Advise(Advice advice) const {
+#if defined(MEETXML_HAVE_MMAP) && defined(POSIX_MADV_NORMAL)
+  if (mapped_ == nullptr) return;
+  int hint = POSIX_MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      hint = POSIX_MADV_NORMAL;
+      break;
+    case Advice::kWillNeed:
+      hint = POSIX_MADV_WILLNEED;
+      break;
+    case Advice::kRandom:
+      hint = POSIX_MADV_RANDOM;
+      break;
+    case Advice::kSequential:
+      hint = POSIX_MADV_SEQUENTIAL;
+      break;
+  }
+  // Best-effort by contract: the result is deliberately dropped.
+  (void)::posix_madvise(mapped_, mapped_size_, hint);
+#else
+  (void)advice;
+#endif
 }
 
 void MmapFile::Release() {

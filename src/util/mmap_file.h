@@ -9,14 +9,19 @@
 // wrapper silently falls back to the buffered read, so callers are
 // portable without caring which path they got.
 //
-// The view returned by bytes() is valid for the lifetime of the
-// MmapFile object; loaders must finish decoding (copying what they
-// keep) before letting it go out of scope.
+// Lifetime contract. The view returned by bytes() is valid for the
+// lifetime of the MmapFile object. Copy-mode loaders finish decoding
+// before letting it go out of scope; the zero-copy (view-mode) loaders
+// instead pin the mapping with OpenShared — every decoded document
+// holds a std::shared_ptr<const MmapFile> to its backing image, so the
+// mapping is released exactly when the last borrower dies
+// (model/storage_io.h documents who pins what).
 
 #ifndef MEETXML_UTIL_MMAP_FILE_H_
 #define MEETXML_UTIL_MMAP_FILE_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -31,9 +36,29 @@ namespace util {
 /// buffer) is released on destruction.
 class MmapFile {
  public:
-  /// \brief Opens and maps `path`. NotFound when the file cannot be
-  /// opened; mapping failures fall back to a buffered read.
-  static Result<MmapFile> Open(const std::string& path);
+  /// \brief Access-pattern hints forwarded to the kernel (madvise).
+  enum class Advice {
+    kNormal,      ///< No special treatment.
+    kWillNeed,    ///< The whole file will be read soon (prefault ahead).
+    kRandom,      ///< Expect random point accesses (don't read ahead).
+    kSequential,  ///< Expect a front-to-back scan (aggressive read-ahead).
+  };
+
+  /// \brief Opens and maps `path`, applying `advice` to the fresh
+  /// mapping. NotFound (with the path and the errno text) when the
+  /// file cannot be opened, InvalidArgument for empty files — an
+  /// empty file can never be a valid image, and rejecting it here
+  /// gives a clearer message than a decoder's "bad magic". Mapping
+  /// failures fall back to a buffered read.
+  static Result<MmapFile> Open(const std::string& path,
+                               Advice advice = Advice::kNormal);
+
+  /// \brief Open variant for borrowers: the mapping arrives behind a
+  /// shared_ptr so decoded objects can pin it past the caller's scope
+  /// (the view-mode loaders store a copy of this handle per document,
+  /// advised kWillNeed so the decode's validation scan prefaults).
+  static Result<std::shared_ptr<const MmapFile>> OpenShared(
+      const std::string& path, Advice advice = Advice::kNormal);
 
   MmapFile() = default;
   ~MmapFile() { Release(); }
@@ -65,6 +90,11 @@ class MmapFile {
   /// \brief True when the contents are served by a mapping rather than
   /// a heap buffer (introspection for tests and diagnostics).
   bool is_mapped() const { return mapped_ != nullptr; }
+
+  /// \brief Best-effort access hint for the mapping. A no-op on
+  /// platforms without madvise and for the buffered fallback; never
+  /// fails — a rejected hint costs nothing but the syscall.
+  void Advise(Advice advice) const;
 
  private:
   void Release();

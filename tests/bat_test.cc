@@ -1,6 +1,10 @@
 // Unit tests for the BAT kernel: the binary association tables and the
 // MIL-like relational operations the meet algorithms execute.
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "bat/bat.h"
@@ -40,7 +44,8 @@ TEST(StrBat, ArenaBackedColumns) {
   EXPECT_EQ(table.tail(2), "xyz");
   // One arena, cumulative end offsets.
   EXPECT_EQ(table.tail_blob(), "abxyz");
-  EXPECT_EQ(table.tail_ends(), (std::vector<uint32_t>{2, 2, 5}));
+  EXPECT_TRUE(std::ranges::equal(table.tail_ends(),
+                                 std::vector<uint32_t>{2, 2, 5}));
 }
 
 TEST(StrBat, AdoptColumnsMatchesAppend) {
@@ -51,6 +56,108 @@ TEST(StrBat, AdoptColumnsMatchesAppend) {
   adopted.AdoptColumns({1, 2}, {2, 5}, "abxyz");
   EXPECT_EQ(adopted, appended);
   EXPECT_EQ(adopted.tail(1), "xyz");
+}
+
+// ---- Owning vs. view storage (the zero-copy primitives) ---------------
+
+TEST(Column, ViewReadsBorrowedValuesWithoutCopying) {
+  std::vector<Oid> backing = {7, 8, 9};
+  Column<Oid> column;
+  column.SetView(backing);
+  ASSERT_TRUE(column.is_view());
+  ASSERT_EQ(column.size(), 3u);
+  EXPECT_EQ(column[1], 8u);
+  // The span aliases the backing storage — zero copies.
+  EXPECT_EQ(column.span().data(), backing.data());
+}
+
+TEST(Column, EnsureOwnedDetachesFromBacking) {
+  std::vector<Oid> backing = {1, 2};
+  Column<Oid> column;
+  column.SetView(backing);
+  column.EnsureOwned();
+  EXPECT_FALSE(column.is_view());
+  backing.assign({9, 9});  // mutating the old backing must not show
+  EXPECT_EQ(column[0], 1u);
+  EXPECT_EQ(column[1], 2u);
+}
+
+TEST(Column, MutationPromotesAView) {
+  std::vector<Oid> backing = {1, 2};
+  Column<Oid> column;
+  column.SetView(backing);
+  column.push_back(3);  // copy-on-write
+  EXPECT_FALSE(column.is_view());
+  ASSERT_EQ(column.size(), 3u);
+  EXPECT_EQ(column[2], 3u);
+  EXPECT_EQ(backing.size(), 2u);  // the backing is untouched
+}
+
+TEST(Column, MoveKeepsOwnedDataValid) {
+  Column<Oid> source;
+  source.push_back(5);
+  source.push_back(6);
+  Column<Oid> moved = std::move(source);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[1], 6u);
+  EXPECT_EQ(source.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Column, ViewAndOwnedCompareByValue) {
+  std::vector<Oid> backing = {4, 5};
+  Column<Oid> view;
+  view.SetView(backing);
+  Column<Oid> owned;
+  owned.Adopt({4, 5});
+  EXPECT_TRUE(view == owned);
+}
+
+TEST(StrBat, AdoptColumnViewsBorrowsAndMatchesOwned) {
+  StrBat owned;
+  owned.Append(1, "ab");
+  owned.Append(2, "xyz");
+
+  std::vector<Oid> heads = {1, 2};
+  std::vector<uint32_t> ends = {2, 5};
+  std::string blob = "abxyz";
+  StrBat view;
+  view.AdoptColumnViews(heads, ends, blob);
+  ASSERT_TRUE(view.is_view());
+  EXPECT_EQ(view.tail(0), "ab");
+  EXPECT_EQ(view.tail(1), "xyz");
+  // Borrowed, not copied: the arena view aliases the backing blob.
+  EXPECT_EQ(view.tail_blob().data(), blob.data());
+  // View- and owned-backed relations with equal rows compare equal.
+  EXPECT_EQ(view, owned);
+}
+
+TEST(StrBat, AppendPromotesViewBackedRelation) {
+  std::vector<Oid> heads = {1};
+  std::vector<uint32_t> ends = {2};
+  std::string blob = "ab";
+  StrBat table;
+  table.AdoptColumnViews(heads, ends, blob);
+  ASSERT_TRUE(table.is_view());
+  table.Append(2, "cd");  // copy-on-write promotion
+  EXPECT_FALSE(table.is_view());
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.tail(0), "ab");
+  EXPECT_EQ(table.tail(1), "cd");
+  // The backing is unchanged and no longer referenced.
+  blob.assign("zz");
+  EXPECT_EQ(table.tail(0), "ab");
+}
+
+TEST(StrBat, EnsureOwnedDetachesAllColumns) {
+  std::vector<Oid> heads = {3};
+  std::vector<uint32_t> ends = {1};
+  std::string blob = "q";
+  StrBat table;
+  table.AdoptColumnViews(heads, ends, blob);
+  table.EnsureOwned();
+  EXPECT_FALSE(table.is_view());
+  blob.assign("x");
+  EXPECT_EQ(table.tail(0), "q");
 }
 
 TEST(Bat, ReverseSwapsColumns) {

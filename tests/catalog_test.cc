@@ -185,7 +185,7 @@ TEST(Catalog, EnsureIndexAfterExecutorBuildsExactlyOneIndex) {
 
 TEST(Catalog, RowAndColumnarCatalogImagesLoadIdentically) {
   // The catalog-level byte-equality pin: a DOC0-pinned image and the
-  // default DOC1 image restore the same catalog, shown by both loads
+  // default DOC2 image restore the same catalog, shown by both loads
   // re-serializing to the very same bytes.
   Catalog catalog;
   StoredDocument paper = MustShred(data::PaperExampleXml());
@@ -202,7 +202,7 @@ TEST(Catalog, RowAndColumnarCatalogImagesLoadIdentically) {
   auto columnar = catalog.SaveToBytes();
   auto row = catalog.SaveToBytes(model::DocumentPayloadFormat::kRowOriented);
   ASSERT_TRUE(columnar.ok() && row.ok());
-  EXPECT_EQ((*columnar)[4], 4);  // minor revision
+  EXPECT_EQ((*columnar)[4], 5);  // minor revision
   EXPECT_EQ((*row)[4], 3);
 
   auto from_columnar = Catalog::LoadFromBytes(*columnar);
@@ -241,12 +241,16 @@ TEST(Catalog, ParallelAndSerialDecodeAgree) {
   ASSERT_TRUE(bytes.ok());
 
   CatalogLoadStats serial_stats;
-  CatalogLoadOptions serial{1, &serial_stats};
+  CatalogLoadOptions serial;
+  serial.threads = 1;
+  serial.stats = &serial_stats;
   auto serial_loaded = Catalog::LoadFromBytes(*bytes, serial);
   ASSERT_TRUE(serial_loaded.ok()) << serial_loaded.status();
 
   CatalogLoadStats parallel_stats;
-  CatalogLoadOptions parallel{8, &parallel_stats};
+  CatalogLoadOptions parallel;
+  parallel.threads = 8;
+  parallel.stats = &parallel_stats;
   auto parallel_loaded = Catalog::LoadFromBytes(*bytes, parallel);
   ASSERT_TRUE(parallel_loaded.ok()) << parallel_loaded.status();
 
@@ -321,9 +325,9 @@ TEST(Catalog, TidxAtDirectoryPositionZeroIsNotDropped) {
       {model::ImageSection{model::kTextIndexSectionId,
                            text::SerializeIndex(*index)},
        model::ImageSection{model::kCatalogSectionId, directory.Take()},
-       model::ImageSection{model::kColumnarDocumentSectionId,
+       model::ImageSection{model::kAlignedColumnarDocumentSectionId,
                            std::move(*doc_payload)}},
-      4);
+      5);
   ASSERT_TRUE(image.ok());
 
   auto loaded = Catalog::LoadFromBytes(*image);

@@ -24,18 +24,33 @@ namespace {
 
 using meetxml::testing::MustShred;
 
-// Fuzz parameter: 1 = MXM1, 2 = MXM2 with the row-oriented DOC0
-// payload, 4 = MXM2 with the columnar DOC1 payload (the value doubles
-// as the expected minor revision of the emitted image).
+// Fuzz parameter: the low byte is the image flavor — 1 = MXM1, 2 =
+// MXM2 with the row-oriented DOC0 payload, 4 = MXM2 with the unaligned
+// columnar DOC1 payload, 5 = MXM2 with the aligned columnar DOC2
+// payload (the low byte doubles as the expected minor revision of the
+// emitted image). The kViewMode bit runs the same sweep through a
+// zero-copy (kView) load: a corrupt image must fail decode in view
+// mode exactly as in copy mode — never yield a span past the mapping.
+constexpr uint32_t kViewMode = 0x100;
+
 std::string Image(uint32_t param) {
+  uint32_t flavor = param & 0xff;
   StoredDocument doc = MustShred(data::PaperExampleXml());
   SaveOptions options;
-  options.format_version = param == 1 ? 1 : 2;
-  options.payload_format = param == 4 ? DocumentPayloadFormat::kColumnar
-                                      : DocumentPayloadFormat::kRowOriented;
+  options.format_version = flavor == 1 ? 1 : 2;
+  options.payload_format =
+      flavor == 5   ? DocumentPayloadFormat::kColumnar
+      : flavor == 4 ? DocumentPayloadFormat::kColumnarUnaligned
+                    : DocumentPayloadFormat::kRowOriented;
   auto bytes = SaveToBytes(doc, options);
   EXPECT_TRUE(bytes.ok()) << bytes.status();
   return *bytes;
+}
+
+util::Result<StoredDocument> Load(uint32_t param, std::string_view bytes) {
+  LoadOptions options;
+  if ((param & kViewMode) != 0) options.mode = LoadMode::kView;
+  return LoadFromBytes(bytes, options);
 }
 
 class StorageFuzz : public ::testing::TestWithParam<uint32_t> {};
@@ -43,7 +58,8 @@ class StorageFuzz : public ::testing::TestWithParam<uint32_t> {};
 TEST_P(StorageFuzz, EveryTruncationFails) {
   std::string bytes = Image(GetParam());
   for (size_t cut = 0; cut < bytes.size(); ++cut) {
-    auto loaded = LoadFromBytes(std::string_view(bytes).substr(0, cut));
+    auto loaded =
+        Load(GetParam(), std::string_view(bytes).substr(0, cut));
     EXPECT_FALSE(loaded.ok()) << "cut at " << cut << " of " << bytes.size();
   }
 }
@@ -52,19 +68,20 @@ TEST_P(StorageFuzz, EveryByteFlipFails) {
   // In a doc-only image every byte is load-bearing: magic, version and
   // directory flips trip structural checks, payload flips trip the
   // section checksum. Flip every byte through three masks. The one
-  // legal exception: a minor-2 image's minor-field flip can land on
-  // another accepted minor (2 <-> 3, minors are backward compatible by
-  // policy), in which case the load must succeed with the document
-  // fully intact. (From minor 4 no accepted minor is reachable under
-  // these masks, so every DOC1-image flip must fail.)
+  // legal exception: an MXM2 image's minor-field flip can land on
+  // another accepted minor (2 <-> 3, 4 <-> 5 — minors are backward
+  // compatible by policy and a single-section image tiles identically
+  // under both), in which case the load must succeed with the
+  // document fully intact.
   StoredDocument original = MustShred(data::PaperExampleXml());
   std::string bytes = Image(GetParam());
   for (uint8_t mask : {0x01, 0x40, 0xff}) {
     for (size_t at = 0; at < bytes.size(); ++at) {
       std::string corrupt = bytes;
       corrupt[at] = static_cast<char>(corrupt[at] ^ mask);
-      auto loaded = LoadFromBytes(corrupt);
-      bool minor_field = GetParam() == 2 && at >= 4 && at < 8;
+      auto loaded = Load(GetParam(), corrupt);
+      bool minor_field =
+          (GetParam() & 0xff) != 1 && at >= 4 && at < 8;
       if (loaded.ok()) {
         EXPECT_TRUE(minor_field)
             << "flip mask " << int(mask) << " at " << at;
@@ -92,7 +109,7 @@ TEST_P(StorageFuzz, PseudoRandomMutationsNeverCrash) {
       corrupt[next() % corrupt.size()] =
           static_cast<char>(next() & 0xff);
     }
-    auto loaded = LoadFromBytes(corrupt);
+    auto loaded = Load(GetParam(), corrupt);
     if (loaded.ok()) {
       // Only reachable if the scribbles reproduced the original bytes;
       // a loaded document is always fully finalized.
@@ -101,13 +118,18 @@ TEST_P(StorageFuzz, PseudoRandomMutationsNeverCrash) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Formats, StorageFuzz,
-                         ::testing::Values(1u, 2u, 4u),
-                         [](const auto& info) {
-                           if (info.param == 1) return "MXM1";
-                           return info.param == 2 ? "MXM2DOC0"
-                                                  : "MXM2DOC1";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Formats, StorageFuzz,
+    ::testing::Values(1u, 2u, 4u, 5u, kViewMode | 4u, kViewMode | 5u),
+    [](const auto& info) -> std::string {
+      uint32_t flavor = info.param & 0xff;
+      std::string name = flavor == 1   ? "MXM1"
+                         : flavor == 2 ? "MXM2DOC0"
+                         : flavor == 4 ? "MXM2DOC1"
+                                       : "MXM2DOC2";
+      if ((info.param & kViewMode) != 0) name += "View";
+      return name;
+    });
 
 TEST(StorageFuzzCrafted, BadMagicAndHeaders) {
   EXPECT_FALSE(LoadFromBytes("").ok());
@@ -146,13 +168,17 @@ TEST(StorageFuzzCrafted, WriterRejectsUnloadableSectionSets) {
   EXPECT_FALSE(SaveToBytes(doc, dup_id).ok());
 }
 
-// --- Crafted DOC1 payload corruptions ---------------------------------
+// --- Crafted DOC1/DOC2 payload corruptions ----------------------------
 //
-// The columnar codec trusts nothing: every field below is handcrafted
+// The columnar codecs trust nothing: every field below is handcrafted
 // so one structural invariant at a time can be broken — offsets out of
 // bounds, blobs shorter than the last offset, an append-order column
 // that is not a permutation — and the loader must reject each image
-// cleanly, never applying it partially.
+// cleanly, never applying it partially. Each corruption is pushed
+// through both codecs (DOC1 unaligned, DOC2 aligned) and both load
+// modes (copy and zero-copy view): a bad image must fail identically
+// everywhere, and a view-mode decode must never hand out a span past
+// the mapping.
 
 // A two-node document (<a>xyz</a>): element path 0, cdata path 1, one
 // string. Every knob overrides one field of the valid encoding.
@@ -170,7 +196,7 @@ struct Doc1Knobs {
   std::string trailing;
 };
 
-std::string CraftDoc1Image(const Doc1Knobs& knobs) {
+std::string CraftColumnarImage(const Doc1Knobs& knobs, bool aligned) {
   util::ByteWriter payload;
   // Path summary: 0 = element "a" (root), 1 = cdata below it.
   payload.U32(2);
@@ -180,6 +206,7 @@ std::string CraftDoc1Image(const Doc1Knobs& knobs) {
   payload.U32(0);
   payload.U8(2);  // StepKind::kCdata
   payload.StrU32("cdata");
+  if (aligned) payload.AlignTo4();
   // Node columns.
   payload.U32(static_cast<uint32_t>(knobs.parents.size()));
   for (uint32_t v : knobs.parents) payload.U32(v);
@@ -195,58 +222,89 @@ std::string CraftDoc1Image(const Doc1Knobs& knobs) {
     for (uint32_t v : knobs.seqs[g]) payload.U32(v);
     for (uint32_t v : knobs.ends[g]) payload.U32(v);
     payload.Bytes(knobs.blobs[g]);
+    if (aligned) payload.AlignTo4();
   }
   payload.Bytes(knobs.trailing);
   auto image = SaveSectionsToBytes(
-      {ImageSection{kColumnarDocumentSectionId, payload.Take()}}, 4);
+      {ImageSection{aligned ? kAlignedColumnarDocumentSectionId
+                            : kColumnarDocumentSectionId,
+                    payload.Take()}},
+      aligned ? 5 : 4);
   EXPECT_TRUE(image.ok()) << image.status();
   return *image;
 }
 
-TEST(StorageFuzzCrafted, CraftedDoc1BaselineLoads) {
-  // The untampered encoding must load — otherwise the corruption
-  // cases below would pass for the wrong reason.
-  auto loaded = LoadFromBytes(CraftDoc1Image(Doc1Knobs{}));
-  ASSERT_TRUE(loaded.ok()) << loaded.status();
-  EXPECT_EQ(loaded->node_count(), 2u);
-  EXPECT_EQ(loaded->string_count(), 1u);
-  EXPECT_EQ(loaded->CdataValue(1), "xyz");
-
-  // And it is bit-identical to what the writer emits for the same
-  // document, pinning the crafted encoding to the real codec.
-  auto written = SaveToBytes(MustShred("<a>xyz</a>"));
-  ASSERT_TRUE(written.ok());
-  EXPECT_EQ(CraftDoc1Image(Doc1Knobs{}), *written);
+// The corruption must be rejected by both codecs in both load modes.
+void ExpectCraftedRejected(const Doc1Knobs& knobs, const char* what) {
+  for (bool aligned : {false, true}) {
+    std::string image = CraftColumnarImage(knobs, aligned);
+    for (LoadMode mode : {LoadMode::kCopy, LoadMode::kView}) {
+      LoadOptions options;
+      options.mode = mode;
+      EXPECT_FALSE(LoadFromBytes(image, options).ok())
+          << what << " (aligned=" << aligned
+          << ", view=" << (mode == LoadMode::kView) << ")";
+    }
+  }
 }
 
-TEST(StorageFuzzCrafted, Doc1RejectsBadNodeColumns) {
+TEST(StorageFuzzCrafted, CraftedColumnarBaselinesLoad) {
+  // The untampered encodings must load — otherwise the corruption
+  // cases below would pass for the wrong reason.
+  for (bool aligned : {false, true}) {
+    for (LoadMode mode : {LoadMode::kCopy, LoadMode::kView}) {
+      LoadOptions options;
+      options.mode = mode;
+      std::string image = CraftColumnarImage(Doc1Knobs{}, aligned);
+      auto loaded = LoadFromBytes(image, options);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      EXPECT_EQ(loaded->node_count(), 2u);
+      EXPECT_EQ(loaded->string_count(), 1u);
+      EXPECT_EQ(loaded->CdataValue(1), "xyz");
+    }
+  }
+
+  // And each is bit-identical to what the writer emits for the same
+  // document, pinning the crafted encodings to the real codecs.
+  SaveOptions unaligned_options;
+  unaligned_options.payload_format =
+      DocumentPayloadFormat::kColumnarUnaligned;
+  auto written_doc1 = SaveToBytes(MustShred("<a>xyz</a>"), unaligned_options);
+  ASSERT_TRUE(written_doc1.ok());
+  EXPECT_EQ(CraftColumnarImage(Doc1Knobs{}, false), *written_doc1);
+  auto written_doc2 = SaveToBytes(MustShred("<a>xyz</a>"));
+  ASSERT_TRUE(written_doc2.ok());
+  EXPECT_EQ(CraftColumnarImage(Doc1Knobs{}, true), *written_doc2);
+}
+
+TEST(StorageFuzzCrafted, ColumnarRejectsBadNodeColumns) {
   {
     Doc1Knobs knobs;  // non-root node whose parent does not precede it
     knobs.parents = {0xffffffffu, 1};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "parent after child");
   }
   {
     Doc1Knobs knobs;  // node 0 with a parent
     knobs.parents = {0, 0};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "rooted root");
   }
   {
     Doc1Knobs knobs;  // node path beyond the path summary
     knobs.node_paths = {0, 9};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "node path out of range");
   }
 }
 
-TEST(StorageFuzzCrafted, Doc1RejectsBadStringColumns) {
+TEST(StorageFuzzCrafted, ColumnarRejectsBadStringColumns) {
   {
     Doc1Knobs knobs;  // owner beyond the node count
     knobs.owners = {{5}};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "owner out of range");
   }
   {
     Doc1Knobs knobs;  // group path beyond the path summary
     knobs.group_paths = {7};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "group path out of range");
   }
   {
     Doc1Knobs knobs;  // empty group
@@ -254,7 +312,7 @@ TEST(StorageFuzzCrafted, Doc1RejectsBadStringColumns) {
     knobs.seqs = {{}};
     knobs.ends = {{}};
     knobs.blobs = {""};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "empty group");
   }
   {
     Doc1Knobs knobs;  // the same path adopted by two groups
@@ -265,15 +323,15 @@ TEST(StorageFuzzCrafted, Doc1RejectsBadStringColumns) {
     knobs.seqs = {{0}, {1}};
     knobs.ends = {{3}, {3}};
     knobs.blobs = {"xyz", "xyz"};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "path adopted twice");
   }
 }
 
-TEST(StorageFuzzCrafted, Doc1RejectsBadOffsets) {
+TEST(StorageFuzzCrafted, ColumnarRejectsBadOffsets) {
   {
     Doc1Knobs knobs;  // offsets run out of the payload: blob shorter
     knobs.ends = {{100}};  // than the last offset claims
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "blob shorter than last offset");
   }
   {
     Doc1Knobs knobs;  // offsets not monotonic
@@ -282,15 +340,15 @@ TEST(StorageFuzzCrafted, Doc1RejectsBadOffsets) {
     knobs.seqs = {{0, 1}};
     knobs.ends = {{2, 1}};
     knobs.blobs = {"x"};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "non-monotonic offsets");
   }
 }
 
-TEST(StorageFuzzCrafted, Doc1RejectsBrokenPermutation) {
+TEST(StorageFuzzCrafted, ColumnarRejectsBrokenPermutation) {
   {
     Doc1Knobs knobs;  // seq beyond the global string count
     knobs.seqs = {{4}};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "seq out of range");
   }
   {
     Doc1Knobs knobs;  // duplicate seq value
@@ -299,19 +357,43 @@ TEST(StorageFuzzCrafted, Doc1RejectsBrokenPermutation) {
     knobs.seqs = {{0, 0}};
     knobs.ends = {{1, 2}};
     knobs.blobs = {"ab"};
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "duplicate seq");
   }
   {
     Doc1Knobs knobs;  // declared count larger than the rows delivered
     knobs.total_strings = 2;
-    EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+    ExpectCraftedRejected(knobs, "undelivered rows");
   }
 }
 
-TEST(StorageFuzzCrafted, Doc1RejectsTrailingPayloadBytes) {
+TEST(StorageFuzzCrafted, ColumnarRejectsTrailingPayloadBytes) {
   Doc1Knobs knobs;
-  knobs.trailing = "x";
-  EXPECT_FALSE(LoadFromBytes(CraftDoc1Image(knobs)).ok());
+  knobs.trailing.push_back('x');
+  ExpectCraftedRejected(knobs, "trailing payload bytes");
+}
+
+TEST(StorageFuzzCrafted, Doc2RejectsNonzeroAlignmentPadding) {
+  // DOC2's padding bytes are part of the checksummed payload, so they
+  // must be byte-deterministic: a nonzero pad is corruption. Craft the
+  // aligned baseline and scribble on the padding after the final blob
+  // (the 3-byte "xyz" blob leaves exactly one pad byte at the end of
+  // the payload).
+  std::string image = CraftColumnarImage(Doc1Knobs{}, /*aligned=*/true);
+  auto sections = LoadSectionsFromBytes(image);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->sections.size(), 1u);
+  std::string payload(sections->sections[0].bytes);
+  ASSERT_EQ(payload.size() % 4, 0u);
+  ASSERT_EQ(payload.back(), '\0');
+  payload.back() = 'x';
+  auto tampered = SaveSectionsToBytes(
+      {ImageSection{kAlignedColumnarDocumentSectionId, payload}}, 5);
+  ASSERT_TRUE(tampered.ok());
+  for (LoadMode mode : {LoadMode::kCopy, LoadMode::kView}) {
+    LoadOptions options;
+    options.mode = mode;
+    EXPECT_FALSE(LoadFromBytes(*tampered, options).ok());
+  }
 }
 
 TEST(StorageFuzzCrafted, BadSectionLengths) {

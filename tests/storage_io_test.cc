@@ -130,17 +130,27 @@ TEST(StorageIo, MissingFileIsNotFound) {
   EXPECT_TRUE(loaded.status().IsNotFound());
 }
 
-// --- Columnar (DOC1) vs row-oriented (DOC0) payloads ------------------
+// --- Columnar (DOC1/DOC2) vs row-oriented (DOC0) payloads -------------
 
-TEST(StorageIo, ColumnarIsTheDefaultAndStampsMinor4) {
+TEST(StorageIo, AlignedColumnarIsTheDefaultAndStampsMinor5) {
   StoredDocument doc = MustShred(data::PaperExampleXml());
   auto bytes = SaveToBytes(doc);
   ASSERT_TRUE(bytes.ok());
-  EXPECT_EQ((*bytes)[4], 4);  // minor revision field
+  EXPECT_EQ((*bytes)[4], 5);  // minor revision field
   auto sections = LoadSectionsFromBytes(*bytes);
   ASSERT_TRUE(sections.ok());
   ASSERT_EQ(sections->sections.size(), 1u);
-  EXPECT_EQ(sections->sections[0].id, kColumnarDocumentSectionId);
+  EXPECT_EQ(sections->sections[0].id, kAlignedColumnarDocumentSectionId);
+
+  SaveOptions unaligned_options;
+  unaligned_options.payload_format =
+      DocumentPayloadFormat::kColumnarUnaligned;
+  auto unaligned_bytes = SaveToBytes(doc, unaligned_options);
+  ASSERT_TRUE(unaligned_bytes.ok());
+  EXPECT_EQ((*unaligned_bytes)[4], 4);
+  auto unaligned_sections = LoadSectionsFromBytes(*unaligned_bytes);
+  ASSERT_TRUE(unaligned_sections.ok());
+  EXPECT_EQ(unaligned_sections->sections[0].id, kColumnarDocumentSectionId);
 
   SaveOptions row_options;
   row_options.payload_format = DocumentPayloadFormat::kRowOriented;
@@ -152,31 +162,75 @@ TEST(StorageIo, ColumnarIsTheDefaultAndStampsMinor4) {
   EXPECT_EQ(row_sections->sections[0].id, kDocumentSectionId);
 }
 
-// The byte-equality pin: a DOC0-saved image and a DOC1-saved image of
-// the same document load to byte-identically re-serializable
-// documents, in both directions.
+TEST(StorageIo, AlignedColumnarColumnsSitOn4ByteOffsets) {
+  // The property DOC2 exists for: every raw u32 column starts on a
+  // 4-byte boundary of the image, so a view-mode load can hand out
+  // typed spans. Proxy check: a view-mode load of the default image
+  // reports zero copied bytes (it could not if any column were
+  // misaligned).
+  StoredDocument doc = MustShred(data::PaperExampleXml());
+  auto bytes = SaveToBytes(doc);
+  ASSERT_TRUE(bytes.ok());
+  LoadStats stats;
+  LoadOptions options;
+  options.mode = LoadMode::kView;
+  options.stats = &stats;
+  auto loaded = LoadFromBytes(*bytes, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(stats.mode_used, LoadMode::kView);
+  EXPECT_EQ(stats.bytes_copied, 0u);
+  EXPECT_GT(stats.bytes_viewed, 0u);
+}
+
+// The byte-equality pin: DOC0-, DOC1- and DOC2-saved images of the
+// same document load to byte-identically re-serializable documents,
+// in every direction, in both load modes.
 void ExpectFormatsRoundTripIdentically(const StoredDocument& doc) {
   SaveOptions row_options;
   row_options.payload_format = DocumentPayloadFormat::kRowOriented;
+  SaveOptions unaligned_options;
+  unaligned_options.payload_format =
+      DocumentPayloadFormat::kColumnarUnaligned;
   auto row_bytes = SaveToBytes(doc, row_options);
+  auto unaligned_bytes = SaveToBytes(doc, unaligned_options);
   auto columnar_bytes = SaveToBytes(doc);
-  ASSERT_TRUE(row_bytes.ok() && columnar_bytes.ok());
+  ASSERT_TRUE(row_bytes.ok() && unaligned_bytes.ok() &&
+              columnar_bytes.ok());
 
   auto from_row = LoadFromBytes(*row_bytes);
+  auto from_unaligned = LoadFromBytes(*unaligned_bytes);
   auto from_columnar = LoadFromBytes(*columnar_bytes);
   ASSERT_TRUE(from_row.ok()) << from_row.status();
+  ASSERT_TRUE(from_unaligned.ok()) << from_unaligned.status();
   ASSERT_TRUE(from_columnar.ok()) << from_columnar.status();
 
-  // Re-serializing either load in either format reproduces the
-  // original writer's bytes exactly.
+  // Re-serializing any load in any format reproduces the original
+  // writer's bytes exactly.
   auto row_again = SaveToBytes(*from_columnar, row_options);
-  auto columnar_again = SaveToBytes(*from_row);
-  ASSERT_TRUE(row_again.ok() && columnar_again.ok());
+  auto unaligned_again = SaveToBytes(*from_row, unaligned_options);
+  auto columnar_again = SaveToBytes(*from_unaligned);
+  ASSERT_TRUE(row_again.ok() && unaligned_again.ok() &&
+              columnar_again.ok());
   EXPECT_EQ(*row_again, *row_bytes);
+  EXPECT_EQ(*unaligned_again, *unaligned_bytes);
   EXPECT_EQ(*columnar_again, *columnar_bytes);
+
+  // And a view-mode load of the aligned image re-serializes to the
+  // same bytes without ever copying a column.
+  LoadStats stats;
+  LoadOptions view_options;
+  view_options.mode = LoadMode::kView;
+  view_options.stats = &stats;
+  auto viewed = LoadFromBytes(*columnar_bytes, view_options);
+  ASSERT_TRUE(viewed.ok()) << viewed.status();
+  EXPECT_EQ(stats.bytes_copied, 0u);
+  EXPECT_TRUE(viewed->view_backed());
+  auto viewed_again = SaveToBytes(*viewed);
+  ASSERT_TRUE(viewed_again.ok());
+  EXPECT_EQ(*viewed_again, *columnar_bytes);
 }
 
-TEST(StorageIo, RowAndColumnarImagesLoadByteIdentically) {
+TEST(StorageIo, AllPayloadFormatsLoadByteIdentically) {
   ExpectFormatsRoundTripIdentically(MustShred(data::PaperExampleXml()));
 }
 

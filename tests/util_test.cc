@@ -3,9 +3,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include <gtest/gtest.h>
 
+#include "util/file_io.h"
 #include "util/mmap_file.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -289,21 +291,110 @@ TEST(MmapFile, MapsFileContents) {
   std::filesystem::remove(path);
 }
 
-TEST(MmapFile, EmptyFileYieldsEmptyView) {
+TEST(MmapFile, EmptyFileIsRejectedWithAClearMessage) {
+  // An empty file can never be a valid image; rejecting it at open
+  // time beats a decoder's "bad magic".
   std::string path =
       (std::filesystem::temp_directory_path() / "meetxml_mmap_empty.bin")
           .string();
   { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
   auto file = MmapFile::Open(path);
-  ASSERT_TRUE(file.ok()) << file.status();
-  EXPECT_TRUE(file->bytes().empty());
+  ASSERT_FALSE(file.ok());
+  EXPECT_NE(file.status().message().find("empty"), std::string::npos)
+      << file.status();
+  EXPECT_NE(file.status().message().find(path), std::string::npos)
+      << file.status();
   std::filesystem::remove(path);
 }
 
-TEST(MmapFile, MissingFileIsNotFound) {
+TEST(MmapFile, MissingFileIsNotFoundWithErrnoText) {
   auto file = MmapFile::Open("/nonexistent/path/nothing.bin");
   ASSERT_FALSE(file.ok());
   EXPECT_TRUE(file.status().IsNotFound());
+  // The message names the path and carries the strerror text.
+  EXPECT_NE(file.status().message().find("/nonexistent/path/nothing.bin"),
+            std::string::npos)
+      << file.status();
+  EXPECT_NE(file.status().message().find("No such file"),
+            std::string::npos)
+      << file.status();
+}
+
+TEST(MmapFile, AdviseIsBestEffortOnEveryState) {
+  // Advise must be callable on mapped, buffered and default-constructed
+  // files alike — it is a hint, never an error path.
+  MmapFile unopened;
+  unopened.Advise(MmapFile::Advice::kWillNeed);
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_mmap_advise.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "some bytes";
+  }
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  file->Advise(MmapFile::Advice::kWillNeed);
+  file->Advise(MmapFile::Advice::kRandom);
+  file->Advise(MmapFile::Advice::kSequential);
+  file->Advise(MmapFile::Advice::kNormal);
+  EXPECT_EQ(file->bytes(), "some bytes");
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFile, OpenSharedPinsTheMappingAcrossOwners) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_mmap_shared.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "pinned";
+  }
+  auto shared = MmapFile::OpenShared(path);
+  ASSERT_TRUE(shared.ok()) << shared.status();
+  std::shared_ptr<const MmapFile> borrower = *shared;
+  shared->reset();  // the original handle goes away...
+  EXPECT_EQ(borrower->bytes(), "pinned");  // ...the borrower still reads
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFileAtomic, ReplacesContentAndLeavesNoTempBehind) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_atomic.bin")
+          .string();
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "second");
+  // No temp sibling (path.tmp.<pid>.<n>) survives a successful write.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::temp_directory_path())) {
+    EXPECT_EQ(
+        entry.path().filename().string().rfind("meetxml_atomic.bin.tmp", 0),
+        std::string::npos)
+        << entry.path();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFileAtomic, KeepsAnExistingMappingAlive) {
+  // The rename-over contract: overwriting a mapped file must not
+  // disturb borrowers of the old inode — the foundation under saving
+  // a view-backed store to its own path.
+  std::string path =
+      (std::filesystem::temp_directory_path() / "meetxml_atomic_map.bin")
+          .string();
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  auto mapped = MmapFile::OpenShared(path);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new contents").ok());
+  EXPECT_EQ((*mapped)->bytes(), "old contents");
+  auto reread = ReadFileToString(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(*reread, "new contents");
+  std::filesystem::remove(path);
 }
 
 TEST(MmapFile, MoveTransfersTheMapping) {

@@ -10,15 +10,22 @@ Registered trend files (one invocation each in the CI bench-smoke
 job): BENCH_ab9_bulk_load.json (parallel load + persisted indexes),
 BENCH_ab10_catalog.json (multi-document fan-out) and
 BENCH_ab11_cold_start.json (image -> hot executor; guards the
-columnar DOC1 decode and parallel catalog-open wins).
+columnar decode, the zero-copy view-mode open — the
+BM_DocumentDecodeDoc2View / BM_ExecutorFromImageDoc2View /
+BM_CatalogOpenView series — and the parallel catalog-open wins).
 
 Usage:
     check_bench_trend.py CURRENT.json BASELINE.json [--threshold 2.0]
+        [--expect SUBSTRING ...]
 
 Skips cleanly (exit 0, with a note) when the baseline file does not
 exist or cannot be parsed — first runs and cache evictions must not
 fail the job. Benchmarks present on only one side are reported but
 never fatal: adding or renaming a benchmark is not a regression.
+--expect makes a series load-bearing: the check fails when no current
+benchmark name contains the given substring, so a guarded series
+(e.g. the ab11 view-mode cold-start numbers) cannot silently vanish
+from the trend — that guard holds even on runs with no baseline.
 """
 
 import argparse
@@ -57,14 +64,32 @@ def main():
         default=2.0,
         help="fail when current wall time exceeds threshold * baseline",
     )
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="fail when no current benchmark name contains SUBSTRING "
+        "(guards a load-bearing series against silent removal)",
+    )
     args = parser.parse_args()
+
+    current = load_times(args.current)
+    missing = [
+        expected
+        for expected in args.expect
+        if not any(expected in name for name in current)
+    ]
+    if missing:
+        for expected in missing:
+            print(f"  expected series missing from current run: {expected}")
+        return 1
 
     try:
         baseline = load_times(args.baseline)
     except (OSError, ValueError) as error:
         print(f"trend check skipped: no usable baseline ({error})")
         return 0
-    current = load_times(args.current)
     if not baseline or not current:
         print("trend check skipped: empty benchmark list")
         return 0
