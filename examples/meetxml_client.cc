@@ -1,0 +1,105 @@
+// meetxml_client: a line client for meetxmld.
+//
+// Run:  ./meetxml_client <port> [scope] [query]
+//
+// With a query on the command line it runs once and exits; without
+// one it reads queries from stdin (one per line, scope fixed by
+// argv[2], default "*") — an interactive nearest-concept session
+// against a running daemon.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/net.h"
+
+using namespace meetxml;  // example code; the library itself never does this
+
+namespace {
+
+util::Result<server::Response> Roundtrip(int fd,
+                                         const server::Request& request) {
+  MEETXML_RETURN_NOT_OK(util::WriteFull(
+      fd, server::EncodeFrame(server::EncodeRequest(request))));
+  uint32_t length = 0;
+  MEETXML_RETURN_NOT_OK(util::ReadFull(fd, &length, sizeof(length)));
+  if (length == 0 || length > server::kMaxFrameBytes) {
+    return util::Status::Internal("bad response frame length ", length);
+  }
+  std::string payload(length, '\0');
+  MEETXML_RETURN_NOT_OK(util::ReadFull(fd, payload.data(), length));
+  return server::DecodeResponse(payload);
+}
+
+int RunQuery(int fd, const std::string& scope, const std::string& query) {
+  server::Request request;
+  request.opcode = server::Opcode::kQuery;
+  request.scope = scope;
+  request.query = query;
+  auto response = Roundtrip(fd, request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "transport error: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->ok) {
+    std::fprintf(stderr, "query error: %s\n", response->message.c_str());
+    return 1;
+  }
+  std::printf("%s", response->table.c_str());
+  if (response->truncated) {
+    std::printf("... (truncated at %llu rows; add LIMIT)\n",
+                static_cast<unsigned long long>(response->row_count));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <port> [scope] [query]\n", argv[0]);
+    return 2;
+  }
+  uint16_t port = static_cast<uint16_t>(std::stoi(argv[1]));
+  std::string scope = argc > 2 ? argv[2] : "*";
+
+  auto fd = util::ConnectTcp("localhost", port);
+  MEETXML_CHECK_OK(fd.status());
+
+  server::Request hello;
+  hello.opcode = server::Opcode::kHello;
+  hello.protocol_version = server::kProtocolVersion;
+  auto greeted = Roundtrip(*fd, hello);
+  MEETXML_CHECK_OK(greeted.status());
+  if (!greeted->ok) {
+    std::fprintf(stderr, "refused: %s\n", greeted->message.c_str());
+    util::CloseSocket(*fd);
+    return 1;
+  }
+
+  int exit_code = 0;
+  if (argc > 3) {
+    exit_code = RunQuery(*fd, scope, argv[3]);
+  } else {
+    std::fprintf(stderr, "%s session %llu, scope %s — one query per "
+                 "line, Ctrl-D to quit\n",
+                 greeted->banner.c_str(),
+                 static_cast<unsigned long long>(greeted->session_id),
+                 scope.c_str());
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      RunQuery(*fd, scope, line);
+    }
+  }
+
+  server::Request bye;
+  bye.opcode = server::Opcode::kBye;
+  Roundtrip(*fd, bye).ok();
+  util::CloseSocket(*fd);
+  return exit_code;
+}

@@ -11,7 +11,6 @@
 
 #include <cstdio>
 #include <string>
-#include <thread>
 
 #include "data/dblp_gen.h"
 #include "model/bulk_load.h"
@@ -20,6 +19,7 @@
 #include "query/executor.h"
 #include "text/index_io.h"
 #include "text/search.h"
+#include "util/threads.h"
 #include "util/timer.h"
 #include "xml/serializer.h"
 
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   model::BulkLoadOptions bulk_options;
   bulk_options.min_parallel_bytes = 0;
-  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  unsigned threads = util::ResolveThreads(0);
   bulk_options.threads = threads;
   timer.Reset();
   auto doc = model::BulkShredXmlText(xml_text, bulk_options);

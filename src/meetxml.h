@@ -16,10 +16,12 @@
 #include "util/byte_io.h"
 #include "util/file_io.h"
 #include "util/mmap_file.h"
+#include "util/net.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/threads.h"
 #include "util/timer.h"
 
 // XML parsing and serialization.
@@ -74,5 +76,12 @@
 // Multi-document store.
 #include "store/catalog.h"
 #include "store/multi_executor.h"
+
+// The meetxmld query service.
+#include "server/protocol.h"
+#include "server/service.h"
+#include "server/session.h"
+#include "server/tcp_server.h"
+#include "server/worker_pool.h"
 
 #endif  // MEETXML_MEETXML_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/file_io.h"
+#include "util/threads.h"
 #include "xml/parser.h"
 
 namespace meetxml {
@@ -288,9 +289,7 @@ void MergeShard(StoredDocument&& shard, StoredDocument* global,
 
 Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
                                         const BulkLoadOptions& options) {
-  unsigned threads = options.threads != 0
-                         ? options.threads
-                         : std::max(1u, std::thread::hardware_concurrency());
+  unsigned threads = util::ResolveThreads(options.threads);
   if (threads <= 1 || xml_text.size() < options.min_parallel_bytes) {
     return ShredXmlTextStreaming(xml_text, options.shred);
   }

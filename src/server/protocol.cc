@@ -1,0 +1,221 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/byte_io.h"
+
+namespace meetxml {
+namespace server {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Result;
+using util::Status;
+using util::StatusCode;
+
+namespace {
+
+bool KnownOpcode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Opcode::kHello) &&
+         raw <= static_cast<uint8_t>(Opcode::kBye);
+}
+
+bool KnownStatusCode(uint64_t raw) {
+  return raw >= static_cast<uint64_t>(StatusCode::kInvalidArgument) &&
+         raw <= static_cast<uint64_t>(StatusCode::kUnavailable);
+}
+
+Status CheckDrained(const ByteReader& reader, std::string_view what) {
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ", what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  ByteWriter out;
+  out.U32(static_cast<uint32_t>(payload.size()));
+  out.Bytes(payload);
+  return out.Take();
+}
+
+std::string EncodeRequest(const Request& request) {
+  ByteWriter out;
+  out.U8(static_cast<uint8_t>(request.opcode));
+  switch (request.opcode) {
+    case Opcode::kHello:
+      out.Varint(request.protocol_version);
+      break;
+    case Opcode::kQuery:
+      out.StrVarint(request.scope);
+      out.StrVarint(request.query);
+      break;
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kBye:
+      break;
+  }
+  return out.Take();
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  ByteReader reader(payload);
+  MEETXML_ASSIGN_OR_RETURN(uint8_t raw_opcode, reader.U8());
+  if (!KnownOpcode(raw_opcode)) {
+    return Status::InvalidArgument("unknown request opcode ", raw_opcode);
+  }
+  Request request;
+  request.opcode = static_cast<Opcode>(raw_opcode);
+  switch (request.opcode) {
+    case Opcode::kHello: {
+      MEETXML_ASSIGN_OR_RETURN(request.protocol_version, reader.Varint());
+      break;
+    }
+    case Opcode::kQuery: {
+      MEETXML_ASSIGN_OR_RETURN(request.scope, reader.StrVarint());
+      MEETXML_ASSIGN_OR_RETURN(request.query, reader.StrVarint());
+      break;
+    }
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kBye:
+      break;
+  }
+  MEETXML_RETURN_NOT_OK(CheckDrained(reader, "request"));
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  ByteWriter out;
+  out.U8(response.ok ? 0 : 1);
+  out.U8(static_cast<uint8_t>(response.opcode));
+  if (!response.ok) {
+    out.Varint(static_cast<uint64_t>(response.code));
+    out.StrVarint(response.message);
+    return out.Take();
+  }
+  switch (response.opcode) {
+    case Opcode::kHello:
+      out.Varint(response.session_id);
+      out.StrVarint(response.banner);
+      break;
+    case Opcode::kQuery:
+      out.Varint(response.row_count);
+      out.U8(response.truncated ? 1 : 0);
+      out.StrVarint(response.table);
+      break;
+    case Opcode::kStats:
+      out.Varint(response.stats.sessions_active);
+      out.Varint(response.stats.queries_served);
+      out.Varint(response.stats.request_errors);
+      out.Varint(response.stats.sessions_evicted);
+      break;
+    case Opcode::kPing:
+    case Opcode::kBye:
+      break;
+  }
+  return out.Take();
+}
+
+std::string EncodeErrorResponse(Opcode opcode, const Status& status) {
+  Response response;
+  response.ok = false;
+  response.opcode = opcode;
+  response.code = status.code();
+  response.message = status.message();
+  return EncodeResponse(response);
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  ByteReader reader(payload);
+  MEETXML_ASSIGN_OR_RETURN(uint8_t raw_status, reader.U8());
+  if (raw_status > 1) {
+    return Status::InvalidArgument("unknown response status ", raw_status);
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint8_t raw_opcode, reader.U8());
+  if (!KnownOpcode(raw_opcode)) {
+    return Status::InvalidArgument("unknown response opcode ", raw_opcode);
+  }
+  Response response;
+  response.ok = raw_status == 0;
+  response.opcode = static_cast<Opcode>(raw_opcode);
+  if (!response.ok) {
+    MEETXML_ASSIGN_OR_RETURN(uint64_t raw_code, reader.Varint());
+    if (!KnownStatusCode(raw_code)) {
+      return Status::InvalidArgument("unknown status code ", raw_code);
+    }
+    response.code = static_cast<StatusCode>(raw_code);
+    MEETXML_ASSIGN_OR_RETURN(response.message, reader.StrVarint());
+    MEETXML_RETURN_NOT_OK(CheckDrained(reader, "error response"));
+    return response;
+  }
+  switch (response.opcode) {
+    case Opcode::kHello: {
+      MEETXML_ASSIGN_OR_RETURN(response.session_id, reader.Varint());
+      MEETXML_ASSIGN_OR_RETURN(response.banner, reader.StrVarint());
+      break;
+    }
+    case Opcode::kQuery: {
+      MEETXML_ASSIGN_OR_RETURN(response.row_count, reader.Varint());
+      MEETXML_ASSIGN_OR_RETURN(uint8_t truncated, reader.U8());
+      if (truncated > 1) {
+        return Status::InvalidArgument("bad truncated flag ", truncated);
+      }
+      response.truncated = truncated == 1;
+      MEETXML_ASSIGN_OR_RETURN(response.table, reader.StrVarint());
+      break;
+    }
+    case Opcode::kStats: {
+      MEETXML_ASSIGN_OR_RETURN(response.stats.sessions_active,
+                               reader.Varint());
+      MEETXML_ASSIGN_OR_RETURN(response.stats.queries_served,
+                               reader.Varint());
+      MEETXML_ASSIGN_OR_RETURN(response.stats.request_errors,
+                               reader.Varint());
+      MEETXML_ASSIGN_OR_RETURN(response.stats.sessions_evicted,
+                               reader.Varint());
+      break;
+    }
+    case Opcode::kPing:
+    case Opcode::kBye:
+      break;
+  }
+  MEETXML_RETURN_NOT_OK(CheckDrained(reader, "response"));
+  return response;
+}
+
+Result<std::optional<std::string>> FrameBuffer::Next() {
+  // Compact lazily: keeping a cursor instead of erasing per frame
+  // makes pipelined bursts O(bytes), not O(frames * bytes).
+  if (pos_ > 0 && pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  if (buffered() < 4) return std::optional<std::string>();
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + pos_, 4);
+  if (length == 0) {
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::ResourceExhausted("frame of ", length,
+                                     " bytes exceeds the ",
+                                     kMaxFrameBytes, "-byte limit");
+  }
+  if (buffered() < 4 + static_cast<size_t>(length)) {
+    return std::optional<std::string>();
+  }
+  std::string payload = buffer_.substr(pos_ + 4, length);
+  pos_ += 4 + static_cast<size_t>(length);
+  if (pos_ == buffer_.size() || pos_ >= kMaxFrameBytes) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace server
+}  // namespace meetxml

@@ -1,0 +1,275 @@
+#include "server/service.h"
+
+#include <utility>
+
+#include "util/net.h"
+
+namespace meetxml {
+namespace server {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Scoped in-flight accounting: Shutdown() waits for the count to hit
+// zero, so every dispatch must decrement on every path out.
+class InFlight {
+ public:
+  InFlight(std::atomic<uint64_t>* count, std::mutex* mu,
+           std::condition_variable* cv)
+      : count_(count), mu_(mu), cv_(cv) {
+    count_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~InFlight() {
+    if (count_->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Pairs with the predicate re-check in Shutdown(); the lock
+      // makes the decrement-then-notify atomic against its wait.
+      std::lock_guard<std::mutex> lock(*mu_);
+      cv_->notify_all();
+    }
+  }
+
+ private:
+  std::atomic<uint64_t>* count_;
+  std::mutex* mu_;
+  std::condition_variable* cv_;
+};
+
+// The opcode echoed on errors for requests too mangled to decode.
+constexpr Opcode kFallbackOpcode = Opcode::kPing;
+
+Opcode EchoOpcode(std::string_view payload) {
+  if (!payload.empty()) {
+    uint8_t raw = static_cast<uint8_t>(payload.front());
+    if (raw >= static_cast<uint8_t>(Opcode::kHello) &&
+        raw <= static_cast<uint8_t>(Opcode::kBye)) {
+      return static_cast<Opcode>(raw);
+    }
+  }
+  return kFallbackOpcode;
+}
+
+}  // namespace
+
+QueryService::QueryService(const store::Catalog* catalog,
+                           ServiceOptions options)
+    : catalog_(catalog),
+      executor_(catalog),
+      options_(std::move(options)),
+      sessions_(options_.session) {}
+
+uint64_t QueryService::NowMs() const {
+  return options_.clock ? options_.clock() : util::MonotonicMillis();
+}
+
+Result<std::unique_ptr<QueryService::Connection>> QueryService::Connect() {
+  if (draining()) {
+    return Status::Unavailable("server is shutting down");
+  }
+  return std::unique_ptr<Connection>(new Connection(this));
+}
+
+QueryService::Connection::~Connection() {
+  if (session_id_ != 0) {
+    // Ignore NotFound: eviction may have beaten the disconnect.
+    service_->sessions_.Close(session_id_).ok();
+  }
+}
+
+std::string QueryService::Connection::HandlePayload(
+    std::string_view payload) {
+  InFlight guard(&service_->in_flight_, &service_->drain_mu_,
+                 &service_->drain_cv_);
+  if (service_->draining()) {
+    service_->request_errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeErrorResponse(
+        EchoOpcode(payload), Status::Unavailable("server is shutting down"));
+  }
+  Result<Request> request = DecodeRequest(payload);
+  if (!request.ok()) {
+    service_->request_errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeErrorResponse(EchoOpcode(payload), request.status());
+  }
+  return service_->Dispatch(this, *request);
+}
+
+std::string QueryService::Dispatch(Connection* connection,
+                                   const Request& request) {
+  uint64_t now = NowMs();
+  Response response;
+  response.ok = true;
+  response.opcode = request.opcode;
+  auto error = [&](const Status& status) {
+    request_errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeErrorResponse(request.opcode, status);
+  };
+
+  switch (request.opcode) {
+    case Opcode::kHello: {
+      if (request.protocol_version != kProtocolVersion) {
+        return error(Status::InvalidArgument(
+            "unsupported protocol version ", request.protocol_version,
+            " (this server speaks ", kProtocolVersion, ")"));
+      }
+      uint64_t existing = connection->session_id_.load();
+      if (existing != 0 && sessions_.Contains(existing)) {
+        return error(Status::InvalidArgument(
+            "connection already carries session ", existing));
+      }
+      Result<uint64_t> id = sessions_.Open(now);
+      if (!id.ok()) return error(id.status());
+      connection->session_id_ = *id;
+      response.session_id = *id;
+      response.banner = options_.banner;
+      return EncodeResponse(response);
+    }
+    case Opcode::kQuery:
+      return HandleQuery(connection, request);
+    case Opcode::kPing:
+      // Sessionless pings are a health check; with a session they
+      // double as keep-alive.
+      if (connection->session_id_ != 0) {
+        sessions_.Touch(connection->session_id_, now).ok();
+      }
+      return EncodeResponse(response);
+    case Opcode::kStats: {
+      ServiceStats stats = this->stats();
+      response.stats.sessions_active = stats.sessions_active;
+      response.stats.queries_served = stats.queries_served;
+      response.stats.request_errors = stats.request_errors;
+      response.stats.sessions_evicted = stats.sessions_evicted;
+      return EncodeResponse(response);
+    }
+    case Opcode::kBye:
+      if (connection->session_id_ != 0) {
+        sessions_.Close(connection->session_id_).ok();
+        connection->session_id_ = 0;
+      }
+      return EncodeResponse(response);
+  }
+  return error(Status::Internal("unhandled opcode"));
+}
+
+std::string QueryService::HandleQuery(Connection* connection,
+                                      const Request& request) {
+  auto error = [&](const Status& status) {
+    request_errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeErrorResponse(Opcode::kQuery, status);
+  };
+  if (connection->session_id_ == 0) {
+    return error(
+        Status::InvalidArgument("no session — send HELLO first"));
+  }
+  Status touched = sessions_.Touch(connection->session_id_, NowMs());
+  if (!touched.ok()) {
+    // Evicted under us: the session is gone for good; the client must
+    // HELLO again.
+    uint64_t expired = connection->session_id_;
+    connection->session_id_ = 0;
+    return error(Status::NotFound("session ", expired,
+                                  " expired (idle timeout)"));
+  }
+  Result<store::MultiResult> result =
+      executor_.ExecuteText(request.scope, request.query,
+                            options_.execute);
+  if (!result.ok()) return error(result.status());
+
+  Response response;
+  response.ok = true;
+  response.opcode = Opcode::kQuery;
+  response.row_count = result->rows.size();
+  response.truncated = result->truncated;
+  response.table = result->ToText();
+  uint64_t cap = sessions_.options().max_result_bytes;
+  if (cap != 0 && response.table.size() > cap) {
+    // The per-session result-memory bound: the rendered answer is
+    // dropped here, an error goes back, the session lives on.
+    return error(Status::ResourceExhausted(
+        "result of ", response.table.size(),
+        " bytes exceeds the per-session cap of ", cap,
+        " bytes; narrow the query or add LIMIT"));
+  }
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return EncodeResponse(response);
+}
+
+std::vector<uint64_t> QueryService::EvictIdle() {
+  return sessions_.EvictIdle(NowMs());
+}
+
+void QueryService::BeginShutdown() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void QueryService::Shutdown() {
+  BeginShutdown();
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats stats;
+  stats.sessions_active = sessions_.size();
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.request_errors = request_errors_.load(std::memory_order_relaxed);
+  stats.sessions_evicted = sessions_.total_evicted();
+  return stats;
+}
+
+Result<InProcessClient> InProcessClient::Connect(QueryService* service) {
+  MEETXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<QueryService::Connection> connection,
+      service->Connect());
+  return InProcessClient(std::move(connection));
+}
+
+Result<Response> InProcessClient::Roundtrip(const Request& request) {
+  // The full wire path minus the wire: encode, frame, unframe, decode
+  // on both sides, so the in-process transport exercises exactly the
+  // bytes TCP clients send.
+  FrameBuffer frames;
+  frames.Append(EncodeFrame(EncodeRequest(request)));
+  MEETXML_ASSIGN_OR_RETURN(std::optional<std::string> payload,
+                           frames.Next());
+  if (!payload.has_value()) {
+    return Status::Internal("encoder produced a partial frame");
+  }
+  std::string response_payload = connection_->HandlePayload(*payload);
+  return DecodeResponse(response_payload);
+}
+
+Result<uint64_t> InProcessClient::Hello() {
+  Request request;
+  request.opcode = Opcode::kHello;
+  request.protocol_version = kProtocolVersion;
+  MEETXML_ASSIGN_OR_RETURN(Response response, Roundtrip(request));
+  if (!response.ok) {
+    return Status(response.code, response.message);
+  }
+  return response.session_id;
+}
+
+Result<Response> InProcessClient::Query(std::string_view scope,
+                                        std::string_view query_text) {
+  Request request;
+  request.opcode = Opcode::kQuery;
+  request.scope = std::string(scope);
+  request.query = std::string(query_text);
+  return Roundtrip(request);
+}
+
+Status InProcessClient::Bye() {
+  Request request;
+  request.opcode = Opcode::kBye;
+  MEETXML_ASSIGN_OR_RETURN(Response response, Roundtrip(request));
+  if (!response.ok) {
+    return Status(response.code, response.message);
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace meetxml

@@ -1,0 +1,171 @@
+// QueryService: the meetxmld dispatch core — sessions, limits, and
+// query execution against one shared view-backed store::Catalog.
+//
+// Every transport funnels into the same path: a connection feeds one
+// decoded frame payload to Connection::HandlePayload and gets the
+// response payload back. The TCP front-end (server/tcp_server.h) calls
+// it from its worker pool; the in-process transport below calls it
+// straight from test threads — same protocol bytes, same sessions,
+// same limits, no sockets — which is what lets the concurrency suite
+// pin server answers byte-identical to a serial MultiExecutor run.
+//
+// Concurrency contract: the catalog is read-only while a service
+// exists (store/catalog.h's concurrent read path); any number of
+// connections may dispatch simultaneously. Results are deterministic,
+// so concurrent responses are byte-identical to serial ones.
+
+#ifndef MEETXML_SERVER_SERVICE_H_
+#define MEETXML_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/executor.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "store/catalog.h"
+#include "store/multi_executor.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace server {
+
+/// \brief Service policy knobs.
+struct ServiceOptions {
+  SessionOptions session;
+  /// Per-query execution limits (max_rows is the row-count safety
+  /// valve; the byte-level bound is session.max_result_bytes).
+  query::ExecuteOptions execute;
+  /// Monotonic clock, milliseconds. Tests inject a fake; production
+  /// leaves it null for util::MonotonicMillis.
+  std::function<uint64_t()> clock;
+  /// Banner carried by the HELLO response.
+  std::string banner = "meetxmld/1";
+};
+
+/// \brief Service counters (monotonic except sessions_active).
+struct ServiceStats {
+  uint64_t sessions_active = 0;
+  uint64_t queries_served = 0;
+  uint64_t request_errors = 0;
+  uint64_t sessions_evicted = 0;
+};
+
+/// \brief The dispatch core shared by every transport.
+class QueryService {
+ public:
+  /// The catalog must outlive the service and stay unmutated while it
+  /// serves (concurrent reads are fine — see store/catalog.h).
+  explicit QueryService(const store::Catalog* catalog,
+                        ServiceOptions options = {});
+
+  /// \brief One client connection: owns at most one session (opened by
+  /// HELLO, closed by BYE, eviction or destruction). Each connection
+  /// belongs to one client thread at a time; distinct connections may
+  /// dispatch concurrently.
+  class Connection {
+   public:
+    ~Connection();
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    /// \brief The real dispatch path: one decoded request-frame
+    /// payload in, one response payload out. Never fails — protocol
+    /// and execution errors come back as error responses.
+    std::string HandlePayload(std::string_view payload);
+
+    /// \brief The connection's live session id; 0 when none. Readable
+    /// from any thread (the TCP maintenance loop matches evicted
+    /// sessions to connections while workers dispatch).
+    uint64_t session_id() const {
+      return session_id_.load(std::memory_order_acquire);
+    }
+
+   private:
+    friend class QueryService;
+    explicit Connection(QueryService* service) : service_(service) {}
+
+    QueryService* service_;
+    std::atomic<uint64_t> session_id_{0};
+  };
+
+  /// \brief Opens a transport connection (no session yet — that is
+  /// HELLO's job). Refused while shutting down.
+  util::Result<std::unique_ptr<Connection>> Connect();
+
+  /// \brief Evicts idle sessions; returns their ids so the front-end
+  /// can close the matching connections.
+  std::vector<uint64_t> EvictIdle();
+
+  /// \brief Stops taking new requests; in-flight dispatches finish and
+  /// deliver their responses, later ones earn Unavailable errors.
+  void BeginShutdown();
+  /// \brief BeginShutdown, then blocks until every in-flight dispatch
+  /// drained — the graceful half of process exit.
+  void Shutdown();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServiceStats stats() const;
+  uint64_t NowMs() const;
+  const store::Catalog& catalog() const { return *catalog_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  std::string Dispatch(Connection* connection, const Request& request);
+  std::string HandleQuery(Connection* connection, const Request& request);
+
+  const store::Catalog* catalog_;
+  store::MultiExecutor executor_;
+  ServiceOptions options_;
+  SessionTable sessions_;
+
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> request_errors_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+/// \brief In-process client: drives a QueryService through the full
+/// protocol codec (encode request → frame → unframe → dispatch →
+/// decode response) with no sockets in between. The transport of the
+/// deterministic concurrency tests and the ab12 closed-loop bench.
+class InProcessClient {
+ public:
+  /// Fails (like a refused TCP connect) once the service is draining.
+  static util::Result<InProcessClient> Connect(QueryService* service);
+
+  /// \brief Full round trip for an arbitrary request.
+  util::Result<Response> Roundtrip(const Request& request);
+
+  /// \brief HELLO; returns the session id.
+  util::Result<uint64_t> Hello();
+  /// \brief QUERY; returns the decoded response (ok or error).
+  util::Result<Response> Query(std::string_view scope,
+                               std::string_view query_text);
+  /// \brief BYE; closes the session.
+  util::Status Bye();
+
+  uint64_t session_id() const { return connection_->session_id(); }
+  QueryService::Connection* connection() { return connection_.get(); }
+
+ private:
+  explicit InProcessClient(
+      std::unique_ptr<QueryService::Connection> connection)
+      : connection_(std::move(connection)) {}
+
+  std::unique_ptr<QueryService::Connection> connection_;
+};
+
+}  // namespace server
+}  // namespace meetxml
+
+#endif  // MEETXML_SERVER_SERVICE_H_

@@ -1,0 +1,70 @@
+#include "server/session.h"
+
+namespace meetxml {
+namespace server {
+
+using util::Result;
+using util::Status;
+
+Result<uint64_t> SessionTable::Open(uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::Unavailable("session table full (",
+                               options_.max_sessions, " sessions)");
+  }
+  uint64_t id = next_id_++;
+  sessions_.emplace(id, Session{now_ms});
+  return id;
+}
+
+Status SessionTable::Close(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no session ", id);
+  }
+  return Status::OK();
+}
+
+Status SessionTable::Touch(uint64_t id, uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session ", id);
+  }
+  it->second.last_active_ms = now_ms;
+  return Status::OK();
+}
+
+std::vector<uint64_t> SessionTable::EvictIdle(uint64_t now_ms) {
+  std::vector<uint64_t> evicted;
+  if (options_.idle_timeout_ms == 0) return evicted;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_ms - it->second.last_active_ms >= options_.idle_timeout_ms) {
+      evicted.push_back(it->first);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  total_evicted_ += evicted.size();
+  return evicted;
+}
+
+size_t SessionTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+bool SessionTable::Contains(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.find(id) != sessions_.end();
+}
+
+uint64_t SessionTable::total_evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_evicted_;
+}
+
+}  // namespace server
+}  // namespace meetxml

@@ -1,0 +1,79 @@
+// Session table for the meetxmld service: stable session ids, idle
+// timeouts on a monotonic clock, and the per-session result-memory
+// bound that turns an oversized answer into a clean error instead of
+// an OOM (pazpar2 keeps the same bookkeeping per HTTP session).
+//
+// Time never comes from inside: every operation that ages a session
+// takes `now_ms` (util::MonotonicMillis in production), so the
+// deterministic test harness can evict sessions without sleeping.
+
+#ifndef MEETXML_SERVER_SESSION_H_
+#define MEETXML_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace meetxml {
+namespace server {
+
+/// \brief Session policy knobs.
+struct SessionOptions {
+  /// Sessions idle beyond this are evicted by EvictIdle; 0 disables
+  /// idle eviction.
+  uint64_t idle_timeout_ms = 60'000;
+  /// Upper bound on one session's materialized result bytes per
+  /// request. A query whose rendered answer exceeds it earns a
+  /// ResourceExhausted error — the session survives, the memory is
+  /// released. 0 means unlimited.
+  uint64_t max_result_bytes = 4u << 20;
+  /// Hard cap on live sessions; Open beyond it is Unavailable.
+  size_t max_sessions = 1024;
+};
+
+/// \brief Thread-safe registry of live sessions. Ids are never reused
+/// within one table's lifetime.
+class SessionTable {
+ public:
+  explicit SessionTable(const SessionOptions& options)
+      : options_(options) {}
+
+  /// \brief Opens a session stamped with `now_ms`; Unavailable when
+  /// the table is full.
+  util::Result<uint64_t> Open(uint64_t now_ms);
+
+  /// \brief Closes a session; NotFound when absent (already evicted).
+  util::Status Close(uint64_t id);
+
+  /// \brief Marks activity; NotFound when the session was evicted or
+  /// closed (the caller turns that into a "session expired" error).
+  util::Status Touch(uint64_t id, uint64_t now_ms);
+
+  /// \brief Evicts every session idle past the timeout; returns the
+  /// evicted ids so the front-end can close their connections.
+  std::vector<uint64_t> EvictIdle(uint64_t now_ms);
+
+  size_t size() const;
+  bool Contains(uint64_t id) const;
+  uint64_t total_evicted() const;
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    uint64_t last_active_ms = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Session> sessions_;
+  uint64_t next_id_ = 1;
+  uint64_t total_evicted_ = 0;
+  SessionOptions options_;
+};
+
+}  // namespace server
+}  // namespace meetxml
+
+#endif  // MEETXML_SERVER_SESSION_H_

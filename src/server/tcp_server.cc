@@ -1,0 +1,237 @@
+#include "server/tcp_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/net.h"
+
+namespace meetxml {
+namespace server {
+
+using util::Result;
+using util::Status;
+
+TcpServer::TcpServer(QueryService* service, const TcpServerOptions& options)
+    : service_(service), options_(options) {}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    QueryService* service, const TcpServerOptions& options) {
+  std::unique_ptr<TcpServer> server(new TcpServer(service, options));
+  MEETXML_ASSIGN_OR_RETURN(server->listen_fd_,
+                           util::ListenTcp(options.port));
+  Result<uint16_t> port = util::LocalPort(server->listen_fd_);
+  if (!port.ok()) {
+    util::CloseSocket(server->listen_fd_);
+    return port.status();
+  }
+  server->port_ = *port;
+  server->pool_ = std::make_unique<WorkerPool>(options.workers);
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  server->maintenance_thread_ = std::thread([s = server.get()] {
+    s->MaintenanceLoop();
+  });
+  return server;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    Result<int> fd = util::AcceptConnection(listen_fd_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd.ok()) util::CloseSocket(*fd);
+      return;
+    }
+    if (!fd.ok()) {
+      // The listener broke outside of Stop() — nothing to accept on
+      // anymore; the server keeps serving existing connections.
+      return;
+    }
+    Result<std::unique_ptr<QueryService::Connection>> service_conn =
+        service_->Connect();
+    if (!service_conn.ok()) {
+      // Draining: refuse politely with one framed error, then close.
+      util::WriteFull(*fd, EncodeFrame(EncodeErrorResponse(
+                               Opcode::kHello, service_conn.status())))
+          .ok();
+      util::CloseSocket(*fd);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = *fd;
+    conn->service_conn = std::move(*service_conn);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void TcpServer::ReaderLoop(std::shared_ptr<Conn> conn) {
+  FrameBuffer frames;
+  char buffer[16384];
+  while (!conn->dead.load(std::memory_order_acquire)) {
+    Result<size_t> n = util::ReadSome(conn->fd, buffer, sizeof(buffer));
+    if (!n.ok() || *n == 0) break;
+    frames.Append(std::string_view(buffer, *n));
+    for (;;) {
+      Result<std::optional<std::string>> next = frames.Next();
+      if (!next.ok()) {
+        // Framing is unrecoverable: answer once, stop reading. Frames
+        // already queued still answer (per-request error contract).
+        std::string error_frame =
+            EncodeFrame(EncodeErrorResponse(Opcode::kPing, next.status()));
+        {
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          util::WriteFull(conn->fd, error_frame).ok();
+        }
+        conn->dead.store(true, std::memory_order_release);
+        break;
+      }
+      if (!next->has_value()) break;
+      Enqueue(conn, std::move(**next));
+    }
+  }
+  util::ShutdownRead(conn->fd);
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+void TcpServer::Enqueue(const std::shared_ptr<Conn>& conn,
+                        std::string payload) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inbox.push_back(std::move(payload));
+    if (!conn->running) {
+      conn->running = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    pool_->Submit([this, conn] { Pump(conn); });
+  }
+}
+
+void TcpServer::Pump(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    std::string payload;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->inbox.empty()) {
+        conn->running = false;
+        return;
+      }
+      payload = std::move(conn->inbox.front());
+      conn->inbox.pop_front();
+    }
+    std::string response = conn->service_conn->HandlePayload(payload);
+    if (response.size() > kMaxFrameBytes) {
+      // A compliant client would reject the oversized frame anyway;
+      // send the bound violation instead (only QUERY grows this big).
+      response = EncodeErrorResponse(
+          Opcode::kQuery,
+          Status::ResourceExhausted(
+              "response of ", response.size(), " bytes exceeds the ",
+              kMaxFrameBytes, "-byte frame limit; add LIMIT"));
+    }
+    std::string frame = EncodeFrame(response);
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!util::WriteFull(conn->fd, frame).ok()) {
+      conn->dead.store(true, std::memory_order_release);
+      util::ShutdownSocket(conn->fd);
+    }
+  }
+}
+
+void TcpServer::MaintenanceLoop() {
+  std::unique_lock<std::mutex> lock(maintenance_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    maintenance_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.maintenance_interval_ms),
+        [this] { return stopping_.load(std::memory_order_acquire); });
+    if (stopping_.load(std::memory_order_acquire)) return;
+    lock.unlock();
+    std::vector<uint64_t> evicted = service_->EvictIdle();
+    if (!evicted.empty()) {
+      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      for (const std::shared_ptr<Conn>& conn : conns_) {
+        uint64_t session = conn->service_conn->session_id();
+        if (session != 0 && std::find(evicted.begin(), evicted.end(),
+                                      session) != evicted.end()) {
+          // The session is gone; hang up so the client notices now
+          // instead of at its next request.
+          util::ShutdownSocket(conn->fd);
+        }
+      }
+    }
+    Reap();
+    lock.lock();
+  }
+}
+
+void TcpServer::Reap() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = **it;
+    bool idle;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn.mu);
+      idle = !conn.running && conn.inbox.empty();
+    }
+    if (conn.reader_done.load(std::memory_order_acquire) && idle) {
+      if (conn.reader.joinable()) conn.reader.join();
+      util::CloseSocket(conn.fd);
+      conn.service_conn.reset();  // releases the session
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // 1. Stop intake: wake the accept loop (shutdown on a listening
+  //    socket fails accept with EINVAL on Linux), join, release.
+  util::ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  util::CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  maintenance_cv_.notify_all();
+  if (maintenance_thread_.joinable()) maintenance_thread_.join();
+  // 2. Stop reading new requests; already-queued dispatches keep their
+  //    write side, so in-flight queries still answer.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Conn>& conn : conns_) {
+      util::ShutdownRead(conn->fd);
+    }
+  }
+  // 3. Drain the pool: every queued dispatch runs to completion and
+  //    its response is delivered before any socket closes.
+  if (pool_ != nullptr) pool_->Shutdown();
+  // 4. Tear down: join readers, close sockets, release sessions.
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const std::shared_ptr<Conn>& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    util::ShutdownSocket(conn->fd);
+    util::CloseSocket(conn->fd);
+    conn->service_conn.reset();
+  }
+}
+
+size_t TcpServer::connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+}  // namespace server
+}  // namespace meetxml

@@ -1,0 +1,117 @@
+// meetxmld TCP front-end: accept loop, per-connection frame readers,
+// and a shared worker pool executing dispatches — the socket skin over
+// server/service.h (which owns sessions, limits and execution).
+//
+// Threading model (pazpar2's eventl/sel_thread split, simplified):
+//   * one accept thread;
+//   * one blocking reader thread per connection, doing nothing but
+//     framing (FrameBuffer) and enqueueing decoded payloads;
+//   * a fixed WorkerPool executing dispatches. Each connection is a
+//     strand: it is scheduled on the pool only while it has pending
+//     frames and never runs on two workers at once, so pipelined
+//     requests answer strictly in order while distinct connections
+//     spread across the pool;
+//   * one maintenance thread evicting idle sessions (closing their
+//     sockets) and reaping finished connections.
+//
+// Robustness contract: a malformed request earns an error response and
+// the connection lives on; a framing error (zero/oversized length
+// prefix) earns one error response and the connection closes; either
+// way the session is released — fuzz bytes never crash the server or
+// leak sessions.
+
+#ifndef MEETXML_SERVER_TCP_SERVER_H_
+#define MEETXML_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "server/worker_pool.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace server {
+
+/// \brief Front-end knobs.
+struct TcpServerOptions {
+  /// Loopback port; 0 binds an ephemeral port (read it via port()).
+  uint16_t port = 0;
+  /// Worker pool size; 0 means util::ResolveThreads.
+  unsigned workers = 0;
+  /// Idle-eviction / reaping cadence.
+  uint64_t maintenance_interval_ms = 200;
+};
+
+/// \brief A running listener bound to one QueryService.
+class TcpServer {
+ public:
+  /// \brief Binds, spawns the threads, returns the running server.
+  static util::Result<std::unique_ptr<TcpServer>> Start(
+      QueryService* service, const TcpServerOptions& options = {});
+
+  /// \brief Graceful stop: closes the listener, shuts connection read
+  /// sides, drains queued dispatches (their responses still deliver),
+  /// then closes sockets and sessions. Idempotent.
+  void Stop();
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  /// \brief Live (not yet reaped) connections.
+  size_t connection_count() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::unique_ptr<QueryService::Connection> service_conn;
+    std::thread reader;
+    // Strand state: inbox of decoded frame payloads + whether a pool
+    // job is currently draining it.
+    std::mutex mu;
+    std::deque<std::string> inbox;
+    bool running = false;
+    std::atomic<bool> reader_done{false};
+    // Set on framing/write failure: stop serving this connection.
+    std::atomic<bool> dead{false};
+    std::mutex write_mu;
+  };
+
+  TcpServer(QueryService* service, const TcpServerOptions& options);
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void Enqueue(const std::shared_ptr<Conn>& conn, std::string payload);
+  void Pump(std::shared_ptr<Conn> conn);
+  void MaintenanceLoop();
+  void Reap();
+
+  QueryService* service_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::unique_ptr<WorkerPool> pool_;
+
+  std::thread accept_thread_;
+  std::thread maintenance_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex maintenance_mu_;
+  std::condition_variable maintenance_cv_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace server
+}  // namespace meetxml
+
+#endif  // MEETXML_SERVER_TCP_SERVER_H_

@@ -1,0 +1,55 @@
+// Fixed worker pool executing queued jobs — the execution engine
+// behind the meetxmld TCP front-end (pazpar2 hands socket events to a
+// select-thread the same way: the event loop never blocks on work).
+//
+// Connections are scheduled as strands (tcp_server.cc): a connection
+// re-submits itself while it has pending frames, so jobs from one
+// connection never run concurrently while different connections spread
+// across the pool.
+
+#ifndef MEETXML_SERVER_WORKER_POOL_H_
+#define MEETXML_SERVER_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace meetxml {
+namespace server {
+
+/// \brief A fixed pool of worker threads draining a FIFO job queue.
+class WorkerPool {
+ public:
+  /// \brief Spawns util::ResolveThreads(threads) workers.
+  explicit WorkerPool(unsigned threads);
+  /// \brief Drains the queue, then joins (Shutdown implied).
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// \brief Enqueues a job. Jobs submitted after Shutdown are dropped.
+  void Submit(std::function<void()> job);
+
+  /// \brief Stops intake, runs every queued job to completion, joins
+  /// the workers. Idempotent.
+  void Shutdown();
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace server
+}  // namespace meetxml
+
+#endif  // MEETXML_SERVER_WORKER_POOL_H_

@@ -1,9 +1,8 @@
 #include "store/catalog.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
-#include <thread>
+#include <mutex>
 #include <utility>
 
 #include "model/storage_io.h"
@@ -12,6 +11,7 @@
 #include "util/file_io.h"
 #include "util/mmap_file.h"
 #include "util/strings.h"
+#include "util/threads.h"
 #include "util/timer.h"
 
 namespace meetxml {
@@ -142,12 +142,18 @@ std::vector<std::string> Catalog::MatchNames(std::string_view glob) const {
   return out;
 }
 
-Result<const query::Executor*> Catalog::ExecutorFor(std::string_view name) {
-  NamedDocument* entry = FindMutable(name);
+Result<const query::Executor*> Catalog::ExecutorFor(
+    std::string_view name) const {
+  const NamedDocument* entry = Find(name);
   if (entry == nullptr) {
     return Status::NotFound("no document named '", name,
                             "' in the catalog");
   }
+  // Concurrent readers race to the first build; the per-entry mutex
+  // elects one builder and everyone else observes the finished
+  // executor. After the build the critical section is two pointer
+  // reads, so steady-state contention is negligible.
+  std::lock_guard<std::mutex> lock(*entry->lazy_mu);
   if (entry->executor == nullptr) {
     // Build first (the fallible step), hand the index over only on
     // success — a failed build must not hollow the persisted index.
@@ -163,6 +169,25 @@ Result<const query::Executor*> Catalog::ExecutorFor(std::string_view name) {
     }
   }
   return entry->executor.get();
+}
+
+Status Catalog::Warm(bool build_text_indexes, unsigned threads) const {
+  std::vector<const NamedDocument*> all = entries();
+  std::vector<Status> outcomes(all.size());
+  util::ParallelFor(all.size(), threads, [&](size_t i) {
+    Result<const query::Executor*> executor = ExecutorFor(all[i]->name);
+    if (!executor.ok()) {
+      outcomes[i] = executor.status();
+      return;
+    }
+    if (build_text_indexes) {
+      outcomes[i] = (*executor)->TextSearch().status();
+    }
+  });
+  for (const Status& status : outcomes) {
+    MEETXML_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
 }
 
 Status Catalog::EnsureIndex(std::string_view name) {
@@ -457,27 +482,8 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     }
     out.decode_ms = decode_timer.ElapsedMillis();
   };
-  unsigned threads = options.threads != 0
-                         ? options.threads
-                         : std::max(1u, std::thread::hardware_concurrency());
-  unsigned workers = static_cast<unsigned>(
-      std::min<size_t>(threads, directory.size()));
-  if (workers > 1) {
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      for (size_t i = next.fetch_add(1); i < directory.size();
-           i = next.fetch_add(1)) {
-        decode_one(i);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
-    worker();
-    for (std::thread& thread : pool) thread.join();
-  } else {
-    for (size_t i = 0; i < directory.size(); ++i) decode_one(i);
-  }
+  unsigned workers =
+      util::ParallelFor(directory.size(), options.threads, decode_one);
   for (const DecodedEntry& entry : decoded) {
     MEETXML_RETURN_NOT_OK(entry.status);
   }

@@ -54,6 +54,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -128,18 +129,29 @@ struct NamedDocument {
   model::StoredDocument doc;
   /// Full-text index handed to Add / loaded from the image; moved into
   /// the executor on first ExecutorFor (retrieve it back through
-  /// Executor::text_index()).
-  std::optional<text::InvertedIndex> index;
+  /// Executor::text_index()). Mutable (with `executor`) because the
+  /// lazy executor build is logically const: guarded by `lazy_mu`.
+  mutable std::optional<text::InvertedIndex> index;
   /// Lazily built per-document executor, cached across queries.
-  std::unique_ptr<query::Executor> executor;
+  mutable std::unique_ptr<query::Executor> executor;
+  /// Serializes the lazy build so concurrent readers (the meetxmld
+  /// worker pool) race safely to one executor per document. Behind a
+  /// unique_ptr to keep the entry movable.
+  std::unique_ptr<std::mutex> lazy_mu = std::make_unique<std::mutex>();
 };
 
 /// \brief A set of named documents behind one store image.
 ///
 /// Entries live behind stable pointers: Add/Remove/Rename of one
 /// document never invalidates another entry's document or executor.
-/// Not thread-safe for mutation; concurrent queries through already
-/// built executors are safe (query::Executor::Execute is const).
+/// Not thread-safe for mutation (Add/Remove/Rename/EnsureIndex/Save
+/// need external synchronization against everything else), but the
+/// whole read path is: Find/Get/MatchNames/ExecutorFor and query
+/// execution through the returned executors may run from any number
+/// of threads at once — ExecutorFor's lazy build is per-entry
+/// mutex-guarded, and query::Executor::Execute is const with its own
+/// race-free lazy text index. Warm() pre-builds everything so serving
+/// threads never even contend on the lazy path.
 class Catalog {
  public:
   Catalog() = default;
@@ -185,8 +197,18 @@ class Catalog {
 
   /// \brief The cached executor for one document, built on first use —
   /// around the persisted index when the entry has one, lazily
-  /// index-building otherwise.
-  util::Result<const query::Executor*> ExecutorFor(std::string_view name);
+  /// index-building otherwise. Logically const and safe to call
+  /// concurrently: racing callers serialize on the entry's build mutex
+  /// and all observe the same executor.
+  util::Result<const query::Executor*> ExecutorFor(
+      std::string_view name) const;
+
+  /// \brief Pre-builds every document's executor — and, when
+  /// `build_text_indexes`, its full-text engine — in parallel
+  /// (util::ResolveThreads(threads) workers), so a serving catalog
+  /// pays no lazy-build latency or lock contention on first queries.
+  util::Status Warm(bool build_text_indexes = false,
+                    unsigned threads = 0) const;
 
   /// \brief Builds (and caches) the full-text index of one document so
   /// the next Save persists it. No-op when an index already exists,

@@ -1,11 +1,10 @@
 #include "store/multi_executor.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <utility>
 
 #include "query/parser.h"
+#include "util/threads.h"
 
 namespace meetxml {
 namespace store {
@@ -13,49 +12,21 @@ namespace store {
 using util::Result;
 using util::Status;
 
-namespace {
-
-// Runs `body(i)` for every index on a pool sized to the work; the
-// same pick-next-atomically loop as the bulk-load shard workers.
-template <typename Body>
-void FanOut(size_t count, Body body) {
-  unsigned workers = static_cast<unsigned>(
-      std::min<size_t>(count,
-                       std::max(1u, std::thread::hardware_concurrency())));
-  if (workers <= 1) {
-    for (size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-      body(i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
-  worker();
-  for (std::thread& thread : pool) thread.join();
-}
-
-}  // namespace
-
 std::string MultiResult::ToText() const {
   return query::RenderTable(columns, rows, truncated);
 }
 
 Result<MultiResult> MultiExecutor::Execute(
     std::string_view scope, const query::Query& query,
-    const query::ExecuteOptions& options) {
+    const query::ExecuteOptions& options) const {
   std::vector<std::string> names = catalog_->MatchNames(scope);
   if (names.empty()) {
     return Status::NotFound("scope '", scope,
                             "' matches no catalog document");
   }
 
-  // Build missing executors serially (mutates the catalog), then fan
-  // the read-only execution out across documents.
+  // Resolve executors first (the catalog's lazy build is race-free),
+  // then fan the read-only execution out across documents.
   std::vector<const query::Executor*> executors;
   executors.reserve(names.size());
   for (const std::string& name : names) {
@@ -66,7 +37,7 @@ Result<MultiResult> MultiExecutor::Execute(
 
   std::vector<Result<query::QueryResult>> outcomes(
       names.size(), Status::Internal("query did not run"));
-  FanOut(names.size(), [&](size_t i) {
+  util::ParallelFor(names.size(), 0, [&](size_t i) {
     outcomes[i] = executors[i]->Execute(query, options);
   });
 
@@ -138,7 +109,7 @@ Result<MultiResult> MultiExecutor::Execute(
 
 Result<MultiResult> MultiExecutor::ExecuteText(
     std::string_view scope, std::string_view query_text,
-    const query::ExecuteOptions& options) {
+    const query::ExecuteOptions& options) const {
   MEETXML_ASSIGN_OR_RETURN(query::Query query,
                            query::ParseQuery(query_text));
   return Execute(scope, query, options);
@@ -146,7 +117,7 @@ Result<MultiResult> MultiExecutor::ExecuteText(
 
 Result<std::vector<CrossMatch>> MultiExecutor::FindEverywhere(
     std::string_view source, bat::Oid subtree, std::string_view scope,
-    const text::CrossFindOptions& options) {
+    const text::CrossFindOptions& options) const {
   const NamedDocument* source_entry = catalog_->Find(source);
   if (source_entry == nullptr) {
     return Status::NotFound("no document named '", source,
@@ -182,7 +153,7 @@ Result<std::vector<CrossMatch>> MultiExecutor::FindEverywhere(
   // executor's lazy build is thread-safe).
   std::vector<Result<std::vector<core::GeneralMeet>>> outcomes(
       targets.size(), Status::Internal("probe did not run"));
-  FanOut(targets.size(), [&](size_t i) {
+  util::ParallelFor(targets.size(), 0, [&](size_t i) {
     Result<const text::FullTextSearch*> search =
         executors[i]->TextSearch();
     if (!search.ok()) {

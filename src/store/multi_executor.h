@@ -59,13 +59,15 @@ struct CrossMatch {
 
 /// \brief Executes queries against a set of catalog documents.
 ///
-/// The catalog must outlive the MultiExecutor. Execution mutates the
-/// catalog only by building missing per-document executors (serially,
-/// before the fan-out); the fan-out itself is read-only and safe to
-/// run concurrently with other readers.
+/// The catalog must outlive the MultiExecutor. Execution is logically
+/// const end to end: missing per-document executors build through the
+/// catalog's race-free lazy path, the fan-out is read-only, and the
+/// merged answer is deterministic — byte-identical however many
+/// threads (or concurrent MultiExecutors, e.g. the meetxmld worker
+/// pool) are involved. Safe to share one instance across threads.
 class MultiExecutor {
  public:
-  explicit MultiExecutor(Catalog* catalog) : catalog_(catalog) {}
+  explicit MultiExecutor(const Catalog* catalog) : catalog_(catalog) {}
 
   /// \brief Routes a parsed query to every document whose name matches
   /// `scope` ("*" = all, "dblp*" = subset, exact name = one document)
@@ -73,12 +75,12 @@ class MultiExecutor {
   /// almost always means a typo'd scope.
   util::Result<MultiResult> Execute(
       std::string_view scope, const query::Query& query,
-      const query::ExecuteOptions& options = {});
+      const query::ExecuteOptions& options = {}) const;
 
   /// \brief Parses and routes query text.
   util::Result<MultiResult> ExecuteText(
       std::string_view scope, std::string_view query_text,
-      const query::ExecuteOptions& options = {});
+      const query::ExecuteOptions& options = {}) const;
 
   /// \brief Cross-document meet (paper §4 / text/cross_document.h) over
   /// the whole store: extracts probe strings from the subtree rooted at
@@ -90,10 +92,10 @@ class MultiExecutor {
   util::Result<std::vector<CrossMatch>> FindEverywhere(
       std::string_view source, bat::Oid subtree,
       std::string_view scope = "*",
-      const text::CrossFindOptions& options = {});
+      const text::CrossFindOptions& options = {}) const;
 
  private:
-  Catalog* catalog_;
+  const Catalog* catalog_;
 };
 
 }  // namespace store

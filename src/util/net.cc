@@ -1,0 +1,179 @@
+#include "util/net.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define MEETXML_HAVE_SOCKETS 1
+#endif
+
+namespace meetxml {
+namespace util {
+
+uint64_t MonotonicMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(MEETXML_HAVE_SOCKETS)
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::Internal(what, ": ", std::strerror(errno));
+}
+
+}  // namespace
+
+Result<int> ListenTcp(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptConnection(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* name = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, name, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: ", host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status ReadFull(int fd, void* data, size_t size) {
+  char* at = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::read(fd, at + got, size - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::UnexpectedEof("peer closed after ", got, " of ",
+                                   size, " bytes");
+    }
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(int fd, void* data, size_t cap) {
+  for (;;) {
+    ssize_t n = ::read(fd, data, cap);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+Status WriteFull(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+#if defined(MSG_NOSIGNAL)
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::OK();
+}
+
+void ShutdownRead(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void ShutdownSocket(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+#else  // !MEETXML_HAVE_SOCKETS
+
+namespace {
+Status NoSockets() {
+  return Status::NotImplemented("sockets are not available on this platform");
+}
+}  // namespace
+
+Result<int> ListenTcp(uint16_t, int) { return NoSockets(); }
+Result<uint16_t> LocalPort(int) { return NoSockets(); }
+Result<int> AcceptConnection(int) { return NoSockets(); }
+Result<int> ConnectTcp(const std::string&, uint16_t) { return NoSockets(); }
+Status ReadFull(int, void*, size_t) { return NoSockets(); }
+Result<size_t> ReadSome(int, void*, size_t) { return NoSockets(); }
+Status WriteFull(int, std::string_view) { return NoSockets(); }
+void ShutdownRead(int) {}
+void ShutdownSocket(int) {}
+void CloseSocket(int) {}
+
+#endif  // MEETXML_HAVE_SOCKETS
+
+}  // namespace util
+}  // namespace meetxml

@@ -1,0 +1,65 @@
+// Minimal POSIX TCP helpers for the meetxmld service (server/) and its
+// clients: listen/accept/connect plus read-exactly/write-all loops that
+// absorb EINTR and short transfers. Everything speaks util::Status so
+// socket failures propagate like any other error in the tree; no
+// sockets API leaks above this header beyond the int descriptor.
+
+#ifndef MEETXML_UTIL_NET_H_
+#define MEETXML_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace meetxml {
+namespace util {
+
+/// \brief Monotonic milliseconds since an arbitrary epoch — the time
+/// base of session idle timeouts (never jumps with wall-clock changes).
+uint64_t MonotonicMillis();
+
+/// \brief Opens a listening TCP socket on 127.0.0.1:`port` (0 picks an
+/// ephemeral port) with SO_REUSEADDR. Returns the descriptor.
+Result<int> ListenTcp(uint16_t port, int backlog = 64);
+
+/// \brief The port a listening socket actually bound (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// \brief Blocking accept; returns the connection descriptor. EINTR is
+/// retried; any other failure (including the listener being closed by
+/// another thread during shutdown) is an error.
+Result<int> AcceptConnection(int listen_fd);
+
+/// \brief Connects to `host`:`port` (numeric IPv4 or "localhost").
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// \brief Reads exactly `size` bytes. A clean peer close before the
+/// first byte reports UnexpectedEof with `eof_ok` semantics left to the
+/// caller; a close mid-record is always UnexpectedEof.
+Status ReadFull(int fd, void* data, size_t size);
+
+/// \brief Reads up to `cap` bytes; returns how many arrived, 0 on a
+/// clean peer close. EINTR is retried.
+Result<size_t> ReadSome(int fd, void* data, size_t cap);
+
+/// \brief Writes all of `bytes`, absorbing short writes and EINTR.
+Status WriteFull(int fd, std::string_view bytes);
+
+/// \brief Shuts down only the read side: stops taking new requests
+/// while queued responses still deliver (the graceful-stop half).
+void ShutdownRead(int fd);
+
+/// \brief Shuts down both directions (wakes a blocked reader) without
+/// releasing the descriptor; safe to call on an already-shut socket.
+void ShutdownSocket(int fd);
+
+/// \brief Closes the descriptor; negative descriptors are ignored.
+void CloseSocket(int fd);
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_NET_H_

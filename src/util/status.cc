@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kUnexpectedEof:
       return "Unexpected end of input";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown code";
 }

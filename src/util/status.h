@@ -33,6 +33,9 @@ enum class StatusCode : int {
   kResourceExhausted = 5,
   /// Parse ran off the end of the input unexpectedly.
   kUnexpectedEof = 6,
+  /// The service cannot take the request right now (shutting down,
+  /// session table full); retrying later may succeed.
+  kUnavailable = 7,
 };
 
 /// \brief Human-readable name of a StatusCode, e.g. "Invalid argument".
@@ -91,6 +94,10 @@ class Status {
   static Status UnexpectedEof(Args&&... args) {
     return Make(StatusCode::kUnexpectedEof, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -114,6 +121,7 @@ class Status {
   bool IsUnexpectedEof() const {
     return code() == StatusCode::kUnexpectedEof;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<code name>: <message>".
   std::string ToString() const;

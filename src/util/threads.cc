@@ -1,0 +1,15 @@
+#include "util/threads.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace meetxml {
+namespace util {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace util
+}  // namespace meetxml

@@ -1,0 +1,58 @@
+// Thread plumbing shared by every pool in the tree.
+//
+// Bulk load, the parallel catalog decode, the multi-document query
+// fan-out and the meetxmld worker pool all take a "0 means pick for
+// me" thread knob and run the same pick-next-atomically worker loop;
+// resolving the knob and running the loop in one place keeps the
+// contract (and the hardware_concurrency()-can-return-0 workaround)
+// from drifting per call site.
+
+#ifndef MEETXML_UTIL_THREADS_H_
+#define MEETXML_UTIL_THREADS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace meetxml {
+namespace util {
+
+/// \brief Resolves a user-facing thread-count knob: 0 means "use the
+/// hardware parallelism" (never less than 1 — hardware_concurrency()
+/// may legitimately return 0), any other value is taken verbatim.
+unsigned ResolveThreads(unsigned requested);
+
+/// \brief Runs `body(i)` for every i in [0, count) on up to
+/// `ResolveThreads(threads)` workers (never more workers than items;
+/// one worker runs inline on the calling thread). Returns the number
+/// of workers used. Iterations are claimed with an atomic counter, so
+/// `body` must be safe to call concurrently for distinct indices; the
+/// call returns only after every iteration finished.
+template <typename Body>
+unsigned ParallelFor(size_t count, unsigned threads, Body&& body) {
+  unsigned workers = static_cast<unsigned>(
+      std::min<size_t>(ResolveThreads(threads), count));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return count == 0 ? 0u : 1u;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& thread : pool) thread.join();
+  return workers;
+}
+
+}  // namespace util
+}  // namespace meetxml
+
+#endif  // MEETXML_UTIL_THREADS_H_

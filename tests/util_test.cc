@@ -1,9 +1,13 @@
 // Unit tests for util: Status/Result, string helpers, the deterministic
 // RNG.
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -13,6 +17,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/threads.h"
 
 namespace meetxml {
 namespace util {
@@ -410,6 +415,49 @@ TEST(MmapFile, MoveTransfersTheMapping) {
   MmapFile moved = std::move(*file);
   EXPECT_EQ(moved.bytes(), "payload");
   std::filesystem::remove(path);
+}
+
+// ---- threads --------------------------------------------------------
+
+TEST(ResolveThreads, ZeroMeansHardwareParallelismNeverLessThanOne) {
+  // hardware_concurrency() may return 0; the resolved count never may.
+  EXPECT_GE(ResolveThreads(0), 1u);
+  EXPECT_EQ(ResolveThreads(0),
+            std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(ResolveThreads, ExplicitRequestsAreTakenVerbatim) {
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(3), 3u);
+  EXPECT_EQ(ResolveThreads(64), 64u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  unsigned workers = ParallelFor(kCount, 4, [&hits](size_t i) {
+    hits[i].fetch_add(1);
+  });
+  EXPECT_GE(workers, 1u);
+  EXPECT_LE(workers, 4u);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, DegeneratesGracefully) {
+  // Empty range: no workers, body never called.
+  bool called = false;
+  EXPECT_EQ(ParallelFor(0, 8, [&called](size_t) { called = true; }), 0u);
+  EXPECT_FALSE(called);
+  // One item on many threads: runs inline on one worker.
+  size_t seen = 123;
+  EXPECT_EQ(ParallelFor(1, 8, [&seen](size_t i) { seen = i; }), 1u);
+  EXPECT_EQ(seen, 0u);
+  // Serial pin: exactly one worker regardless of count.
+  int ran = 0;
+  EXPECT_EQ(ParallelFor(10, 1, [&ran](size_t) { ++ran; }), 1u);
+  EXPECT_EQ(ran, 10);
 }
 
 }  // namespace

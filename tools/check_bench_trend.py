@@ -8,11 +8,15 @@ tripwire for the BENCH_*.json trajectory the bench-smoke job archives.
 
 Registered trend files (one invocation each in the CI bench-smoke
 job): BENCH_ab9_bulk_load.json (parallel load + persisted indexes),
-BENCH_ab10_catalog.json (multi-document fan-out) and
+BENCH_ab10_catalog.json (multi-document fan-out),
 BENCH_ab11_cold_start.json (image -> hot executor; guards the
 columnar decode, the zero-copy view-mode open — the
 BM_DocumentDecodeDoc2View / BM_ExecutorFromImageDoc2View /
-BM_CatalogOpenView series — and the parallel catalog-open wins).
+BM_CatalogOpenView series — and the parallel catalog-open wins) and
+BENCH_ab12_service.json (the meetxmld closed-loop: throughput and
+p50/p99 latency vs. client count over the shared catalog; the
+BM_ServiceClosedLoop series is load-bearing — losing it would mean
+the service dispatch path silently left the trend).
 
 Usage:
     check_bench_trend.py CURRENT.json BASELINE.json [--threshold 2.0]
