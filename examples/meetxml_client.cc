@@ -24,8 +24,9 @@ util::Result<server::Response> Roundtrip(int fd,
                                          const server::Request& request) {
   MEETXML_RETURN_NOT_OK(util::WriteFull(
       fd, server::EncodeFrame(server::EncodeRequest(request))));
-  uint32_t length = 0;
-  MEETXML_RETURN_NOT_OK(util::ReadFull(fd, &length, sizeof(length)));
+  char prefix[4];
+  MEETXML_RETURN_NOT_OK(util::ReadFull(fd, prefix, sizeof(prefix)));
+  uint32_t length = server::DecodeFrameLength(prefix);
   if (length == 0 || length > server::kMaxFrameBytes) {
     return util::Status::Internal("bad response frame length ", length);
   }

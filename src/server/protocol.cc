@@ -1,6 +1,5 @@
 #include "server/protocol.h"
 
-#include <cstring>
 #include <utility>
 
 #include "util/byte_io.h"
@@ -195,8 +194,7 @@ Result<std::optional<std::string>> FrameBuffer::Next() {
     pos_ = 0;
   }
   if (buffered() < 4) return std::optional<std::string>();
-  uint32_t length = 0;
-  std::memcpy(&length, buffer_.data() + pos_, 4);
+  uint32_t length = DecodeFrameLength(buffer_.data() + pos_);
   if (length == 0) {
     return Status::InvalidArgument("zero-length frame");
   }

@@ -54,6 +54,22 @@ inline constexpr uint64_t kProtocolVersion = 1;
 /// beyond it is rejected before any allocation — a hostile length
 /// prefix must not become a multi-gigabyte reserve.
 inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+/// \brief Ceiling on a QUERY response's rendered table, chosen so the
+/// whole response payload (status + opcode + varints + table) always
+/// fits one frame. HandleQuery enforces it on every transport, which
+/// keeps TCP and in-process answers identical: a table that passes the
+/// session cap is never bounced later by the frame limit.
+inline constexpr uint64_t kMaxQueryTableBytes = kMaxFrameBytes - 64;
+
+/// \brief Decodes the little-endian u32 frame length prefix from 4 raw
+/// bytes — the one codec clients reading straight off a socket share
+/// with FrameBuffer.
+inline uint32_t DecodeFrameLength(const char* bytes) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes);
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
 
 enum class Opcode : uint8_t {
   kHello = 1,

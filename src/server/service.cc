@@ -182,7 +182,12 @@ std::string QueryService::HandleQuery(Connection* connection,
   response.truncated = result->truncated;
   response.table = result->ToText();
   uint64_t cap = sessions_.options().max_result_bytes;
-  if (cap != 0 && response.table.size() > cap) {
+  // Clamp to the frame budget: whatever the session policy says, an
+  // answer this path approves must encode into one response frame, or
+  // the TCP front-end would bounce what the in-process transport
+  // delivered.
+  if (cap == 0 || cap > kMaxQueryTableBytes) cap = kMaxQueryTableBytes;
+  if (response.table.size() > cap) {
     // The per-session result-memory bound: the rendered answer is
     // dropped here, an error goes back, the session lives on.
     return error(Status::ResourceExhausted(

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "server/protocol.h"
 #include "util/result.h"
 
 namespace meetxml {
@@ -28,8 +29,11 @@ struct SessionOptions {
   /// Upper bound on one session's materialized result bytes per
   /// request. A query whose rendered answer exceeds it earns a
   /// ResourceExhausted error — the session survives, the memory is
-  /// released. 0 means unlimited.
-  uint64_t max_result_bytes = 4u << 20;
+  /// released. Values above kMaxQueryTableBytes (including 0, "no
+  /// session cap") are clamped to it, so an answer that passes here
+  /// always fits one response frame and TCP and in-process transports
+  /// behave identically.
+  uint64_t max_result_bytes = kMaxQueryTableBytes;
   /// Hard cap on live sessions; Open beyond it is Unavailable.
   size_t max_sessions = 1024;
 };

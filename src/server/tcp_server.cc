@@ -104,7 +104,22 @@ void TcpServer::Enqueue(const std::shared_ptr<Conn>& conn,
                         std::string payload) {
   bool schedule = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    std::unique_lock<std::mutex> lock(conn->mu);
+    // Backpressure: park this connection's reader (and with it the
+    // client's TCP window) while the inbox sits at its bound, instead
+    // of queueing without limit. Pump signals every pop; a dying or
+    // stopping connection signals too, and its frame dies with it.
+    conn->inbox_cv.wait(lock, [&] {
+      return (conn->inbox.size() < options_.max_inbox_frames &&
+              conn->inbox_bytes < options_.max_inbox_bytes) ||
+             conn->dead.load(std::memory_order_acquire) ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (conn->dead.load(std::memory_order_acquire) ||
+        stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    conn->inbox_bytes += payload.size();
     conn->inbox.push_back(std::move(payload));
     if (!conn->running) {
       conn->running = true;
@@ -127,11 +142,14 @@ void TcpServer::Pump(std::shared_ptr<Conn> conn) {
       }
       payload = std::move(conn->inbox.front());
       conn->inbox.pop_front();
+      conn->inbox_bytes -= payload.size();
     }
+    conn->inbox_cv.notify_one();
     std::string response = conn->service_conn->HandlePayload(payload);
     if (response.size() > kMaxFrameBytes) {
-      // A compliant client would reject the oversized frame anyway;
-      // send the bound violation instead (only QUERY grows this big).
+      // Pure safety net: HandleQuery clamps rendered tables to
+      // kMaxQueryTableBytes, so no encoder should ever get here; if
+      // one does, send the bound violation, not an unreadable frame.
       response = EncodeErrorResponse(
           Opcode::kQuery,
           Status::ResourceExhausted(
@@ -139,10 +157,19 @@ void TcpServer::Pump(std::shared_ptr<Conn> conn) {
               kMaxFrameBytes, "-byte frame limit; add LIMIT"));
     }
     std::string frame = EncodeFrame(response);
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    if (!util::WriteFull(conn->fd, frame).ok()) {
+    bool write_failed;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      write_failed = !util::WriteFull(conn->fd, frame).ok();
+    }
+    if (write_failed) {
       conn->dead.store(true, std::memory_order_release);
       util::ShutdownSocket(conn->fd);
+      // The empty critical section orders the store against the
+      // reader's predicate check, so a reader parked in Enqueue cannot
+      // miss this wakeup.
+      { std::lock_guard<std::mutex> state_lock(conn->mu); }
+      conn->inbox_cv.notify_all();
     }
   }
 }
@@ -177,12 +204,22 @@ void TcpServer::Reap() {
   std::lock_guard<std::mutex> lock(conns_mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
     Conn& conn = **it;
+    // Order matters: observe reader_done BEFORE snapshotting idleness.
+    // Once the reader has finished, no further Enqueue can set
+    // `running`, so an idle snapshot taken afterwards stays true and
+    // the teardown below cannot race a queued Pump. The reverse order
+    // would let the reader's final frame land between the two reads
+    // and Pump would then dereference the reset service_conn.
+    if (!conn.reader_done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
     bool idle;
     {
       std::lock_guard<std::mutex> conn_lock(conn.mu);
       idle = !conn.running && conn.inbox.empty();
     }
-    if (conn.reader_done.load(std::memory_order_acquire) && idle) {
+    if (idle) {
       if (conn.reader.joinable()) conn.reader.join();
       util::CloseSocket(conn.fd);
       conn.service_conn.reset();  // releases the session
@@ -204,11 +241,15 @@ void TcpServer::Stop() {
   maintenance_cv_.notify_all();
   if (maintenance_thread_.joinable()) maintenance_thread_.join();
   // 2. Stop reading new requests; already-queued dispatches keep their
-  //    write side, so in-flight queries still answer.
+  //    write side, so in-flight queries still answer. Readers parked
+  //    on a full inbox see stopping_ and bail (the empty critical
+  //    section orders the flag against their predicate check).
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const std::shared_ptr<Conn>& conn : conns_) {
       util::ShutdownRead(conn->fd);
+      { std::lock_guard<std::mutex> state_lock(conn->mu); }
+      conn->inbox_cv.notify_all();
     }
   }
   // 3. Drain the pool: every queued dispatch runs to completion and

@@ -5,7 +5,10 @@
 // Threading model (pazpar2's eventl/sel_thread split, simplified):
 //   * one accept thread;
 //   * one blocking reader thread per connection, doing nothing but
-//     framing (FrameBuffer) and enqueueing decoded payloads;
+//     framing (FrameBuffer) and enqueueing decoded payloads; the inbox
+//     is bounded, and a reader that fills it parks until the strand
+//     drains, so a pipelining client gets TCP backpressure instead of
+//     growing server memory;
 //   * a fixed WorkerPool executing dispatches. Each connection is a
 //     strand: it is scheduled on the pool only while it has pending
 //     frames and never runs on two workers at once, so pipelined
@@ -48,6 +51,12 @@ struct TcpServerOptions {
   unsigned workers = 0;
   /// Idle-eviction / reaping cadence.
   uint64_t maintenance_interval_ms = 200;
+  /// Per-connection inbox bounds (decoded-but-undispatched frames). A
+  /// client pipelining faster than its worker strand drains parks the
+  /// connection's reader — TCP backpressure — instead of growing the
+  /// queue without limit. Both bounds must be nonzero.
+  size_t max_inbox_frames = 128;
+  size_t max_inbox_bytes = 4u << 20;
 };
 
 /// \brief A running listener bound to one QueryService.
@@ -76,10 +85,15 @@ class TcpServer {
     std::unique_ptr<QueryService::Connection> service_conn;
     std::thread reader;
     // Strand state: inbox of decoded frame payloads + whether a pool
-    // job is currently draining it.
+    // job is currently draining it. inbox_bytes mirrors the payload
+    // bytes queued; the reader waits on inbox_cv while the inbox is at
+    // its bound (Pump signals every pop, and anything that ends the
+    // connection signals too so the reader never parks forever).
     std::mutex mu;
     std::deque<std::string> inbox;
+    size_t inbox_bytes = 0;
     bool running = false;
+    std::condition_variable inbox_cv;
     std::atomic<bool> reader_done{false};
     // Set on framing/write failure: stop serving this connection.
     std::atomic<bool> dead{false};

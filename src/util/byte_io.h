@@ -7,7 +7,6 @@
 #define MEETXML_UTIL_BYTE_IO_H_
 
 #include <cstdint>
-#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -22,8 +21,22 @@ namespace util {
 class ByteWriter {
  public:
   void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) {
+    // Explicit little-endian shifts, not a memcpy of the host
+    // representation — the format stays as documented on any host.
+    const char bytes[4] = {
+        static_cast<char>(v), static_cast<char>(v >> 8),
+        static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    out_.append(bytes, sizeof(bytes));
+  }
+  void U64(uint64_t v) {
+    const char bytes[8] = {
+        static_cast<char>(v),       static_cast<char>(v >> 8),
+        static_cast<char>(v >> 16), static_cast<char>(v >> 24),
+        static_cast<char>(v >> 32), static_cast<char>(v >> 40),
+        static_cast<char>(v >> 48), static_cast<char>(v >> 56)};
+    out_.append(bytes, sizeof(bytes));
+  }
   void Varint(uint64_t v) {
     while (v >= 0x80) {
       U8(static_cast<uint8_t>(v) | 0x80);
@@ -54,9 +67,6 @@ class ByteWriter {
   std::string Take() { return std::move(out_); }
 
  private:
-  void Raw(const void* data, size_t size) {
-    out_.append(static_cast<const char*>(data), size);
-  }
   std::string out_;
 };
 
@@ -72,15 +82,21 @@ class ByteReader {
   }
   Result<uint32_t> U32() {
     MEETXML_RETURN_NOT_OK(Need(4));
-    uint32_t v;
-    std::memcpy(&v, bytes_.data() + pos_, 4);
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(bytes_.data() + pos_);
+    uint32_t v = static_cast<uint32_t>(p[0]) |
+                 static_cast<uint32_t>(p[1]) << 8 |
+                 static_cast<uint32_t>(p[2]) << 16 |
+                 static_cast<uint32_t>(p[3]) << 24;
     pos_ += 4;
     return v;
   }
   Result<uint64_t> U64() {
     MEETXML_RETURN_NOT_OK(Need(8));
-    uint64_t v;
-    std::memcpy(&v, bytes_.data() + pos_, 8);
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(bytes_.data() + pos_);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
     pos_ += 8;
     return v;
   }

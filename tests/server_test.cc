@@ -499,14 +499,19 @@ TEST(ServerWorkerPool, ShutdownDrainsThenDropsLateJobs) {
 
 // ---- TCP front-end ------------------------------------------------------
 
-Result<Response> TcpRoundtrip(int fd, const Request& request) {
-  MEETXML_RETURN_NOT_OK(
-      util::WriteFull(fd, EncodeFrame(EncodeRequest(request))));
-  uint32_t length = 0;
-  MEETXML_RETURN_NOT_OK(util::ReadFull(fd, &length, sizeof(length)));
+Result<Response> ReadResponse(int fd) {
+  char prefix[4];
+  MEETXML_RETURN_NOT_OK(util::ReadFull(fd, prefix, sizeof(prefix)));
+  uint32_t length = DecodeFrameLength(prefix);
   std::string payload(length, '\0');
   MEETXML_RETURN_NOT_OK(util::ReadFull(fd, payload.data(), length));
   return DecodeResponse(payload);
+}
+
+Result<Response> TcpRoundtrip(int fd, const Request& request) {
+  MEETXML_RETURN_NOT_OK(
+      util::WriteFull(fd, EncodeFrame(EncodeRequest(request))));
+  return ReadResponse(fd);
 }
 
 TEST(ServerTcp, ServesTheSameBytesAsTheInProcessPath) {
@@ -572,24 +577,72 @@ TEST(ServerTcp, PipelinedRequestsAnswerInOrder) {
   }
   ASSERT_TRUE(util::WriteFull(*fd, burst).ok());
 
-  auto read_response = [&]() -> Result<Response> {
-    uint32_t length = 0;
-    MEETXML_RETURN_NOT_OK(util::ReadFull(*fd, &length, sizeof(length)));
-    std::string payload(length, '\0');
-    MEETXML_RETURN_NOT_OK(util::ReadFull(*fd, payload.data(), length));
-    return DecodeResponse(payload);
-  };
-  auto greeted = read_response();
+  auto greeted = ReadResponse(*fd);
   ASSERT_TRUE(greeted.ok()) << greeted.status();
   ASSERT_TRUE(greeted->ok);
   for (size_t i = 0; i < MixedQueries().size(); ++i) {
-    auto response = read_response();
+    auto response = ReadResponse(*fd);
     ASSERT_TRUE(response.ok()) << response.status();
     ASSERT_EQ(response->opcode, Opcode::kQuery);
     ExpectMatches(*response, expected[i]);
   }
   util::CloseSocket(*fd);
   (*server)->Stop();
+}
+
+TEST(ServerTcp, BoundedInboxBackpressuresPipelinedBursts) {
+  store::Catalog catalog = OpenViewCatalog();
+  QueryService service(&catalog);
+  TcpServerOptions options;
+  options.max_inbox_frames = 2;  // far below the burst
+  options.max_inbox_bytes = 256;
+  auto server = TcpServer::Start(&service, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  auto fd = util::ConnectTcp("localhost", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+
+  // HELLO plus 64 pipelined pings in one write: the reader must park
+  // on the 2-frame inbox (TCP backpressure) rather than queue them
+  // all, and every frame still answers in order.
+  Request hello;
+  hello.opcode = Opcode::kHello;
+  hello.protocol_version = kProtocolVersion;
+  std::string burst = EncodeFrame(EncodeRequest(hello));
+  Request ping;
+  ping.opcode = Opcode::kPing;
+  constexpr int kPings = 64;
+  for (int i = 0; i < kPings; ++i) {
+    burst += EncodeFrame(EncodeRequest(ping));
+  }
+  ASSERT_TRUE(util::WriteFull(*fd, burst).ok());
+
+  auto greeted = ReadResponse(*fd);
+  ASSERT_TRUE(greeted.ok()) << greeted.status();
+  EXPECT_TRUE(greeted->ok);
+  for (int i = 0; i < kPings; ++i) {
+    auto response = ReadResponse(*fd);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->ok);
+    EXPECT_EQ(response->opcode, Opcode::kPing);
+  }
+  util::CloseSocket(*fd);
+  (*server)->Stop();
+}
+
+TEST(ServerProtocol, MaxQueryTableAlwaysFitsOneFrame) {
+  // The session default must sit at or under the frame budget, and a
+  // worst-case QUERY response at that budget must still encode into
+  // one legal frame — the invariant that keeps TCP and in-process
+  // transports byte-identical.
+  EXPECT_LE(SessionOptions{}.max_result_bytes, kMaxQueryTableBytes);
+  Response response;
+  response.ok = true;
+  response.opcode = Opcode::kQuery;
+  response.row_count = ~0ull;
+  response.truncated = true;
+  response.table.assign(kMaxQueryTableBytes, 'x');
+  EXPECT_LE(EncodeResponse(response).size(), kMaxFrameBytes);
 }
 
 TEST(ServerTcp, StopRefusesNewConnectionsAndReleasesSessions) {
