@@ -6,17 +6,27 @@
 // view-backed catalog opened zero-copy, warmed once, then shared
 // read-only by every connection of a worker pool.
 //
-// Run:  ./meetxmld [store.mxm] [port]
+// Run:  ./meetxmld [store.mxm] [port] [--warm]
+//
+// The open is lazy by default: only the image framing and the catalog
+// directory are verified, so startup costs O(directory) no matter how
+// large the corpus is; each document's checksum gate and decode run on
+// its first query. Pass --warm to restore the old behavior — decode
+// every document and build every text index before accepting
+// connections, so no client ever pays a first-touch build.
 //
 // When the store image does not exist yet, a small demo catalog of
 // three synthetic bibliographies is generated and saved there first,
 // so the example is runnable standalone. Stop with Ctrl-C: the server
 // drains in-flight queries before exiting.
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "data/dblp_gen.h"
 #include "model/shredder.h"
@@ -57,9 +67,20 @@ util::Status BuildDemoStore(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string store_path = argc > 1 ? argv[1] : "/tmp/meetxmld_store.mxm";
-  uint16_t port =
-      argc > 2 ? static_cast<uint16_t>(std::stoi(argv[2])) : 0;
+  bool warm = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--warm") == 0) {
+      warm = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  std::string store_path =
+      !positional.empty() ? positional[0] : "/tmp/meetxmld_store.mxm";
+  uint16_t port = positional.size() > 1
+                      ? static_cast<uint16_t>(std::stoi(positional[1]))
+                      : 0;
 
   // Serving threads must inherit the blocked mask, so block SIGINT /
   // SIGTERM before any thread exists and collect them with sigwait.
@@ -69,11 +90,16 @@ int main(int argc, char** argv) {
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-  // 1. Zero-copy open: columns stay views over the mapped image. A
-  //    missing image gets the demo catalog generated in its place.
+  // 1. Zero-copy lazy open: columns stay views over the mapped image
+  //    and every per-document decode is deferred to first touch, so
+  //    the open only reads the directory. A missing image gets the
+  //    demo catalog generated in its place.
   util::Timer timer;
+  store::CatalogLoadStats open_stats;
   store::CatalogLoadOptions load_options;
   load_options.mode = model::LoadMode::kView;
+  load_options.lazy = true;
+  load_options.stats = &open_stats;
   auto catalog = store::Catalog::LoadFromFile(store_path, load_options);
   if (catalog.status().IsNotFound()) {
     MEETXML_CHECK_OK(BuildDemoStore(store_path));
@@ -83,10 +109,13 @@ int main(int argc, char** argv) {
   MEETXML_CHECK_OK(catalog.status());
   double open_ms = timer.ElapsedMillis();
 
-  // 2. Warm every executor and text index up front: serving threads
-  //    never pay a lazy build under a client's first query.
+  // 2. Optionally warm every executor and text index up front (the
+  //    pre-lazy-open behavior): serving threads then never pay a
+  //    first-touch decode or index build under a client's query.
   timer.Reset();
-  MEETXML_CHECK_OK(catalog->Warm(/*build_text_indexes=*/true));
+  if (warm) {
+    MEETXML_CHECK_OK(catalog->Warm(/*build_text_indexes=*/true));
+  }
   double warm_ms = timer.ElapsedMillis();
 
   server::QueryService service(&*catalog);
@@ -96,11 +125,22 @@ int main(int argc, char** argv) {
   MEETXML_CHECK_OK(server.status());
 
   std::printf("meetxmld: %zu document(s) from %s "
-              "(open %.1f ms, warm %.1f ms)\n",
-              catalog->size(), store_path.c_str(), open_ms, warm_ms);
+              "(open %.1f ms, %zu deferred, %zu/%zu checksums verified",
+              catalog->size(), store_path.c_str(), open_ms,
+              open_stats.deferred_documents, open_stats.sections_verified,
+              open_stats.sections_verified + open_stats.sections_deferred);
+  if (warm) {
+    std::printf(", warm %.1f ms)\n", warm_ms);
+  } else {
+    std::printf(", lazy — pass --warm to pre-decode)\n");
+  }
   for (const store::NamedDocument* entry : catalog->entries()) {
-    std::printf("  %-12s %llu nodes\n", entry->name.c_str(),
-                static_cast<unsigned long long>(entry->doc.node_count()));
+    if (entry->materialized.load(std::memory_order_acquire)) {
+      std::printf("  %-12s %llu nodes\n", entry->name.c_str(),
+                  static_cast<unsigned long long>(entry->doc.node_count()));
+    } else {
+      std::printf("  %-12s (deferred)\n", entry->name.c_str());
+    }
   }
   std::printf("listening on 127.0.0.1:%u — try:\n"
               "  ./meetxml_client %u \"*\" \"SELECT MEET(a, b) FROM "

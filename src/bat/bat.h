@@ -222,12 +222,18 @@ class ArenaColumn {
 /// \brief A binary association table with typed head and tail columns.
 ///
 /// Stored column-wise like MonetDB; rows are addressed positionally.
+/// Both columns are ownership-aware (bat::Column): a relation either
+/// owns its rows or borrows them from a mapped image
+/// (AdoptColumnViews), with the same copy-on-write promotion contract
+/// as StrBat — which is what lets the persisted per-path edge BATs of
+/// a DRV1 section be served zero-copy.
 template <typename H, typename T>
 class Bat {
  public:
   Bat() = default;
 
-  /// \brief Appends one association.
+  /// \brief Appends one association (promoting a view-backed relation
+  /// to owned storage first).
   void Append(H head, T tail) {
     head_.push_back(std::move(head));
     tail_.push_back(std::move(tail));
@@ -244,8 +250,34 @@ class Bat {
   const H& head(size_t row) const { return head_[row]; }
   const T& tail(size_t row) const { return tail_[row]; }
 
-  const std::vector<H>& heads() const { return head_; }
-  const std::vector<T>& tails() const { return tail_; }
+  std::span<const H> heads() const { return head_.span(); }
+  std::span<const T> tails() const { return tail_.span(); }
+
+  /// \brief Takes ownership of pre-built columns (the copy-mode bulk
+  /// ingestion path). Requires equal lengths (callers validate; this
+  /// class only stores).
+  void AdoptColumns(std::vector<H> heads, std::vector<T> tails) {
+    head_.Adopt(std::move(heads));
+    tail_.Adopt(std::move(tails));
+  }
+
+  /// \brief Borrows pre-built columns without copying — the view-mode
+  /// (zero-copy) ingestion path. The caller must keep the backing
+  /// bytes alive for as long as this relation stays view-backed.
+  void AdoptColumnViews(std::span<const H> heads, std::span<const T> tails) {
+    head_.SetView(heads);
+    tail_.SetView(tails);
+  }
+
+  /// \brief True while either column borrows from external bytes.
+  bool is_view() const { return head_.is_view() || tail_.is_view(); }
+
+  /// \brief Promotes both columns to owned storage (no-op when already
+  /// owned).
+  void EnsureOwned() {
+    head_.EnsureOwned();
+    tail_.EnsureOwned();
+  }
 
   /// \brief Swaps the two columns (MonetDB `reverse`), O(1) by move.
   Bat<T, H> Reverse() && {
@@ -277,17 +309,20 @@ class Bat {
   /// \brief Removes exact duplicate rows; sorts as a side effect.
   void SortUnique() {
     Sort();
-    size_t out = 0;
+    std::vector<H> new_head;
+    std::vector<T> new_tail;
+    new_head.reserve(size());
+    new_tail.reserve(size());
     for (size_t i = 0; i < size(); ++i) {
-      if (i > 0 && head_[i] == head_[out - 1] && tail_[i] == tail_[out - 1]) {
+      if (i > 0 && head_[i] == new_head.back() &&
+          tail_[i] == new_tail.back()) {
         continue;
       }
-      head_[out] = std::move(head_[i]);
-      tail_[out] = std::move(tail_[i]);
-      ++out;
+      new_head.push_back(head_[i]);
+      new_tail.push_back(tail_[i]);
     }
-    head_.resize(out);
-    tail_.resize(out);
+    head_.Adopt(std::move(new_head));
+    tail_.Adopt(std::move(new_tail));
   }
 
   bool operator==(const Bat& other) const {
@@ -304,15 +339,15 @@ class Bat {
     new_head.reserve(size());
     new_tail.reserve(size());
     for (size_t row : order) {
-      new_head.push_back(std::move(head_[row]));
-      new_tail.push_back(std::move(tail_[row]));
+      new_head.push_back(head_[row]);
+      new_tail.push_back(tail_[row]);
     }
-    head_ = std::move(new_head);
-    tail_ = std::move(new_tail);
+    head_.Adopt(std::move(new_head));
+    tail_.Adopt(std::move(new_tail));
   }
 
-  std::vector<H> head_;
-  std::vector<T> tail_;
+  Column<H> head_;
+  Column<T> tail_;
 };
 
 /// BAT of tree edges or lifted association sets: (oid, oid).

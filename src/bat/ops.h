@@ -129,7 +129,8 @@ StrBat SelectTail(const StrBat& table,
 /// \brief Projects the head column (MonetDB `mirror` then head extract).
 template <typename H, typename T>
 std::vector<H> ProjectHeads(const Bat<H, T>& table) {
-  return table.heads();
+  std::span<const H> heads = table.heads();
+  return std::vector<H>(heads.begin(), heads.end());
 }
 
 /// \brief (h, h) pairs for every head — MonetDB's `mirror`, used to seed

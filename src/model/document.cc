@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <span>
 
+#include "model/validate.h"
+
 namespace meetxml {
 namespace model {
 
@@ -20,6 +22,28 @@ std::vector<Oid> StoredDocument::children(Oid node) const {
   uint32_t end = child_offsets_[node + 1];
   out.assign(child_list_.begin() + begin, child_list_.begin() + end);
   return out;
+}
+
+util::Status StoredDocument::EnsureValidated() const {
+  std::shared_ptr<ValidationGate> gate = validation_gate_;
+  if (gate == nullptr) return Status::OK();
+  if (gate->done.load(std::memory_order_acquire)) return gate->status;
+  std::lock_guard<std::mutex> lock(gate->mu);
+  if (!gate->done.load(std::memory_order_relaxed)) {
+    // Order matters: the storage-column and derived-structure checks
+    // establish the bounds ValidateDocument's traversals (children(),
+    // IsAncestorOrSelf) rely on, so they must pass first.
+    util::Status status = ValidateStorageColumns(*this);
+    if (status.ok()) status = ValidateDerivedStructures(*this);
+    if (status.ok()) status = ValidateDocument(*this);
+    gate->status = std::move(status);
+    gate->done.store(true, std::memory_order_release);
+  }
+  return gate->status;
+}
+
+void StoredDocument::MarkUnvalidated() {
+  validation_gate_ = std::make_shared<ValidationGate>();
 }
 
 bool StoredDocument::IsAncestorOrSelf(Oid ancestor, Oid node) const {
@@ -203,30 +227,31 @@ void StoredDocument::DeriveEdgeRelations() {
 
 util::Status StoredDocument::AdoptNodeColumns(std::vector<Oid> parents,
                                               std::vector<PathId> paths,
-                                              std::vector<int> ranks) {
+                                              std::vector<int> ranks,
+                                              bool derive_edges) {
   MEETXML_RETURN_NOT_OK(CheckNodeColumns(parents, paths, ranks.size()));
   parent_.Adopt(std::move(parents));
   path_.Adopt(std::move(paths));
   rank_.Adopt(std::move(ranks));
-  DeriveEdgeRelations();
+  if (derive_edges) DeriveEdgeRelations();
   return Status::OK();
 }
 
 util::Status StoredDocument::AdoptNodeColumnViews(
     std::span<const Oid> parents, std::span<const PathId> paths,
-    std::span<const int> ranks) {
+    std::span<const int> ranks, bool derive_edges) {
   MEETXML_RETURN_NOT_OK(CheckNodeColumns(parents, paths, ranks.size()));
   parent_.SetView(parents);
   path_.SetView(paths);
   rank_.SetView(ranks);
-  DeriveEdgeRelations();
+  if (derive_edges) DeriveEdgeRelations();
   return Status::OK();
 }
 
 util::Status StoredDocument::CheckStringRelation(
     PathId path, std::span<const Oid> owners,
-    std::span<const uint32_t> ends, size_t blob_size,
-    size_t seq_count) const {
+    std::span<const uint32_t> ends, size_t blob_size, size_t seq_count,
+    ColumnChecks checks) const {
   if (path >= paths_.size()) {
     return Status::InvalidArgument("string path id out of range");
   }
@@ -240,17 +265,21 @@ util::Status StoredDocument::CheckStringRelation(
   if (path < strings_.size() && !strings_[path].empty()) {
     return Status::InvalidArgument("string relation adopted twice");
   }
-  for (Oid owner : owners) {
-    if (owner >= parent_.size()) {
-      return Status::InvalidArgument("string owner out of range");
+  if (checks == ColumnChecks::kFull) {
+    // The O(rows) scans — deferrable to ValidateStorageColumns when
+    // the loader arms the lazy validation gate.
+    for (Oid owner : owners) {
+      if (owner >= parent_.size()) {
+        return Status::InvalidArgument("string owner out of range");
+      }
     }
-  }
-  uint32_t previous = 0;
-  for (uint32_t end : ends) {
-    if (end < previous) {
-      return Status::InvalidArgument("string offsets not monotonic");
+    uint32_t previous = 0;
+    for (uint32_t end : ends) {
+      if (end < previous) {
+        return Status::InvalidArgument("string offsets not monotonic");
+      }
+      previous = end;
     }
-    previous = end;
   }
   if (ends.back() != blob_size) {
     return Status::InvalidArgument(
@@ -270,9 +299,9 @@ void StoredDocument::GrowStringTables(PathId path) {
 
 util::Status StoredDocument::AdoptStringRelation(
     PathId path, std::vector<Oid> owners, std::vector<uint32_t> ends,
-    std::string blob, std::vector<uint32_t> seq) {
-  MEETXML_RETURN_NOT_OK(
-      CheckStringRelation(path, owners, ends, blob.size(), seq.size()));
+    std::string blob, std::vector<uint32_t> seq, ColumnChecks checks) {
+  MEETXML_RETURN_NOT_OK(CheckStringRelation(path, owners, ends, blob.size(),
+                                            seq.size(), checks));
   GrowStringTables(path);
   string_count_ += owners.size();
   strings_[path].AdoptColumns(std::move(owners), std::move(ends),
@@ -284,9 +313,9 @@ util::Status StoredDocument::AdoptStringRelation(
 util::Status StoredDocument::AdoptStringRelationViews(
     PathId path, std::span<const Oid> owners,
     std::span<const uint32_t> ends, std::string_view blob,
-    std::span<const uint32_t> seq) {
-  MEETXML_RETURN_NOT_OK(
-      CheckStringRelation(path, owners, ends, blob.size(), seq.size()));
+    std::span<const uint32_t> seq, ColumnChecks checks) {
+  MEETXML_RETURN_NOT_OK(CheckStringRelation(path, owners, ends, blob.size(),
+                                            seq.size(), checks));
   GrowStringTables(path);
   string_count_ += owners.size();
   strings_[path].AdoptColumnViews(owners, ends, blob);
@@ -294,8 +323,114 @@ util::Status StoredDocument::AdoptStringRelationViews(
   return Status::OK();
 }
 
+util::Status StoredDocument::AdoptDerivedColumns(
+    const DerivedColumnsView& derived, bool copy) {
+  size_t n = parent_.size();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "derived columns require node columns to be adopted first");
+  }
+  if (finalized_) {
+    return Status::InvalidArgument(
+        "derived columns adopted into a finalized document");
+  }
+  if (!edge_paths_.empty()) {
+    return Status::InvalidArgument(
+        "edge relations already derived; adopt node columns with "
+        "derive_edges = false to use persisted derived columns");
+  }
+  if (derived.child_offsets.size() != n + 1) {
+    return Status::InvalidArgument("children CSR offset count mismatch");
+  }
+  if (derived.child_list.size() != n - 1) {
+    return Status::InvalidArgument("children CSR list length mismatch");
+  }
+  if (derived.sorted.size() != string_paths_.size()) {
+    return Status::InvalidArgument(
+        "string sortedness flag count mismatch");
+  }
+  std::vector<uint8_t> group_seen(paths_.size(), 0);
+  size_t total_rows = 0;
+  for (const DerivedEdgeGroup& group : derived.edges) {
+    if (group.path >= paths_.size()) {
+      return Status::InvalidArgument("edge group path out of range");
+    }
+    if (group_seen[group.path]) {
+      return Status::InvalidArgument("duplicate edge group path");
+    }
+    group_seen[group.path] = 1;
+    if (group.heads.size() != group.tails.size()) {
+      return Status::InvalidArgument("edge group column lengths differ");
+    }
+    if (group.heads.empty()) {
+      return Status::InvalidArgument("empty edge group");
+    }
+    total_rows += group.heads.size();
+  }
+  if (total_rows != n) {
+    return Status::InvalidArgument(
+        "edge group rows do not cover every node exactly once");
+  }
+  for (PathId p : string_paths_) {
+    if (strings_[p].offsets_overflowed()) {
+      return Status::InvalidArgument(
+          "string relation at path ", p,
+          " exceeds the 4 GiB value-arena limit");
+    }
+  }
+
+  // All framing holds — install. Deep cross-checks (CSR inversion,
+  // per-row parent match, group ordering, flag correctness) are
+  // ValidateDerivedStructures' job.
+  PathId max_path = 0;
+  for (const DerivedEdgeGroup& group : derived.edges) {
+    max_path = std::max(max_path, group.path);
+  }
+  edges_.resize(max_path + 1);
+  edge_paths_.reserve(derived.edges.size());
+  for (const DerivedEdgeGroup& group : derived.edges) {
+    edge_paths_.push_back(group.path);
+    if (copy) {
+      edges_[group.path].AdoptColumns(
+          std::vector<Oid>(group.heads.begin(), group.heads.end()),
+          std::vector<Oid>(group.tails.begin(), group.tails.end()));
+    } else {
+      edges_[group.path].AdoptColumnViews(group.heads, group.tails);
+    }
+  }
+  if (copy) {
+    child_offsets_.Adopt(std::vector<uint32_t>(
+        derived.child_offsets.begin(), derived.child_offsets.end()));
+    child_list_.Adopt(std::vector<Oid>(derived.child_list.begin(),
+                                       derived.child_list.end()));
+  } else {
+    child_offsets_.SetView(derived.child_offsets);
+    child_list_.SetView(derived.child_list);
+  }
+  string_sorted_.assign(strings_.size(), 1);
+  string_index_.assign(strings_.size(), {});
+  for (size_t i = 0; i < string_paths_.size(); ++i) {
+    PathId p = string_paths_[i];
+    string_sorted_[p] = derived.sorted[i] ? 1 : 0;
+    if (derived.sorted[i]) continue;
+    const OidStrBat& table = strings_[p];
+    auto& index = string_index_[p];
+    index.reserve(table.size());
+    std::span<const Oid> heads = table.heads();
+    for (size_t row = 0; row < table.size(); ++row) {
+      index[heads[row]].push_back(static_cast<uint32_t>(row));
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
 bool StoredDocument::view_backed() const {
   if (parent_.is_view() || path_.is_view() || rank_.is_view()) return true;
+  if (child_offsets_.is_view() || child_list_.is_view()) return true;
+  for (const OidOidBat& table : edges_) {
+    if (table.is_view()) return true;
+  }
   for (const OidStrBat& table : strings_) {
     if (table.is_view()) return true;
   }
@@ -306,9 +441,17 @@ bool StoredDocument::view_backed() const {
 }
 
 void StoredDocument::EnsureOwned() {
+  // Promotion is a first-touch event: run the deferred validation
+  // before detaching from the image. The verdict stays sticky in the
+  // gate for consumers that check it; promotion itself is memory-safe
+  // either way (all spans were bounds-framed at decode).
+  (void)EnsureValidated();
   parent_.EnsureOwned();
   path_.EnsureOwned();
   rank_.EnsureOwned();
+  child_offsets_.EnsureOwned();
+  child_list_.EnsureOwned();
+  for (OidOidBat& table : edges_) table.EnsureOwned();
   for (OidStrBat& table : strings_) table.EnsureOwned();
   for (bat::Column<uint32_t>& seq : string_seq_) seq.EnsureOwned();
   backing_.reset();
@@ -322,11 +465,11 @@ Status StoredDocument::Finalize() {
     return Status::Internal("node 0 must be the root");
   }
 
-  // Children CSR via counting sort on the parent column; `child_list_`
+  // Children CSR via counting sort on the parent column; `child_list`
   // ends up in OID (== document) order per parent, which is sibling
   // order because the shredder emits children in order.
   size_t n = parent_.size();
-  child_offsets_.assign(n + 1, 0);
+  std::vector<uint32_t> child_offsets(n + 1, 0);
   for (size_t i = 1; i < n; ++i) {
     if (parent_[i] == kInvalidOid) {
       return Status::Internal("non-root node ", i, " has no parent");
@@ -336,15 +479,17 @@ Status StoredDocument::Finalize() {
                               " has parent with a later OID; shredder must "
                               "assign DFS order");
     }
-    ++child_offsets_[parent_[i] + 1];
+    ++child_offsets[parent_[i] + 1];
   }
-  for (size_t i = 1; i <= n; ++i) child_offsets_[i] += child_offsets_[i - 1];
-  child_list_.resize(n - 1);
-  std::vector<uint32_t> cursor(child_offsets_.begin(),
-                               child_offsets_.end() - 1);
+  for (size_t i = 1; i <= n; ++i) child_offsets[i] += child_offsets[i - 1];
+  std::vector<Oid> child_list(n - 1);
+  std::vector<uint32_t> cursor(child_offsets.begin(),
+                               child_offsets.end() - 1);
   for (size_t i = 1; i < n; ++i) {
-    child_list_[cursor[parent_[i]]++] = static_cast<Oid>(i);
+    child_list[cursor[parent_[i]]++] = static_cast<Oid>(i);
   }
+  child_offsets_.Adopt(std::move(child_offsets));
+  child_list_.Adopt(std::move(child_list));
 
   // Owner look-ups for reassembly and value probes: document-order
   // relations have sorted owner columns and binary-search in place

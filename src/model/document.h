@@ -15,7 +15,9 @@
 #ifndef MEETXML_MODEL_DOCUMENT_H_
 #define MEETXML_MODEL_DOCUMENT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <tuple>
@@ -44,6 +46,43 @@ struct StringAssociation {
   PathId path;
   Oid owner;
   std::string value;
+};
+
+/// \brief How much validation the column-adoption calls run inline.
+///
+/// kFull re-checks every deep invariant at adoption time (the default,
+/// and the only safe choice for untrusted bytes that will be read
+/// before EnsureValidated). kFramingOnly keeps the cheap O(1) framing
+/// checks — lengths, path ranges, blob-size consistency — and defers
+/// the O(rows) scans (owner bounds, offset monotonicity) to the
+/// document's lazy validation gate; loaders that MarkUnvalidated()e the
+/// document may use it to make decode cost independent of corpus size.
+enum class ColumnChecks {
+  kFull,
+  kFramingOnly,
+};
+
+/// \brief One persisted per-path edge relation: (parent, node) rows of
+/// every node with this schema path, in document order.
+struct DerivedEdgeGroup {
+  PathId path;
+  std::span<const Oid> heads;  ///< parents (kInvalidOid for the root)
+  std::span<const Oid> tails;  ///< node OIDs, strictly increasing
+};
+
+/// \brief The derived structures Finalize() would build, precomputed
+/// (by the writer) and handed to AdoptDerivedColumns instead: children
+/// CSR, per-path edge relations, and the per-string-relation
+/// sortedness flags. Spans may borrow from a mapped image (the caller
+/// pins the backing, as for the raw column views).
+struct DerivedColumnsView {
+  std::span<const uint32_t> child_offsets;  ///< node_count + 1 entries
+  std::span<const Oid> child_list;          ///< node_count - 1 entries
+  /// Edge groups in first-appearance (document) order of their paths.
+  std::vector<DerivedEdgeGroup> edges;
+  /// Parallel to string_paths(): 1 if that relation's owner column is
+  /// sorted (binary-search probes), 0 if it needs the hash index.
+  std::vector<uint8_t> sorted;
 };
 
 /// \brief The Monet transform of one XML document.
@@ -170,19 +209,24 @@ class StoredDocument {
   // Loaders pin the backing mapping into the document with PinBacking
   // so the contract holds by construction.
 
-  /// \brief Installs the three per-OID columns at once and derives the
-  /// per-path edge relations. Requires an empty document, equal column
-  /// lengths, a parentless node 0 and parents[i] < i for i > 0 (DFS
-  /// order); every path id must be interned in paths().
+  /// \brief Installs the three per-OID columns at once and (by
+  /// default) derives the per-path edge relations. Requires an empty
+  /// document, equal column lengths, a parentless node 0 and
+  /// parents[i] < i for i > 0 (DFS order); every path id must be
+  /// interned in paths(). Pass derive_edges = false when a persisted
+  /// DRV1 section will supply the edge relations via
+  /// AdoptDerivedColumns instead.
   util::Status AdoptNodeColumns(std::vector<Oid> parents,
                                 std::vector<PathId> paths,
-                                std::vector<int> ranks);
+                                std::vector<int> ranks,
+                                bool derive_edges = true);
 
   /// \brief View-mode AdoptNodeColumns: same validation, but the
   /// columns borrow from the caller's bytes instead of copying.
   util::Status AdoptNodeColumnViews(std::span<const Oid> parents,
                                     std::span<const PathId> paths,
-                                    std::span<const int> ranks);
+                                    std::span<const int> ranks,
+                                    bool derive_edges = true);
 
   /// \brief Installs one path's entire string relation: owner column,
   /// cumulative value end-offsets, the concatenated value blob, and
@@ -194,21 +238,79 @@ class StoredDocument {
   util::Status AdoptStringRelation(PathId path, std::vector<Oid> owners,
                                    std::vector<uint32_t> ends,
                                    std::string blob,
-                                   std::vector<uint32_t> seq);
+                                   std::vector<uint32_t> seq,
+                                   ColumnChecks checks = ColumnChecks::kFull);
 
   /// \brief View-mode AdoptStringRelation: same validation, borrowed
   /// columns.
-  util::Status AdoptStringRelationViews(PathId path,
-                                        std::span<const Oid> owners,
-                                        std::span<const uint32_t> ends,
-                                        std::string_view blob,
-                                        std::span<const uint32_t> seq);
+  util::Status AdoptStringRelationViews(
+      PathId path, std::span<const Oid> owners,
+      std::span<const uint32_t> ends, std::string_view blob,
+      std::span<const uint32_t> seq,
+      ColumnChecks checks = ColumnChecks::kFull);
+
+  /// \brief Installs precomputed derived structures (children CSR,
+  /// per-path edge relations, string sortedness) in place of
+  /// Finalize() — the DRV1 fast path. Requires node columns already
+  /// adopted with derive_edges = false and every string relation
+  /// already in place. Only O(1) framing is verified here (span
+  /// lengths, path ranges, row totals); the deep cross-checks —
+  /// CSR inversion, exactly-once coverage, group ordering — live in
+  /// ValidateDerivedStructures (model/validate.h), which loaders run
+  /// inline (eager) or hang on the validation gate (deferred). With
+  /// copy = false the spans are borrowed (caller pins the backing);
+  /// with copy = true they are copied into owned storage. On success
+  /// the document is finalized.
+  util::Status AdoptDerivedColumns(const DerivedColumnsView& derived,
+                                   bool copy);
 
   /// \brief Builds derived structures (children CSR, string indexes).
   /// Must be called once after shredding, before queries.
   util::Status Finalize();
 
   bool finalized() const { return finalized_; }
+
+  // --- Derived-structure access (persistence + validation) ----------
+
+  /// \brief Children CSR offsets (node_count + 1 entries; available
+  /// after Finalize or AdoptDerivedColumns).
+  std::span<const uint32_t> child_offsets() const {
+    return child_offsets_.span();
+  }
+  /// \brief Children CSR payload (node_count - 1 entries, every
+  /// non-root node grouped under its parent in sibling order).
+  std::span<const Oid> child_list() const { return child_list_.span(); }
+  /// \brief True when StringsAt(path) has a sorted owner column (probes
+  /// binary-search; otherwise they use the per-path hash index).
+  bool StringRelationSorted(PathId path) const {
+    return path < string_sorted_.size() && string_sorted_[path] != 0;
+  }
+
+  // --- Lazy validation gate -----------------------------------------
+  //
+  // Loaders that skip the deep O(rows) checks at decode time
+  // (LoadOptions::defer_validation) call MarkUnvalidated(); the first
+  // consumer that needs full invariants — executor construction,
+  // EnsureOwned — calls EnsureValidated(), which runs the complete
+  // check suite exactly once (thread-safe, once-latched) and returns
+  // its sticky verdict. Documents built through the shredder or the
+  // eager load path have no gate and EnsureValidated is a no-op.
+
+  /// \brief Runs the deferred deep validation once; subsequent calls
+  /// (from any thread) return the same sticky status without
+  /// re-scanning.
+  util::Status EnsureValidated() const;
+
+  /// \brief True when no deferred validation is pending or it already
+  /// ran (regardless of verdict).
+  bool validated() const {
+    return validation_gate_ == nullptr ||
+           validation_gate_->done.load(std::memory_order_acquire);
+  }
+
+  /// \brief Arms the lazy validation gate (called by deferring
+  /// loaders right after decode).
+  void MarkUnvalidated();
 
   // --- Ownership (view-backed documents) ----------------------------
 
@@ -238,13 +340,25 @@ class StoredDocument {
   std::span<const int> rank_column() const { return rank_.span(); }
 
  private:
+  // Once-latch for deferred deep validation: the first EnsureValidated
+  // runs the checks under `mu`, publishes the verdict in `status`, and
+  // release-stores `done`; later callers acquire-load `done` and read
+  // the sticky status lock-free. (std::once_flag is not movable, and
+  // StoredDocument is; a heap latch keeps the document movable.)
+  struct ValidationGate {
+    std::mutex mu;
+    std::atomic<bool> done{false};
+    util::Status status = util::Status::OK();
+  };
+
   util::Status CheckNodeColumns(std::span<const Oid> parents,
                                 std::span<const PathId> paths,
                                 size_t rank_count) const;
   void DeriveEdgeRelations();
   util::Status CheckStringRelation(PathId path, std::span<const Oid> owners,
                                    std::span<const uint32_t> ends,
-                                   size_t blob_size, size_t seq_count) const;
+                                   size_t blob_size, size_t seq_count,
+                                   ColumnChecks checks) const;
   void GrowStringTables(PathId path);
 
   PathSummary paths_;
@@ -265,9 +379,11 @@ class StoredDocument {
   std::vector<PathId> edge_paths_;
   size_t string_count_ = 0;
 
-  // Derived: children CSR (built by Finalize).
-  std::vector<uint32_t> child_offsets_;
-  std::vector<Oid> child_list_;
+  // Derived: children CSR — built by Finalize (owned) or adopted from
+  // a persisted DRV1 section (possibly view-backed, like the raw
+  // columns).
+  bat::Column<uint32_t> child_offsets_;
+  bat::Column<Oid> child_list_;
 
   // Derived: owner look-up for string relations. Relations built in
   // document order have non-decreasing owner columns (the shredder
@@ -283,6 +399,9 @@ class StoredDocument {
   // buffer) the spans borrow from. Type-erased so documents can pin a
   // util::MmapFile, a std::string, or anything else that owns bytes.
   std::shared_ptr<const void> backing_;
+
+  // Null unless a deferring loader armed the lazy validation gate.
+  mutable std::shared_ptr<ValidationGate> validation_gate_;
 
   bool finalized_ = false;
 };

@@ -1,9 +1,11 @@
 #include "model/storage_io.h"
 
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <span>
 
+#include "model/validate.h"
 #include "util/byte_io.h"
 #include "util/file_io.h"
 #include "util/mmap_file.h"
@@ -29,14 +31,25 @@ constexpr uint32_t kMinorV2Columnar = 4;
 // the first minor whose container aligns section payloads to 4-byte
 // file offsets.
 constexpr uint32_t kMinorV2AlignedColumnar = 5;
+// The minor revision DRV1 derived-columns sections require; also the
+// first minor with the trailing, patchable directory (in-place
+// incremental rewrite).
+constexpr uint32_t kMinorV2Derived = 6;
 // Newest MXM2 minor a reader accepts; 3 added multi-document catalog
 // images (several document sections + a CTLG directory,
 // store/catalog.h), 4 added the columnar DOC1 payload, 5 added the
-// aligned DOC2 payload and container section alignment.
-constexpr uint32_t kMaxMinorV2 = 5;
+// aligned DOC2 payload and container section alignment, 6 added DRV1
+// derived-columns sections and the trailing directory.
+constexpr uint32_t kMaxMinorV2 = 6;
+// Fixed header size of a minor-6 container: magic + u32 version +
+// u64 dir_offset. Sections start at or after this offset.
+constexpr uint64_t kHeaderSizeV6 = 16;
 // Corruption guard: a directory claiming more sections than this is
-// rejected before any allocation happens.
-constexpr uint32_t kMaxSections = 1024;
+// rejected before any allocation happens. Sized for catalogs of a few
+// ten-thousand documents (3 sections each: DOC2 + DRV1 + TIDX); at 28
+// directory bytes per section the worst-case pre-validation allocation
+// stays under 2 MB.
+constexpr uint32_t kMaxSections = 65536;
 
 constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
@@ -296,9 +309,97 @@ bool CanViewPayload(std::string_view payload, bool aligned,
          reinterpret_cast<uintptr_t>(payload.data()) % 4 == 0;
 }
 
+// Parses a DRV1 payload (spans over `payload`) and adopts it into
+// `doc`, which must already hold its node columns (adopted with
+// derive_edges = false) and string relations. `view` requests
+// borrowed adoption; an unaligned payload base silently downgrades to
+// copy (mirroring CanViewPayload's safety net — all-u32 framing keeps
+// every interior offset aligned once the base is).
+Status AdoptDerivedFromPayload(std::string_view payload, bool view,
+                               StoredDocument* doc, uint64_t* viewed,
+                               uint64_t* copied) {
+  std::vector<uint32_t> scratch;
+  if (reinterpret_cast<uintptr_t>(payload.data()) % 4 != 0) {
+    if (payload.size() % 4 != 0) {
+      return Status::InvalidArgument(
+          "corrupt image: derived section size not a multiple of 4");
+    }
+    scratch.resize(payload.size() / 4);
+    std::memcpy(scratch.data(), payload.data(), payload.size());
+    payload = std::string_view(
+        reinterpret_cast<const char*>(scratch.data()), payload.size());
+    view = false;  // the scratch dies with this call
+  }
+  ByteReader reader(payload);
+  MEETXML_ASSIGN_OR_RETURN(uint32_t node_count, reader.U32());
+  if (node_count != doc->node_count()) {
+    return Status::InvalidArgument(
+        "corrupt image: derived section node count mismatch");
+  }
+  // Guard before the big column views: offsets + list alone need
+  // 2 * node_count u32s.
+  if (uint64_t{node_count} * 8 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt image: derived node count");
+  }
+  DerivedColumnsView derived;
+  MEETXML_ASSIGN_OR_RETURN(
+      derived.child_offsets,
+      ViewU32Column<uint32_t>(&reader, size_t{node_count} + 1));
+  MEETXML_ASSIGN_OR_RETURN(
+      derived.child_list, ViewU32Column<Oid>(&reader, node_count - 1));
+  MEETXML_ASSIGN_OR_RETURN(uint32_t edge_group_count, reader.U32());
+  if (edge_group_count > reader.remaining() / 8) {
+    return Status::InvalidArgument(
+        "corrupt image: derived edge group count");
+  }
+  derived.edges.reserve(edge_group_count);
+  for (uint32_t g = 0; g < edge_group_count; ++g) {
+    DerivedEdgeGroup group;
+    MEETXML_ASSIGN_OR_RETURN(group.path, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(uint32_t rows, reader.U32());
+    if (rows == 0 || rows > reader.remaining() / 8) {
+      return Status::InvalidArgument(
+          "corrupt image: derived edge row count");
+    }
+    MEETXML_ASSIGN_OR_RETURN(group.heads, ViewU32Column<Oid>(&reader, rows));
+    MEETXML_ASSIGN_OR_RETURN(group.tails, ViewU32Column<Oid>(&reader, rows));
+    derived.edges.push_back(group);
+  }
+  MEETXML_ASSIGN_OR_RETURN(uint32_t string_group_count, reader.U32());
+  if (string_group_count != doc->string_paths().size()) {
+    return Status::InvalidArgument(
+        "corrupt image: derived string group count mismatch");
+  }
+  derived.sorted.reserve(string_group_count);
+  for (uint32_t i = 0; i < string_group_count; ++i) {
+    MEETXML_ASSIGN_OR_RETURN(uint32_t path, reader.U32());
+    MEETXML_ASSIGN_OR_RETURN(uint32_t flag, reader.U32());
+    if (path != doc->string_paths()[i]) {
+      return Status::InvalidArgument(
+          "corrupt image: derived string group order mismatch");
+    }
+    if (flag > 1) {
+      return Status::InvalidArgument(
+          "corrupt image: derived sortedness flag");
+    }
+    derived.sorted.push_back(static_cast<uint8_t>(flag));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in derived section");
+  }
+  Status adopted = doc->AdoptDerivedColumns(derived, /*copy=*/!view);
+  if (!adopted.ok()) {
+    return Status::InvalidArgument("corrupt image: ", adopted.message());
+  }
+  *(view ? viewed : copied) += payload.size();
+  return Status::OK();
+}
+
 Result<StoredDocument> ParseColumnarDocumentPayload(
-    std::string_view payload, bool aligned, const LoadOptions& options) {
+    std::string_view payload, bool aligned, const LoadOptions& options,
+    const std::string_view* derived_payload = nullptr) {
   bool view = CanViewPayload(payload, aligned, options);
+  bool defer = options.defer_validation;
   uint64_t borrowed = 0;  // column/blob bytes served as views
   uint64_t copied = 0;    // column/blob bytes memcpy'd out of the image
   ByteReader reader(payload);
@@ -313,6 +414,9 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
   if (node_count > reader.remaining() / 12) {
     return Status::InvalidArgument("corrupt image: node count");
   }
+  // When a DRV1 section supplies the edge relations, the decode skips
+  // deriving them from the parent column.
+  bool derive_edges = derived_payload == nullptr;
   Status adopted = Status::OK();
   if (view) {
     MEETXML_ASSIGN_OR_RETURN(std::span<const Oid> parents,
@@ -321,7 +425,8 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
                              ViewU32Column<PathId>(&reader, node_count));
     MEETXML_ASSIGN_OR_RETURN(std::span<const int> ranks,
                              ViewU32Column<int>(&reader, node_count));
-    adopted = doc.AdoptNodeColumnViews(parents, node_paths, ranks);
+    adopted = doc.AdoptNodeColumnViews(parents, node_paths, ranks,
+                                       derive_edges);
     borrowed += uint64_t{12} * node_count;
   } else {
     MEETXML_ASSIGN_OR_RETURN(std::vector<Oid> parents,
@@ -331,7 +436,7 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
     MEETXML_ASSIGN_OR_RETURN(std::vector<int> ranks,
                              ReadU32Column<int>(&reader, node_count));
     adopted = doc.AdoptNodeColumns(std::move(parents), std::move(node_paths),
-                                   std::move(ranks));
+                                   std::move(ranks), derive_edges);
     copied += uint64_t{12} * node_count;
   }
   if (!adopted.ok()) {
@@ -347,7 +452,9 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
       group_count > reader.remaining() / 8) {
     return Status::InvalidArgument("corrupt image: string counts");
   }
-  std::vector<bool> seq_seen(total_strings, false);
+  // The append-order permutation scan — the deep per-row check a
+  // deferring load hangs on the validation gate instead.
+  std::vector<bool> seq_seen(defer ? 0 : total_strings, false);
   uint64_t rows_total = 0;
   for (uint32_t g = 0; g < group_count; ++g) {
     MEETXML_ASSIGN_OR_RETURN(uint32_t path, reader.U32());
@@ -369,18 +476,19 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
     MEETXML_ASSIGN_OR_RETURN(std::string_view blob,
                              reader.View(blob_size));
     if (aligned) MEETXML_RETURN_NOT_OK(reader.AlignTo4());
-    // Validate the append-order permutation from the raw bytes — the
-    // one per-row scan neither mode can skip (a corrupt image must
-    // fail decode, never hand out a bogus reassembly order).
-    for (uint32_t r = 0; r < rows; ++r) {
-      uint32_t seq;
-      std::memcpy(&seq, seq_raw.data() + uint64_t{r} * 4, 4);
-      if (seq >= total_strings || seq_seen[seq]) {
-        return Status::InvalidArgument(
-            "corrupt image: string order is not a permutation");
+    if (!defer) {
+      for (uint32_t r = 0; r < rows; ++r) {
+        uint32_t seq;
+        std::memcpy(&seq, seq_raw.data() + uint64_t{r} * 4, 4);
+        if (seq >= total_strings || seq_seen[seq]) {
+          return Status::InvalidArgument(
+              "corrupt image: string order is not a permutation");
+        }
+        seq_seen[seq] = true;
       }
-      seq_seen[seq] = true;
     }
+    ColumnChecks checks =
+        defer ? ColumnChecks::kFramingOnly : ColumnChecks::kFull;
     Status adopted_strings = Status::OK();
     if (view) {
       adopted_strings = doc.AdoptStringRelationViews(
@@ -391,7 +499,8 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
               reinterpret_cast<const uint32_t*>(ends_raw.data()), rows),
           blob,
           std::span<const uint32_t>(
-              reinterpret_cast<const uint32_t*>(seq_raw.data()), rows));
+              reinterpret_cast<const uint32_t*>(seq_raw.data()), rows),
+          checks);
       borrowed += uint64_t{12} * rows + blob.size();
     } else {
       std::vector<Oid> owners(rows);
@@ -402,7 +511,7 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
       std::memcpy(ends.data(), ends_raw.data(), ends_raw.size());
       adopted_strings = doc.AdoptStringRelation(
           path, std::move(owners), std::move(ends), std::string(blob),
-          std::move(seq));
+          std::move(seq), checks);
       copied += uint64_t{12} * rows + blob.size();
     }
     if (!adopted_strings.ok()) {
@@ -419,7 +528,23 @@ Result<StoredDocument> ParseColumnarDocumentPayload(
     return Status::InvalidArgument("trailing bytes in storage image");
   }
 
-  MEETXML_RETURN_NOT_OK(doc.Finalize());
+  if (derived_payload != nullptr) {
+    MEETXML_RETURN_NOT_OK(AdoptDerivedFromPayload(*derived_payload, view,
+                                                  &doc, &borrowed, &copied));
+    // Eagerly cross-check the adopted structures unless deferred —
+    // the one deep scan the persisted-derived fast path keeps, so a
+    // default (eager) load stays exactly as corruption-proof as the
+    // rebuild path it replaces.
+    if (!defer) {
+      Status valid = ValidateDerivedStructures(doc);
+      if (!valid.ok()) {
+        return Status::InvalidArgument("corrupt image: ", valid.message());
+      }
+    }
+  } else {
+    MEETXML_RETURN_NOT_OK(doc.Finalize());
+  }
+  if (defer) doc.MarkUnvalidated();
   if (view) doc.PinBacking(options.backing);
   if (options.stats != nullptr) {
     options.stats->bytes_copied += copied;
@@ -454,6 +579,21 @@ uint32_t MinorForPayloadFormat(DocumentPayloadFormat format) {
   return kMinorV2AlignedColumnar;
 }
 
+// Serializes a minor-6 directory (count + entries, without its
+// trailing checksum field) — shared by the full writer and the
+// in-place appender so the two always publish identical framing.
+std::string SerializeDirectoryV6(const std::vector<SectionPlacement>& entries) {
+  ByteWriter dir;
+  dir.U32(static_cast<uint32_t>(entries.size()));
+  for (const SectionPlacement& entry : entries) {
+    dir.U32(entry.id);
+    dir.U64(entry.offset);
+    dir.U64(entry.size);
+    dir.U64(entry.checksum);
+  }
+  return dir.Take();
+}
+
 // Shared v2 container writer; takes pointers so callers can mix owned
 // and borrowed sections without copying payloads.
 Result<std::string> WriteContainer(
@@ -463,6 +603,35 @@ Result<std::string> WriteContainer(
   }
   if (sections.empty() || sections.size() > kMaxSections) {
     return Status::InvalidArgument("bad section count: ", sections.size());
+  }
+  if (minor >= kMinorV2Derived) {
+    // Trailing-directory layout: header with a directory pointer,
+    // 4-aligned payloads, then the checksummed directory. The pointer
+    // is patched last — the same single-word commit an in-place
+    // rewrite uses.
+    ByteWriter header;
+    for (char c : kMagicV2) header.U8(static_cast<uint8_t>(c));
+    header.U32(minor);
+    header.U64(0);  // dir_offset, patched below
+    std::string image = header.Take();
+    std::vector<SectionPlacement> placements;
+    placements.reserve(sections.size());
+    for (const ImageSection* section : sections) {
+      while (image.size() % 4 != 0) image.push_back('\0');
+      placements.push_back(SectionPlacement{
+          section->id, image.size(), section->bytes.size(),
+          SectionChecksum(minor, section->bytes)});
+      image += section->bytes;
+    }
+    while (image.size() % 4 != 0) image.push_back('\0');
+    uint64_t dir_offset = image.size();
+    std::string dir_bytes = SerializeDirectoryV6(placements);
+    image += dir_bytes;
+    ByteWriter tail;
+    tail.U64(SectionChecksum(minor, dir_bytes));
+    image += tail.Take();
+    std::memcpy(image.data() + 8, &dir_offset, 8);
+    return image;
   }
   ByteWriter out;
   for (char c : kMagicV2) out.U8(static_cast<uint8_t>(c));
@@ -509,6 +678,31 @@ Result<std::string> SerializeDocumentSection(const StoredDocument& doc,
   return SerializeDocumentPayload(doc, format);
 }
 
+Result<std::string> SerializeDerivedSection(const StoredDocument& doc) {
+  if (!doc.finalized()) {
+    return Status::InvalidArgument(
+        "only finalized documents can be saved");
+  }
+  ByteWriter payload;
+  payload.U32(static_cast<uint32_t>(doc.node_count()));
+  payload.Bytes(ColumnBytes(doc.child_offsets()));
+  payload.Bytes(ColumnBytes(doc.child_list()));
+  payload.U32(static_cast<uint32_t>(doc.edge_paths().size()));
+  for (PathId path : doc.edge_paths()) {
+    const bat::OidOidBat& edges = doc.EdgesAt(path);
+    payload.U32(path);
+    payload.U32(static_cast<uint32_t>(edges.size()));
+    payload.Bytes(ColumnBytes(edges.heads()));
+    payload.Bytes(ColumnBytes(edges.tails()));
+  }
+  payload.U32(static_cast<uint32_t>(doc.string_paths().size()));
+  for (PathId path : doc.string_paths()) {
+    payload.U32(path);
+    payload.U32(doc.StringRelationSorted(path) ? 1 : 0);
+  }
+  return payload.Take();
+}
+
 Result<StoredDocument> ParseDocumentSection(std::string_view payload,
                                             const LoadOptions& options) {
   return ParseRowDocumentPayload(payload, options);
@@ -539,6 +733,21 @@ Result<StoredDocument> ParseAnyDocumentSection(uint32_t section_id,
   }
   return Status::InvalidArgument("not a document section id: ",
                                  section_id);
+}
+
+Result<StoredDocument> ParseDocumentWithDerived(uint32_t section_id,
+                                                std::string_view payload,
+                                                std::string_view derived_payload,
+                                                const LoadOptions& options) {
+  if (section_id != kAlignedColumnarDocumentSectionId) {
+    // DRV1 spans the document payload's column layout; only the
+    // aligned columnar codec guarantees it.
+    return Status::InvalidArgument(
+        "derived sections pair only with aligned columnar document "
+        "sections");
+  }
+  return ParseColumnarDocumentPayload(payload, /*aligned=*/true, options,
+                                      &derived_payload);
 }
 
 Result<std::string> SaveSectionsToBytes(
@@ -572,6 +781,10 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
       return Status::InvalidArgument(
           "extra sections cannot use a document section id");
     }
+    if (options.extra_sections[i].id == kDerivedSectionId) {
+      return Status::InvalidArgument(
+          "extra sections cannot use the derived section id");
+    }
     for (size_t j = 0; j < i; ++j) {
       if (options.extra_sections[j].id == options.extra_sections[i].id) {
         return Status::InvalidArgument("duplicate section id ",
@@ -599,19 +812,37 @@ Result<std::string> SaveToBytes(const StoredDocument& doc,
     return out;
   }
 
+  // DRV1 only describes the aligned columnar layout; other payload
+  // formats (kept for rollback) write the previous minors unchanged.
+  bool with_derived =
+      options.derived_section &&
+      options.payload_format == DocumentPayloadFormat::kColumnar;
   std::string body = SerializeDocumentPayload(doc, options.payload_format);
   std::vector<const ImageSection*> pointers;
-  pointers.reserve(1 + options.extra_sections.size());
+  pointers.reserve(2 + options.extra_sections.size());
   ImageSection document_section{DocumentSectionIdFor(options.payload_format),
                                 std::move(body)};
   pointers.push_back(&document_section);
+  ImageSection derived_section{kDerivedSectionId, std::string()};
+  if (with_derived) {
+    MEETXML_ASSIGN_OR_RETURN(derived_section.bytes,
+                             SerializeDerivedSection(doc));
+    pointers.push_back(&derived_section);
+  }
   for (const ImageSection& section : options.extra_sections) {
     pointers.push_back(&section);
   }
-  return WriteContainer(pointers, MinorForPayloadFormat(options.payload_format));
+  uint32_t minor = with_derived ? kMinorV2Derived
+                                : MinorForPayloadFormat(options.payload_format);
+  return WriteContainer(pointers, minor);
 }
 
 Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
+  return LoadSectionsFromBytes(bytes, SectionScanOptions{});
+}
+
+Result<SectionImage> LoadSectionsFromBytes(
+    std::string_view bytes, const SectionScanOptions& options) {
   ByteReader reader(bytes);
   char magic[4];
   for (char& c : magic) {
@@ -634,12 +865,13 @@ Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
       return Status::InvalidArgument("storage image size mismatch");
     }
     std::string_view payload = bytes.substr(header_size);
-    if (Fnv1a(payload) != checksum) {
+    if (options.verify_checksums && Fnv1a(payload) != checksum) {
       return Status::InvalidArgument("storage image checksum mismatch");
     }
     SectionImage image;
     image.minor = kMinorV1;
-    image.sections.push_back(SectionView{kDocumentSectionId, payload});
+    image.sections.push_back(
+        SectionView{kDocumentSectionId, payload, header_size, checksum});
     return image;
   }
 
@@ -653,6 +885,66 @@ Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
     return Status::InvalidArgument("unsupported storage version ",
                                    version);
   }
+
+  if (version >= kMinorV2Derived) {
+    // Trailing-directory layout: seek to the directory, verify its
+    // own checksum (the one framing check that always runs — the scan
+    // never trusts unchecked structure), then bounds-check every
+    // entry. Gaps between payloads and bytes after the directory are
+    // dead space by design (alignment padding, superseded sections of
+    // an in-place rewrite, an interrupted append) and carry no
+    // checksum.
+    MEETXML_ASSIGN_OR_RETURN(uint64_t dir_offset, reader.U64());
+    if (dir_offset < kHeaderSizeV6 || dir_offset % 4 != 0 ||
+        dir_offset > bytes.size() || bytes.size() - dir_offset < 12) {
+      return Status::InvalidArgument(
+          "corrupt image: bad directory offset");
+    }
+    ByteReader dir(bytes);
+    dir.set_pos(static_cast<size_t>(dir_offset));
+    MEETXML_ASSIGN_OR_RETURN(uint32_t section_count, dir.U32());
+    if (section_count == 0 || section_count > kMaxSections) {
+      return Status::InvalidArgument("corrupt image: section count ",
+                                     section_count);
+    }
+    std::vector<SectionPlacement> directory(section_count);
+    for (SectionPlacement& entry : directory) {
+      MEETXML_ASSIGN_OR_RETURN(entry.id, dir.U32());
+      MEETXML_ASSIGN_OR_RETURN(entry.offset, dir.U64());
+      MEETXML_ASSIGN_OR_RETURN(entry.size, dir.U64());
+      MEETXML_ASSIGN_OR_RETURN(entry.checksum, dir.U64());
+    }
+    size_t dir_end = dir.pos();
+    MEETXML_ASSIGN_OR_RETURN(uint64_t dir_checksum, dir.U64());
+    std::string_view dir_bytes =
+        bytes.substr(static_cast<size_t>(dir_offset), dir_end - dir_offset);
+    if (SectionChecksum(version, dir_bytes) != dir_checksum) {
+      return Status::InvalidArgument(
+          "corrupt image: directory checksum mismatch");
+    }
+    SectionImage image;
+    image.minor = version;
+    image.dir_offset = dir_offset;
+    image.sections.reserve(section_count);
+    for (const SectionPlacement& entry : directory) {
+      if (entry.offset < kHeaderSizeV6 || entry.offset % 4 != 0 ||
+          entry.offset > dir_offset ||
+          entry.size > dir_offset - entry.offset) {
+        return Status::InvalidArgument("corrupt image: section overruns");
+      }
+      std::string_view payload = bytes.substr(
+          static_cast<size_t>(entry.offset),
+          static_cast<size_t>(entry.size));
+      if (options.verify_checksums &&
+          SectionChecksum(version, payload) != entry.checksum) {
+        return Status::InvalidArgument("storage image checksum mismatch");
+      }
+      image.sections.push_back(
+          SectionView{entry.id, payload, entry.offset, entry.checksum});
+    }
+    return image;
+  }
+
   MEETXML_ASSIGN_OR_RETURN(uint32_t section_count, reader.U32());
   if (section_count == 0 || section_count > kMaxSections) {
     return Status::InvalidArgument("corrupt image: section count ",
@@ -692,11 +984,13 @@ Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
     }
     std::string_view payload =
         bytes.substr(offset, static_cast<size_t>(entry.size));
-    offset += entry.size;
-    if (SectionChecksum(version, payload) != entry.checksum) {
+    if (options.verify_checksums &&
+        SectionChecksum(version, payload) != entry.checksum) {
       return Status::InvalidArgument("storage image checksum mismatch");
     }
-    image.sections.push_back(SectionView{entry.id, payload});
+    image.sections.push_back(
+        SectionView{entry.id, payload, offset, entry.checksum});
+    offset += entry.size;
   }
   if (offset != bytes.size()) {
     return Status::InvalidArgument("storage image size mismatch");
@@ -704,22 +998,33 @@ Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes) {
   return image;
 }
 
+Status VerifySectionChecksum(uint32_t minor, const SectionView& section) {
+  if (SectionChecksum(minor, section.bytes) != section.checksum) {
+    return Status::InvalidArgument("storage image checksum mismatch");
+  }
+  return Status::OK();
+}
+
 Result<LoadedImage> LoadImageFromBytes(std::string_view bytes,
                                        const LoadOptions& options) {
   MEETXML_ASSIGN_OR_RETURN(SectionImage raw, LoadSectionsFromBytes(bytes));
   LoadedImage image;
   image.format_version = raw.minor == kMinorV1 ? 1 : 2;
-  bool saw_document = false;
+  const SectionView* doc_section = nullptr;
+  const SectionView* drv_section = nullptr;
   for (const SectionView& section : raw.sections) {
     if (IsDocumentSectionId(section.id)) {
-      if (saw_document) {
+      if (doc_section != nullptr) {
         return Status::InvalidArgument(
             "corrupt image: duplicate document section");
       }
-      saw_document = true;
-      MEETXML_ASSIGN_OR_RETURN(
-          image.doc,
-          ParseAnyDocumentSection(section.id, section.bytes, options));
+      doc_section = &section;
+    } else if (section.id == kDerivedSectionId) {
+      if (drv_section != nullptr) {
+        return Status::InvalidArgument(
+            "corrupt image: duplicate derived section");
+      }
+      drv_section = &section;
     } else {
       // Forward compatibility: unknown sections are preserved verbatim
       // for higher layers (or newer readers) to interpret.
@@ -727,8 +1032,19 @@ Result<LoadedImage> LoadImageFromBytes(std::string_view bytes,
           ImageSection{section.id, std::string(section.bytes)});
     }
   }
-  if (!saw_document) {
+  if (doc_section == nullptr) {
     return Status::InvalidArgument("corrupt image: no document section");
+  }
+  if (drv_section != nullptr) {
+    MEETXML_ASSIGN_OR_RETURN(
+        image.doc,
+        ParseDocumentWithDerived(doc_section->id, doc_section->bytes,
+                                 drv_section->bytes, options));
+  } else {
+    MEETXML_ASSIGN_OR_RETURN(
+        image.doc,
+        ParseAnyDocumentSection(doc_section->id, doc_section->bytes,
+                                options));
   }
   return image;
 }
@@ -751,6 +1067,115 @@ Result<StoredDocument> LoadFromFile(const std::string& path,
   MEETXML_ASSIGN_OR_RETURN(LoadedImage image,
                            LoadImageFromFile(path, options));
   return std::move(image.doc);
+}
+
+Result<AppendStats> AppendSectionsToFile(
+    const std::string& path, uint64_t expected_size,
+    uint64_t expected_dir_offset,
+    const std::vector<PendingSection>& sections) {
+  if (sections.empty() || sections.size() > kMaxSections) {
+    return Status::InvalidArgument("bad section count: ", sections.size());
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open storage image: ", path);
+  }
+  auto fail = [&file](Status status) {
+    std::fclose(file);
+    return status;
+  };
+  // Fence: the on-disk image must still be exactly the one the caller
+  // planned against — magic, a trailing-directory minor, the directory
+  // pointer, and the file size all verbatim — so kept placements and
+  // the commit patch stay valid.
+  char header[kHeaderSizeV6];
+  if (std::fread(header, 1, sizeof header, file) != sizeof header) {
+    return fail(Status::InvalidArgument("storage image truncated: ", path));
+  }
+  if (std::memcmp(header, kMagicV2, 4) != 0) {
+    return fail(Status::InvalidArgument("bad magic in ", path));
+  }
+  uint32_t minor;
+  std::memcpy(&minor, header + 4, 4);
+  if (minor < kMinorV2Derived || minor > kMaxMinorV2) {
+    return fail(Status::InvalidArgument(
+        "storage minor ", minor, " has no trailing directory"));
+  }
+  uint64_t dir_offset;
+  std::memcpy(&dir_offset, header + 8, 8);
+  if (dir_offset != expected_dir_offset) {
+    return fail(Status::InvalidArgument(
+        "storage image changed since it was planned against"));
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return fail(Status::Internal("seek failed on ", path));
+  }
+  long end = std::ftell(file);
+  if (end < 0 || static_cast<uint64_t>(end) != expected_size) {
+    return fail(Status::InvalidArgument(
+        "storage image changed since it was planned against"));
+  }
+
+  // Stage the whole append in memory: new payloads on 4-aligned file
+  // offsets, then the new directory and its checksum. Nothing below
+  // expected_size is touched until the blob is durable.
+  AppendStats stats;
+  stats.placements.reserve(sections.size());
+  std::string blob;
+  auto cursor = [&] { return expected_size + blob.size(); };
+  for (const PendingSection& section : sections) {
+    if (section.keep.has_value()) {
+      const SectionPlacement& keep = *section.keep;
+      if (keep.id != section.id || keep.offset < kHeaderSizeV6 ||
+          keep.offset % 4 != 0 || keep.size > expected_size ||
+          keep.offset > expected_size - keep.size) {
+        return fail(Status::InvalidArgument(
+            "kept section placement does not fit the existing image"));
+      }
+      stats.placements.push_back(keep);
+      continue;
+    }
+    while (cursor() % 4 != 0) blob.push_back('\0');
+    stats.placements.push_back(SectionPlacement{
+        section.id, cursor(), section.bytes.size(),
+        SectionChecksum(minor, section.bytes)});
+    blob += section.bytes;
+  }
+  while (cursor() % 4 != 0) blob.push_back('\0');
+  uint64_t new_dir_offset = cursor();
+  std::string dir_bytes = SerializeDirectoryV6(stats.placements);
+  blob += dir_bytes;
+  ByteWriter tail;
+  tail.U64(SectionChecksum(minor, dir_bytes));
+  blob += tail.Take();
+
+  if (std::fwrite(blob.data(), 1, blob.size(), file) != blob.size() ||
+      std::fflush(file) != 0) {
+    return fail(Status::Internal("short write appending to ", path));
+  }
+#if defined(MEETXML_HAVE_FSYNC)
+  if (::fsync(::fileno(file)) != 0) {
+    return fail(Status::Internal("fsync failed on ", path));
+  }
+#endif
+  // Single-word commit: repoint the header at the new directory. A
+  // crash on either side of this write leaves a fully valid image —
+  // the old one before, the new one after.
+  if (std::fseek(file, 8, SEEK_SET) != 0 ||
+      std::fwrite(&new_dir_offset, 1, 8, file) != 8 ||
+      std::fflush(file) != 0) {
+    return fail(Status::Internal("directory patch failed on ", path));
+  }
+#if defined(MEETXML_HAVE_FSYNC)
+  if (::fsync(::fileno(file)) != 0) {
+    return fail(Status::Internal("fsync failed on ", path));
+  }
+#endif
+  std::fclose(file);
+  stats.file_size = expected_size + blob.size();
+  stats.dir_offset = new_dir_offset;
+  stats.bytes_appended = blob.size();
+  return stats;
 }
 
 Result<LoadedImage> LoadImageFromFile(const std::string& path,

@@ -22,7 +22,7 @@
 //  * The u32 version field after the magic is the minor revision of
 //    that major. Minor revisions are backward compatible: a reader for
 //    (major, minor) loads every image with the same major and
-//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 4.
+//    minor' <= minor. Current minors: MXM1 -> 1, MXM2 -> 6.
 //  * Within MXM2, compatibility evolves by adding sections: a loader
 //    skips section ids it does not recognize (their bytes are surfaced
 //    through LoadedImage::extra_sections), so old readers open new
@@ -58,10 +58,44 @@
 //    minor-4 reader fleets) or DOC0 (kRowOriented, readable
 //    everywhere), and format_version pins MXM1 — every reader keeps
 //    accepting all older layouts.
+//  * Minor 6 makes open time O(directory) instead of O(corpus), with
+//    three coordinated changes:
+//      - The derived-columns section, id "DRV1": the structures
+//        Finalize() used to rebuild on every load — the children CSR,
+//        the per-path edge BATs (the paper's pre-joined path
+//        relations) and the string-relation sortedness flags — persist
+//        next to their document section and are served zero-copy in
+//        view mode. A DRV1 section is an all-u32 payload and always
+//        pairs with a DOC2 section; writers emit one by default
+//        (SaveOptions::derived_section), and every pre-6 image still
+//        loads by rebuilding as before.
+//      - A trailing directory: the u32 section count of minors <= 5 is
+//        replaced by a u64 offset to a directory that lives *after*
+//        the payloads and carries per-section (id, offset, size,
+//        checksum) plus its own checksum. Sections no longer tile the
+//        file — dead gaps and trailing bytes are legal — which is what
+//        makes in-place incremental rewrite possible: an updater
+//        appends replacement sections and a fresh directory, then
+//        patches the one header word to point at it. A crash before
+//        the patch leaves the old directory authoritative and the old
+//        image fully intact; the superseded bytes are dead space until
+//        a compaction rewrite reclaims them.
+//      - Checksum-gated lazy loading: a reader may open the container
+//        verifying only the directory checksum (SectionScanOptions::
+//        verify_checksums = false), defer each section's checksum to
+//        first touch (VerifySectionChecksum), and defer the deep
+//        semantic scans behind the document's validation gate
+//        (LoadOptions::defer_validation + StoredDocument::
+//        EnsureValidated) — so opening a thousand-document catalog
+//        costs the directory walk, nothing else, while corruption
+//        still fails loudly at the gate before any query sees it.
 //  * Every section is length-framed and checksummed independently;
-//    loaders verify bounds and checksums before touching a payload,
-//    and semantic validation (path/OID ranges, parent ordering, string
-//    offsets and the append-order permutation) runs on every load.
+//    loaders verify bounds and checksums before touching a payload
+//    (checksum verification can be deferred — never skipped — on the
+//    lazy path above), and semantic validation (path/OID ranges,
+//    parent ordering, string offsets and the append-order
+//    permutation) runs on every load, eagerly by default or behind
+//    the per-document validation gate when deferred.
 //    Corrupted or truncated images are rejected, never partially
 //    applied (tests/storage_fuzz_test.cc pins this). The checksum
 //    algorithm is keyed by the minor: images up to minor 3 use
@@ -74,13 +108,37 @@
 // MXM1 layout (little-endian):
 //   magic "MXM1" | u32 version | u64 payload_size | u64 fnv1a_checksum
 //   payload: the DOC0 document payload described below
-// MXM2 layout:
+// MXM2 layout (minors 2-5):
 //   magic "MXM2" | u32 version | u32 section_count
 //   section directory: per section u32 id | u64 size | u64 fnv1a
 //   section payloads, concatenated in directory order (for version
 //   >= 5, each payload is preceded by zero padding to the next 4-byte
 //   file offset; the padding belongs to the container, not to any
 //   section)
+// MXM2 layout (minor 6, the incremental-rewrite container):
+//   magic "MXM2" | u32 version | u64 dir_offset
+//   section payloads, each starting on a 4-byte file offset; gaps
+//   between payloads (alignment padding, superseded sections) carry
+//   no meaning and no checksum
+//   directory, at dir_offset (4-byte aligned): u32 section_count,
+//   then per section u32 id | u64 offset | u64 size | u64 fnv1a,
+//   then u64 fnv1a of the directory bytes so far (from dir_offset up
+//   to, not including, this field)
+//   Bytes after the directory are legal and ignored — a crashed
+//   in-place rewrite leaves appended-but-unreferenced sections there.
+// DRV1 derived-columns payload (all little-endian u32, paired with
+// the DOC2 section of the same document):
+//   u32 node_count
+//   child_offsets[]: node_count + 1 raw u32 — children CSR offsets
+//   child_list[]: node_count - 1 raw u32 — children CSR payload
+//   u32 edge_group_count, then per group, in first-appearance
+//   (document) order of the path:
+//     u32 path | u32 row_count (> 0)
+//     heads[]: row_count raw u32 — each node's parent
+//     tails[]: row_count raw u32 — the nodes of this path, ascending
+//   u32 string_group_count, then per string path, in the DOC2
+//   payload's group order: u32 path | u32 sorted_flag (1 when the
+//   owner column is sorted and probes may binary-search)
 // DOC0 document payload (row-oriented):
 //   path summary: u32 count, then per path: u32 parent, u8 kind,
 //                 string label
@@ -145,6 +203,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -177,6 +236,9 @@ inline constexpr uint32_t kAlignedColumnarDocumentSectionId =
 inline constexpr uint32_t kTextIndexSectionId = MakeSectionId('T', 'I', 'D', 'X');
 /// Multi-document catalog directory (payload codec: store/catalog.h).
 inline constexpr uint32_t kCatalogSectionId = MakeSectionId('C', 'T', 'L', 'G');
+/// Persisted derived columns (children CSR, per-path edge BATs,
+/// string sortedness) of the DOC2 section it pairs with (minor 6+).
+inline constexpr uint32_t kDerivedSectionId = MakeSectionId('D', 'R', 'V', '1');
 
 /// \brief True for every document section id (DOC0, DOC1 and DOC2).
 inline constexpr bool IsDocumentSectionId(uint32_t id) {
@@ -205,15 +267,44 @@ struct ImageSection {
 struct SectionView {
   uint32_t id = 0;
   std::string_view bytes;
+  /// Byte offset of the payload within its container (0 for MXM1
+  /// synthetic sections).
+  uint64_t offset = 0;
+  /// The directory's checksum claim for this payload. Verified during
+  /// the scan unless SectionScanOptions::verify_checksums was off; a
+  /// lazy reader then gates first touch on VerifySectionChecksum.
+  uint64_t checksum = 0;
 };
 
 /// \brief A raw MXM2 container view: the minor revision plus every
-/// section in directory order, bounds and checksums verified, payloads
-/// not yet interpreted. MXM1 images surface as minor 1 with a single
-/// synthetic document section. Views borrow from the loaded bytes.
+/// section in directory order, bounds verified (and checksums, unless
+/// deferred), payloads not yet interpreted. MXM1 images surface as
+/// minor 1 with a single synthetic document section. Views borrow
+/// from the loaded bytes.
 struct SectionImage {
   uint32_t minor = 0;
+  /// File offset of the trailing directory (minor 6+; 0 otherwise).
+  uint64_t dir_offset = 0;
   std::vector<SectionView> sections;
+};
+
+/// \brief Where one section's payload lives in a minor-6 container —
+/// the bookkeeping an in-place rewrite carries between saves.
+struct SectionPlacement {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+
+/// \brief Container-scan knobs (the lazy-open path).
+struct SectionScanOptions {
+  /// When false, per-section checksums are recorded (SectionView::
+  /// checksum) but not verified — the caller promises to call
+  /// VerifySectionChecksum on every section before interpreting its
+  /// payload. The minor-6 directory checksum is always verified: the
+  /// scan itself never trusts unchecked framing.
+  bool verify_checksums = true;
 };
 
 /// \brief Serialization knobs.
@@ -226,6 +317,13 @@ struct SaveOptions {
   /// minor 4 and row-oriented (DOC0) stamps minor 2, so older readers
   /// still open the image — the rollback knobs.
   DocumentPayloadFormat payload_format = DocumentPayloadFormat::kColumnar;
+  /// Persist the derived columns (children CSR, per-path edge BATs,
+  /// string sortedness) as a DRV1 section next to the document
+  /// section, so loads skip the Finalize() rebuild. Applies to the
+  /// kColumnar (DOC2) payload in MXM2 images and stamps minor 6;
+  /// ignored (no DRV1, historical minors) for the rollback payloads
+  /// and MXM1.
+  bool derived_section = true;
   /// Additional sections appended after the document section (v2 only).
   std::vector<ImageSection> extra_sections;
 };
@@ -257,6 +355,16 @@ struct LoadOptions {
   /// file loaders put the shared mapping here). Byte-level view-mode
   /// loads without a backing leave the lifetime burden on the caller.
   std::shared_ptr<const void> backing;
+  /// Defer the deep O(rows) semantic scans (string owner bounds,
+  /// offset monotonicity, the append-order permutation, derived-
+  /// structure cross-checks) to the document's validation gate
+  /// (StoredDocument::EnsureValidated) instead of running them at
+  /// decode time. Framing, bounds and structural node-column checks
+  /// still run — a decode never hands out columns it could not
+  /// address safely — but a corrupt image may now be detected at
+  /// first touch rather than at load. The lazy catalog open uses
+  /// this to keep decode cost proportional to the directory.
+  bool defer_validation = false;
   /// When non-null, receives copy/view byte counts for this load.
   LoadStats* stats = nullptr;
 };
@@ -285,15 +393,29 @@ util::Result<std::string> SaveToBytes(const StoredDocument& doc,
 /// document sections), 4 when any document section is unaligned
 /// columnar (DOC1), 5 when any is aligned columnar (DOC2; minor >= 5
 /// containers also align every section payload to a 4-byte file
-/// offset). Section ids may repeat — interpreting duplicates is the
-/// caller's contract (the single-document writer rejects them earlier).
+/// offset), 6 when any section is a DRV1 derived-columns section (a
+/// minor-6 container carries the trailing, patchable directory).
+/// Section ids may repeat — interpreting duplicates is the caller's
+/// contract (the single-document writer rejects them earlier).
 util::Result<std::string> SaveSectionsToBytes(
     const std::vector<ImageSection>& sections, uint32_t minor = 2);
 
 /// \brief Parses any MXM1/MXM2 container: verifies magic, version
-/// bounds, directory tiling and per-section checksums, and returns the
-/// raw sections without interpreting payloads.
+/// bounds, directory framing and per-section checksums, and returns
+/// the raw sections without interpreting payloads.
 util::Result<SectionImage> LoadSectionsFromBytes(std::string_view bytes);
+
+/// \brief Like above, with scan knobs — pass verify_checksums = false
+/// for an O(directory) lazy open that gates each section on
+/// VerifySectionChecksum at first touch instead.
+util::Result<SectionImage> LoadSectionsFromBytes(
+    std::string_view bytes, const SectionScanOptions& options);
+
+/// \brief Verifies one section's payload against the checksum its
+/// container directory claimed — the first-touch gate of a lazy open
+/// (sections scanned with verify_checksums = false).
+util::Status VerifySectionChecksum(uint32_t minor,
+                                   const SectionView& section);
 
 /// \brief Encodes one document as a document section payload in the
 /// requested codec (the document must be finalized). The matching
@@ -333,6 +455,22 @@ util::Result<StoredDocument> ParseAnyDocumentSection(
     uint32_t section_id, std::string_view payload,
     const LoadOptions& options = {});
 
+/// \brief Encodes a document's derived columns as a DRV1 section
+/// payload (the document must be finalized). Pairs with the DOC2
+/// section of the same document.
+util::Result<std::string> SerializeDerivedSection(const StoredDocument& doc);
+
+/// \brief Decodes a document section together with its DRV1 section:
+/// the derived structures are adopted from `derived_payload` instead
+/// of being rebuilt, zero-copy in view mode. Requires a DOC2 section
+/// (`section_id` must be kAlignedColumnarDocumentSectionId — the
+/// derived payload's offsets are only meaningful against the aligned
+/// codec). With options.defer_validation the deep cross-checks hang
+/// on the document's validation gate; otherwise they run here.
+util::Result<StoredDocument> ParseDocumentWithDerived(
+    uint32_t section_id, std::string_view payload,
+    std::string_view derived_payload, const LoadOptions& options = {});
+
 /// \brief Restores a document from a binary image, accepting every
 /// known major version (MXM1 and MXM2); extra sections are ignored.
 /// The result is finalized and ready for queries. Corrupted or
@@ -365,6 +503,43 @@ util::Result<StoredDocument> LoadFromFile(const std::string& path,
 /// \brief Loads from a file (memory-mapped), keeping extra sections.
 util::Result<LoadedImage> LoadImageFromFile(const std::string& path,
                                             const LoadOptions& options = {});
+
+// --- Incremental rewrite (minor-6 containers) -------------------------
+
+/// \brief One section of the next directory an in-place rewrite
+/// publishes: either kept where it already lives (`keep` set, no bytes
+/// written) or appended fresh from `bytes`.
+struct PendingSection {
+  uint32_t id = 0;
+  /// Reuse this placement from the current image (id must match).
+  std::optional<SectionPlacement> keep;
+  /// Payload to append when `keep` is empty.
+  std::string bytes;
+};
+
+/// \brief What an in-place rewrite did.
+struct AppendStats {
+  /// Final placement of every requested section, in request order.
+  std::vector<SectionPlacement> placements;
+  uint64_t file_size = 0;      ///< file size after the append
+  uint64_t dir_offset = 0;     ///< offset of the newly-published directory
+  uint64_t bytes_appended = 0; ///< payload + directory bytes written
+};
+
+/// \brief Incrementally rewrites a minor-6 container in place: appends
+/// the non-kept sections and a fresh directory naming exactly
+/// `sections`, fsyncs, then patches the header's directory offset —
+/// the single-word commit point. A crash anywhere before the patch
+/// leaves the previous directory (and image) intact; superseded
+/// payloads become dead space until a full rewrite compacts them.
+/// `expected_size`/`expected_dir_offset` fence against concurrent
+/// writers: the call refuses to touch a file whose size or header no
+/// longer match the image the caller planned against. Readers with a
+/// live mapping are unaffected — old sections are never overwritten.
+util::Result<AppendStats> AppendSectionsToFile(
+    const std::string& path, uint64_t expected_size,
+    uint64_t expected_dir_offset,
+    const std::vector<PendingSection>& sections);
 
 }  // namespace model
 }  // namespace meetxml

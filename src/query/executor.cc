@@ -149,6 +149,10 @@ std::string QueryResult::ToText() const {
 }
 
 Result<Executor> Executor::Build(const StoredDocument& doc) {
+  // Deep validation latches once per document here — the single gate
+  // every deferred-validation load (lazy catalog open) funnels
+  // through before query code walks the columns.
+  MEETXML_RETURN_NOT_OK(doc.EnsureValidated());
   MEETXML_ASSIGN_OR_RETURN(core::IdrefGraph idrefs,
                            core::IdrefGraph::Build(doc));
   return Executor(&doc, std::move(idrefs), std::make_unique<LazySearch>());
@@ -156,6 +160,7 @@ Result<Executor> Executor::Build(const StoredDocument& doc) {
 
 Result<Executor> Executor::Build(const StoredDocument& doc,
                                  text::FullTextSearch search) {
+  MEETXML_RETURN_NOT_OK(doc.EnsureValidated());
   MEETXML_ASSIGN_OR_RETURN(core::IdrefGraph idrefs,
                            core::IdrefGraph::Build(doc));
   auto lazy = std::make_unique<LazySearch>();

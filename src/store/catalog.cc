@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <string_view>
+#include <unordered_set>
 #include <utility>
 
 #include "model/storage_io.h"
@@ -27,7 +29,11 @@ using util::Status;
 
 namespace {
 
-constexpr uint8_t kCatalogCodecVersion = 1;
+// Codec 1 is the pre-DRV1 directory; codec 2 appends the derived
+// section reference per entry. The writer emits 1 whenever no entry
+// carries a DRV1 section so rollback images stay readable.
+constexpr uint8_t kCatalogCodecV1 = 1;
+constexpr uint8_t kCatalogCodecV2 = 2;
 
 Status ValidateName(std::string_view name) {
   if (name.empty()) {
@@ -42,6 +48,88 @@ Status ValidateName(std::string_view name) {
 }
 
 }  // namespace
+
+// Everything a first touch needs to finish a lazily-opened entry: the
+// raw section views (borrowing from `backing`), the container minor
+// for the checksum recipe, and the decode mode. `failed`/`error` make
+// a corrupt entry sticky — every touch reports the same status instead
+// of re-verifying a known-bad section.
+struct NamedDocument::PendingDecode {
+  SectionView doc;
+  SectionView derived;
+  SectionView index;
+  bool has_derived = false;
+  bool has_index = false;
+  uint32_t minor = 0;
+  model::LoadMode mode = model::LoadMode::kCopy;
+  std::shared_ptr<const void> backing;
+  Status error = Status::OK();
+  bool failed = false;
+};
+
+NamedDocument::NamedDocument() = default;
+NamedDocument::~NamedDocument() = default;
+
+Status Catalog::MaterializeLocked(const NamedDocument* entry) const {
+  NamedDocument::PendingDecode* pending = entry->pending.get();
+  if (pending == nullptr) return Status::OK();
+  if (pending->failed) return pending->error;
+  auto fail = [&](Status status) {
+    pending->failed = true;
+    pending->error = status;
+    return status;
+  };
+  // First-touch checksum gate: the open skipped these, so a tampered
+  // byte in this entry's sections must surface here, before any parse
+  // looks at the payload.
+  Status sum = model::VerifySectionChecksum(pending->minor, pending->doc);
+  if (sum.ok() && pending->has_derived) {
+    sum = model::VerifySectionChecksum(pending->minor, pending->derived);
+  }
+  if (sum.ok() && pending->has_index) {
+    sum = model::VerifySectionChecksum(pending->minor, pending->index);
+  }
+  if (!sum.ok()) return fail(sum);
+
+  // Decode with validation deferred: framing is checked here, the deep
+  // structural scans latch once inside EnsureValidated on the entry's
+  // first real use (Get / Executor::Build).
+  model::LoadOptions doc_options;
+  doc_options.mode = pending->mode;
+  doc_options.backing = pending->backing;
+  doc_options.defer_validation = true;
+  Result<StoredDocument> doc =
+      pending->has_derived
+          ? model::ParseDocumentWithDerived(pending->doc.id,
+                                            pending->doc.bytes,
+                                            pending->derived.bytes,
+                                            doc_options)
+          : model::ParseAnyDocumentSection(pending->doc.id,
+                                           pending->doc.bytes, doc_options);
+  if (!doc.ok()) return fail(doc.status());
+  std::optional<text::InvertedIndex> index;
+  if (pending->has_index) {
+    Result<text::InvertedIndex> decoded =
+        text::DeserializeIndex(pending->index.bytes);
+    if (!decoded.ok()) return fail(decoded.status());
+    Status valid = text::ValidateIndexAgainst(*doc, *decoded);
+    if (!valid.ok()) return fail(valid);
+    index = std::move(*decoded);
+  }
+  entry->doc = std::move(*doc);
+  entry->index = std::move(index);
+  entry->pending.reset();
+  entry->materialized.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Catalog::Materialize(const NamedDocument* entry) const {
+  if (entry->materialized.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(*entry->lazy_mu);
+  return MaterializeLocked(entry);
+}
 
 NamedDocument* Catalog::FindMutable(std::string_view name) {
   for (const auto& entry : entries_) {
@@ -71,6 +159,10 @@ Result<const model::StoredDocument*> Catalog::Get(
     return Status::NotFound("no document named '", name,
                             "' in the catalog");
   }
+  MEETXML_RETURN_NOT_OK(Materialize(entry));
+  // Deep validation latches once; for eagerly-loaded documents the
+  // gate is already down and this is two atomic-free reads.
+  MEETXML_RETURN_NOT_OK(entry->doc.EnsureValidated());
   return &entry->doc;
 }
 
@@ -154,6 +246,7 @@ Result<const query::Executor*> Catalog::ExecutorFor(
   // executor. After the build the critical section is two pointer
   // reads, so steady-state contention is negligible.
   std::lock_guard<std::mutex> lock(*entry->lazy_mu);
+  MEETXML_RETURN_NOT_OK(MaterializeLocked(entry));
   if (entry->executor == nullptr) {
     // Build first (the fallible step), hand the index over only on
     // success — a failed build must not hollow the persisted index.
@@ -196,6 +289,7 @@ Status Catalog::EnsureIndex(std::string_view name) {
     return Status::NotFound("no document named '", name,
                             "' in the catalog");
   }
+  MEETXML_RETURN_NOT_OK(Materialize(entry));
   if (entry->index.has_value()) return Status::OK();
   if (entry->executor != nullptr) {
     // Force the executor's own lazy build: the index lands where its
@@ -209,27 +303,42 @@ Status Catalog::EnsureIndex(std::string_view name) {
   return Status::OK();
 }
 
-Result<std::string> Catalog::SaveToBytes(
-    model::DocumentPayloadFormat payload_format) const {
-  // Section order: CTLG first, then per entry its document section and
+Result<std::string> Catalog::SerializeImage(
+    model::DocumentPayloadFormat payload_format, bool derived_sections,
+    std::vector<EntrySectionMap>* mapping) const {
+  // Pending entries must decode before they can re-serialize.
+  for (const auto& entry : entries_) {
+    MEETXML_RETURN_NOT_OK(Materialize(entry.get()));
+  }
+  // DRV1 pairs only with DOC2; with another payload format (rollback
+  // images) the derived request is moot and the image stays on the
+  // previous minors and CTLG codec.
+  bool with_derived =
+      derived_sections &&
+      payload_format == model::DocumentPayloadFormat::kColumnar &&
+      !entries_.empty();
+  // Section order: CTLG first, then per entry its document section,
   // (when an index exists anywhere — on the entry or inside its
-  // executor) TIDX.
+  // executor) TIDX, and under codec 2 its DRV1.
   uint32_t document_section_id =
       model::DocumentSectionIdFor(payload_format);
   std::vector<ImageSection> sections;
   sections.emplace_back();  // CTLG placeholder, payload filled below
+  if (mapping != nullptr) mapping->clear();
 
   ByteWriter directory;
-  directory.U8(kCatalogCodecVersion);
+  directory.U8(with_derived ? kCatalogCodecV2 : kCatalogCodecV1);
   directory.Varint(next_id_);
   directory.Varint(entries_.size());
   for (const auto& entry : entries_) {
+    EntrySectionMap map;
     MEETXML_ASSIGN_OR_RETURN(
         std::string doc_payload,
         model::SerializeDocumentSection(entry->doc, payload_format));
     directory.Varint(entry->id);
     directory.StrVarint(entry->name);
     directory.Varint(sections.size());
+    map.doc_at = sections.size();
     sections.push_back(
         ImageSection{document_section_id, std::move(doc_payload)});
     const text::InvertedIndex* index =
@@ -239,25 +348,37 @@ Result<std::string> Catalog::SaveToBytes(
                                           : nullptr);
     if (index != nullptr) {
       directory.Varint(sections.size() + 1);  // 0 means "no index"
+      map.index_at = sections.size();
       sections.push_back(ImageSection{model::kTextIndexSectionId,
                                       text::SerializeIndex(*index)});
     } else {
       directory.Varint(0);
     }
+    if (with_derived) {
+      MEETXML_ASSIGN_OR_RETURN(std::string derived_payload,
+                               model::SerializeDerivedSection(entry->doc));
+      directory.Varint(sections.size() + 1);  // 0 means "no DRV1"
+      map.derived_at = sections.size();
+      sections.push_back(ImageSection{model::kDerivedSectionId,
+                                      std::move(derived_payload)});
+    }
+    if (mapping != nullptr) mapping->push_back(map);
   }
   sections.front() =
       ImageSection{model::kCatalogSectionId, directory.Take()};
 
   // Minor stamp: the bump exists only to stop readers from opening
-  // images they cannot decode, so columnar images need minor 5 (DOC2)
-  // or 4 (DOC1) only when such a section is actually aboard (an empty
-  // catalog carries none). Row-oriented images: one document degrades
-  // gracefully under legacy minor-2 readers (the CTLG section is
-  // skipped as unknown); several DOC0 sections need the minor-3
-  // contract.
+  // images they cannot decode, so derived images need minor 6, plain
+  // columnar minor 5 (DOC2) or 4 (DOC1), only when such a section is
+  // actually aboard (an empty catalog carries none). Row-oriented
+  // images: one document degrades gracefully under legacy minor-2
+  // readers (the CTLG section is skipped as unknown); several DOC0
+  // sections need the minor-3 contract.
   uint32_t minor = entries_.size() > 1 ? 3 : 2;
   if (!entries_.empty()) {
-    if (payload_format == model::DocumentPayloadFormat::kColumnar) {
+    if (with_derived) {
+      minor = 6;
+    } else if (payload_format == model::DocumentPayloadFormat::kColumnar) {
       minor = 5;
     } else if (payload_format ==
                model::DocumentPayloadFormat::kColumnarUnaligned) {
@@ -267,12 +388,23 @@ Result<std::string> Catalog::SaveToBytes(
   return model::SaveSectionsToBytes(sections, minor);
 }
 
+Result<std::string> Catalog::SaveToBytes(
+    model::DocumentPayloadFormat payload_format,
+    bool derived_sections) const {
+  return SerializeImage(payload_format, derived_sections, nullptr);
+}
+
 Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
                                        const CatalogLoadOptions& options) {
   util::Timer total_timer;
   if (options.stats != nullptr) *options.stats = CatalogLoadStats{};
+  // A lazy open skips per-section checksums here — framing (and, for
+  // trailing-directory images, the directory checksum) is still fully
+  // validated. Deferred sections are verified on first touch.
+  model::SectionScanOptions scan;
+  scan.verify_checksums = !options.lazy;
   MEETXML_ASSIGN_OR_RETURN(model::SectionImage image,
-                           model::LoadSectionsFromBytes(bytes));
+                           model::LoadSectionsFromBytes(bytes, scan));
 
   const SectionView* catalog_section = nullptr;
   for (const SectionView& section : image.sections) {
@@ -335,15 +467,43 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
       MEETXML_RETURN_NOT_OK(
           catalog.Add(std::move(name), std::move(legacy.doc)).status());
     }
+    // A trailing-directory single-document image can still feed the
+    // incremental writer (it appends the CTLG the image lacks), so
+    // record where its sections sit.
+    if (image.dir_offset != 0) {
+      NamedDocument* added = catalog.entries_.back().get();
+      for (const SectionView& section : image.sections) {
+        model::SectionPlacement placement{section.id, section.offset,
+                                          section.bytes.size(),
+                                          section.checksum};
+        if (model::IsDocumentSectionId(section.id)) {
+          added->placed.doc = placement;
+        } else if (section.id == model::kDerivedSectionId) {
+          added->placed.derived = placement;
+        } else if (section.id == model::kTextIndexSectionId) {
+          added->placed.index = placement;
+        }
+      }
+      catalog.origin_ = OriginImage{std::string(), image.minor,
+                                    bytes.size(), image.dir_offset};
+    }
     if (options.stats != nullptr) {
+      options.stats->sections_verified = image.sections.size();
       options.stats->total_ms = total_timer.ElapsedMillis();
     }
     return catalog;
   }
 
+  if (options.lazy) {
+    // The directory is the one section a lazy open cannot defer:
+    // everything else hangs off it.
+    MEETXML_RETURN_NOT_OK(
+        model::VerifySectionChecksum(image.minor, *catalog_section));
+  }
+
   ByteReader reader(catalog_section->bytes);
   MEETXML_ASSIGN_OR_RETURN(uint8_t codec, reader.U8());
-  if (codec != kCatalogCodecVersion) {
+  if (codec != kCatalogCodecV1 && codec != kCatalogCodecV2) {
     return Status::InvalidArgument("unsupported catalog codec ", codec);
   }
   MEETXML_ASSIGN_OR_RETURN(uint64_t next_id, reader.Varint());
@@ -365,14 +525,18 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
   std::vector<bool> claimed(image.sections.size(), false);
   claimed[static_cast<size_t>(catalog_section - image.sections.data())] =
       true;
-  auto claim = [&](uint64_t at, bool want_document) -> Status {
+  enum class Want { kDocument, kIndex, kDerived };
+  auto claim = [&](uint64_t at, Want want) -> Status {
     if (at >= image.sections.size()) {
       return Status::InvalidArgument(
           "corrupt catalog: section index out of range");
     }
-    bool type_ok = want_document
-                       ? model::IsDocumentSectionId(image.sections[at].id)
-                       : image.sections[at].id == model::kTextIndexSectionId;
+    uint32_t id = image.sections[at].id;
+    bool type_ok = want == Want::kDocument
+                       ? model::IsDocumentSectionId(id)
+                       : (want == Want::kIndex
+                              ? id == model::kTextIndexSectionId
+                              : id == model::kDerivedSectionId);
     if (!type_ok) {
       return Status::InvalidArgument(
           "corrupt catalog: section type mismatch");
@@ -395,9 +559,13 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     // section position + 1. (A plain position with 0-as-none would
     // misread images whose TIDX legitimately sits at position 0.)
     size_t index_at_plus_one = 0;
+    // Codec 2 only: the entry's DRV1 section, same +1 encoding.
+    size_t derived_at_plus_one = 0;
   };
   std::vector<DirectoryEntry> directory;
   directory.reserve(static_cast<size_t>(entry_count));
+  std::unordered_set<DocId> ids_seen;
+  ids_seen.reserve(static_cast<size_t>(entry_count));
   for (uint64_t i = 0; i < entry_count; ++i) {
     DirectoryEntry entry;
     MEETXML_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
@@ -409,18 +577,26 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
           "corrupt catalog: document id beyond next_doc_id");
     }
     entry.id = static_cast<DocId>(id);
-    for (const DirectoryEntry& earlier : directory) {
-      if (earlier.id == entry.id) {
-        return Status::InvalidArgument(
-            "corrupt catalog: duplicate document id");
-      }
+    if (!ids_seen.insert(entry.id).second) {
+      return Status::InvalidArgument(
+          "corrupt catalog: duplicate document id");
     }
-    MEETXML_RETURN_NOT_OK(claim(doc_at, /*want_document=*/true));
+    MEETXML_RETURN_NOT_OK(claim(doc_at, Want::kDocument));
     entry.doc_at = static_cast<size_t>(doc_at);
     if (index_at_plus_one != 0) {
       uint64_t index_at = index_at_plus_one - 1;
-      MEETXML_RETURN_NOT_OK(claim(index_at, /*want_document=*/false));
+      MEETXML_RETURN_NOT_OK(claim(index_at, Want::kIndex));
       entry.index_at_plus_one = static_cast<size_t>(index_at_plus_one);
+    }
+    if (codec >= kCatalogCodecV2) {
+      MEETXML_ASSIGN_OR_RETURN(uint64_t derived_at_plus_one,
+                               reader.Varint());
+      if (derived_at_plus_one != 0) {
+        MEETXML_RETURN_NOT_OK(
+            claim(derived_at_plus_one - 1, Want::kDerived));
+        entry.derived_at_plus_one =
+            static_cast<size_t>(derived_at_plus_one);
+      }
     }
     directory.push_back(std::move(entry));
   }
@@ -433,10 +609,93 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
   for (size_t at = 0; at < image.sections.size(); ++at) {
     uint32_t id = image.sections[at].id;
     if (!claimed[at] && (model::IsDocumentSectionId(id) ||
-                         id == model::kTextIndexSectionId)) {
+                         id == model::kTextIndexSectionId ||
+                         id == model::kDerivedSectionId)) {
       return Status::InvalidArgument(
-          "corrupt catalog: unreferenced document or index section");
+          "corrupt catalog: unreferenced document, derived or index "
+          "section");
     }
+  }
+
+  // Trailing-directory images feed the incremental writer: remember
+  // where every entry's sections sit.
+  auto record_placements = [&image](NamedDocument* target,
+                                    const DirectoryEntry& dir_entry) {
+    if (image.dir_offset == 0) return;
+    auto placement_of = [&image](size_t at) {
+      const SectionView& section = image.sections[at];
+      return model::SectionPlacement{section.id, section.offset,
+                                     section.bytes.size(),
+                                     section.checksum};
+    };
+    target->placed.doc = placement_of(dir_entry.doc_at);
+    if (dir_entry.derived_at_plus_one != 0) {
+      target->placed.derived =
+          placement_of(dir_entry.derived_at_plus_one - 1);
+    }
+    if (dir_entry.index_at_plus_one != 0) {
+      target->placed.index = placement_of(dir_entry.index_at_plus_one - 1);
+    }
+  };
+
+  if (options.lazy) {
+    // O(directory) open: every entry is parked undecoded behind its
+    // pending record; checksum verification and decode happen on first
+    // touch, under the entry's lazy mutex. The duplicate-name check
+    // runs against a set, not Find's linear scan — this loop is the
+    // whole open, so it must stay O(directory). The set keys views
+    // into the entries' own (heap-stable) name storage to avoid one
+    // string copy per document.
+    std::unordered_set<std::string_view> names_seen;
+    names_seen.reserve(directory.size());
+    catalog.entries_.reserve(directory.size());
+    for (DirectoryEntry& dir_entry : directory) {
+      MEETXML_RETURN_NOT_OK(ValidateName(dir_entry.name));
+      auto entry = std::make_unique<NamedDocument>();
+      entry->id = dir_entry.id;
+      entry->name = std::move(dir_entry.name);
+      if (!names_seen.insert(std::string_view(entry->name)).second) {
+        return Status::InvalidArgument("document '", entry->name,
+                                       "' is already in the catalog");
+      }
+      auto pending = std::make_unique<NamedDocument::PendingDecode>();
+      pending->doc = image.sections[dir_entry.doc_at];
+      pending->minor = image.minor;
+      pending->mode = options.mode;
+      pending->backing = options.backing;
+      if (dir_entry.derived_at_plus_one != 0) {
+        pending->has_derived = true;
+        pending->derived =
+            image.sections[dir_entry.derived_at_plus_one - 1];
+      }
+      if (dir_entry.index_at_plus_one != 0) {
+        pending->has_index = true;
+        pending->index = image.sections[dir_entry.index_at_plus_one - 1];
+      }
+      entry->pending = std::move(pending);
+      entry->materialized.store(false, std::memory_order_relaxed);
+      record_placements(entry.get(), dir_entry);
+      if (options.stats != nullptr) {
+        options.stats->documents.push_back(CatalogLoadStats::DocumentStats{
+            entry->name, 0.0,
+            image.sections[dir_entry.doc_at].id !=
+                model::kDocumentSectionId,
+            dir_entry.index_at_plus_one != 0, options.mode, 0, 0});
+      }
+      catalog.entries_.push_back(std::move(entry));
+    }
+    catalog.next_id_ = static_cast<DocId>(next_id);
+    if (image.dir_offset != 0) {
+      catalog.origin_ = OriginImage{std::string(), image.minor,
+                                    bytes.size(), image.dir_offset};
+    }
+    if (options.stats != nullptr) {
+      options.stats->deferred_documents = directory.size();
+      options.stats->sections_verified = 1;  // the CTLG section
+      options.stats->sections_deferred = image.sections.size() - 1;
+      options.stats->total_ms = total_timer.ElapsedMillis();
+    }
+    return catalog;
   }
 
   // Phase 2 (parallel): decode every entry's sections on a thread
@@ -459,8 +718,15 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     const SectionView& doc_section = image.sections[directory[i].doc_at];
     model::LoadOptions entry_options = doc_options;
     entry_options.stats = &out.load_stats;
-    Result<StoredDocument> doc = model::ParseAnyDocumentSection(
-        doc_section.id, doc_section.bytes, entry_options);
+    Result<StoredDocument> doc =
+        directory[i].derived_at_plus_one != 0
+            ? model::ParseDocumentWithDerived(
+                  doc_section.id, doc_section.bytes,
+                  image.sections[directory[i].derived_at_plus_one - 1]
+                      .bytes,
+                  entry_options)
+            : model::ParseAnyDocumentSection(
+                  doc_section.id, doc_section.bytes, entry_options);
     if (!doc.ok()) {
       out.status = doc.status();
       return;
@@ -510,43 +776,256 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
                           std::move(decoded[i].doc));
     MEETXML_RETURN_NOT_OK(added.status());
     catalog.entries_.back()->id = directory[i].id;
+    record_placements(catalog.entries_.back().get(), directory[i]);
   }
   catalog.next_id_ = static_cast<DocId>(next_id);
+  if (image.dir_offset != 0) {
+    catalog.origin_ = OriginImage{std::string(), image.minor,
+                                  bytes.size(), image.dir_offset};
+  }
   if (options.stats != nullptr) {
     options.stats->threads_used = std::max(1u, workers);
+    options.stats->sections_verified = image.sections.size();
     options.stats->total_ms = total_timer.ElapsedMillis();
   }
   return catalog;
 }
 
 Status Catalog::SaveToFile(const std::string& path) const {
-  MEETXML_ASSIGN_OR_RETURN(std::string bytes, SaveToBytes());
-  // Atomic (temp + rename): a view-backed catalog loaded from this
-  // very path keeps borrowing from the old inode's mapping while the
-  // new image takes over the directory entry.
-  return util::WriteFileAtomic(path, bytes);
+  return SaveToFile(path, CatalogSaveOptions{});
+}
+
+Result<bool> Catalog::TrySaveInPlace(
+    const std::string& path, const CatalogSaveOptions& options) const {
+  // Only the minor-6 image this catalog's placements refer to can be
+  // appended to, and only in the derived DOC2 format that image holds.
+  if (!origin_.has_value() || origin_->path != path ||
+      origin_->minor < 6) {
+    return false;
+  }
+  if (options.payload_format != model::DocumentPayloadFormat::kColumnar ||
+      !options.derived_sections || entries_.empty()) {
+    return false;
+  }
+
+  // Assemble the keep-or-append section list and the new CTLG
+  // directory — same section order per entry as SerializeImage, so the
+  // two writers produce interchangeable images.
+  std::vector<model::PendingSection> sections;
+  sections.emplace_back();  // CTLG placeholder, always fresh
+  std::vector<EntrySectionMap> ats(entries_.size());
+  ByteWriter directory;
+  directory.U8(kCatalogCodecV2);
+  directory.Varint(next_id_);
+  directory.Varint(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const NamedDocument& entry = *entries_[i];
+    bool pending = entry.pending != nullptr;
+    if (pending && (!entry.placed.doc.has_value() ||
+                    !entry.placed.derived.has_value())) {
+      // A pending entry has nothing to serialize from; without kept
+      // placements the full rewrite (which materializes) must run.
+      return false;
+    }
+    directory.Varint(entry.id);
+    directory.StrVarint(entry.name);
+    directory.Varint(sections.size());
+    ats[i].doc_at = sections.size();
+    if (entry.placed.doc.has_value()) {
+      if (entry.placed.doc->id !=
+          model::kAlignedColumnarDocumentSectionId) {
+        return false;  // legacy payload aboard; rewrite in DOC2
+      }
+      sections.push_back(model::PendingSection{
+          entry.placed.doc->id, entry.placed.doc, std::string()});
+    } else {
+      MEETXML_ASSIGN_OR_RETURN(
+          std::string payload,
+          model::SerializeDocumentSection(
+              entry.doc, model::DocumentPayloadFormat::kColumnar));
+      sections.push_back(model::PendingSection{
+          model::kAlignedColumnarDocumentSectionId, std::nullopt,
+          std::move(payload)});
+    }
+    const text::InvertedIndex* index =
+        entry.index.has_value()
+            ? &*entry.index
+            : (entry.executor != nullptr ? entry.executor->text_index()
+                                         : nullptr);
+    if (entry.placed.index.has_value() || index != nullptr) {
+      directory.Varint(sections.size() + 1);
+      ats[i].index_at = sections.size();
+      if (entry.placed.index.has_value()) {
+        sections.push_back(model::PendingSection{
+            model::kTextIndexSectionId, entry.placed.index,
+            std::string()});
+      } else {
+        sections.push_back(model::PendingSection{
+            model::kTextIndexSectionId, std::nullopt,
+            text::SerializeIndex(*index)});
+      }
+    } else {
+      directory.Varint(0);
+    }
+    directory.Varint(sections.size() + 1);
+    ats[i].derived_at = sections.size();
+    if (entry.placed.derived.has_value()) {
+      sections.push_back(model::PendingSection{
+          model::kDerivedSectionId, entry.placed.derived, std::string()});
+    } else {
+      MEETXML_ASSIGN_OR_RETURN(std::string derived_payload,
+                               model::SerializeDerivedSection(entry.doc));
+      sections.push_back(model::PendingSection{model::kDerivedSectionId,
+                                               std::nullopt,
+                                               std::move(derived_payload)});
+    }
+  }
+  sections.front() = model::PendingSection{model::kCatalogSectionId,
+                                           std::nullopt, directory.Take()};
+
+  uint64_t kept_bytes = 0, new_bytes = 0;
+  size_t kept_count = 0, new_count = 0;
+  for (const model::PendingSection& section : sections) {
+    if (section.keep.has_value()) {
+      kept_bytes += section.keep->size;
+      ++kept_count;
+    } else {
+      new_bytes += section.bytes.size();
+      ++new_count;
+    }
+  }
+  // Everything in the old region except the header and the kept
+  // sections goes dead with this append: the superseded CTLG, the old
+  // directory, dropped sections, and whatever was dead already.
+  uint64_t header_bytes = 16;
+  uint64_t projected_dead =
+      origin_->file_size > kept_bytes + header_bytes
+          ? origin_->file_size - kept_bytes - header_bytes
+          : 0;
+  // Directory: u32 count + 28 bytes per entry + u64 checksum; up to 4
+  // alignment bytes per appended payload.
+  uint64_t appended_estimate =
+      new_bytes + 12 + 28 * sections.size() + 4 * (new_count + 1);
+  uint64_t projected_size = origin_->file_size + appended_estimate;
+  if (static_cast<double>(projected_dead) >
+      options.compact_threshold * static_cast<double>(projected_size)) {
+    if (options.stats != nullptr) options.stats->compacted = true;
+    return false;  // too much dead weight; compact via full rewrite
+  }
+
+  MEETXML_ASSIGN_OR_RETURN(
+      model::AppendStats append,
+      model::AppendSectionsToFile(path, origin_->file_size,
+                                  origin_->dir_offset, sections));
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i]->placed.doc = append.placements[ats[i].doc_at];
+    entries_[i]->placed.derived = append.placements[ats[i].derived_at];
+    entries_[i]->placed.index =
+        ats[i].index_at != SIZE_MAX
+            ? std::optional<model::SectionPlacement>(
+                  append.placements[ats[i].index_at])
+            : std::nullopt;
+  }
+  origin_->file_size = append.file_size;
+  origin_->dir_offset = append.dir_offset;
+  if (options.stats != nullptr) {
+    options.stats->in_place = true;
+    options.stats->bytes_appended = append.bytes_appended;
+    options.stats->file_size = append.file_size;
+    uint64_t live = header_bytes + (append.file_size - append.dir_offset);
+    for (const model::SectionPlacement& placement : append.placements) {
+      live += placement.size;
+    }
+    options.stats->dead_bytes =
+        append.file_size > live ? append.file_size - live : 0;
+    options.stats->sections_appended = new_count;
+    options.stats->sections_kept = kept_count;
+  }
+  return true;
+}
+
+Status Catalog::SaveToFile(const std::string& path,
+                           const CatalogSaveOptions& options) const {
+  if (options.stats != nullptr) *options.stats = CatalogSaveStats{};
+  if (options.in_place) {
+    MEETXML_ASSIGN_OR_RETURN(bool appended, TrySaveInPlace(path, options));
+    if (appended) return Status::OK();
+  }
+  // Full rewrite. Atomic (temp + rename): a view-backed catalog loaded
+  // from this very path keeps borrowing from the old inode's mapping
+  // while the new image takes over the directory entry.
+  std::vector<EntrySectionMap> mapping;
+  MEETXML_ASSIGN_OR_RETURN(
+      std::string bytes,
+      SerializeImage(options.payload_format, options.derived_sections,
+                     &mapping));
+  MEETXML_RETURN_NOT_OK(util::WriteFileAtomic(path, bytes));
+  // Refresh the placement bookkeeping against what was just written,
+  // so the next in-place save can append to it. A cheap unverified
+  // re-scan recovers each section's offset and checksum.
+  origin_.reset();
+  for (const auto& entry : entries_) entry->placed = SectionPlacements{};
+  model::SectionScanOptions scan;
+  scan.verify_checksums = false;
+  Result<model::SectionImage> written =
+      model::LoadSectionsFromBytes(bytes, scan);
+  if (written.ok() && written->dir_offset != 0) {
+    auto placement_of = [&](size_t at) {
+      const SectionView& section = written->sections[at];
+      return model::SectionPlacement{section.id, section.offset,
+                                     section.bytes.size(),
+                                     section.checksum};
+    };
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (mapping[i].doc_at != SIZE_MAX) {
+        entries_[i]->placed.doc = placement_of(mapping[i].doc_at);
+      }
+      if (mapping[i].derived_at != SIZE_MAX) {
+        entries_[i]->placed.derived = placement_of(mapping[i].derived_at);
+      }
+      if (mapping[i].index_at != SIZE_MAX) {
+        entries_[i]->placed.index = placement_of(mapping[i].index_at);
+      }
+    }
+    origin_ = OriginImage{path, written->minor, bytes.size(),
+                          written->dir_offset};
+  }
+  if (options.stats != nullptr) {
+    options.stats->file_size = bytes.size();
+    options.stats->sections_appended =
+        written.ok() ? written->sections.size() : 0;
+  }
+  return Status::OK();
 }
 
 Result<Catalog> Catalog::LoadFromFile(const std::string& path,
                                       const CatalogLoadOptions& options) {
-  if (options.mode == model::LoadMode::kView) {
+  if (options.mode == model::LoadMode::kView || options.lazy) {
     // Zero-copy open: every view-backed document pins the shared
     // mapping, so the catalog keeps it alive exactly as long as any
-    // of its documents borrows from it.
+    // of its documents borrows from it. A lazy open pins it too,
+    // whatever the decode mode — the pending entries' raw section
+    // views borrow from the mapping until their first touch.
     MEETXML_ASSIGN_OR_RETURN(
         std::shared_ptr<const util::MmapFile> file,
         util::MmapFile::OpenShared(path,
                                    util::MmapFile::Advice::kWillNeed));
     CatalogLoadOptions pinned = options;
     pinned.backing = file;
-    return LoadFromBytes(file->bytes(), pinned);
+    MEETXML_ASSIGN_OR_RETURN(Catalog catalog,
+                             LoadFromBytes(file->bytes(), pinned));
+    if (catalog.origin_.has_value()) catalog.origin_->path = path;
+    return catalog;
   }
   // Decode out of a file mapping; the catalog owns everything it
   // keeps, so the mapping ends with this scope.
   MEETXML_ASSIGN_OR_RETURN(
       util::MmapFile file,
       util::MmapFile::Open(path, util::MmapFile::Advice::kSequential));
-  return LoadFromBytes(file.bytes(), options);
+  MEETXML_ASSIGN_OR_RETURN(Catalog catalog,
+                           LoadFromBytes(file.bytes(), options));
+  if (catalog.origin_.has_value()) catalog.origin_->path = path;
+  return catalog;
 }
 
 }  // namespace store

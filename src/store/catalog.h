@@ -14,12 +14,14 @@
 //   CTLG section: the catalog directory (codec below)
 //   per document, one document section — aligned columnar DOC2 by
 //   default, DOC1/DOC0 when pinned (model/storage_io.h payloads) —
-//   and, when an index exists, one TIDX section (text/index_io.h
-//   payload)
-// Minor stamp: 5 when any document section is aligned columnar
-// (DOC2), 4 for unaligned columnar (DOC1), otherwise 3 for
-// multi-document images and 2 for one-document images (which legacy
-// single-document readers can still open).
+//   its persisted derived columns (DRV1, written by default with
+//   DOC2), and, when an index exists, one TIDX section
+//   (text/index_io.h payload)
+// Minor stamp: 6 when DRV1 sections are aboard (the default), 5 when
+// any document section is aligned columnar (DOC2) without them, 4 for
+// unaligned columnar (DOC1), otherwise 3 for multi-document images
+// and 2 for one-document images (which legacy single-document readers
+// can still open).
 //
 // Zero-copy open: CatalogLoadOptions::mode == kView decodes every
 // DOC2 section as a view-backed document borrowing straight from the
@@ -32,13 +34,16 @@
 // keep the old inode's mapping).
 //
 // CTLG payload (little-endian, varints are LEB128):
-//   u8 codec version (1)
+//   u8 codec version (1 or 2)
 //   varint next_doc_id
 //   varint entry count, then per entry in ascending id order:
 //     varint doc id | name (varint length + bytes)
 //     varint doc section index (position in the image directory)
 //     varint index section index + 1 (0 = the document has no TIDX)
-// Every document/TIDX section must be referenced by exactly one entry;
+//     codec >= 2 only: varint derived section index + 1 (0 = none)
+// The writer stays on codec 1 when no entry carries a DRV1 section,
+// so rollback images remain readable by older binaries. Every
+// document/TIDX/DRV1 section must be referenced by exactly one entry;
 // dangling or doubly-referenced sections are rejected. Legacy MXM1 and
 // single-document MXM2 images (no CTLG section) load as a one-entry
 // catalog named after the document's root tag.
@@ -48,10 +53,32 @@
 // a multi-document store opens in roughly the time of its largest
 // document; CatalogLoadOptions::threads pins the pool size and the
 // first failing entry, in directory order, wins error reporting.
+//
+// Lazy open (CatalogLoadOptions::lazy): the open verifies only the
+// image framing and the CTLG section's checksum, then parks every
+// entry as an undecoded pending record — open time is O(directory),
+// independent of corpus size. An entry's sections are
+// checksum-verified and decoded on first touch (Get / ExecutorFor /
+// EnsureIndex / Save), under the entry's lazy mutex; deep structural
+// validation is latched once per document behind
+// StoredDocument::EnsureValidated, which Get and Executor::Build run
+// before handing anything out. A corrupt entry therefore fails at its
+// checksum gate or its first validation, never later, and never takes
+// the other entries down. Warm() forces everything eagerly.
+//
+// Incremental save (CatalogSaveOptions::in_place): when the catalog
+// still sits on the minor-6 file it was loaded from, SaveToFile
+// appends only the sections that changed (plus a fresh CTLG and
+// directory) and repoints the header's directory offset — a
+// single-word commit, crash-safe on both sides. Superseded sections
+// become dead space; once dead bytes would exceed compact_threshold
+// of the projected file, the save falls back to a full atomic
+// rewrite.
 
 #ifndef MEETXML_STORE_CATALOG_H_
 #define MEETXML_STORE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -97,6 +124,12 @@ struct CatalogLoadStats {
   double total_ms = 0;
   /// Decode workers actually used (1 for legacy/serial loads).
   unsigned threads_used = 1;
+  /// Entries a lazy open left undecoded (0 for eager loads).
+  size_t deferred_documents = 0;
+  /// Section checksums verified during the open itself.
+  size_t sections_verified = 0;
+  /// Section checksums deferred to first touch.
+  size_t sections_deferred = 0;
 };
 
 /// \brief Knobs for Catalog::LoadFromBytes / LoadFromFile.
@@ -114,6 +147,61 @@ struct CatalogLoadOptions {
   model::LoadMode mode = model::LoadMode::kCopy;
   /// Optional keep-alive pinned into every view-backed document.
   std::shared_ptr<const void> backing;
+  /// Defers per-entry checksum verification and decoding to first
+  /// touch: the open validates only the image framing and the CTLG
+  /// section, so it costs O(directory) regardless of corpus size.
+  /// LoadFromFile keeps the file mapping pinned for the pending
+  /// entries; a lazy LoadFromBytes requires `backing` (or the caller
+  /// keeping `bytes` alive for the catalog's lifetime). Ignored for
+  /// legacy images without a CTLG section, which decode eagerly.
+  bool lazy = false;
+};
+
+/// \brief Per-save observability for Catalog::SaveToFile.
+struct CatalogSaveStats {
+  /// True when the save appended to the existing image instead of
+  /// rewriting it.
+  bool in_place = false;
+  /// True when an in-place save was requested but dead space tripped
+  /// the compaction threshold, forcing the full rewrite.
+  bool compacted = false;
+  uint64_t bytes_appended = 0;
+  uint64_t file_size = 0;
+  /// Superseded bytes the image still carries (0 after a rewrite).
+  uint64_t dead_bytes = 0;
+  size_t sections_appended = 0;
+  size_t sections_kept = 0;
+};
+
+/// \brief Knobs for Catalog::SaveToFile.
+struct CatalogSaveOptions {
+  /// Document codec — aligned columnar DOC2 (default), or DOC1/DOC0
+  /// for rollback images.
+  model::DocumentPayloadFormat payload_format =
+      model::DocumentPayloadFormat::kColumnar;
+  /// Persist derived columns (DRV1) next to each DOC2 section so the
+  /// next open skips rebuilding them. Off, or with a non-DOC2
+  /// payload_format, the image stays on the previous minors.
+  bool derived_sections = true;
+  /// Append changed sections to the existing minor-6 image (loaded
+  /// from or last saved to the same path) instead of rewriting it;
+  /// silently falls back to the full rewrite when the image does not
+  /// qualify.
+  bool in_place = false;
+  /// In-place saves fall back to a full rewrite once dead bytes would
+  /// exceed this fraction of the projected file size.
+  double compact_threshold = 0.5;
+  /// When non-null, receives what the save actually did.
+  CatalogSaveStats* stats = nullptr;
+};
+
+/// \brief Where an entry's sections sit in the origin image file
+/// (trailing-directory images only) — the incremental writer's
+/// keep-list.
+struct SectionPlacements {
+  std::optional<model::SectionPlacement> doc;
+  std::optional<model::SectionPlacement> derived;
+  std::optional<model::SectionPlacement> index;
 };
 
 /// \brief Stable identifier of a catalog document. Ids are assigned
@@ -124,9 +212,20 @@ inline constexpr DocId kInvalidDocId = 0xffffffffu;
 
 /// \brief One named document of the catalog.
 struct NamedDocument {
+  NamedDocument();
+  ~NamedDocument();
+  NamedDocument(const NamedDocument&) = delete;
+  NamedDocument& operator=(const NamedDocument&) = delete;
+
   DocId id = kInvalidDocId;
   std::string name;
-  model::StoredDocument doc;
+  /// The decoded document. Under a lazy open this is empty until the
+  /// entry's first touch — go through Catalog::Get / ExecutorFor,
+  /// which materialize (and validate) it, rather than reading the
+  /// field of a possibly-pending entry directly. Mutable because
+  /// materialization is logically const, guarded by `lazy_mu` and
+  /// published through `materialized`.
+  mutable model::StoredDocument doc;
   /// Full-text index handed to Add / loaded from the image; moved into
   /// the executor on first ExecutorFor (retrieve it back through
   /// Executor::text_index()). Mutable (with `executor`) because the
@@ -138,6 +237,16 @@ struct NamedDocument {
   /// worker pool) race safely to one executor per document. Behind a
   /// unique_ptr to keep the entry movable.
   std::unique_ptr<std::mutex> lazy_mu = std::make_unique<std::mutex>();
+  /// Undecoded lazy-open state (internals live in catalog.cc); null
+  /// once the entry is materialized. Guarded by `lazy_mu`.
+  struct PendingDecode;
+  mutable std::unique_ptr<PendingDecode> pending;
+  /// Lock-free fast-path flag for the pending check: true when `doc`
+  /// is safe to read (release-published by the materializing thread).
+  mutable std::atomic<bool> materialized{true};
+  /// This entry's sections in the origin image; the in-place save
+  /// keeps sections with a placement verbatim and appends the rest.
+  mutable SectionPlacements placed;
 };
 
 /// \brief A set of named documents behind one store image.
@@ -182,6 +291,9 @@ class Catalog {
   const NamedDocument* FindById(DocId id) const;
 
   /// \brief The document behind `name`, as an error-carrying lookup.
+  /// Materializes a lazily-opened entry (checksum gate + decode) and
+  /// runs its once-latched deep validation, so the returned document
+  /// is always safe to traverse; corrupt entries surface here.
   util::Result<const model::StoredDocument*> Get(
       std::string_view name) const;
 
@@ -220,10 +332,14 @@ class Catalog {
   /// an executor) carry a TIDX section; the rest rebuild lazily after
   /// load. `payload_format` picks the document codec — aligned
   /// columnar DOC2 (default), or DOC1/DOC0 for rollback images.
-  /// View-backed documents serialize fine (reads never promote).
+  /// View-backed documents serialize fine (reads never promote), and
+  /// pending entries are materialized first. `derived_sections`
+  /// persists DRV1 alongside each DOC2 section (minor 6, CTLG codec
+  /// 2); turning it off reproduces the previous minors for rollback.
   util::Result<std::string> SaveToBytes(
       model::DocumentPayloadFormat payload_format =
-          model::DocumentPayloadFormat::kColumnar) const;
+          model::DocumentPayloadFormat::kColumnar,
+      bool derived_sections = true) const;
 
   /// \brief Loads a catalog image — or any legacy MXM1/MXM2
   /// single-document image, which becomes a one-entry catalog named
@@ -237,11 +353,51 @@ class Catalog {
   /// (temp file + rename), so saving over the image a view-backed
   /// catalog was loaded from is safe.
   util::Status SaveToFile(const std::string& path) const;
+  /// \brief SaveToFile with knobs: document codec, DRV1 emission, and
+  /// the in-place append mode (see CatalogSaveOptions).
+  util::Status SaveToFile(const std::string& path,
+                          const CatalogSaveOptions& options) const;
   static util::Result<Catalog> LoadFromFile(
       const std::string& path, const CatalogLoadOptions& options = {});
 
  private:
   NamedDocument* FindMutable(std::string_view name);
+
+  /// First-touch gate for a lazily-opened entry: verifies the entry's
+  /// section checksums and decodes it (validation stays deferred to
+  /// StoredDocument::EnsureValidated). Sticky on failure. The Locked
+  /// variant assumes the entry's lazy_mu is held.
+  util::Status Materialize(const NamedDocument* entry) const;
+  util::Status MaterializeLocked(const NamedDocument* entry) const;
+
+  /// Shared writer for SaveToBytes and the full-rewrite save path;
+  /// when `mapping` is non-null it records, per entry, the image
+  /// directory positions of its sections (SIZE_MAX = absent).
+  struct EntrySectionMap {
+    size_t doc_at = SIZE_MAX;
+    size_t derived_at = SIZE_MAX;
+    size_t index_at = SIZE_MAX;
+  };
+  util::Result<std::string> SerializeImage(
+      model::DocumentPayloadFormat payload_format, bool derived_sections,
+      std::vector<EntrySectionMap>* mapping) const;
+
+  /// Attempts the in-place append; returns false when the image does
+  /// not qualify (wrong path/minor/format) or compaction is due, in
+  /// which case the caller runs the full rewrite.
+  util::Result<bool> TrySaveInPlace(const std::string& path,
+                                    const CatalogSaveOptions& options) const;
+
+  /// The file image this catalog's placements refer to. Tracked for
+  /// trailing-directory (minor >= 6) images only; reset whenever the
+  /// catalog is saved elsewhere or in a non-appendable format.
+  struct OriginImage {
+    std::string path;
+    uint32_t minor = 0;
+    uint64_t file_size = 0;
+    uint64_t dir_offset = 0;
+  };
+  mutable std::optional<OriginImage> origin_;
 
   // unique_ptr keeps entry addresses stable across vector growth, so
   // executors (which point at their documents) survive Add/Remove of

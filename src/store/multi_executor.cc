@@ -123,7 +123,11 @@ Result<std::vector<CrossMatch>> MultiExecutor::FindEverywhere(
     return Status::NotFound("no document named '", source,
                             "' in the catalog");
   }
-  if (subtree >= source_entry->doc.node_count()) {
+  // Get() materializes and validates a lazily-opened source before
+  // its columns are walked below.
+  MEETXML_ASSIGN_OR_RETURN(const model::StoredDocument* source_doc,
+                           catalog_->Get(source));
+  if (subtree >= source_doc->node_count()) {
     return Status::NotFound("no node with OID ", subtree, " in '",
                             source, "'");
   }
@@ -161,7 +165,7 @@ Result<std::vector<CrossMatch>> MultiExecutor::FindEverywhere(
       return;
     }
     outcomes[i] = text::FindInOtherDocument(
-        source_entry->doc, subtree, executors[i]->doc(), **search,
+        *source_doc, subtree, executors[i]->doc(), **search,
         options);
   });
 

@@ -173,8 +173,10 @@ TEST(Bat, ReverseSwapsColumns) {
 TEST(Bat, SortOrdersByHeadThenTail) {
   OidOidBat table = MakeBat({{2, 1}, {1, 9}, {2, 0}, {1, 3}});
   table.Sort();
-  EXPECT_EQ(table.heads(), (std::vector<Oid>{1, 1, 2, 2}));
-  EXPECT_EQ(table.tails(), (std::vector<Oid>{3, 9, 0, 1}));
+  EXPECT_EQ(std::vector<Oid>(table.heads().begin(), table.heads().end()),
+            (std::vector<Oid>{1, 1, 2, 2}));
+  EXPECT_EQ(std::vector<Oid>(table.tails().begin(), table.tails().end()),
+            (std::vector<Oid>{3, 9, 0, 1}));
 }
 
 TEST(Bat, SortUniqueRemovesDuplicates) {

@@ -5,9 +5,11 @@
 // per-document single-executor answers.
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -202,7 +204,7 @@ TEST(Catalog, RowAndColumnarCatalogImagesLoadIdentically) {
   auto columnar = catalog.SaveToBytes();
   auto row = catalog.SaveToBytes(model::DocumentPayloadFormat::kRowOriented);
   ASSERT_TRUE(columnar.ok() && row.ok());
-  EXPECT_EQ((*columnar)[4], 5);  // minor revision
+  EXPECT_EQ((*columnar)[4], 6);  // minor revision (DRV1 sections aboard)
   EXPECT_EQ((*row)[4], 3);
 
   auto from_columnar = Catalog::LoadFromBytes(*columnar);
@@ -420,6 +422,188 @@ TEST(Catalog, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->size(), 2u);
   std::filesystem::remove(path);
+}
+
+// --- Lazy opens -------------------------------------------------------
+
+TEST(Catalog, LazyOpenDefersDecodingUntilFirstTouch) {
+  Catalog catalog;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+
+  CatalogLoadStats stats;
+  CatalogLoadOptions options;
+  options.lazy = true;
+  options.stats = &stats;
+  auto lazy = Catalog::LoadFromBytes(*bytes, options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status();
+  // The open verified only the CTLG section; every per-document
+  // checksum and decode is still pending.
+  EXPECT_EQ(stats.deferred_documents, 3u);
+  EXPECT_EQ(stats.sections_verified, 1u);
+  EXPECT_EQ(stats.sections_deferred, 6u);  // 3 x (DOC2 + DRV1)
+  for (const NamedDocument* entry : lazy->entries()) {
+    EXPECT_FALSE(entry->materialized.load(std::memory_order_acquire));
+  }
+
+  // First touch materializes exactly the touched entry.
+  auto doc = lazy->Get("doc_1");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->node_count(),
+            catalog.Find("doc_1")->doc.node_count());
+  EXPECT_TRUE(
+      lazy->Find("doc_1")->materialized.load(std::memory_order_acquire));
+  EXPECT_FALSE(
+      lazy->Find("doc_0")->materialized.load(std::memory_order_acquire));
+  EXPECT_FALSE(
+      lazy->Find("doc_2")->materialized.load(std::memory_order_acquire));
+
+  // Warm() forces the rest eagerly.
+  MEETXML_CHECK_OK(lazy->Warm());
+  for (const NamedDocument* entry : lazy->entries()) {
+    EXPECT_TRUE(entry->materialized.load(std::memory_order_acquire));
+    EXPECT_EQ(entry->doc.node_count(),
+              catalog.Find(entry->name)->doc.node_count());
+  }
+}
+
+TEST(Catalog, LazyOpenAnswersQueriesLikeAnEagerOne) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .Add("lib_a", MustShred("<library><article>"
+                                          "<author>Alice Cooper</author>"
+                                          "<title>Shredding XML</title>"
+                                          "</article></library>"))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .Add("lib_b", MustShred("<catalog><item>"
+                                          "<creator>Alice Cooper</creator>"
+                                          "</item></catalog>"))
+                  .ok());
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+
+  auto eager = Catalog::LoadFromBytes(*bytes);
+  ASSERT_TRUE(eager.ok());
+  CatalogLoadOptions options;
+  options.lazy = true;
+  auto lazy = Catalog::LoadFromBytes(*bytes, options);
+  ASSERT_TRUE(lazy.ok());
+
+  MultiExecutor eager_exec(&*eager);
+  MultiExecutor lazy_exec(&*lazy);
+  const char* query =
+      "SELECT a FROM *//cdata a WHERE a CONTAINS 'Alice'";
+  auto want = eager_exec.ExecuteText("*", query, {});
+  auto got = lazy_exec.ExecuteText("*", query, {});
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->ToText(), want->ToText());
+  EXPECT_FALSE(want->rows.empty());
+}
+
+TEST(Catalog, LazyOpenIsolatesACorruptEntry) {
+  Catalog catalog;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+  auto sections = model::LoadSectionsFromBytes(*bytes);
+  ASSERT_TRUE(sections.ok());
+
+  // Flip one payload byte in the *second* DOC2 section. An eager open
+  // refuses the whole image; a lazy open succeeds and quarantines the
+  // damage to that entry's first touch.
+  size_t doc_sections = 0;
+  size_t flip_at = 0;
+  for (const model::SectionView& section : sections->sections) {
+    if (section.id == model::kAlignedColumnarDocumentSectionId &&
+        ++doc_sections == 2) {
+      flip_at = section.offset + section.bytes.size() / 2;
+    }
+  }
+  ASSERT_NE(flip_at, 0u);
+  std::string corrupt = *bytes;
+  corrupt[flip_at] = static_cast<char>(corrupt[flip_at] ^ 0x40);
+
+  EXPECT_FALSE(Catalog::LoadFromBytes(corrupt).ok());
+  CatalogLoadOptions options;
+  options.lazy = true;
+  auto lazy = Catalog::LoadFromBytes(corrupt, options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status();
+
+  int failures = 0;
+  for (const NamedDocument* entry : lazy->entries()) {
+    if (!lazy->Get(entry->name).ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 1);
+  // The bad entry is sticky (the checksum is not re-verified), and the
+  // healthy neighbors keep answering.
+  auto second = lazy->Get("doc_1");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(lazy->Get("doc_1").status().ToString(),
+            second.status().ToString());
+  ASSERT_TRUE(lazy->Get("doc_0").ok());
+  ASSERT_TRUE(lazy->Get("doc_2").ok());
+}
+
+TEST(Catalog, ConcurrentLazyFirstTouchIsRaceFree) {
+  Catalog catalog;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+  CatalogLoadOptions options;
+  options.lazy = true;
+  auto lazy = Catalog::LoadFromBytes(*bytes, options);
+  ASSERT_TRUE(lazy.ok());
+
+  // Eight threads race Get() across all four pending entries; every
+  // touch must see a fully decoded, validated document.
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 4; ++i) {
+        std::string name = "doc_" + std::to_string((t + i) % 4);
+        auto doc = lazy->Get(name);
+        if (!doc.ok() || (*doc)->node_count() == 0) errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(Catalog, LazyOpenFallsBackToEagerForLegacyImages) {
+  // A doc-only image has no CTLG directory to defer behind; a lazy
+  // open quietly decodes it eagerly.
+  StoredDocument doc = MustShred(NumberedXml(7));
+  model::SaveOptions save;
+  save.derived_section = false;
+  auto bytes = model::SaveToBytes(doc, save);
+  ASSERT_TRUE(bytes.ok());
+  CatalogLoadStats stats;
+  CatalogLoadOptions options;
+  options.lazy = true;
+  options.stats = &stats;
+  auto lazy = Catalog::LoadFromBytes(*bytes, options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status();
+  EXPECT_EQ(stats.deferred_documents, 0u);
+  ASSERT_EQ(lazy->size(), 1u);
+  EXPECT_TRUE(lazy->entries()[0]->materialized.load(
+      std::memory_order_acquire));
 }
 
 TEST(Catalog, MatchNamesGlob) {

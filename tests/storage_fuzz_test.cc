@@ -6,7 +6,10 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +17,7 @@
 #include "model/storage_io.h"
 #include "store/catalog.h"
 #include "util/byte_io.h"
+#include "util/file_io.h"
 #include "text/index_io.h"
 #include "text/inverted_index.h"
 #include "tests/test_util.h"
@@ -27,10 +31,12 @@ using meetxml::testing::MustShred;
 // Fuzz parameter: the low byte is the image flavor — 1 = MXM1, 2 =
 // MXM2 with the row-oriented DOC0 payload, 4 = MXM2 with the unaligned
 // columnar DOC1 payload, 5 = MXM2 with the aligned columnar DOC2
-// payload (the low byte doubles as the expected minor revision of the
-// emitted image). The kViewMode bit runs the same sweep through a
-// zero-copy (kView) load: a corrupt image must fail decode in view
-// mode exactly as in copy mode — never yield a span past the mapping.
+// payload, 6 = MXM2 with DOC2 plus the persisted DRV1 derived section
+// and the trailing directory (the low byte doubles as the expected
+// minor revision of the emitted image). The kViewMode bit runs the
+// same sweep through a zero-copy (kView) load: a corrupt image must
+// fail decode in view mode exactly as in copy mode — never yield a
+// span past the mapping.
 constexpr uint32_t kViewMode = 0x100;
 
 std::string Image(uint32_t param) {
@@ -39,9 +45,10 @@ std::string Image(uint32_t param) {
   SaveOptions options;
   options.format_version = flavor == 1 ? 1 : 2;
   options.payload_format =
-      flavor == 5   ? DocumentPayloadFormat::kColumnar
+      flavor >= 5   ? DocumentPayloadFormat::kColumnar
       : flavor == 4 ? DocumentPayloadFormat::kColumnarUnaligned
                     : DocumentPayloadFormat::kRowOriented;
+  options.derived_section = flavor == 6;
   auto bytes = SaveToBytes(doc, options);
   EXPECT_TRUE(bytes.ok()) << bytes.status();
   return *bytes;
@@ -120,13 +127,15 @@ TEST_P(StorageFuzz, PseudoRandomMutationsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(
     Formats, StorageFuzz,
-    ::testing::Values(1u, 2u, 4u, 5u, kViewMode | 4u, kViewMode | 5u),
+    ::testing::Values(1u, 2u, 4u, 5u, 6u, kViewMode | 4u, kViewMode | 5u,
+                      kViewMode | 6u),
     [](const auto& info) -> std::string {
       uint32_t flavor = info.param & 0xff;
       std::string name = flavor == 1   ? "MXM1"
                          : flavor == 2 ? "MXM2DOC0"
                          : flavor == 4 ? "MXM2DOC1"
-                                       : "MXM2DOC2";
+                         : flavor == 5 ? "MXM2DOC2"
+                                       : "MXM2DRV1";
       if ((info.param & kViewMode) != 0) name += "View";
       return name;
     });
@@ -272,7 +281,9 @@ TEST(StorageFuzzCrafted, CraftedColumnarBaselinesLoad) {
   auto written_doc1 = SaveToBytes(MustShred("<a>xyz</a>"), unaligned_options);
   ASSERT_TRUE(written_doc1.ok());
   EXPECT_EQ(CraftColumnarImage(Doc1Knobs{}, false), *written_doc1);
-  auto written_doc2 = SaveToBytes(MustShred("<a>xyz</a>"));
+  SaveOptions doc2_options;  // plain DOC2 without the DRV1 companion
+  doc2_options.derived_section = false;
+  auto written_doc2 = SaveToBytes(MustShred("<a>xyz</a>"), doc2_options);
   ASSERT_TRUE(written_doc2.ok());
   EXPECT_EQ(CraftColumnarImage(Doc1Knobs{}, true), *written_doc2);
 }
@@ -468,20 +479,34 @@ TEST(CatalogFuzz, EveryTruncationFails) {
 }
 
 TEST(CatalogFuzz, ByteFlipsNeverCrashAndPreserveEntries) {
-  // A flip anywhere in a catalog image either fails cleanly (directory,
-  // CTLG payload and every DOC0/TIDX are checksummed; a CTLG id flip
-  // degrades to the legacy path, which then rejects the duplicate DOC0
-  // sections) or — for the minor-field flip 3 <-> 2 — loads the whole
-  // catalog intact.
+  // A flip in any *covered* byte of a catalog image fails cleanly: the
+  // header is fenced, the directory and every CTLG/DOC2/DRV1/TIDX
+  // payload are checksummed. Minor-6 images align payloads to 4 bytes,
+  // so the pad bytes between sections are dead space no checksum
+  // covers — a flip there must load the whole catalog intact.
   std::string bytes = CatalogImage();
+  auto image = LoadSectionsFromBytes(bytes);
+  ASSERT_TRUE(image.ok()) << image.status();
+  ASSERT_NE(image->dir_offset, 0u);  // default save is minor 6
+  std::vector<bool> covered(bytes.size(), false);
+  for (size_t at = 0; at < 16; ++at) covered[at] = true;  // header fence
+  for (const SectionView& section : image->sections) {
+    for (uint64_t at = section.offset;
+         at < section.offset + section.bytes.size(); ++at) {
+      covered[at] = true;
+    }
+  }
+  for (size_t at = image->dir_offset; at < bytes.size(); ++at) {
+    covered[at] = true;
+  }
   for (uint8_t mask : {0x01, 0x40, 0xff}) {
     for (size_t at = 0; at < bytes.size(); ++at) {
       std::string corrupt = bytes;
       corrupt[at] = static_cast<char>(corrupt[at] ^ mask);
       auto loaded = store::Catalog::LoadFromBytes(corrupt);
+      EXPECT_EQ(loaded.ok(), !covered[at])
+          << "flip mask " << int(mask) << " at " << at;
       if (loaded.ok()) {
-        EXPECT_TRUE(at >= 4 && at < 8)
-            << "flip mask " << int(mask) << " at " << at;
         ASSERT_EQ(loaded->size(), 2u);
         EXPECT_NE(loaded->Find("paper"), nullptr);
         EXPECT_NE(loaded->Find("tiny"), nullptr);
@@ -531,6 +556,252 @@ TEST(CatalogFuzz, DanglingSectionsAreRejected) {
   auto rewritten = SaveSectionsToBytes(tampered, 3);
   ASSERT_TRUE(rewritten.ok());
   EXPECT_FALSE(store::Catalog::LoadFromBytes(*rewritten).ok());
+}
+
+// --- Crafted DRV1 corruptions -----------------------------------------
+//
+// The derived section is checksummed like any other, so random flips
+// die at the gate (the flavor-6 sweep above). These cases instead keep
+// every checksum *valid* — the image is re-serialized after the
+// corruption — so the structural validator is the only line of
+// defense: an eager load must reject the image outright, and a
+// deferred-validation load must fail at EnsureValidated — never hand
+// out a document navigating a bad CSR or edge BAT.
+
+std::string ImageWithDerivedWords(
+    const std::function<void(std::vector<uint32_t>&)>& mutate) {
+  auto image = SaveToBytes(MustShred("<a><b>x</b><b>y</b></a>"),
+                           SaveOptions{});  // default: DOC2 + DRV1
+  EXPECT_TRUE(image.ok()) << image.status();
+  auto sections = LoadSectionsFromBytes(*image);
+  EXPECT_TRUE(sections.ok()) << sections.status();
+  std::string doc_payload;
+  std::string drv_payload;
+  for (const SectionView& section : sections->sections) {
+    if (section.id == kAlignedColumnarDocumentSectionId) {
+      doc_payload = std::string(section.bytes);
+    } else if (section.id == kDerivedSectionId) {
+      drv_payload = std::string(section.bytes);
+    }
+  }
+  EXPECT_FALSE(doc_payload.empty());
+  EXPECT_FALSE(drv_payload.empty());
+  std::vector<uint32_t> words(drv_payload.size() / 4);
+  std::memcpy(words.data(), drv_payload.data(), drv_payload.size());
+  mutate(words);
+  drv_payload.assign(reinterpret_cast<const char*>(words.data()),
+                     words.size() * 4);
+  auto rewritten = SaveSectionsToBytes(
+      {ImageSection{kAlignedColumnarDocumentSectionId, doc_payload},
+       ImageSection{kDerivedSectionId, drv_payload}},
+      6);
+  EXPECT_TRUE(rewritten.ok()) << rewritten.status();
+  return *rewritten;
+}
+
+void ExpectDerivedCorruptionCaught(
+    const std::function<void(std::vector<uint32_t>&)>& mutate,
+    const char* what) {
+  std::string image = ImageWithDerivedWords(mutate);
+  for (LoadMode mode : {LoadMode::kCopy, LoadMode::kView}) {
+    LoadOptions eager;
+    eager.mode = mode;
+    EXPECT_FALSE(LoadFromBytes(image, eager).ok())
+        << what << " (view=" << (mode == LoadMode::kView) << ")";
+    // Deferring validation may accept the framing, but the corruption
+    // must then surface at the EnsureValidated gate — queries never
+    // run over it.
+    LoadOptions deferred = eager;
+    deferred.defer_validation = true;
+    auto loaded = LoadFromBytes(image, deferred);
+    if (loaded.ok()) {
+      EXPECT_FALSE(loaded->EnsureValidated().ok())
+          << what << " (deferred, view=" << (mode == LoadMode::kView)
+          << ")";
+    }
+  }
+}
+
+TEST(StorageFuzzCrafted, DerivedBaselineLoads) {
+  // The untampered re-serialization must load — otherwise the cases
+  // below would pass for the wrong reason.
+  std::string image = ImageWithDerivedWords([](std::vector<uint32_t>&) {});
+  for (LoadMode mode : {LoadMode::kCopy, LoadMode::kView}) {
+    LoadOptions options;
+    options.mode = mode;
+    auto loaded = LoadFromBytes(image, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->node_count(), 5u);
+  }
+}
+
+TEST(StorageFuzzCrafted, DerivedRejectsBadCsr) {
+  ExpectDerivedCorruptionCaught(
+      [](std::vector<uint32_t>& w) { w[0] += 1; },
+      "node count mismatch with DOC2");
+  ExpectDerivedCorruptionCaught(
+      [](std::vector<uint32_t>& w) { w[1] = 100; },
+      "child offset out of bounds");
+  ExpectDerivedCorruptionCaught(
+      [](std::vector<uint32_t>& w) {
+        uint32_t n = w[0];
+        w[1 + (n + 1)] = 0;  // first child slot names the root
+      },
+      "child list breaks parent inversion");
+}
+
+TEST(StorageFuzzCrafted, DerivedRejectsBadEdgeGroupsAndFlags) {
+  ExpectDerivedCorruptionCaught(
+      [](std::vector<uint32_t>& w) {
+        uint32_t n = w[0];
+        size_t group_count_at = 1 + (n + 1) + (n - 1);
+        // group_count | path | rows | heads... — poison the first head.
+        w[group_count_at + 3] = 0xffffu;
+      },
+      "edge head out of range");
+  ExpectDerivedCorruptionCaught(
+      [](std::vector<uint32_t>& w) { w.back() ^= 1; },
+      "string sorted flag flipped");
+}
+
+// --- Appended (in-place) catalog images -------------------------------
+//
+// An in-place save appends the changed sections plus a fresh directory
+// and then patches the 8-byte directory pointer in the header; the old
+// directory and any superseded sections stay behind as dead space. The
+// fuzz contract: live bytes are never rewritten, a torn append is
+// recoverable by restoring the old pointer, and the dead bytes are the
+// only place a flip may land silently.
+
+struct AppendedImage {
+  std::string before;  // full-rewrite image: paper + tiny
+  std::string after;   // the same file after one in-place append
+};
+
+AppendedImage MakeAppendedImage() {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "meetxml_fuzz_append.mxm").string();
+  store::Catalog catalog;
+  StoredDocument paper = MustShred(data::PaperExampleXml());
+  auto index = text::InvertedIndex::Build(paper);
+  EXPECT_TRUE(index.ok());
+  EXPECT_TRUE(
+      catalog.Add("paper", std::move(paper), std::move(*index)).ok());
+  EXPECT_TRUE(
+      catalog.Add("tiny", MustShred("<a><b>x</b><b>y</b></a>")).ok());
+  EXPECT_TRUE(catalog.SaveToFile(path).ok());
+  AppendedImage out;
+  auto before = util::ReadFileToString(path);
+  EXPECT_TRUE(before.ok()) << before.status();
+  out.before = *before;
+
+  EXPECT_TRUE(catalog.Add("extra", MustShred("<z><w>q</w></z>")).ok());
+  store::CatalogSaveStats stats;
+  store::CatalogSaveOptions save;
+  save.in_place = true;
+  save.stats = &stats;
+  EXPECT_TRUE(catalog.SaveToFile(path, save).ok());
+  EXPECT_TRUE(stats.in_place);  // the scenario must actually append
+  auto after = util::ReadFileToString(path);
+  EXPECT_TRUE(after.ok()) << after.status();
+  out.after = *after;
+  fs::remove(path);
+  return out;
+}
+
+TEST(CatalogFuzzAppended, AppendNeverRewritesLiveBytes) {
+  AppendedImage image = MakeAppendedImage();
+  ASSERT_GT(image.after.size(), image.before.size());
+  // Only the header's directory pointer changes; everything the old
+  // image owned — old directory included — survives byte-identical.
+  EXPECT_EQ(image.after.substr(0, 8), image.before.substr(0, 8));
+  EXPECT_EQ(image.after.substr(16, image.before.size() - 16),
+            image.before.substr(16));
+
+  auto loaded = store::Catalog::LoadFromBytes(image.after);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_NE(loaded->Find("paper"), nullptr);
+  EXPECT_NE(loaded->Find("tiny"), nullptr);
+  EXPECT_NE(loaded->Find("extra"), nullptr);
+}
+
+TEST(CatalogFuzzAppended, StaleDirectoryRestoresPreAppendCatalog) {
+  // A crash between the appended-data fsync and the pointer patch
+  // leaves the old pointer in place — exactly this image. It must load
+  // the pre-append catalog intact, trailing bytes and all.
+  AppendedImage image = MakeAppendedImage();
+  std::string torn = image.after;
+  torn.replace(8, 8, image.before, 8, 8);
+  auto loaded = store::Catalog::LoadFromBytes(torn);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_NE(loaded->Find("paper"), nullptr);
+  EXPECT_NE(loaded->Find("tiny"), nullptr);
+  EXPECT_EQ(loaded->Find("extra"), nullptr);
+}
+
+TEST(CatalogFuzzAppended, EveryTruncationFails) {
+  // The patched pointer names the appended directory, so any cut —
+  // including cuts that leave the whole pre-append image — must fail:
+  // the pointer now dangles past the end.
+  AppendedImage image = MakeAppendedImage();
+  for (size_t cut = 0; cut < image.after.size(); ++cut) {
+    auto loaded = store::Catalog::LoadFromBytes(
+        std::string_view(image.after).substr(0, cut));
+    EXPECT_FALSE(loaded.ok())
+        << "cut at " << cut << " of " << image.after.size();
+  }
+}
+
+TEST(CatalogFuzzAppended, GarbageDirectoryPointerFailsCleanly) {
+  AppendedImage image = MakeAppendedImage();
+  for (uint64_t garbage :
+       {uint64_t{0}, uint64_t{7}, uint64_t{15},
+        static_cast<uint64_t>(image.after.size()),
+        static_cast<uint64_t>(image.after.size()) - 1,
+        ~uint64_t{0} / 2}) {
+    std::string corrupt = image.after;
+    for (int i = 0; i < 8; ++i) {
+      corrupt[8 + i] = static_cast<char>((garbage >> (8 * i)) & 0xff);
+    }
+    EXPECT_FALSE(store::Catalog::LoadFromBytes(corrupt).ok())
+        << "dir_offset " << garbage;
+  }
+}
+
+TEST(CatalogFuzzAppended, ByteFlipsRespectChecksumCoverage) {
+  // Same contract as the fresh-image sweep, on the appended layout:
+  // a flip in any covered byte fails cleanly; a flip in dead space
+  // (the superseded directory and CTLG payload, alignment pads) loads
+  // the post-append catalog fully intact.
+  AppendedImage image = MakeAppendedImage();
+  const std::string& bytes = image.after;
+  auto sections = LoadSectionsFromBytes(bytes);
+  ASSERT_TRUE(sections.ok()) << sections.status();
+  ASSERT_NE(sections->dir_offset, 0u);
+  std::vector<bool> covered(bytes.size(), false);
+  for (size_t at = 0; at < 16; ++at) covered[at] = true;
+  for (const SectionView& section : sections->sections) {
+    for (uint64_t at = section.offset;
+         at < section.offset + section.bytes.size(); ++at) {
+      covered[at] = true;
+    }
+  }
+  for (size_t at = sections->dir_offset; at < bytes.size(); ++at) {
+    covered[at] = true;
+  }
+  for (size_t at = 0; at < bytes.size(); ++at) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+    auto loaded = store::Catalog::LoadFromBytes(corrupt);
+    EXPECT_EQ(loaded.ok(), !covered[at]) << "flip at " << at;
+    if (loaded.ok()) {
+      EXPECT_EQ(loaded->size(), 3u);
+      EXPECT_NE(loaded->Find("extra"), nullptr);
+    }
+  }
 }
 
 }  // namespace

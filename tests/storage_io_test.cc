@@ -106,10 +106,26 @@ TEST(StorageIo, RejectsWrongVersion) {
 }
 
 TEST(StorageIo, RejectsTrailingBytes) {
+  // Front-directory minors (<= 5) tile the image exactly, so trailing
+  // bytes are corruption.
+  StoredDocument doc = MustShred("<a/>");
+  SaveOptions options;
+  options.derived_section = false;
+  auto bytes = SaveToBytes(doc, options);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_FALSE(LoadFromBytes(*bytes + "extra").ok());
+}
+
+TEST(StorageIo, TrailingDirectoryMinorToleratesTrailingBytes) {
+  // Minor 6 locates everything through the directory pointer, so bytes
+  // past the directory are dead space — exactly what a crashed in-place
+  // append leaves behind. The image must still load.
   StoredDocument doc = MustShred("<a/>");
   auto bytes = SaveToBytes(doc);
   ASSERT_TRUE(bytes.ok());
-  EXPECT_FALSE(LoadFromBytes(*bytes + "extra").ok());
+  auto loaded = LoadFromBytes(*bytes + "extra");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->node_count(), doc.node_count());
 }
 
 TEST(StorageIo, FileRoundTrip) {
@@ -132,15 +148,27 @@ TEST(StorageIo, MissingFileIsNotFound) {
 
 // --- Columnar (DOC1/DOC2) vs row-oriented (DOC0) payloads -------------
 
-TEST(StorageIo, AlignedColumnarIsTheDefaultAndStampsMinor5) {
+TEST(StorageIo, DerivedColumnarIsTheDefaultAndStampsMinor6) {
   StoredDocument doc = MustShred(data::PaperExampleXml());
   auto bytes = SaveToBytes(doc);
   ASSERT_TRUE(bytes.ok());
-  EXPECT_EQ((*bytes)[4], 5);  // minor revision field
+  EXPECT_EQ((*bytes)[4], 6);  // minor revision field
   auto sections = LoadSectionsFromBytes(*bytes);
   ASSERT_TRUE(sections.ok());
-  ASSERT_EQ(sections->sections.size(), 1u);
+  ASSERT_EQ(sections->sections.size(), 2u);
   EXPECT_EQ(sections->sections[0].id, kAlignedColumnarDocumentSectionId);
+  EXPECT_EQ(sections->sections[1].id, kDerivedSectionId);
+
+  SaveOptions plain_options;  // opting out of DRV1 stays on minor 5
+  plain_options.derived_section = false;
+  auto plain_bytes = SaveToBytes(doc, plain_options);
+  ASSERT_TRUE(plain_bytes.ok());
+  EXPECT_EQ((*plain_bytes)[4], 5);
+  auto plain_sections = LoadSectionsFromBytes(*plain_bytes);
+  ASSERT_TRUE(plain_sections.ok());
+  ASSERT_EQ(plain_sections->sections.size(), 1u);
+  EXPECT_EQ(plain_sections->sections[0].id,
+            kAlignedColumnarDocumentSectionId);
 
   SaveOptions unaligned_options;
   unaligned_options.payload_format =
@@ -306,11 +334,18 @@ TEST(StorageIo, DblpImageIsSmallerThanXml) {
   ASSERT_TRUE(xml_text.ok());
   auto doc = ShredXmlText(*xml_text);
   ASSERT_TRUE(doc.ok());
-  auto bytes = SaveToBytes(*doc);
+  SaveOptions plain;
+  plain.derived_section = false;
+  auto bytes = SaveToBytes(*doc, plain);
   ASSERT_TRUE(bytes.ok());
   // Sanity: the binary image is within 2x of the XML (it stores paths
   // once, not per element).
   EXPECT_LT(bytes->size(), xml_text->size() * 2);
+  // With the persisted derived sections (the open-time rebuild traded
+  // for bytes) the image still stays within 3x.
+  auto derived_bytes = SaveToBytes(*doc);
+  ASSERT_TRUE(derived_bytes.ok());
+  EXPECT_LT(derived_bytes->size(), xml_text->size() * 3);
 }
 
 }  // namespace

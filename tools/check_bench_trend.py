@@ -16,7 +16,10 @@ BM_CatalogOpenView series — and the parallel catalog-open wins) and
 BENCH_ab12_service.json (the meetxmld closed-loop: throughput and
 p50/p99 latency vs. client count over the shared catalog; the
 BM_ServiceClosedLoop series is load-bearing — losing it would mean
-the service dispatch path silently left the trend).
+the service dispatch path silently left the trend) and
+BENCH_ab13_open_scaling.json (O(directory) catalog open and the
+incremental in-place save; the BM_CatalogOpenLazy and
+BM_CatalogSaveInPlace series are load-bearing).
 
 Usage:
     check_bench_trend.py CURRENT.json BASELINE.json [--threshold 2.0]
