@@ -1,0 +1,111 @@
+// AB14 — ablation: what does observability cost on the serving path?
+//
+// The same closed loop as AB12 (one client, in-process transport, the
+// mixed query workload over a warmed catalog) run twice: once with
+// ServiceOptions::observe = false — no per-request clock reads, no
+// trace, no stage histograms, no query log, the pre-instrumentation
+// dispatch — and once with the full pipeline on (arg 1). The contract
+// this PR makes is that the instrumented loop stays within ~2% of the
+// baseline throughput: a QueryTrace is a handful of monotonic clock
+// reads and relaxed atomic adds per query, and the per-request
+// histogram is one sharded Record; nothing on the hot path takes the
+// registry mutex.
+//
+// Measured: items_per_second per arm plus the observe flag as a
+// counter, so tools/check_bench_trend.py can archive both arms and a
+// reviewer can compute the overhead ratio from one JSON.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "obs/metrics.h"
+#include "server/service.h"
+#include "store/catalog.h"
+
+using namespace meetxml;
+
+namespace {
+
+constexpr int kDocs = 4;
+constexpr int kQueriesPerIteration = 25;
+
+// AB12's mixed workload: full-text meets, scoped and fan-out.
+const char* const kQueries[] = {
+    "SELECT MEET(a, b) FROM dblp//cdata a, dblp//cdata b "
+    "WHERE a CONTAINS 'ICDE' AND b CONTAINS '1981' EXCLUDE dblp",
+    "SELECT MEET(a, b) FROM dblp//title/cdata a, dblp//year/cdata b "
+    "WHERE a CONTAINS 'database' AND b CONTAINS '1982' LIMIT 10",
+    "SELECT MEET(a, b) FROM dblp//cdata a, dblp//cdata b "
+    "WHERE a CONTAINS 'Author5' AND b CONTAINS 'SIGMOD' "
+    "EXCLUDE dblp LIMIT 20",
+};
+constexpr int kQueryCount = 3;
+
+const store::Catalog& SharedCatalog() {
+  static store::Catalog* catalog = [] {
+    auto* out = new store::Catalog;
+    for (int i = 0; i < kDocs; ++i) {
+      data::DblpOptions options;
+      options.start_year = 1980 + 2 * i;
+      options.end_year = options.start_year + 1;
+      options.icde_papers_per_year = 20;
+      options.other_papers_per_year = 40;
+      options.journal_articles_per_year = 20;
+      auto xml_text = data::GenerateDblpXml(options);
+      MEETXML_CHECK_OK(xml_text.status());
+      auto doc = model::ShredXmlText(*xml_text);
+      MEETXML_CHECK_OK(doc.status());
+      MEETXML_CHECK_OK(
+          out->Add("dblp_" + std::to_string(i), std::move(*doc)).status());
+    }
+    MEETXML_CHECK_OK(out->Warm(/*build_text_indexes=*/true));
+    return out;
+  }();
+  return *catalog;
+}
+
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool observe = state.range(0) != 0;
+  server::ServiceOptions options;
+  options.observe = observe;
+  // A private registry keeps the two arms from sharing shard cells
+  // (and keeps this bench out of the process-global exposition).
+  obs::MetricsRegistry registry;
+  options.metrics = &registry;
+  server::QueryService service(&SharedCatalog(), std::move(options));
+  auto client = server::InProcessClient::Connect(&service);
+  MEETXML_CHECK_OK(client.status());
+  MEETXML_CHECK_OK(client->Hello().status());
+  for (auto _ : state) {
+    for (int q = 0; q < kQueriesPerIteration; ++q) {
+      const char* query = kQueries[q % kQueryCount];
+      const char* scope = (q % 4 == 0) ? "dblp_0" : "*";
+      auto response = client->Query(scope, query);
+      MEETXML_CHECK_OK(response.status());
+      benchmark::DoNotOptimize(response->row_count);
+    }
+  }
+  MEETXML_CHECK_OK(client->Bye());
+  state.SetItemsProcessed(state.iterations() * kQueriesPerIteration);
+  state.counters["observe"] = observe ? 1 : 0;
+  if (observe) {
+    state.counters["traced_queries"] = static_cast<double>(
+        registry.histogram("meetxml_server_request_us", "op=\"query\"")
+            .Summary()
+            .count);
+  }
+}
+BENCHMARK(BM_ObsOverhead)
+    ->Arg(0)  // baseline: observe off
+    ->Arg(1)  // full tracing + histograms + query log
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

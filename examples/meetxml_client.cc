@@ -1,11 +1,19 @@
 // meetxml_client: a line client for meetxmld.
 //
 // Run:  ./meetxml_client <port> [scope] [query]
+//       ./meetxml_client <port> stats
+//       ./meetxml_client <port> dump
 //
 // With a query on the command line it runs once and exits; without
 // one it reads queries from stdin (one per line, scope fixed by
 // argv[2], default "*") — an interactive nearest-concept session
 // against a running daemon.
+//
+// `stats` prints the protocol-v2 STATS body: the legacy counters plus
+// a latency table (count / sum / p50 / p90 / p99 in microseconds) for
+// every histogram the server tracks. `dump` prints the DUMP opcode's
+// Prometheus-style exposition and query-log tail verbatim — the live
+// introspection surface for a serving daemon.
 
 #include <cstdint>
 #include <cstdio>
@@ -58,11 +66,63 @@ int RunQuery(int fd, const std::string& scope, const std::string& query) {
   return 0;
 }
 
+int RunStats(int fd) {
+  server::Request request;
+  request.opcode = server::Opcode::kStats;
+  auto response = Roundtrip(fd, request);
+  if (!response.ok() || !response->ok) {
+    std::fprintf(stderr, "stats error: %s\n",
+                 response.ok() ? response->message.c_str()
+                               : response.status().ToString().c_str());
+    return 1;
+  }
+  const server::StatsBody& stats = response->stats;
+  std::printf("queries_served   %llu\n"
+              "request_errors   %llu\n"
+              "sessions_active  %llu\n"
+              "sessions_evicted %llu\n",
+              static_cast<unsigned long long>(stats.queries_served),
+              static_cast<unsigned long long>(stats.request_errors),
+              static_cast<unsigned long long>(stats.sessions_active),
+              static_cast<unsigned long long>(stats.sessions_evicted));
+  if (stats.version < 2) {
+    std::printf("(v1 server: no histogram summaries)\n");
+    return 0;
+  }
+  std::printf("\n%-44s %10s %12s %8s %8s %8s\n", "histogram", "count",
+              "sum", "p50", "p90", "p99");
+  for (const server::StatsHistogramEntry& entry : stats.histograms) {
+    std::printf("%-44s %10llu %12llu %8llu %8llu %8llu\n",
+                entry.name.c_str(),
+                static_cast<unsigned long long>(entry.count),
+                static_cast<unsigned long long>(entry.sum),
+                static_cast<unsigned long long>(entry.p50),
+                static_cast<unsigned long long>(entry.p90),
+                static_cast<unsigned long long>(entry.p99));
+  }
+  return 0;
+}
+
+int RunDump(int fd) {
+  server::Request request;
+  request.opcode = server::Opcode::kDump;
+  auto response = Roundtrip(fd, request);
+  if (!response.ok() || !response->ok) {
+    std::fprintf(stderr, "dump error: %s\n",
+                 response.ok() ? response->message.c_str()
+                               : response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", response->dump.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <port> [scope] [query]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <port> [scope] [query]\n"
+                 "       %s <port> stats|dump\n", argv[0], argv[0]);
     return 2;
   }
   uint16_t port = static_cast<uint16_t>(std::stoi(argv[1]));
@@ -83,7 +143,9 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  if (argc > 3) {
+  if (argc == 3 && (scope == "stats" || scope == "dump")) {
+    exit_code = scope == "stats" ? RunStats(*fd) : RunDump(*fd);
+  } else if (argc > 3) {
     exit_code = RunQuery(*fd, scope, argv[3]);
   } else {
     std::fprintf(stderr, "%s session %llu, scope %s — one query per "

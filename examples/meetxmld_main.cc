@@ -7,6 +7,14 @@
 // read-only by every connection of a worker pool.
 //
 // Run:  ./meetxmld [store.mxm] [port] [--warm]
+//               [--slow-query-ms N] [--stats-interval-s N]
+//
+// --slow-query-ms N flags any query whose staged time reaches N ms
+// (counted in meetxml_server_slow_queries_total and marked in the
+// kDump query log). --stats-interval-s N logs a one-line stats summary
+// every N seconds. Live introspection: the STATS opcode carries
+// histogram summaries (protocol v2) and DUMP returns the full
+// Prometheus-style exposition — see ./meetxml_client <port> stats|dump.
 //
 // The open is lazy by default: only the image framing and the catalog
 // directory are verified, so startup costs O(directory) no matter how
@@ -21,10 +29,14 @@
 // drains in-flight queries before exiting.
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -68,10 +80,18 @@ util::Status BuildDemoStore(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool warm = false;
+  uint64_t slow_query_ms = 0;
+  uint64_t stats_interval_s = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--warm") == 0) {
       warm = true;
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 &&
+               i + 1 < argc) {
+      slow_query_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stats-interval-s") == 0 &&
+               i + 1 < argc) {
+      stats_interval_s = std::strtoull(argv[++i], nullptr, 10);
     } else {
       positional.push_back(argv[i]);
     }
@@ -118,11 +138,46 @@ int main(int argc, char** argv) {
   }
   double warm_ms = timer.ElapsedMillis();
 
-  server::QueryService service(&*catalog);
+  server::ServiceOptions service_options;
+  service_options.slow_query_ms = slow_query_ms;
+  server::QueryService service(&*catalog, std::move(service_options));
   server::TcpServerOptions server_options;
   server_options.port = port;
   auto server = server::TcpServer::Start(&service, server_options);
   MEETXML_CHECK_OK(server.status());
+
+  // Periodic one-line stats logging: a plain thread parked on a CV so
+  // shutdown wakes it immediately (no sleep-loop lag).
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_thread;
+  if (stats_interval_s > 0) {
+    stats_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stats_mu);
+      while (!stats_cv.wait_for(lock,
+                                std::chrono::seconds(stats_interval_s),
+                                [&] { return stats_stop; })) {
+        server::ServiceStats stats = service.stats();
+        obs::HistogramSummary queries =
+            service.metrics()
+                .histogram("meetxml_server_request_us", "op=\"query\"")
+                .Summary();
+        std::printf("stats: %llu queries (p50 %llu us, p99 %llu us), "
+                    "%llu errors, %llu sessions, %llu slow\n",
+                    static_cast<unsigned long long>(stats.queries_served),
+                    static_cast<unsigned long long>(queries.p50),
+                    static_cast<unsigned long long>(queries.p99),
+                    static_cast<unsigned long long>(stats.request_errors),
+                    static_cast<unsigned long long>(stats.sessions_active),
+                    static_cast<unsigned long long>(
+                        service.metrics()
+                            .counter("meetxml_server_slow_queries_total")
+                            .Value()));
+        std::fflush(stdout);
+      }
+    });
+  }
 
   std::printf("meetxmld: %zu document(s) from %s "
               "(open %.1f ms, %zu deferred, %zu/%zu checksums verified",
@@ -151,6 +206,14 @@ int main(int argc, char** argv) {
   int signal_number = 0;
   sigwait(&signals, &signal_number);
   std::printf("\nsignal %d — draining...\n", signal_number);
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+  }
   (*server)->Stop();
   service.Shutdown();
 

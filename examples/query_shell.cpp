@@ -15,6 +15,9 @@
 //   \use <glob>       scope queries to matching documents (default *)
 //   \save <file>      persist the catalog as one image
 //   \history          show past input lines
+//   \stats            session metrics: per-stage latency histograms
+//                     (parse/route/decode/index build/execute/merge)
+//                     and catalog counters from the process registry
 // Classic commands:
 //   .paths            path summaries of the scoped documents
 //   .stats            statistics of the scoped documents
@@ -34,6 +37,8 @@
 #include "data/paper_example.h"
 #include "model/bulk_load.h"
 #include "model/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/catalog.h"
 #include "store/multi_executor.h"
 #include "util/strings.h"
@@ -167,6 +172,39 @@ void ListDocs(const store::Catalog& catalog, std::string_view scope) {
               std::string(scope).c_str());
 }
 
+// Session metrics from the process-wide registry: every query this
+// shell ran recorded its stage breakdown there (the same series a
+// meetxmld exposes over DUMP), plus the catalog's open/decode work.
+void PrintSessionStats() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::printf("%-42s %8s %10s %8s %8s %8s\n", "histogram (us)", "count",
+              "sum", "p50", "p90", "p99");
+  for (const obs::NamedSummary& entry : registry.HistogramSummaries()) {
+    if (entry.summary.count == 0) continue;
+    std::printf("%-42s %8llu %10llu %8llu %8llu %8llu\n",
+                entry.name.c_str(),
+                static_cast<unsigned long long>(entry.summary.count),
+                static_cast<unsigned long long>(entry.summary.sum),
+                static_cast<unsigned long long>(entry.summary.p50),
+                static_cast<unsigned long long>(entry.summary.p90),
+                static_cast<unsigned long long>(entry.summary.p99));
+  }
+  std::printf("rows returned       %llu\n"
+              "catalog opens       %llu\n"
+              "lazy decodes        %llu\n"
+              "text index builds   %llu\n",
+              static_cast<unsigned long long>(
+                  registry.counter("meetxml_query_rows_total").Value()),
+              static_cast<unsigned long long>(
+                  registry.counter("meetxml_catalog_opens_total").Value()),
+              static_cast<unsigned long long>(
+                  registry.counter("meetxml_catalog_lazy_decode_total")
+                      .Value()),
+              static_cast<unsigned long long>(
+                  registry.counter("meetxml_text_index_builds_total")
+                      .Value()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +244,8 @@ int main(int argc, char** argv) {
         PrintHelp();
       } else if (command == "\\docs" || command == ".docs") {
         ListDocs(catalog, scope);
+      } else if (command == "\\stats" || command == ".stats-session") {
+        PrintSessionStats();
       } else if (command == "\\history") {
         for (size_t i = 0; i < history.size(); ++i) {
           std::printf("%4zu  %s\n", i + 1, history[i].c_str());
@@ -284,14 +324,22 @@ int main(int argc, char** argv) {
     std::string query_text;
     std::swap(query_text, pending);
 
-    auto result = multi.ExecuteText(scope, query_text);
+    // Trace every query so \stats can break the session down by stage
+    // — including the catalog's first-touch decode and index build.
+    obs::QueryTrace trace;
+    auto result = multi.ExecuteText(scope, query_text, {}, &trace);
     if (!result.ok()) {
+      obs::RecordStageHistograms(&obs::MetricsRegistry::Global(), trace,
+                                 /*rows=*/0);
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    std::printf("%s(%zu rows over %zu document(s))\n",
+    obs::RecordStageHistograms(&obs::MetricsRegistry::Global(), trace,
+                               result->rows.size());
+    std::printf("%s(%zu rows over %zu document(s), %llu us staged)\n",
                 result->ToText().c_str(), result->rows.size(),
-                result->per_document.size());
+                result->per_document.size(),
+                static_cast<unsigned long long>(trace.TotalStageUs()));
   }
   return 0;
 }

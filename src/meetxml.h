@@ -24,6 +24,10 @@
 #include "util/threads.h"
 #include "util/timer.h"
 
+// Observability: metrics registry and query-stage tracing.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 // XML parsing and serialization.
 #include "xml/dom.h"
 #include "xml/escape.h"

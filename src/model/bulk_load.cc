@@ -6,8 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/file_io.h"
 #include "util/threads.h"
+#include "util/timer.h"
 #include "xml/parser.h"
 
 namespace meetxml {
@@ -294,6 +296,23 @@ Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
     return ShredXmlTextStreaming(xml_text, options.shred);
   }
 
+  // Phase timings of the parallel path (split / shard shred / merge),
+  // resolved once — bulk load is a start-up cost worth decomposing.
+  struct BulkMetrics {
+    obs::Histogram* split_us;
+    obs::Histogram* shred_us;
+    obs::Histogram* merge_us;
+  };
+  static const BulkMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return new BulkMetrics{
+        &registry.histogram("meetxml_bulk_split_us"),
+        &registry.histogram("meetxml_bulk_shred_us"),
+        &registry.histogram("meetxml_bulk_merge_us"),
+    };
+  }();
+
+  util::Timer split_timer;
   Result<internal::CorpusSplit> split_result =
       internal::SplitTopLevel(xml_text);
   if (!split_result.ok()) {
@@ -328,10 +347,13 @@ Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
   if (chunks.size() < 2) {
     return ShredXmlTextStreaming(xml_text, options.shred);
   }
+  metrics->split_us->Record(
+      static_cast<uint64_t>(split_timer.ElapsedMicros()));
 
   // Shred every chunk on the pool, each into a thread-local builder.
   // Chunks are wrapped in a synthetic root so the parser sees a
   // well-formed document; the wrapper is dropped during the merge.
+  util::Timer shred_timer;
   std::vector<StoredDocument> shards(chunks.size());
   std::vector<Status> statuses(chunks.size(), Status::OK());
   std::atomic<size_t> next{0};
@@ -369,6 +391,8 @@ Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
       return ShredXmlTextStreaming(xml_text, options.shred);
     }
   }
+  metrics->shred_us->Record(
+      static_cast<uint64_t>(shred_timer.ElapsedMicros()));
 
   // The real root: re-parse prolog + root start tag (+ synthesized
   // close) so attributes are entity-decoded exactly like the parser
@@ -394,6 +418,7 @@ Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
     global.AppendString(attr_path, global.root(), attr.value);
   }
 
+  util::Timer merge_timer;
   int root_next_rank = 0;
   for (StoredDocument& shard : shards) {
     MergeShard(std::move(shard), &global, root_path, &root_next_rank);
@@ -402,6 +427,8 @@ Result<StoredDocument> BulkShredXmlText(std::string_view xml_text,
     shard = StoredDocument();
   }
   MEETXML_RETURN_NOT_OK(global.Finalize());
+  metrics->merge_us->Record(
+      static_cast<uint64_t>(merge_timer.ElapsedMicros()));
   return global;
 }
 

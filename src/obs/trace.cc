@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace meetxml {
+namespace obs {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kRoute: return "route";
+    case Stage::kDecode: return "decode";
+    case Stage::kIndexBuild: return "index_build";
+    case Stage::kExecute: return "execute";
+    case Stage::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+uint64_t QueryTrace::TotalStageUs() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kStageCount; ++i) {
+    total += stage_us_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void QueryTrace::SetDocs(const std::vector<std::string>& names) {
+  docs_.clear();
+  docs_.resize(names.size());
+  for (size_t i = 0; i < names.size(); ++i) docs_[i].name = names[i];
+}
+
+uint64_t TraceSpan::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  if (trace_ == nullptr) return 0;
+  uint64_t now = trace_->Now();
+  elapsed_ = now >= start_ ? now - start_ : 0;
+  trace_->Add(stage_, elapsed_);
+  if (also_ != nullptr) *also_ += elapsed_;
+  return elapsed_;
+}
+
+void QueryLog::Push(QueryLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_pushed_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryLogEntry>(entries_.begin(), entries_.end());
+}
+
+uint64_t QueryLog::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+void RecordStageHistograms(MetricsRegistry* registry,
+                           const QueryTrace& trace, uint64_t rows) {
+  if (registry == nullptr) return;
+  auto stage_histogram = [registry](Stage stage) -> Histogram& {
+    std::string labels = "stage=\"";
+    labels += StageName(stage);
+    labels += '"';
+    return registry->histogram("meetxml_query_stage_us", labels);
+  };
+  // Whole-query stages: one sample each.
+  stage_histogram(Stage::kParse).Record(trace.stage_us(Stage::kParse));
+  stage_histogram(Stage::kRoute).Record(trace.stage_us(Stage::kRoute));
+  stage_histogram(Stage::kMerge).Record(trace.stage_us(Stage::kMerge));
+  // Per-document stages: one sample per routed document; decode and
+  // index build only when they actually happened (they are first-touch
+  // events — zero-padding them would drown the lazy-build cost the
+  // series exists to surface).
+  for (const DocTrace& doc : trace.docs()) {
+    stage_histogram(Stage::kExecute).Record(doc.execute_us);
+    if (doc.decode_us > 0) {
+      stage_histogram(Stage::kDecode).Record(doc.decode_us);
+    }
+    if (doc.index_build_us > 0) {
+      stage_histogram(Stage::kIndexBuild).Record(doc.index_build_us);
+    }
+  }
+  registry->counter("meetxml_query_rows_total").Add(rows);
+}
+
+}  // namespace obs
+}  // namespace meetxml

@@ -7,10 +7,12 @@
 #include "core/meet_pair.h"
 #include "core/restrictions.h"
 #include "model/reassembly.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "query/path_match.h"
 #include "text/tokenizer.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace meetxml {
 namespace query {
@@ -171,9 +173,20 @@ Result<Executor> Executor::Build(const StoredDocument& doc,
 Result<const text::FullTextSearch*> Executor::EnsureSearch() const {
   std::lock_guard<std::mutex> lock(lazy_->mu);
   if (!lazy_->search.has_value()) {
+    // First-touch index build — worth a series of its own: the cost
+    // hides inside whichever query happens to hit the cold index.
+    static obs::Histogram* build_us = &obs::MetricsRegistry::Global()
+                                           .histogram(
+                                               "meetxml_text_index_build_us");
+    static obs::Counter* builds =
+        &obs::MetricsRegistry::Global().counter(
+            "meetxml_text_index_builds_total");
+    util::Timer build_timer;
     MEETXML_ASSIGN_OR_RETURN(text::FullTextSearch built,
                              text::FullTextSearch::Build(*doc_));
     lazy_->search = std::move(built);
+    builds->Add(1);
+    build_us->Record(static_cast<uint64_t>(build_timer.ElapsedMicros()));
   }
   return &*lazy_->search;
 }
@@ -291,6 +304,17 @@ Result<std::vector<AssocSet>> Executor::EvaluateBinding(
 
 Result<QueryResult> Executor::Execute(const Query& query,
                                       const ExecuteOptions& options) const {
+  // Wall-clock per-document execute latency, recorded on every exit
+  // path (errors included — a failing query still costs its time).
+  struct ExecuteRecord {
+    util::Timer timer;
+    ~ExecuteRecord() {
+      static obs::Histogram* execute_us =
+          &obs::MetricsRegistry::Global().histogram(
+              "meetxml_query_execute_us");
+      execute_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    }
+  } record;
   const StoredDocument& doc = *doc_;
   if (query.projections.size() != 1) {
     return Status::NotImplemented(

@@ -17,7 +17,7 @@ namespace {
 
 bool KnownOpcode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Opcode::kHello) &&
-         raw <= static_cast<uint8_t>(Opcode::kBye);
+         raw <= static_cast<uint8_t>(Opcode::kDump);
 }
 
 bool KnownStatusCode(uint64_t raw) {
@@ -55,6 +55,7 @@ std::string EncodeRequest(const Request& request) {
     case Opcode::kPing:
     case Opcode::kStats:
     case Opcode::kBye:
+    case Opcode::kDump:
       break;
   }
   return out.Take();
@@ -81,6 +82,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case Opcode::kPing:
     case Opcode::kStats:
     case Opcode::kBye:
+    case Opcode::kDump:
       break;
   }
   MEETXML_RETURN_NOT_OK(CheckDrained(reader, "request"));
@@ -111,6 +113,22 @@ std::string EncodeResponse(const Response& response) {
       out.Varint(response.stats.queries_served);
       out.Varint(response.stats.request_errors);
       out.Varint(response.stats.sessions_evicted);
+      // The v2 extension's presence is the version marker: a v1 body
+      // ends after the fourth varint, byte-identical to protocol v1.
+      if (response.stats.version >= 2) {
+        out.Varint(response.stats.histograms.size());
+        for (const StatsHistogramEntry& entry : response.stats.histograms) {
+          out.StrVarint(entry.name);
+          out.Varint(entry.count);
+          out.Varint(entry.sum);
+          out.Varint(entry.p50);
+          out.Varint(entry.p90);
+          out.Varint(entry.p99);
+        }
+      }
+      break;
+    case Opcode::kDump:
+      out.StrVarint(response.dump);
       break;
     case Opcode::kPing:
     case Opcode::kBye:
@@ -176,6 +194,34 @@ Result<Response> DecodeResponse(std::string_view payload) {
                                reader.Varint());
       MEETXML_ASSIGN_OR_RETURN(response.stats.sessions_evicted,
                                reader.Varint());
+      if (reader.AtEnd()) {
+        response.stats.version = 1;
+        break;
+      }
+      response.stats.version = 2;
+      MEETXML_ASSIGN_OR_RETURN(uint64_t entry_count, reader.Varint());
+      // Every entry takes at least 6 bytes; a count beyond the payload
+      // is a hostile length, not a short read.
+      if (entry_count > payload.size()) {
+        return Status::InvalidArgument("stats histogram count ",
+                                       entry_count,
+                                       " exceeds the payload size");
+      }
+      response.stats.histograms.reserve(entry_count);
+      for (uint64_t i = 0; i < entry_count; ++i) {
+        StatsHistogramEntry entry;
+        MEETXML_ASSIGN_OR_RETURN(entry.name, reader.StrVarint());
+        MEETXML_ASSIGN_OR_RETURN(entry.count, reader.Varint());
+        MEETXML_ASSIGN_OR_RETURN(entry.sum, reader.Varint());
+        MEETXML_ASSIGN_OR_RETURN(entry.p50, reader.Varint());
+        MEETXML_ASSIGN_OR_RETURN(entry.p90, reader.Varint());
+        MEETXML_ASSIGN_OR_RETURN(entry.p99, reader.Varint());
+        response.stats.histograms.push_back(std::move(entry));
+      }
+      break;
+    }
+    case Opcode::kDump: {
+      MEETXML_ASSIGN_OR_RETURN(response.dump, reader.StrVarint());
       break;
     }
     case Opcode::kPing:

@@ -1,4 +1,4 @@
-// meetxmld wire protocol v1: length-prefixed frames over a byte
+// meetxmld wire protocol v2: length-prefixed frames over a byte
 // stream, little-endian, varints are LEB128 (util/byte_io.h).
 //
 // Frame:        u32 payload length | payload
@@ -7,9 +7,10 @@
 //               server answers with one error response and closes the
 //               connection (per-request errors, below, keep it open).
 // Request:      u8 opcode | per-opcode fields:
-//   kHello      varint protocol version (must be kProtocolVersion).
-//               Opens the connection's session; everything else
-//               requires one.
+//   kHello      varint protocol version (kMinProtocolVersion ..
+//               kProtocolVersion; the negotiated version shapes this
+//               connection's kStats replies, see below). Opens the
+//               connection's session; everything else requires one.
 //   kQuery      scope (varint length + bytes) | query text (ditto).
 //               Scope globs follow store::MultiExecutor ("*" = every
 //               document).
@@ -17,6 +18,7 @@
 //   kStats      no fields.
 //   kBye        no fields; closes the session (the response is still
 //               delivered).
+//   kDump       no fields (v2). Sessionless, like kStats.
 // Response:     u8 status (0 = ok, 1 = error) | u8 echoed opcode |
 //               per-opcode body:
 //   ok kHello   varint session id | banner (varint length + bytes)
@@ -24,12 +26,30 @@
 //               (varint length + bytes)
 //   ok kPing    empty
 //   ok kStats   varint sessions active | varint queries served |
-//               varint request errors | varint sessions evicted
+//               varint request errors | varint sessions evicted —
+//               and, on a v2 connection only, the histogram summary
+//               extension: varint entry count, then per entry
+//               name (varint length + bytes) | varint count |
+//               varint sum | varint p50 | varint p90 | varint p99
+//               (microsecond latency summaries from the metrics
+//               registry, obs/metrics.h). A v1 connection — or any
+//               connection that has not said HELLO — gets exactly the
+//               four-varint v1 body, byte-compatible with v1 clients;
+//               decoders distinguish the two by whether bytes remain
+//               after the fourth varint.
+//   ok kDump    exposition text (varint length + bytes):
+//               Prometheus-style metrics followed by `# querylog`
+//               comment lines for the most recent queries with their
+//               per-stage time breakdown (obs/trace.h).
 //   ok kBye     empty
 //   error       varint util::StatusCode | message (varint length +
 //               bytes)
 // Responses on one connection arrive in request order; clients may
 // pipeline. Trailing bytes after any request payload are rejected.
+//
+// v1 -> v2 compatibility: a v2 server accepts HELLO at version 1 and
+// keeps every v1 reply byte-identical on that connection; kDump sent
+// to a v1 server earns the standard unknown-opcode error.
 //
 // Everything here is pure encode/decode over in-memory bytes — the
 // same code path serves the TCP front-end (server/tcp_server.h), the
@@ -43,13 +63,17 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/result.h"
 
 namespace meetxml {
 namespace server {
 
-inline constexpr uint64_t kProtocolVersion = 1;
+inline constexpr uint64_t kProtocolVersion = 2;
+/// \brief Oldest client version HELLO still accepts; v1 connections
+/// get v1-shaped kStats bodies (see the codec comment above).
+inline constexpr uint64_t kMinProtocolVersion = 1;
 /// \brief Hard ceiling on one frame's payload. An advertised length
 /// beyond it is rejected before any allocation — a hostile length
 /// prefix must not become a multi-gigabyte reserve.
@@ -77,6 +101,7 @@ enum class Opcode : uint8_t {
   kPing = 3,
   kStats = 4,
   kBye = 5,
+  kDump = 6,  // v2
 };
 
 /// \brief A decoded request.
@@ -87,12 +112,28 @@ struct Request {
   std::string query;              // kQuery
 };
 
+/// \brief One histogram summary of a kStats v2 reply — the wire
+/// mirror of obs::NamedSummary (values in microseconds).
+struct StatsHistogramEntry {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+};
+
 /// \brief Service counters carried by a kStats response.
 struct StatsBody {
+  /// Body shape: 1 encodes the legacy four-varint body, 2 appends the
+  /// histogram summary extension. Decoders set it from what they saw.
+  uint64_t version = kProtocolVersion;
   uint64_t sessions_active = 0;
   uint64_t queries_served = 0;
   uint64_t request_errors = 0;
   uint64_t sessions_evicted = 0;
+  /// v2 only.
+  std::vector<StatsHistogramEntry> histograms;
 };
 
 /// \brief A decoded response.
@@ -111,6 +152,8 @@ struct Response {
   std::string table;
   // kStats
   StatsBody stats;
+  // kDump
+  std::string dump;
 };
 
 /// \brief Wraps a payload in a length-prefixed frame. The payload must

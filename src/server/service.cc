@@ -43,11 +43,33 @@ Opcode EchoOpcode(std::string_view payload) {
   if (!payload.empty()) {
     uint8_t raw = static_cast<uint8_t>(payload.front());
     if (raw >= static_cast<uint8_t>(Opcode::kHello) &&
-        raw <= static_cast<uint8_t>(Opcode::kBye)) {
+        raw <= static_cast<uint8_t>(Opcode::kDump)) {
       return static_cast<Opcode>(raw);
     }
   }
   return kFallbackOpcode;
+}
+
+// Exposition labels of the per-opcode request histograms, indexed by
+// opcode - 1 (matching QueryService::request_us_).
+constexpr std::string_view kOpcodeLabels[] = {"hello", "query", "ping",
+                                              "stats", "bye",   "dump"};
+
+// Query text in the kDump query-log tail, quoted: escape the quote and
+// backslash, flatten control bytes so one entry stays one line.
+void AppendQuoted(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
 }
 
 }  // namespace
@@ -57,10 +79,38 @@ QueryService::QueryService(const store::Catalog* catalog,
     : catalog_(catalog),
       executor_(catalog),
       options_(std::move(options)),
-      sessions_(options_.session) {}
+      sessions_(options_.session),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricsRegistry::Global()),
+      query_log_(options_.query_log_capacity) {
+  queries_counter_ = &metrics_->counter("meetxml_server_queries_total");
+  errors_counter_ =
+      &metrics_->counter("meetxml_server_request_errors_total");
+  slow_counter_ = &metrics_->counter("meetxml_server_slow_queries_total");
+  sessions_opened_counter_ =
+      &metrics_->counter("meetxml_server_sessions_opened_total");
+  sessions_evicted_counter_ =
+      &metrics_->counter("meetxml_server_sessions_evicted_total");
+  sessions_gauge_ = &metrics_->gauge("meetxml_server_sessions_active");
+  for (size_t i = 0; i < 6; ++i) {
+    std::string labels = "op=\"";
+    labels += kOpcodeLabels[i];
+    labels += '"';
+    request_us_[i] =
+        &metrics_->histogram("meetxml_server_request_us", labels);
+  }
+  queries_baseline_ = queries_counter_->Value();
+  errors_baseline_ = errors_counter_->Value();
+}
 
 uint64_t QueryService::NowMs() const {
   return options_.clock ? options_.clock() : util::MonotonicMillis();
+}
+
+uint64_t QueryService::NowUs() const {
+  if (options_.clock_us) return options_.clock_us();
+  if (options_.clock) return options_.clock() * 1000;
+  return obs::MonotonicMicros();
 }
 
 Result<std::unique_ptr<QueryService::Connection>> QueryService::Connect() {
@@ -81,17 +131,32 @@ std::string QueryService::Connection::HandlePayload(
     std::string_view payload) {
   InFlight guard(&service_->in_flight_, &service_->drain_mu_,
                  &service_->drain_cv_);
+  const bool observe = service_->options_.observe;
+  const uint64_t start_us = observe ? service_->NowUs() : 0;
+  // Undecodable requests are attributed to whatever opcode byte they
+  // led with (the same one the error response echoes).
+  Opcode opcode = EchoOpcode(payload);
+  std::string response;
   if (service_->draining()) {
-    service_->request_errors_.fetch_add(1, std::memory_order_relaxed);
-    return EncodeErrorResponse(
-        EchoOpcode(payload), Status::Unavailable("server is shutting down"));
+    service_->errors_counter_->Add(1);
+    response = EncodeErrorResponse(
+        opcode, Status::Unavailable("server is shutting down"));
+  } else {
+    Result<Request> request = DecodeRequest(payload);
+    if (!request.ok()) {
+      service_->errors_counter_->Add(1);
+      response = EncodeErrorResponse(opcode, request.status());
+    } else {
+      opcode = request->opcode;
+      response = service_->Dispatch(this, *request);
+    }
   }
-  Result<Request> request = DecodeRequest(payload);
-  if (!request.ok()) {
-    service_->request_errors_.fetch_add(1, std::memory_order_relaxed);
-    return EncodeErrorResponse(EchoOpcode(payload), request.status());
+  if (observe) {
+    uint64_t end_us = service_->NowUs();
+    service_->request_us_[static_cast<size_t>(opcode) - 1]->Record(
+        end_us >= start_us ? end_us - start_us : 0);
   }
-  return service_->Dispatch(this, *request);
+  return response;
 }
 
 std::string QueryService::Dispatch(Connection* connection,
@@ -101,16 +166,18 @@ std::string QueryService::Dispatch(Connection* connection,
   response.ok = true;
   response.opcode = request.opcode;
   auto error = [&](const Status& status) {
-    request_errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_counter_->Add(1);
     return EncodeErrorResponse(request.opcode, status);
   };
 
   switch (request.opcode) {
     case Opcode::kHello: {
-      if (request.protocol_version != kProtocolVersion) {
+      if (request.protocol_version < kMinProtocolVersion ||
+          request.protocol_version > kProtocolVersion) {
         return error(Status::InvalidArgument(
             "unsupported protocol version ", request.protocol_version,
-            " (this server speaks ", kProtocolVersion, ")"));
+            " (this server speaks ", kMinProtocolVersion, "..",
+            kProtocolVersion, ")"));
       }
       uint64_t existing = connection->session_id_.load();
       if (existing != 0 && sessions_.Contains(existing)) {
@@ -120,6 +187,11 @@ std::string QueryService::Dispatch(Connection* connection,
       Result<uint64_t> id = sessions_.Open(now);
       if (!id.ok()) return error(id.status());
       connection->session_id_ = *id;
+      // The negotiated version shapes this connection's kStats bodies
+      // from here on (v1 clients keep the byte-identical v1 reply).
+      connection->protocol_version_.store(request.protocol_version,
+                                          std::memory_order_release);
+      sessions_opened_counter_->Add(1);
       response.session_id = *id;
       response.banner = options_.banner;
       return EncodeResponse(response);
@@ -139,8 +211,28 @@ std::string QueryService::Dispatch(Connection* connection,
       response.stats.queries_served = stats.queries_served;
       response.stats.request_errors = stats.request_errors;
       response.stats.sessions_evicted = stats.sessions_evicted;
+      if (connection->protocol_version() >= 2) {
+        response.stats.version = 2;
+        for (const obs::NamedSummary& named :
+             metrics_->HistogramSummaries()) {
+          StatsHistogramEntry entry;
+          entry.name = named.name;
+          entry.count = named.summary.count;
+          entry.sum = named.summary.sum;
+          entry.p50 = named.summary.p50;
+          entry.p90 = named.summary.p90;
+          entry.p99 = named.summary.p99;
+          response.stats.histograms.push_back(std::move(entry));
+        }
+      } else {
+        response.stats.version = 1;
+      }
       return EncodeResponse(response);
     }
+    case Opcode::kDump:
+      // Sessionless, like kStats: scrape targets don't HELLO.
+      response.dump = HandleDump();
+      return EncodeResponse(response);
     case Opcode::kBye:
       if (connection->session_id_ != 0) {
         sessions_.Close(connection->session_id_).ok();
@@ -151,10 +243,51 @@ std::string QueryService::Dispatch(Connection* connection,
   return error(Status::Internal("unhandled opcode"));
 }
 
+std::string QueryService::HandleDump() {
+  RefreshGauges();
+  std::string out = metrics_->RenderPrometheus();
+  std::vector<obs::QueryLogEntry> entries = query_log_.Snapshot();
+  if (!entries.empty()) {
+    out += "# querylog capacity=";
+    out += std::to_string(query_log_.capacity());
+    out += " total=";
+    out += std::to_string(query_log_.total_pushed());
+    out += " (oldest first)\n";
+  }
+  for (const obs::QueryLogEntry& entry : entries) {
+    out += "# querylog when_ms=";
+    out += std::to_string(entry.when_ms);
+    out += " session=";
+    out += std::to_string(entry.session_id);
+    out += entry.ok ? " ok=1" : " ok=0";
+    out += entry.slow ? " slow=1" : " slow=0";
+    out += " total_us=";
+    out += std::to_string(entry.total_us);
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+      out += ' ';
+      out += obs::StageName(static_cast<obs::Stage>(i));
+      out += "_us=";
+      out += std::to_string(entry.stage_us[i]);
+    }
+    out += " rows=";
+    out += std::to_string(entry.rows);
+    out += " scope=";
+    AppendQuoted(&out, entry.scope);
+    out += " query=";
+    AppendQuoted(&out, entry.query);
+    out += '\n';
+  }
+  return out;
+}
+
+void QueryService::RefreshGauges() const {
+  sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+}
+
 std::string QueryService::HandleQuery(Connection* connection,
                                       const Request& request) {
   auto error = [&](const Status& status) {
-    request_errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_counter_->Add(1);
     return EncodeErrorResponse(Opcode::kQuery, status);
   };
   if (connection->session_id_ == 0) {
@@ -170,10 +303,41 @@ std::string QueryService::HandleQuery(Connection* connection,
     return error(Status::NotFound("session ", expired,
                                   " expired (idle timeout)"));
   }
+  const bool observe = options_.observe;
+  obs::QueryTrace trace([this] { return NowUs(); });
+  // Finishes the trace on both the error and the success path: stage
+  // histograms, the slow-query flag, and the query-log entry.
+  auto finish = [&](bool ok, uint64_t rows) {
+    if (!observe) return;
+    uint64_t total_us = trace.TotalStageUs();
+    bool slow = options_.slow_query_ms > 0 &&
+                total_us >= options_.slow_query_ms * 1000;
+    if (slow) slow_counter_->Add(1);
+    obs::RecordStageHistograms(metrics_, trace, rows);
+    obs::QueryLogEntry entry;
+    entry.when_ms = NowMs();
+    entry.session_id = connection->session_id();
+    entry.scope = request.scope;
+    // Display budget: the log is a ring of recent queries, not an
+    // archive; a megabyte query must not pin a megabyte of ring.
+    entry.query = request.query.substr(0, 256);
+    entry.total_us = total_us;
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+      entry.stage_us[i] = trace.stage_us(static_cast<obs::Stage>(i));
+    }
+    entry.rows = rows;
+    entry.ok = ok;
+    entry.slow = slow;
+    query_log_.Push(std::move(entry));
+  };
   Result<store::MultiResult> result =
       executor_.ExecuteText(request.scope, request.query,
-                            options_.execute);
-  if (!result.ok()) return error(result.status());
+                            options_.execute,
+                            observe ? &trace : nullptr);
+  if (!result.ok()) {
+    finish(false, 0);
+    return error(result.status());
+  }
 
   Response response;
   response.ok = true;
@@ -188,6 +352,7 @@ std::string QueryService::HandleQuery(Connection* connection,
   // delivered.
   if (cap == 0 || cap > kMaxQueryTableBytes) cap = kMaxQueryTableBytes;
   if (response.table.size() > cap) {
+    finish(false, 0);
     // The per-session result-memory bound: the rendered answer is
     // dropped here, an error goes back, the session lives on.
     return error(Status::ResourceExhausted(
@@ -195,12 +360,15 @@ std::string QueryService::HandleQuery(Connection* connection,
         " bytes exceeds the per-session cap of ", cap,
         " bytes; narrow the query or add LIMIT"));
   }
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  queries_counter_->Add(1);
+  finish(true, response.row_count);
   return EncodeResponse(response);
 }
 
 std::vector<uint64_t> QueryService::EvictIdle() {
-  return sessions_.EvictIdle(NowMs());
+  std::vector<uint64_t> evicted = sessions_.EvictIdle(NowMs());
+  if (!evicted.empty()) sessions_evicted_counter_->Add(evicted.size());
+  return evicted;
 }
 
 void QueryService::BeginShutdown() {
@@ -218,8 +386,11 @@ void QueryService::Shutdown() {
 ServiceStats QueryService::stats() const {
   ServiceStats stats;
   stats.sessions_active = sessions_.size();
-  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
-  stats.request_errors = request_errors_.load(std::memory_order_relaxed);
+  // Registry counters are process-wide; the construction-time baseline
+  // keeps ServiceStats per-service (exact — the sharded counters lose
+  // no increments under concurrent dispatch).
+  stats.queries_served = queries_counter_->Value() - queries_baseline_;
+  stats.request_errors = errors_counter_->Value() - errors_baseline_;
   stats.sessions_evicted = sessions_.total_evicted();
   return stats;
 }
@@ -246,15 +417,35 @@ Result<Response> InProcessClient::Roundtrip(const Request& request) {
   return DecodeResponse(response_payload);
 }
 
-Result<uint64_t> InProcessClient::Hello() {
+Result<uint64_t> InProcessClient::Hello(uint64_t version) {
   Request request;
   request.opcode = Opcode::kHello;
-  request.protocol_version = kProtocolVersion;
+  request.protocol_version = version;
   MEETXML_ASSIGN_OR_RETURN(Response response, Roundtrip(request));
   if (!response.ok) {
     return Status(response.code, response.message);
   }
   return response.session_id;
+}
+
+Result<StatsBody> InProcessClient::Stats() {
+  Request request;
+  request.opcode = Opcode::kStats;
+  MEETXML_ASSIGN_OR_RETURN(Response response, Roundtrip(request));
+  if (!response.ok) {
+    return Status(response.code, response.message);
+  }
+  return std::move(response.stats);
+}
+
+Result<std::string> InProcessClient::Dump() {
+  Request request;
+  request.opcode = Opcode::kDump;
+  MEETXML_ASSIGN_OR_RETURN(Response response, Roundtrip(request));
+  if (!response.ok) {
+    return Status(response.code, response.message);
+  }
+  return std::move(response.dump);
 }
 
 Result<Response> InProcessClient::Query(std::string_view scope,

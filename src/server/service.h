@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "server/protocol.h"
 #include "server/session.h"
@@ -46,6 +48,27 @@ struct ServiceOptions {
   /// Monotonic clock, milliseconds. Tests inject a fake; production
   /// leaves it null for util::MonotonicMillis.
   std::function<uint64_t()> clock;
+  /// Monotonic clock, microseconds, driving stage traces and request
+  /// latency histograms. Null falls back to `clock` (scaled by 1000)
+  /// when that is set, else obs::MonotonicMicros — so a test that
+  /// injects either clock gets deterministic latencies.
+  std::function<uint64_t()> clock_us;
+  /// Metrics sink; null means obs::MetricsRegistry::Global(). Service
+  /// counters are registry counters (kDump shows process-wide totals);
+  /// stats() reports them relative to this service's construction, so
+  /// ServiceStats keeps per-service semantics either way.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Queries whose total stage time reaches this many milliseconds are
+  /// flagged slow: counted in meetxml_server_slow_queries_total and
+  /// marked in the query log. 0 flags nothing.
+  uint64_t slow_query_ms = 0;
+  /// Ring capacity of the recent-query log kDump renders.
+  size_t query_log_capacity = 256;
+  /// Master switch for per-query tracing, stage histograms and the
+  /// query log. Off, dispatch reads no clocks beyond the session
+  /// timestamps (the ab14 overhead bench's baseline); kStats v2 and
+  /// kDump still answer from whatever was recorded.
+  bool observe = true;
   /// Banner carried by the HELLO response.
   std::string banner = "meetxmld/1";
 };
@@ -88,12 +111,20 @@ class QueryService {
       return session_id_.load(std::memory_order_acquire);
     }
 
+    /// \brief The protocol version HELLO negotiated; 1 before any
+    /// HELLO, so sessionless kStats replies stay byte-compatible with
+    /// v1 clients.
+    uint64_t protocol_version() const {
+      return protocol_version_.load(std::memory_order_acquire);
+    }
+
    private:
     friend class QueryService;
     explicit Connection(QueryService* service) : service_(service) {}
 
     QueryService* service_;
     std::atomic<uint64_t> session_id_{0};
+    std::atomic<uint64_t> protocol_version_{1};
   };
 
   /// \brief Opens a transport connection (no session yet — that is
@@ -114,20 +145,42 @@ class QueryService {
 
   ServiceStats stats() const;
   uint64_t NowMs() const;
+  /// \brief The microsecond clock dispatch measures with (see
+  /// ServiceOptions::clock_us for the fallback chain).
+  uint64_t NowUs() const;
   const store::Catalog& catalog() const { return *catalog_; }
   const ServiceOptions& options() const { return options_; }
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  const obs::QueryLog& query_log() const { return query_log_; }
 
  private:
   std::string Dispatch(Connection* connection, const Request& request);
   std::string HandleQuery(Connection* connection, const Request& request);
+  std::string HandleDump();
+  /// Point-in-time gauges refreshed before every exposition render.
+  void RefreshGauges() const;
 
   const store::Catalog* catalog_;
   store::MultiExecutor executor_;
   ServiceOptions options_;
   SessionTable sessions_;
 
-  std::atomic<uint64_t> queries_served_{0};
-  std::atomic<uint64_t> request_errors_{0};
+  obs::MetricsRegistry* metrics_;
+  mutable obs::QueryLog query_log_;
+  // Hot-path metric handles, resolved once — the registry lookup takes
+  // a mutex that dispatch must never contend on.
+  obs::Counter* queries_counter_;
+  obs::Counter* errors_counter_;
+  obs::Counter* slow_counter_;
+  obs::Counter* sessions_opened_counter_;
+  obs::Counter* sessions_evicted_counter_;
+  obs::Gauge* sessions_gauge_;
+  obs::Histogram* request_us_[6];  // indexed by opcode - 1
+  // stats() reports counters relative to this service's construction,
+  // so a shared (Global) registry still yields per-service numbers.
+  uint64_t queries_baseline_ = 0;
+  uint64_t errors_baseline_ = 0;
+
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> in_flight_{0};
   std::mutex drain_mu_;
@@ -146,11 +199,16 @@ class InProcessClient {
   /// \brief Full round trip for an arbitrary request.
   util::Result<Response> Roundtrip(const Request& request);
 
-  /// \brief HELLO; returns the session id.
-  util::Result<uint64_t> Hello();
+  /// \brief HELLO; returns the session id. `version` lets tests act
+  /// as an older client (kStats bodies follow the negotiated version).
+  util::Result<uint64_t> Hello(uint64_t version = kProtocolVersion);
   /// \brief QUERY; returns the decoded response (ok or error).
   util::Result<Response> Query(std::string_view scope,
                                std::string_view query_text);
+  /// \brief STATS; the body shape follows the negotiated version.
+  util::Result<StatsBody> Stats();
+  /// \brief DUMP; the Prometheus-style exposition text.
+  util::Result<std::string> Dump();
   /// \brief BYE; closes the session.
   util::Status Bye();
 

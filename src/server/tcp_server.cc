@@ -13,7 +13,9 @@ using util::Result;
 using util::Status;
 
 TcpServer::TcpServer(QueryService* service, const TcpServerOptions& options)
-    : service_(service), options_(options) {}
+    : service_(service), options_(options) {
+  inbox_gauge_ = &service_->metrics().gauge("meetxml_server_inbox_frames");
+}
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(
     QueryService* service, const TcpServerOptions& options) {
@@ -26,7 +28,14 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(
     return port.status();
   }
   server->port_ = *port;
-  server->pool_ = std::make_unique<WorkerPool>(options.workers);
+  // The pool measures queue wait and execute time on the service's
+  // clock, into the service's registry — the one kDump renders.
+  WorkerPoolOptions pool_options;
+  pool_options.threads = options.workers;
+  pool_options.metrics =
+      service->options().observe ? &service->metrics() : nullptr;
+  pool_options.clock_us = [service] { return service->NowUs(); };
+  server->pool_ = std::make_unique<WorkerPool>(std::move(pool_options));
   server->accept_thread_ = std::thread([s = server.get()] {
     s->AcceptLoop();
   });
@@ -121,6 +130,7 @@ void TcpServer::Enqueue(const std::shared_ptr<Conn>& conn,
     }
     conn->inbox_bytes += payload.size();
     conn->inbox.push_back(std::move(payload));
+    inbox_gauge_->Add(1);
     if (!conn->running) {
       conn->running = true;
       schedule = true;
@@ -143,6 +153,7 @@ void TcpServer::Pump(std::shared_ptr<Conn> conn) {
       payload = std::move(conn->inbox.front());
       conn->inbox.pop_front();
       conn->inbox_bytes -= payload.size();
+      inbox_gauge_->Add(-1);
     }
     conn->inbox_cv.notify_one();
     std::string response = conn->service_conn->HandlePayload(payload);
@@ -265,6 +276,13 @@ void TcpServer::Stop() {
     if (conn->reader.joinable()) conn->reader.join();
     util::ShutdownSocket(conn->fd);
     util::CloseSocket(conn->fd);
+    // Frames still in the inbox die with the connection — the gauge
+    // must not keep counting them.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      inbox_gauge_->Add(-static_cast<int64_t>(conn->inbox.size()));
+      conn->inbox.clear();
+    }
     conn->service_conn.reset();
   }
 }

@@ -111,6 +111,9 @@ class TcpServer {
 
   QueryService* service_;
   TcpServerOptions options_;
+  /// Decoded-but-undispatched frames across every connection, in the
+  /// service's registry (meetxml_server_inbox_frames).
+  obs::Gauge* inbox_gauge_ = nullptr;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::unique_ptr<WorkerPool> pool_;

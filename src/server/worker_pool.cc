@@ -7,8 +7,16 @@
 namespace meetxml {
 namespace server {
 
-WorkerPool::WorkerPool(unsigned threads) {
-  unsigned count = util::ResolveThreads(threads);
+WorkerPool::WorkerPool(WorkerPoolOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    queue_depth_ = &options_.metrics->gauge("meetxml_worker_queue_depth");
+    queue_wait_us_ =
+        &options_.metrics->histogram("meetxml_worker_queue_wait_us");
+    execute_us_ =
+        &options_.metrics->histogram("meetxml_worker_execute_us");
+  }
+  unsigned count = util::ResolveThreads(options_.threads);
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -18,10 +26,17 @@ WorkerPool::WorkerPool(unsigned threads) {
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::Submit(std::function<void()> job) {
+  // Timestamp outside the lock: the clock read must not stretch the
+  // critical section (and an injected step-clock then counts the
+  // submit, which is what the queue-wait tests pin).
+  uint64_t now = queue_wait_us_ != nullptr ? NowUs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
-    queue_.push_back(std::move(job));
+    queue_.push_back(Job{std::move(job), now});
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -40,15 +55,28 @@ void WorkerPool::Shutdown() {
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_, queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    job();
+    if (queue_wait_us_ == nullptr) {
+      job.fn();
+      continue;
+    }
+    uint64_t start = NowUs();
+    queue_wait_us_->Record(start >= job.enqueued_us
+                               ? start - job.enqueued_us
+                               : 0);
+    job.fn();
+    uint64_t end = NowUs();
+    execute_us_->Record(end >= start ? end - start : 0);
   }
 }
 

@@ -6,25 +6,50 @@
 // re-submits itself while it has pending frames, so jobs from one
 // connection never run concurrently while different connections spread
 // across the pool.
+//
+// Instrumentation (WorkerPoolOptions::metrics): a queue-depth gauge
+// plus queue-wait and execute histograms, stamped on the pool's
+// injected clock — a saturated pool shows nonzero queue wait, an idle
+// one zero, and tests pin both without sleeping (tests/obs_test.cc).
 
 #ifndef MEETXML_SERVER_WORKER_POOL_H_
 #define MEETXML_SERVER_WORKER_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace meetxml {
 namespace server {
+
+/// \brief Worker pool knobs.
+struct WorkerPoolOptions {
+  /// Worker threads; util::ResolveThreads semantics (0 = hardware).
+  unsigned threads = 0;
+  /// Microsecond clock for queue-wait / execute timing. Null means
+  /// obs::MonotonicMicros. Only read when `metrics` is set.
+  std::function<uint64_t()> clock_us;
+  /// Metrics sink; null disables all timing (no clock reads — the
+  /// uninstrumented pool behaves exactly like before).
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 /// \brief A fixed pool of worker threads draining a FIFO job queue.
 class WorkerPool {
  public:
-  /// \brief Spawns util::ResolveThreads(threads) workers.
-  explicit WorkerPool(unsigned threads);
+  /// \brief Spawns util::ResolveThreads(threads) workers, untimed.
+  explicit WorkerPool(unsigned threads)
+      : WorkerPool(WorkerPoolOptions{threads, {}, nullptr}) {}
+  /// \brief Spawns workers; with options.metrics set, exports
+  /// meetxml_worker_queue_depth, meetxml_worker_queue_wait_us and
+  /// meetxml_worker_execute_us.
+  explicit WorkerPool(WorkerPoolOptions options);
   /// \brief Drains the queue, then joins (Shutdown implied).
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;
@@ -40,11 +65,26 @@ class WorkerPool {
   size_t worker_count() const { return workers_.size(); }
 
  private:
+  struct Job {
+    std::function<void()> fn;
+    uint64_t enqueued_us = 0;
+  };
+
   void WorkerLoop();
+  uint64_t NowUs() const {
+    return options_.clock_us ? options_.clock_us()
+                             : obs::MonotonicMicros();
+  }
+
+  WorkerPoolOptions options_;
+  // Resolved once at construction; null when metrics are off.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  obs::Histogram* execute_us_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

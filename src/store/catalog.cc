@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "model/storage_io.h"
+#include "obs/metrics.h"
 #include "text/index_io.h"
 #include "util/byte_io.h"
 #include "util/file_io.h"
@@ -34,6 +35,44 @@ namespace {
 // carries a DRV1 section so rollback images stay readable.
 constexpr uint8_t kCatalogCodecV1 = 1;
 constexpr uint8_t kCatalogCodecV2 = 2;
+
+// Process-wide catalog metrics, resolved once per process: the
+// registry lookup takes a mutex, which first-touch and open paths must
+// not pay per call.
+struct CatalogMetrics {
+  obs::Counter* opens;
+  obs::Counter* lazy_decodes;
+  obs::Histogram* open_us;
+  obs::Histogram* decode_us;
+  obs::Histogram* warm_us;
+  obs::Gauge* bytes_copied;
+  obs::Gauge* bytes_viewed;
+};
+
+const CatalogMetrics& Metrics() {
+  static const CatalogMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return new CatalogMetrics{
+        &registry.counter("meetxml_catalog_opens_total"),
+        &registry.counter("meetxml_catalog_lazy_decode_total"),
+        &registry.histogram("meetxml_catalog_open_us"),
+        &registry.histogram("meetxml_catalog_decode_us"),
+        &registry.histogram("meetxml_catalog_warm_us"),
+        &registry.gauge("meetxml_catalog_bytes_copied"),
+        &registry.gauge("meetxml_catalog_bytes_viewed"),
+    };
+  }();
+  return *metrics;
+}
+
+void RecordOpenMetrics(const util::Timer& timer, uint64_t bytes_copied,
+                       uint64_t bytes_viewed) {
+  const CatalogMetrics& metrics = Metrics();
+  metrics.opens->Add(1);
+  metrics.open_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+  metrics.bytes_copied->Add(static_cast<int64_t>(bytes_copied));
+  metrics.bytes_viewed->Add(static_cast<int64_t>(bytes_viewed));
+}
 
 Status ValidateName(std::string_view name) {
   if (name.empty()) {
@@ -94,10 +133,13 @@ Status Catalog::MaterializeLocked(const NamedDocument* entry) const {
   // Decode with validation deferred: framing is checked here, the deep
   // structural scans latch once inside EnsureValidated on the entry's
   // first real use (Get / Executor::Build).
+  util::Timer decode_timer;
+  model::LoadStats load_stats;
   model::LoadOptions doc_options;
   doc_options.mode = pending->mode;
   doc_options.backing = pending->backing;
   doc_options.defer_validation = true;
+  doc_options.stats = &load_stats;
   Result<StoredDocument> doc =
       pending->has_derived
           ? model::ParseDocumentWithDerived(pending->doc.id,
@@ -120,6 +162,12 @@ Status Catalog::MaterializeLocked(const NamedDocument* entry) const {
   entry->index = std::move(index);
   entry->pending.reset();
   entry->materialized.store(true, std::memory_order_release);
+  const CatalogMetrics& metrics = Metrics();
+  metrics.lazy_decodes->Add(1);
+  metrics.decode_us->Record(
+      static_cast<uint64_t>(decode_timer.ElapsedMicros()));
+  metrics.bytes_copied->Add(static_cast<int64_t>(load_stats.bytes_copied));
+  metrics.bytes_viewed->Add(static_cast<int64_t>(load_stats.bytes_viewed));
   return Status::OK();
 }
 
@@ -236,6 +284,12 @@ std::vector<std::string> Catalog::MatchNames(std::string_view glob) const {
 
 Result<const query::Executor*> Catalog::ExecutorFor(
     std::string_view name) const {
+  return ExecutorFor(name, nullptr, nullptr);
+}
+
+Result<const query::Executor*> Catalog::ExecutorFor(
+    std::string_view name, obs::QueryTrace* trace,
+    obs::DocTrace* doc_trace) const {
   const NamedDocument* entry = Find(name);
   if (entry == nullptr) {
     return Status::NotFound("no document named '", name,
@@ -246,8 +300,19 @@ Result<const query::Executor*> Catalog::ExecutorFor(
   // executor. After the build the critical section is two pointer
   // reads, so steady-state contention is negligible.
   std::lock_guard<std::mutex> lock(*entry->lazy_mu);
-  MEETXML_RETURN_NOT_OK(MaterializeLocked(entry));
+  {
+    // Span only when there is pending work: a warm entry must not read
+    // the clock (a step-clock test would otherwise see phantom decode
+    // time on every repeat query).
+    obs::TraceSpan decode_span(
+        entry->pending != nullptr ? trace : nullptr, obs::Stage::kDecode,
+        doc_trace != nullptr ? &doc_trace->decode_us : nullptr);
+    MEETXML_RETURN_NOT_OK(MaterializeLocked(entry));
+  }
   if (entry->executor == nullptr) {
+    obs::TraceSpan build_span(
+        trace, obs::Stage::kIndexBuild,
+        doc_trace != nullptr ? &doc_trace->index_build_us : nullptr);
     // Build first (the fallible step), hand the index over only on
     // success — a failed build must not hollow the persisted index.
     MEETXML_ASSIGN_OR_RETURN(query::Executor built,
@@ -265,6 +330,7 @@ Result<const query::Executor*> Catalog::ExecutorFor(
 }
 
 Status Catalog::Warm(bool build_text_indexes, unsigned threads) const {
+  util::Timer warm_timer;
   std::vector<const NamedDocument*> all = entries();
   std::vector<Status> outcomes(all.size());
   util::ParallelFor(all.size(), threads, [&](size_t i) {
@@ -280,6 +346,8 @@ Status Catalog::Warm(bool build_text_indexes, unsigned threads) const {
   for (const Status& status : outcomes) {
     MEETXML_RETURN_NOT_OK(status);
   }
+  Metrics().warm_us->Record(
+      static_cast<uint64_t>(warm_timer.ElapsedMicros()));
   return Status::OK();
 }
 
@@ -491,6 +559,8 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
       options.stats->sections_verified = image.sections.size();
       options.stats->total_ms = total_timer.ElapsedMillis();
     }
+    RecordOpenMetrics(total_timer, doc_stats.bytes_copied,
+                      doc_stats.bytes_viewed);
     return catalog;
   }
 
@@ -695,6 +765,9 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
       options.stats->sections_deferred = image.sections.size() - 1;
       options.stats->total_ms = total_timer.ElapsedMillis();
     }
+    // Byte gauges stay untouched here: a lazy open copies and views
+    // nothing yet; the bytes land when entries materialize.
+    RecordOpenMetrics(total_timer, 0, 0);
     return catalog;
   }
 
@@ -788,6 +861,13 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     options.stats->sections_verified = image.sections.size();
     options.stats->total_ms = total_timer.ElapsedMillis();
   }
+  uint64_t total_copied = 0;
+  uint64_t total_viewed = 0;
+  for (const DecodedEntry& entry : decoded) {
+    total_copied += entry.load_stats.bytes_copied;
+    total_viewed += entry.load_stats.bytes_viewed;
+  }
+  RecordOpenMetrics(total_timer, total_copied, total_viewed);
   return catalog;
 }
 

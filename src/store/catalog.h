@@ -89,6 +89,7 @@
 
 #include "model/document.h"
 #include "model/storage_io.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "text/inverted_index.h"
 #include "util/result.h"
@@ -314,6 +315,14 @@ class Catalog {
   /// and all observe the same executor.
   util::Result<const query::Executor*> ExecutorFor(
       std::string_view name) const;
+
+  /// \brief ExecutorFor with per-query attribution: first-touch decode
+  /// time lands on Stage::kDecode and executor/index construction on
+  /// Stage::kIndexBuild, measured on the trace's injected clock. Either
+  /// pointer may be null; a warm entry records nothing (no clock reads).
+  util::Result<const query::Executor*> ExecutorFor(
+      std::string_view name, obs::QueryTrace* trace,
+      obs::DocTrace* doc_trace) const;
 
   /// \brief Pre-builds every document's executor — and, when
   /// `build_text_indexes`, its full-text engine — in parallel

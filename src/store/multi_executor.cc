@@ -18,29 +18,50 @@ std::string MultiResult::ToText() const {
 
 Result<MultiResult> MultiExecutor::Execute(
     std::string_view scope, const query::Query& query,
-    const query::ExecuteOptions& options) const {
-  std::vector<std::string> names = catalog_->MatchNames(scope);
+    const query::ExecuteOptions& options, obs::QueryTrace* trace) const {
+  std::vector<std::string> names;
+  {
+    obs::TraceSpan route_span(trace, obs::Stage::kRoute);
+    names = catalog_->MatchNames(scope);
+  }
   if (names.empty()) {
     return Status::NotFound("scope '", scope,
                             "' matches no catalog document");
   }
+  if (trace != nullptr) trace->SetDocs(names);
 
   // Resolve executors first (the catalog's lazy build is race-free),
-  // then fan the read-only execution out across documents.
+  // then fan the read-only execution out across documents. First-touch
+  // decode and index-build costs are attributed per document here.
   std::vector<const query::Executor*> executors;
   executors.reserve(names.size());
-  for (const std::string& name : names) {
-    MEETXML_ASSIGN_OR_RETURN(const query::Executor* executor,
-                             catalog_->ExecutorFor(name));
+  for (size_t i = 0; i < names.size(); ++i) {
+    MEETXML_ASSIGN_OR_RETURN(
+        const query::Executor* executor,
+        catalog_->ExecutorFor(names[i], trace,
+                              trace != nullptr ? trace->doc(i) : nullptr));
     executors.push_back(executor);
   }
 
   std::vector<Result<query::QueryResult>> outcomes(
       names.size(), Status::Internal("query did not run"));
   util::ParallelFor(names.size(), 0, [&](size_t i) {
+    if (trace == nullptr) {
+      outcomes[i] = executors[i]->Execute(query, options);
+      return;
+    }
+    // QueryTrace's stage accumulators are atomic, so concurrent
+    // workers may add to kExecute; the per-doc slot is this worker's
+    // alone until the fan-out joins.
+    obs::DocTrace* doc = trace->doc(i);
+    obs::TraceSpan execute_span(trace, obs::Stage::kExecute,
+                                &doc->execute_us);
     outcomes[i] = executors[i]->Execute(query, options);
+    execute_span.Stop();
+    if (outcomes[i].ok()) doc->rows = outcomes[i]->rows.size();
   });
 
+  obs::TraceSpan merge_span(trace, obs::Stage::kMerge);
   MultiResult merged;
   for (size_t i = 0; i < names.size(); ++i) {
     MEETXML_RETURN_NOT_OK(outcomes[i].status());
@@ -109,10 +130,12 @@ Result<MultiResult> MultiExecutor::Execute(
 
 Result<MultiResult> MultiExecutor::ExecuteText(
     std::string_view scope, std::string_view query_text,
-    const query::ExecuteOptions& options) const {
-  MEETXML_ASSIGN_OR_RETURN(query::Query query,
-                           query::ParseQuery(query_text));
-  return Execute(scope, query, options);
+    const query::ExecuteOptions& options, obs::QueryTrace* trace) const {
+  obs::TraceSpan parse_span(trace, obs::Stage::kParse);
+  Result<query::Query> query = query::ParseQuery(query_text);
+  parse_span.Stop();
+  MEETXML_RETURN_NOT_OK(query.status());
+  return Execute(scope, *query, options, trace);
 }
 
 Result<std::vector<CrossMatch>> MultiExecutor::FindEverywhere(

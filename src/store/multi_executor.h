@@ -72,15 +72,21 @@ class MultiExecutor {
   /// \brief Routes a parsed query to every document whose name matches
   /// `scope` ("*" = all, "dblp*" = subset, exact name = one document)
   /// and merges the answers. An empty match set is an error — it
-  /// almost always means a typo'd scope.
+  /// almost always means a typo'd scope. When `trace` is non-null the
+  /// stages land on it: route (scope matching), per-document decode /
+  /// index build (the catalog's first-touch costs), per-document
+  /// execute, and the global merge (obs/trace.h).
   util::Result<MultiResult> Execute(
       std::string_view scope, const query::Query& query,
-      const query::ExecuteOptions& options = {}) const;
+      const query::ExecuteOptions& options = {},
+      obs::QueryTrace* trace = nullptr) const;
 
-  /// \brief Parses and routes query text.
+  /// \brief Parses and routes query text; the parse lands on
+  /// Stage::kParse of the trace.
   util::Result<MultiResult> ExecuteText(
       std::string_view scope, std::string_view query_text,
-      const query::ExecuteOptions& options = {}) const;
+      const query::ExecuteOptions& options = {},
+      obs::QueryTrace* trace = nullptr) const;
 
   /// \brief Cross-document meet (paper §4 / text/cross_document.h) over
   /// the whole store: extracts probe strings from the subtree rooted at

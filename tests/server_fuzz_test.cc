@@ -62,6 +62,9 @@ std::vector<std::string> ValidPayloads() {
   Request bye;
   bye.opcode = Opcode::kBye;
   payloads.push_back(EncodeRequest(bye));
+  Request dump;
+  dump.opcode = Opcode::kDump;
+  payloads.push_back(EncodeRequest(dump));
   return payloads;
 }
 
@@ -199,7 +202,7 @@ TEST(ServerFuzz, ProtocolRoundTripsEveryOpcode) {
   }
   // Responses: ok and error forms for each opcode.
   for (Opcode opcode : {Opcode::kHello, Opcode::kQuery, Opcode::kPing,
-                        Opcode::kStats, Opcode::kBye}) {
+                        Opcode::kStats, Opcode::kBye, Opcode::kDump}) {
     Response ok_response;
     ok_response.ok = true;
     ok_response.opcode = opcode;
@@ -223,6 +226,110 @@ TEST(ServerFuzz, ProtocolRoundTripsEveryOpcode) {
   // Trailing bytes are rejected on both sides.
   std::string trailing = ValidPayloads()[2] + "x";
   EXPECT_FALSE(DecodeRequest(trailing).ok());
+}
+
+// The v2 surfaces under hostile bytes: a histogram-bearing kStats body
+// and a kDump body are truncated at every prefix and bit-flipped at
+// every byte. The decoder must answer cleanly (ok or error, never a
+// crash — ASan/UBSan police the rest). Anything it does accept must
+// canonicalize in one re-encode (a flip can pad a varint into a
+// non-minimal form, so the corrupt bytes themselves need not be
+// canonical — but the decoded value's encoding is a fixed point).
+TEST(ServerFuzz, StatsV2AndDumpResponsesSurviveHostileBytes) {
+  std::vector<Response> responses;
+  Response v2;
+  v2.ok = true;
+  v2.opcode = Opcode::kStats;
+  v2.stats.version = 2;
+  v2.stats.sessions_active = 3;
+  v2.stats.queries_served = 1000;
+  v2.stats.request_errors = 17;
+  v2.stats.sessions_evicted = 2;
+  v2.stats.histograms.push_back(StatsHistogramEntry{
+      "meetxml_server_request_us{op=\"query\"}", 1000, 123456, 63, 255,
+      1023});
+  v2.stats.histograms.push_back(StatsHistogramEntry{
+      "meetxml_query_stage_us{stage=\"decode\"}", 2, 40000, 16383, 32767,
+      32767});
+  responses.push_back(v2);
+  Response v1 = v2;
+  v1.stats.version = 1;
+  v1.stats.histograms.clear();
+  responses.push_back(v1);
+  Response dump;
+  dump.ok = true;
+  dump.opcode = Opcode::kDump;
+  dump.dump =
+      "# TYPE meetxml_server_queries_total counter\n"
+      "meetxml_server_queries_total 1000\n"
+      "# querylog when_ms=5 session=1 ok=1 slow=0 total_us=40"
+      " rows=2 scope=\"*\" query=\"SELECT \\\"q\\\"\"\n";
+  responses.push_back(dump);
+
+  auto expect_canonical_fixed_point = [](const Response& accepted) {
+    std::string canonical = EncodeResponse(accepted);
+    auto again = DecodeResponse(canonical);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_EQ(EncodeResponse(*again), canonical);
+  };
+  for (const Response& response : responses) {
+    std::string encoded = EncodeResponse(response);
+    auto decoded = DecodeResponse(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(EncodeResponse(*decoded), encoded);
+    for (size_t cut = 0; cut < encoded.size(); ++cut) {
+      auto truncated =
+          DecodeResponse(std::string_view(encoded.data(), cut));
+      if (truncated.ok()) expect_canonical_fixed_point(*truncated);
+    }
+    for (uint8_t mask : {0x01, 0x40, 0xff}) {
+      for (size_t at = 0; at < encoded.size(); ++at) {
+        std::string corrupt = encoded;
+        corrupt[at] = static_cast<char>(corrupt[at] ^ mask);
+        auto flipped = DecodeResponse(corrupt);
+        if (flipped.ok()) expect_canonical_fixed_point(*flipped);
+      }
+    }
+  }
+}
+
+// Version negotiation under the same no-crash contract: a v1 client on
+// a v2 server only ever sees the legacy four-varint stats body, and a
+// from-the-future HELLO is refused without touching the connection.
+TEST(ServerFuzz, VersionSkewNeverLeaksTheV2Extension) {
+  QueryService service(&FuzzCatalog());
+  auto connection = service.Connect();
+  ASSERT_TRUE(connection.ok());
+
+  Request hello;
+  hello.opcode = Opcode::kHello;
+  hello.protocol_version = kProtocolVersion + 1;  // the future
+  auto refused = DecodeResponse(
+      (*connection)->HandlePayload(EncodeRequest(hello)));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_FALSE(refused->ok);
+  EXPECT_EQ((*connection)->protocol_version(), 1u);
+
+  hello.protocol_version = 1;  // an old client
+  auto greeted = DecodeResponse(
+      (*connection)->HandlePayload(EncodeRequest(hello)));
+  ASSERT_TRUE(greeted.ok());
+  ASSERT_TRUE(greeted->ok);
+
+  Request stats;
+  stats.opcode = Opcode::kStats;
+  std::string payload = (*connection)->HandlePayload(EncodeRequest(stats));
+  auto decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->stats.version, 1u);
+  EXPECT_TRUE(decoded->stats.histograms.empty());
+  // Byte-exact: the payload IS the legacy encoding of what it carries.
+  Response expected;
+  expected.ok = true;
+  expected.opcode = Opcode::kStats;
+  expected.stats = decoded->stats;
+  EXPECT_EQ(payload, EncodeResponse(expected));
 }
 
 TEST(ServerFuzz, TcpGarbageGetsOneErrorThenTheSessionIsReleased) {

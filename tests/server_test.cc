@@ -21,6 +21,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "server/session.h"
 #include "server/tcp_server.h"
@@ -415,6 +417,204 @@ TEST_F(ServerServiceTest, GracefulShutdownDrainsInFlightQueries) {
   EXPECT_TRUE(InProcessClient::Connect(&service).status().IsUnavailable());
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(hard_failures.load(), 0);
+}
+
+// ---- observability -------------------------------------------------------
+
+// The introspection surface end to end: a LAZILY opened catalog, a
+// private registry, and a stepping microsecond clock — so the first
+// query against a document demonstrably pays the deferred decode and
+// the executor/text-index build, the second demonstrably pays neither,
+// and kDump/kStats v2 expose the decomposition. No sleeps anywhere.
+class ServerObservabilityTest : public ::testing::Test {
+ protected:
+  ServerObservabilityTest() {
+    store::CatalogLoadOptions options;
+    options.mode = model::LoadMode::kView;
+    options.lazy = true;
+    auto catalog =
+        store::Catalog::LoadFromFile(CatalogImagePath(), options);
+    EXPECT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::move(*catalog);
+  }
+
+  QueryService MakeService(ServiceOptions options = {}) {
+    options.clock = [this] { return now_ms_.load(); };
+    // Every clock read advances time, so every span is nonzero and
+    // deterministic in shape (gated spans stay exactly zero).
+    options.clock_us = [this] { return now_us_.fetch_add(step_us_); };
+    options.metrics = &registry_;
+    return QueryService(&catalog_, std::move(options));
+  }
+
+  static constexpr const char* kTextQuery =
+      "SELECT MEET(a, b) FROM *//cdata a, *//cdata b "
+      "WHERE a CONTAINS 'corpus' AND b CONTAINS '1995'";
+
+  store::Catalog catalog_;
+  obs::MetricsRegistry registry_;
+  std::atomic<uint64_t> now_ms_{1000};
+  std::atomic<uint64_t> now_us_{0};
+  uint64_t step_us_ = 5;
+};
+
+TEST_F(ServerObservabilityTest, DumpDecomposesLazyFirstTouchCosts) {
+  QueryService service = MakeService();
+  auto client = InProcessClient::Connect(&service);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+
+  auto first = client->Query("lib_2", kTextQuery);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->ok) << first->message;
+
+  // First touch: the query itself paid the deferred decode and the
+  // executor/text-index build, and its trace says so.
+  std::vector<obs::QueryLogEntry> log = service.query_log().Snapshot();
+  ASSERT_EQ(log.size(), 1u);
+  const obs::QueryLogEntry& cold = log[0];
+  EXPECT_TRUE(cold.ok);
+  EXPECT_EQ(cold.scope, "lib_2");
+  EXPECT_EQ(cold.query, kTextQuery);
+  EXPECT_GT(cold.stage_us[size_t(obs::Stage::kParse)], 0u);
+  EXPECT_GT(cold.stage_us[size_t(obs::Stage::kRoute)], 0u);
+  EXPECT_GT(cold.stage_us[size_t(obs::Stage::kDecode)], 0u);
+  EXPECT_GT(cold.stage_us[size_t(obs::Stage::kIndexBuild)], 0u);
+  EXPECT_GT(cold.stage_us[size_t(obs::Stage::kExecute)], 0u);
+  EXPECT_GT(cold.stage_us[size_t(obs::Stage::kMerge)], 0u);
+
+  // Same query again: the document is warm, so decode and index build
+  // are exactly zero — the spans are gated off, not merely fast (every
+  // clock read in this fixture advances time).
+  auto second = client->Query("lib_2", kTextQuery);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->ok);
+  log = service.query_log().Snapshot();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1].stage_us[size_t(obs::Stage::kDecode)], 0u);
+  EXPECT_EQ(log[1].stage_us[size_t(obs::Stage::kIndexBuild)], 0u);
+  EXPECT_GT(log[1].stage_us[size_t(obs::Stage::kExecute)], 0u);
+
+  // kStats v2 carries the histogram summaries: two request samples on
+  // the query opcode, exactly one first-touch decode sample.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->version, 2u);
+  EXPECT_EQ(stats->queries_served, 2u);
+  bool saw_query_op = false;
+  bool saw_decode = false;
+  for (const StatsHistogramEntry& entry : stats->histograms) {
+    if (entry.name == "meetxml_server_request_us{op=\"query\"}") {
+      saw_query_op = true;
+      EXPECT_EQ(entry.count, 2u);
+      EXPECT_GT(entry.sum, 0u);
+    }
+    if (entry.name == "meetxml_query_stage_us{stage=\"decode\"}") {
+      saw_decode = true;
+      EXPECT_EQ(entry.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_query_op);
+  EXPECT_TRUE(saw_decode);
+
+  // And the dump renders the whole story in one scrape: the series and
+  // both query-log lines (a warm line shows decode_us=0 explicitly).
+  auto dump = client->Dump();
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  EXPECT_NE(dump->find("meetxml_server_queries_total 2"),
+            std::string::npos);
+  EXPECT_NE(dump->find(
+                "meetxml_query_stage_us{stage=\"decode\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(dump->find("# querylog capacity=256 total=2 (oldest first)"),
+            std::string::npos);
+  EXPECT_NE(dump->find(" decode_us=0 "), std::string::npos);
+  EXPECT_NE(dump->find("scope=\"lib_2\""), std::string::npos);
+}
+
+TEST_F(ServerObservabilityTest, SlowQueriesAreCountedAndFlagged) {
+  step_us_ = 300;  // every span costs >= 300 us on this clock
+  ServiceOptions options;
+  options.slow_query_ms = 1;
+  QueryService service = MakeService(std::move(options));
+  auto client = InProcessClient::Connect(&service);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  auto response = client->Query("lib_0", kTextQuery);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok);
+  EXPECT_EQ(
+      registry_.counter("meetxml_server_slow_queries_total").Value(), 1u);
+  std::vector<obs::QueryLogEntry> log = service.query_log().Snapshot();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].slow);
+  EXPECT_GE(log[0].total_us, 1000u);
+  auto dump = client->Dump();
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->find(" slow=1 "), std::string::npos);
+}
+
+TEST_F(ServerObservabilityTest, V1NegotiatedStatsBodyIsByteIdentical) {
+  QueryService service = MakeService();
+  auto client = InProcessClient::Connect(&service);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello(/*version=*/1).ok());
+  auto response = client->Query("lib_1", kTextQuery);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok);
+
+  // A v1-negotiated connection must get the legacy four-varint body,
+  // byte for byte — v2's histogram extension never leaks backwards.
+  Request stats_request;
+  stats_request.opcode = Opcode::kStats;
+  std::string payload =
+      client->connection()->HandlePayload(EncodeRequest(stats_request));
+  Response expected;
+  expected.ok = true;
+  expected.opcode = Opcode::kStats;
+  expected.stats.version = 1;
+  expected.stats.sessions_active = 1;
+  expected.stats.queries_served = 1;
+  expected.stats.request_errors = 0;
+  expected.stats.sessions_evicted = 0;
+  EXPECT_EQ(payload, EncodeResponse(expected));
+  auto decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stats.version, 1u);
+  EXPECT_TRUE(decoded->stats.histograms.empty());
+
+  // Pre-HELLO connections are v1 too: scrapers that never negotiated
+  // must keep parsing what they always parsed.
+  auto fresh = InProcessClient::Connect(&service);
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_stats = fresh->Stats();
+  ASSERT_TRUE(fresh_stats.ok());
+  EXPECT_EQ(fresh_stats->version, 1u);
+}
+
+TEST_F(ServerObservabilityTest, ObserveOffKeepsCountsButRecordsNoTimings) {
+  ServiceOptions options;
+  options.observe = false;
+  QueryService service = MakeService(std::move(options));
+  auto client = InProcessClient::Connect(&service);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  auto response = client->Query("lib_0", kTextQuery);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok);
+  // Exact counting survives; the timing surfaces stay empty (no clock
+  // reads, no trace, no log entry) — the overhead bench's baseline.
+  EXPECT_EQ(service.stats().queries_served, 1u);
+  EXPECT_EQ(service.query_log().total_pushed(), 0u);
+  EXPECT_EQ(registry_
+                .histogram("meetxml_server_request_us", "op=\"query\"")
+                .Summary()
+                .count,
+            0u);
+  auto dump = client->Dump();
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->find("meetxml_server_queries_total 1"),
+            std::string::npos);
 }
 
 // ---- session table ------------------------------------------------------

@@ -19,11 +19,14 @@ BM_ServiceClosedLoop series is load-bearing — losing it would mean
 the service dispatch path silently left the trend) and
 BENCH_ab13_open_scaling.json (O(directory) catalog open and the
 incremental in-place save; the BM_CatalogOpenLazy and
-BM_CatalogSaveInPlace series are load-bearing).
+BM_CatalogSaveInPlace series are load-bearing) and
+BENCH_ab14_obs_overhead.json (instrumented vs. uninstrumented
+service dispatch; the BM_ObsOverhead series is load-bearing — the
+observability layer's <2% overhead claim rides on this trend).
 
 Usage:
     check_bench_trend.py CURRENT.json BASELINE.json [--threshold 2.0]
-        [--expect SUBSTRING ...]
+        [--expect SUBSTRING ...] [--counters-out FILE]
 
 Skips cleanly (exit 0, with a note) when the baseline file does not
 exist or cannot be parsed — first runs and cache evictions must not
@@ -33,6 +36,11 @@ never fatal: adding or renaming a benchmark is not a regression.
 benchmark name contains the given substring, so a guarded series
 (e.g. the ab11 view-mode cold-start numbers) cannot silently vanish
 from the trend — that guard holds even on runs with no baseline.
+--counters-out archives every benchmark's user counters (the ab12
+latency percentiles, the ab14 observe flag and traced-query counts —
+values that come out of the obs histogram summaries, not wall time)
+to a compact JSON file the CI job uploads next to the raw GBench
+output, so the latency trajectory is greppable without re-parsing.
 """
 
 import argparse
@@ -43,8 +51,23 @@ import sys
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_times(path):
-    """Returns {benchmark name: real_time in ns} for a GBench JSON file."""
+# Standard GBench per-run fields; everything else in a benchmark row is
+# a user counter (ab12's p50_us/p99_us, ab14's observe/traced_queries).
+_BUILTIN_FIELDS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads",
+    "iterations", "real_time", "cpu_time", "time_unit",
+    "items_per_second", "bytes_per_second", "label",
+    "error_occurred", "error_message",
+}
+
+
+def load_times(path, counters=None):
+    """Returns {benchmark name: real_time in ns} for a GBench JSON file.
+
+    With `counters` (a dict), also collects each benchmark's user
+    counters plus items_per_second into counters[name].
+    """
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
     times = {}
@@ -58,6 +81,17 @@ def load_times(path):
         if name is None or real_time is None or unit not in _UNIT_NS:
             continue
         times[name] = float(real_time) * _UNIT_NS[unit]
+        if counters is not None:
+            extra = {
+                key: value
+                for key, value in bench.items()
+                if key not in _BUILTIN_FIELDS
+                and isinstance(value, (int, float))
+            }
+            if "items_per_second" in bench:
+                extra["items_per_second"] = bench["items_per_second"]
+            if extra:
+                counters[name] = extra
     return times
 
 
@@ -79,9 +113,24 @@ def main():
         help="fail when no current benchmark name contains SUBSTRING "
         "(guards a load-bearing series against silent removal)",
     )
+    parser.add_argument(
+        "--counters-out",
+        metavar="FILE",
+        help="archive each benchmark's user counters (latency "
+        "percentiles, histogram-derived values) as JSON to FILE",
+    )
     args = parser.parse_args()
 
-    current = load_times(args.current)
+    counters = {} if args.counters_out else None
+    current = load_times(args.current, counters)
+    if args.counters_out:
+        with open(args.counters_out, "w", encoding="utf-8") as fh:
+            json.dump(counters, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"archived counters for {len(counters)} benchmark(s) "
+            f"to {args.counters_out}"
+        )
     missing = [
         expected
         for expected in args.expect
