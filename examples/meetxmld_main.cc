@@ -8,6 +8,7 @@
 //
 // Run:  ./meetxmld [store.mxm] [port] [--warm]
 //               [--slow-query-ms N] [--stats-interval-s N]
+//               [--queue-cap N] [--deadline-ms N] [--busy-retry-ms N]
 //
 // --slow-query-ms N flags any query whose staged time reaches N ms
 // (counted in meetxml_server_slow_queries_total and marked in the
@@ -15,6 +16,14 @@
 // every N seconds. Live introspection: the STATS opcode carries
 // histogram summaries (protocol v2) and DUMP returns the full
 // Prometheus-style exposition — see ./meetxml_client <port> stats|dump.
+//
+// Overload policy: --queue-cap N (default 256, 0 = unbounded) bounds
+// queries admitted at once across every connection — the query that
+// would exceed it earns a busy reply carrying the --busy-retry-ms
+// hint (default 100) instead of queueing without limit; --deadline-ms
+// N additionally sheds queries that waited longer than N ms between
+// admission and dispatch (0 = off). Shed queries count in
+// meetxml_server_shed_total / meetxml_server_deadline_exceeded_total.
 //
 // The open is lazy by default: only the image framing and the catalog
 // directory are verified, so startup costs O(directory) no matter how
@@ -82,6 +91,9 @@ int main(int argc, char** argv) {
   bool warm = false;
   uint64_t slow_query_ms = 0;
   uint64_t stats_interval_s = 0;
+  uint64_t queue_cap = 256;
+  uint64_t deadline_ms = 0;
+  uint64_t busy_retry_ms = 100;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--warm") == 0) {
@@ -92,6 +104,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stats-interval-s") == 0 &&
                i + 1 < argc) {
       stats_interval_s = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queue-cap") == 0 && i + 1 < argc) {
+      queue_cap = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+               i + 1 < argc) {
+      deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--busy-retry-ms") == 0 &&
+               i + 1 < argc) {
+      busy_retry_ms = std::strtoull(argv[++i], nullptr, 10);
     } else {
       positional.push_back(argv[i]);
     }
@@ -140,6 +160,9 @@ int main(int argc, char** argv) {
 
   server::ServiceOptions service_options;
   service_options.slow_query_ms = slow_query_ms;
+  service_options.queue_cap = queue_cap;
+  service_options.queue_deadline_ms = deadline_ms;
+  service_options.busy_retry_after_ms = busy_retry_ms;
   server::QueryService service(&*catalog, std::move(service_options));
   server::TcpServerOptions server_options;
   server_options.port = port;
@@ -218,10 +241,11 @@ int main(int argc, char** argv) {
   service.Shutdown();
 
   server::ServiceStats stats = service.stats();
-  std::printf("served %llu queries (%llu request errors, "
+  std::printf("served %llu queries (%llu request errors, %llu shed, "
               "%llu sessions evicted)\n",
               static_cast<unsigned long long>(stats.queries_served),
               static_cast<unsigned long long>(stats.request_errors),
+              static_cast<unsigned long long>(stats.queries_shed),
               static_cast<unsigned long long>(stats.sessions_evicted));
   return 0;
 }

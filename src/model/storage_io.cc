@@ -7,6 +7,7 @@
 
 #include "model/validate.h"
 #include "util/byte_io.h"
+#include "util/failpoint.h"
 #include "util/file_io.h"
 #include "util/mmap_file.h"
 
@@ -1084,6 +1085,11 @@ Result<AppendStats> AppendSectionsToFile(
     std::fclose(file);
     return status;
   };
+  // Crash-matrix boundary "opened, nothing appended yet": a kill here
+  // must reopen as the unmodified old image.
+  if (MEETXML_FAILPOINT_TRIGGERED("storage.append.begin")) {
+    return fail(Status::Internal("injected failure opening ", path));
+  }
   // Fence: the on-disk image must still be exactly the one the caller
   // planned against — magic, a trailing-directory minor, the directory
   // pointer, and the file size all verbatim — so kept placements and
@@ -1149,12 +1155,20 @@ Result<AppendStats> AppendSectionsToFile(
   tail.U64(SectionChecksum(minor, dir_bytes));
   blob += tail.Take();
 
+  // Each failpoint fires *after* the operation it names, so a
+  // crash-armed site kills the save with exactly that much on disk:
+  // write   — blob flushed past stdio but maybe not durable
+  // sync_blob — blob durable, header still pointing at the old dir
+  // patch   — new directory pointer written, not yet durable
+  // sync_commit — fully committed new image
   if (std::fwrite(blob.data(), 1, blob.size(), file) != blob.size() ||
-      std::fflush(file) != 0) {
+      std::fflush(file) != 0 ||
+      MEETXML_FAILPOINT_TRIGGERED("storage.append.write")) {
     return fail(Status::Internal("short write appending to ", path));
   }
 #if defined(MEETXML_HAVE_FSYNC)
-  if (::fsync(::fileno(file)) != 0) {
+  if (::fsync(::fileno(file)) != 0 ||
+      MEETXML_FAILPOINT_TRIGGERED("storage.append.sync_blob")) {
     return fail(Status::Internal("fsync failed on ", path));
   }
 #endif
@@ -1163,11 +1177,13 @@ Result<AppendStats> AppendSectionsToFile(
   // the old one before, the new one after.
   if (std::fseek(file, 8, SEEK_SET) != 0 ||
       std::fwrite(&new_dir_offset, 1, 8, file) != 8 ||
-      std::fflush(file) != 0) {
+      std::fflush(file) != 0 ||
+      MEETXML_FAILPOINT_TRIGGERED("storage.append.patch")) {
     return fail(Status::Internal("directory patch failed on ", path));
   }
 #if defined(MEETXML_HAVE_FSYNC)
-  if (::fsync(::fileno(file)) != 0) {
+  if (::fsync(::fileno(file)) != 0 ||
+      MEETXML_FAILPOINT_TRIGGERED("storage.append.sync_commit")) {
     return fail(Status::Internal("fsync failed on ", path));
   }
 #endif

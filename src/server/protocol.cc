@@ -91,9 +91,14 @@ Result<Request> DecodeRequest(std::string_view payload) {
 
 std::string EncodeResponse(const Response& response) {
   ByteWriter out;
-  out.U8(response.ok ? 0 : 1);
+  out.U8(response.ok ? 0 : response.busy ? 2 : 1);
   out.U8(static_cast<uint8_t>(response.opcode));
   if (!response.ok) {
+    if (response.busy) {
+      out.Varint(response.retry_after_ms);
+      out.StrVarint(response.message);
+      return out.Take();
+    }
     out.Varint(static_cast<uint64_t>(response.code));
     out.StrVarint(response.message);
     return out.Take();
@@ -146,10 +151,33 @@ std::string EncodeErrorResponse(Opcode opcode, const Status& status) {
   return EncodeResponse(response);
 }
 
+std::string EncodeBusyResponse(Opcode opcode, uint64_t retry_after_ms,
+                               std::string_view message,
+                               uint64_t negotiated_version) {
+  if (negotiated_version < 2) {
+    // A v1 decoder rejects status byte 2; shed with the plain error
+    // shape it understands and fold the hint into the message.
+    std::string hinted(message);
+    hinted += " (retry in ~";
+    hinted += std::to_string(retry_after_ms);
+    hinted += "ms)";
+    return EncodeErrorResponse(
+        opcode, Status(StatusCode::kUnavailable, std::move(hinted)));
+  }
+  Response response;
+  response.ok = false;
+  response.busy = true;
+  response.opcode = opcode;
+  response.code = StatusCode::kUnavailable;
+  response.retry_after_ms = retry_after_ms;
+  response.message.assign(message.data(), message.size());
+  return EncodeResponse(response);
+}
+
 Result<Response> DecodeResponse(std::string_view payload) {
   ByteReader reader(payload);
   MEETXML_ASSIGN_OR_RETURN(uint8_t raw_status, reader.U8());
-  if (raw_status > 1) {
+  if (raw_status > 2) {
     return Status::InvalidArgument("unknown response status ", raw_status);
   }
   MEETXML_ASSIGN_OR_RETURN(uint8_t raw_opcode, reader.U8());
@@ -159,6 +187,15 @@ Result<Response> DecodeResponse(std::string_view payload) {
   Response response;
   response.ok = raw_status == 0;
   response.opcode = static_cast<Opcode>(raw_opcode);
+  if (raw_status == 2) {
+    // busy (v2): the shed reply — retry-after hint plus message.
+    response.busy = true;
+    response.code = StatusCode::kUnavailable;
+    MEETXML_ASSIGN_OR_RETURN(response.retry_after_ms, reader.Varint());
+    MEETXML_ASSIGN_OR_RETURN(response.message, reader.StrVarint());
+    MEETXML_RETURN_NOT_OK(CheckDrained(reader, "busy response"));
+    return response;
+  }
   if (!response.ok) {
     MEETXML_ASSIGN_OR_RETURN(uint64_t raw_code, reader.Varint());
     if (!KnownStatusCode(raw_code)) {

@@ -19,8 +19,8 @@
 //   kBye        no fields; closes the session (the response is still
 //               delivered).
 //   kDump       no fields (v2). Sessionless, like kStats.
-// Response:     u8 status (0 = ok, 1 = error) | u8 echoed opcode |
-//               per-opcode body:
+// Response:     u8 status (0 = ok, 1 = error, 2 = busy) | u8 echoed
+//               opcode | per-opcode body:
 //   ok kHello   varint session id | banner (varint length + bytes)
 //   ok kQuery   varint row count | u8 truncated | rendered table
 //               (varint length + bytes)
@@ -44,12 +44,25 @@
 //   ok kBye     empty
 //   error       varint util::StatusCode | message (varint length +
 //               bytes)
+//   busy        varint retry-after hint (milliseconds) | message
+//               (varint length + bytes). v2 extension: overload
+//               shedding — the server refused to queue the request
+//               (admission cap or queue deadline exceeded) and the
+//               client should back off for about the hinted time and
+//               retry. Emitted only on connections that negotiated
+//               version >= 2 at HELLO; a v1 connection is shed with a
+//               plain error response (kUnavailable, hint folded into
+//               the message), so v1 decoders — which reject status
+//               byte 2 — never see the extension.
 // Responses on one connection arrive in request order; clients may
 // pipeline. Trailing bytes after any request payload are rejected.
 //
 // v1 -> v2 compatibility: a v2 server accepts HELLO at version 1 and
 // keeps every v1 reply byte-identical on that connection; kDump sent
-// to a v1 server earns the standard unknown-opcode error.
+// to a v1 server earns the standard unknown-opcode error. The v2
+// additions are kDump, the kStats histogram extension, and the busy
+// response status above — all negotiated at HELLO, all invisible to a
+// v1 connection.
 //
 // Everything here is pure encode/decode over in-memory bytes — the
 // same code path serves the TCP front-end (server/tcp_server.h), the
@@ -140,6 +153,10 @@ struct StatsBody {
 struct Response {
   bool ok = false;
   Opcode opcode = Opcode::kPing;
+  // busy (v2): the server shed this request; retry after roughly the
+  // hinted delay. Busy responses are not ok and carry kUnavailable.
+  bool busy = false;
+  uint64_t retry_after_ms = 0;
   // error
   util::StatusCode code = util::StatusCode::kOk;
   std::string message;
@@ -166,6 +183,14 @@ std::string EncodeResponse(const Response& response);
 
 /// \brief Convenience: an error response echoing `opcode`.
 std::string EncodeErrorResponse(Opcode opcode, const util::Status& status);
+
+/// \brief Convenience: a shed reply echoing `opcode`, shaped for the
+/// connection's negotiated version — a status-2 busy response with the
+/// retry-after varint on v2, a byte-compatible kUnavailable error (hint
+/// folded into the message) on v1.
+std::string EncodeBusyResponse(Opcode opcode, uint64_t retry_after_ms,
+                               std::string_view message,
+                               uint64_t negotiated_version);
 
 /// \brief Strict decoders: unknown opcodes, truncated fields and
 /// trailing bytes are errors (the server answers per-request, the

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/net.h"
 
 namespace meetxml {
@@ -34,6 +35,31 @@ class InFlight {
   std::atomic<uint64_t>* count_;
   std::mutex* mu_;
   std::condition_variable* cv_;
+};
+
+// Scoped admission-slot ownership: once a query holds a slot (whether
+// the front-end pre-admitted it or dispatch acquired one), every path
+// out of HandlePayload must give it back — including decode failures
+// that never reach HandleQuery.
+class QuerySlot {
+ public:
+  QuerySlot(QueryService* service, bool held)
+      : service_(service), held_(held) {}
+  ~QuerySlot() {
+    if (held_) service_->ReleaseQuerySlot();
+  }
+  QuerySlot(const QuerySlot&) = delete;
+  QuerySlot& operator=(const QuerySlot&) = delete;
+
+  bool held() const { return held_; }
+  bool TryAcquire() {
+    held_ = service_->TryAcquireQuerySlot();
+    return held_;
+  }
+
+ private:
+  QueryService* service_;
+  bool held_;
 };
 
 // The opcode echoed on errors for requests too mangled to decode.
@@ -87,6 +113,9 @@ QueryService::QueryService(const store::Catalog* catalog,
   errors_counter_ =
       &metrics_->counter("meetxml_server_request_errors_total");
   slow_counter_ = &metrics_->counter("meetxml_server_slow_queries_total");
+  shed_counter_ = &metrics_->counter("meetxml_server_shed_total");
+  deadline_counter_ =
+      &metrics_->counter("meetxml_server_deadline_exceeded_total");
   sessions_opened_counter_ =
       &metrics_->counter("meetxml_server_sessions_opened_total");
   sessions_evicted_counter_ =
@@ -101,6 +130,37 @@ QueryService::QueryService(const store::Catalog* catalog,
   }
   queries_baseline_ = queries_counter_->Value();
   errors_baseline_ = errors_counter_->Value();
+  shed_baseline_ = shed_counter_->Value();
+}
+
+bool QueryService::TryAcquireQuerySlot() {
+  // Injected admission failure: behaves exactly like a full queue, so
+  // tests can force the shed path without saturating anything.
+  if (MEETXML_FAILPOINT_TRIGGERED("server.admit")) return false;
+  uint64_t cap = options_.queue_cap;
+  uint64_t current = admitted_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cap != 0 && current >= cap) return false;
+    if (admitted_.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+}
+
+void QueryService::ReleaseQuerySlot() {
+  admitted_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::string QueryService::MakeBusyResponse(uint64_t negotiated_version,
+                                           bool deadline_exceeded) {
+  shed_counter_->Add(1);
+  if (deadline_exceeded) deadline_counter_->Add(1);
+  return EncodeBusyResponse(
+      Opcode::kQuery, options_.busy_retry_after_ms,
+      deadline_exceeded ? "query waited past the queue deadline"
+                        : "server overloaded: admission queue is full",
+      negotiated_version);
 }
 
 uint64_t QueryService::NowMs() const {
@@ -129,18 +189,38 @@ QueryService::Connection::~Connection() {
 
 std::string QueryService::Connection::HandlePayload(
     std::string_view payload) {
+  return HandlePayload(payload, RequestContext{});
+}
+
+std::string QueryService::Connection::HandlePayload(
+    std::string_view payload, const RequestContext& ctx) {
   InFlight guard(&service_->in_flight_, &service_->drain_mu_,
                  &service_->drain_cv_);
+  // Slot ownership spans the whole dispatch (released on every path
+  // out), so the admission cap bounds queued + executing queries.
+  QuerySlot slot(service_, ctx.pre_admitted);
   const bool observe = service_->options_.observe;
   const uint64_t start_us = observe ? service_->NowUs() : 0;
   // Undecodable requests are attributed to whatever opcode byte they
   // led with (the same one the error response echoes).
   Opcode opcode = EchoOpcode(payload);
+  const uint64_t deadline_ms = service_->options_.queue_deadline_ms;
   std::string response;
   if (service_->draining()) {
     service_->errors_counter_->Add(1);
     response = EncodeErrorResponse(
         opcode, Status::Unavailable("server is shutting down"));
+  } else if (opcode == Opcode::kQuery && !slot.held() &&
+             !slot.TryAcquire()) {
+    // The (cap+1)-th concurrent query: shed instead of queueing.
+    response = service_->MakeBusyResponse(protocol_version(), false);
+  } else if (opcode == Opcode::kQuery && deadline_ms > 0 &&
+             ctx.admitted_ms > 0 &&
+             service_->NowMs() >= ctx.admitted_ms &&
+             service_->NowMs() - ctx.admitted_ms >= deadline_ms) {
+    // Sat in the front-end queue past the deadline: the client gave up
+    // (or will); executing now only wastes a worker.
+    response = service_->MakeBusyResponse(protocol_version(), true);
   } else {
     Result<Request> request = DecodeRequest(payload);
     if (!request.ok()) {
@@ -392,6 +472,7 @@ ServiceStats QueryService::stats() const {
   stats.queries_served = queries_counter_->Value() - queries_baseline_;
   stats.request_errors = errors_counter_->Value() - errors_baseline_;
   stats.sessions_evicted = sessions_.total_evicted();
+  stats.queries_shed = shed_counter_->Value() - shed_baseline_;
   return stats;
 }
 

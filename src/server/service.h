@@ -71,6 +71,17 @@ struct ServiceOptions {
   bool observe = true;
   /// Banner carried by the HELLO response.
   std::string banner = "meetxmld/1";
+  /// Admission cap: queries admitted (queued or dispatching) at once,
+  /// across every transport. The query that would exceed it is shed
+  /// with a busy reply instead of queueing unboundedly. 0 = unbounded.
+  uint64_t queue_cap = 0;
+  /// Per-request queue deadline on the service clock: a query that
+  /// waited longer than this between front-end admission
+  /// (RequestContext::admitted_ms) and dispatch is shed busy without
+  /// executing — its answer would arrive too late to matter. 0 = off.
+  uint64_t queue_deadline_ms = 0;
+  /// Retry-after hint carried by busy replies.
+  uint64_t busy_retry_after_ms = 100;
 };
 
 /// \brief Service counters (monotonic except sessions_active).
@@ -79,6 +90,22 @@ struct ServiceStats {
   uint64_t queries_served = 0;
   uint64_t request_errors = 0;
   uint64_t sessions_evicted = 0;
+  /// Queries refused with a busy reply (admission cap or deadline).
+  uint64_t queries_shed = 0;
+};
+
+/// \brief Per-request transport context handed to HandlePayload: when
+/// and whether the front-end already admitted the request. The
+/// default-constructed context means "admit here, no queueing history"
+/// — the in-process transport's shape.
+struct RequestContext {
+  /// Service-clock time the front-end queued the request; 0 = unknown
+  /// (the queue-deadline check only runs when it is set).
+  uint64_t admitted_ms = 0;
+  /// True when the front-end already holds an admission slot for this
+  /// request (TryAcquireQuerySlot at enqueue, the TCP path). Dispatch
+  /// then releases that slot when the request finishes, on every path.
+  bool pre_admitted = false;
 };
 
 /// \brief The dispatch core shared by every transport.
@@ -101,8 +128,15 @@ class QueryService {
 
     /// \brief The real dispatch path: one decoded request-frame
     /// payload in, one response payload out. Never fails — protocol
-    /// and execution errors come back as error responses.
+    /// and execution errors come back as error responses, overload as
+    /// busy replies.
     std::string HandlePayload(std::string_view payload);
+
+    /// \brief HandlePayload with transport context: front-ends that
+    /// queue requests pass when they admitted them (queue-deadline
+    /// enforcement) and whether they already hold the admission slot.
+    std::string HandlePayload(std::string_view payload,
+                              const RequestContext& ctx);
 
     /// \brief The connection's live session id; 0 when none. Readable
     /// from any thread (the TCP maintenance loop matches evicted
@@ -134,6 +168,29 @@ class QueryService {
   /// \brief Evicts idle sessions; returns their ids so the front-end
   /// can close the matching connections.
   std::vector<uint64_t> EvictIdle();
+
+  /// \brief Takes one admission slot for a query, against
+  /// ServiceOptions::queue_cap. False means the backlog is full and the
+  /// caller must shed the request (MakeBusyResponse); true obliges the
+  /// caller to route the request into dispatch with
+  /// RequestContext::pre_admitted (which releases the slot) or call
+  /// ReleaseQuerySlot itself. Front-ends call this at enqueue so the
+  /// cap covers queued work, not just executing work.
+  bool TryAcquireQuerySlot();
+  /// \brief Returns a slot TryAcquireQuerySlot granted (only for
+  /// requests that never reached dispatch).
+  void ReleaseQuerySlot();
+  /// \brief Admission slots currently held (queued + dispatching).
+  uint64_t admitted_queries() const {
+    return admitted_.load(std::memory_order_acquire);
+  }
+
+  /// \brief The shed reply for one refused query, shaped for the
+  /// connection's negotiated protocol version; counts it in
+  /// meetxml_server_shed_total (and the deadline counter when
+  /// `deadline_exceeded`).
+  std::string MakeBusyResponse(uint64_t negotiated_version,
+                               bool deadline_exceeded);
 
   /// \brief Stops taking new requests; in-flight dispatches finish and
   /// deliver their responses, later ones earn Unavailable errors.
@@ -172,6 +229,8 @@ class QueryService {
   obs::Counter* queries_counter_;
   obs::Counter* errors_counter_;
   obs::Counter* slow_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* deadline_counter_;
   obs::Counter* sessions_opened_counter_;
   obs::Counter* sessions_evicted_counter_;
   obs::Gauge* sessions_gauge_;
@@ -180,7 +239,9 @@ class QueryService {
   // so a shared (Global) registry still yields per-service numbers.
   uint64_t queries_baseline_ = 0;
   uint64_t errors_baseline_ = 0;
+  uint64_t shed_baseline_ = 0;
 
+  std::atomic<uint64_t> admitted_{0};
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> in_flight_{0};
   std::mutex drain_mu_;

@@ -128,8 +128,26 @@ void TcpServer::Enqueue(const std::shared_ptr<Conn>& conn,
         stopping_.load(std::memory_order_acquire)) {
       return;
     }
-    conn->inbox_bytes += payload.size();
-    conn->inbox.push_back(std::move(payload));
+    InboxItem item;
+    item.payload = std::move(payload);
+    // Admission happens at enqueue, not dispatch, so the service-level
+    // cap bounds the whole backlog across connections. A refused query
+    // is shed right here — but its busy reply rides the inbox like any
+    // frame, keeping responses in strict request order.
+    if (!item.payload.empty() &&
+        static_cast<uint8_t>(item.payload.front()) ==
+            static_cast<uint8_t>(Opcode::kQuery)) {
+      if (service_->TryAcquireQuerySlot()) {
+        item.holds_slot = true;
+        item.admitted_ms = service_->NowMs();
+      } else {
+        item.payload = service_->MakeBusyResponse(
+            conn->service_conn->protocol_version(), false);
+        item.ready_reply = true;
+      }
+    }
+    conn->inbox_bytes += item.payload.size();
+    conn->inbox.push_back(std::move(item));
     inbox_gauge_->Add(1);
     if (!conn->running) {
       conn->running = true;
@@ -143,20 +161,28 @@ void TcpServer::Enqueue(const std::shared_ptr<Conn>& conn,
 
 void TcpServer::Pump(std::shared_ptr<Conn> conn) {
   for (;;) {
-    std::string payload;
+    InboxItem item;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->inbox.empty()) {
         conn->running = false;
         return;
       }
-      payload = std::move(conn->inbox.front());
+      item = std::move(conn->inbox.front());
       conn->inbox.pop_front();
-      conn->inbox_bytes -= payload.size();
+      conn->inbox_bytes -= item.payload.size();
       inbox_gauge_->Add(-1);
     }
     conn->inbox_cv.notify_one();
-    std::string response = conn->service_conn->HandlePayload(payload);
+    std::string response;
+    if (item.ready_reply) {
+      response = std::move(item.payload);
+    } else {
+      RequestContext ctx;
+      ctx.admitted_ms = item.admitted_ms;
+      ctx.pre_admitted = item.holds_slot;
+      response = conn->service_conn->HandlePayload(item.payload, ctx);
+    }
     if (response.size() > kMaxFrameBytes) {
       // Pure safety net: HandleQuery clamps rendered tables to
       // kMaxQueryTableBytes, so no encoder should ever get here; if
@@ -277,10 +303,14 @@ void TcpServer::Stop() {
     util::ShutdownSocket(conn->fd);
     util::CloseSocket(conn->fd);
     // Frames still in the inbox die with the connection — the gauge
-    // must not keep counting them.
+    // must not keep counting them, and admission slots they hold must
+    // go back (a leaked slot would shrink the cap forever).
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       inbox_gauge_->Add(-static_cast<int64_t>(conn->inbox.size()));
+      for (const InboxItem& item : conn->inbox) {
+        if (item.holds_slot) service_->ReleaseQuerySlot();
+      }
       conn->inbox.clear();
     }
     conn->service_conn.reset();

@@ -80,6 +80,22 @@ class TcpServer {
   size_t connection_count() const;
 
  private:
+  /// One queued frame: a request payload stamped with its admission
+  /// state, or (ready_reply) a pre-cooked response — the shed path
+  /// queues its busy reply through the same inbox so responses keep
+  /// strict request order.
+  struct InboxItem {
+    std::string payload;
+    /// Service-clock time Enqueue admitted the request (queue-deadline
+    /// enforcement happens at dispatch).
+    uint64_t admitted_ms = 0;
+    /// Write `payload` verbatim instead of dispatching it.
+    bool ready_reply = false;
+    /// This item owns an admission slot (TryAcquireQuerySlot at
+    /// enqueue); dispatch releases it, teardown must too.
+    bool holds_slot = false;
+  };
+
   struct Conn {
     int fd = -1;
     std::unique_ptr<QueryService::Connection> service_conn;
@@ -90,7 +106,7 @@ class TcpServer {
     // its bound (Pump signals every pop, and anything that ends the
     // connection signals too so the reader never parks forever).
     std::mutex mu;
-    std::deque<std::string> inbox;
+    std::deque<InboxItem> inbox;
     size_t inbox_bytes = 0;
     bool running = false;
     std::condition_variable inbox_cv;

@@ -41,6 +41,28 @@ void WorkerPool::Submit(std::function<void()> job) {
   cv_.notify_one();
 }
 
+bool WorkerPool::TrySubmit(std::function<void()> job) {
+  uint64_t now = queue_wait_us_ != nullptr ? NowUs() : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (options_.max_queue != 0 && queue_.size() >= options_.max_queue) {
+      return false;
+    }
+    queue_.push_back(Job{std::move(job), now});
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void WorkerPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

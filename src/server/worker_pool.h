@@ -38,6 +38,10 @@ struct WorkerPoolOptions {
   /// Metrics sink; null disables all timing (no clock reads — the
   /// uninstrumented pool behaves exactly like before).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Queue cap honored by TrySubmit (0 = unbounded). Plain Submit
+  /// ignores it: strand wakeups must never be dropped, so only callers
+  /// that can shed (and tell the peer to retry) use the bounded path.
+  size_t max_queue = 0;
 };
 
 /// \brief A fixed pool of worker threads draining a FIFO job queue.
@@ -57,6 +61,15 @@ class WorkerPool {
 
   /// \brief Enqueues a job. Jobs submitted after Shutdown are dropped.
   void Submit(std::function<void()> job);
+
+  /// \brief Bounded enqueue: refuses (returns false, job not queued)
+  /// when the queue already holds options.max_queue jobs or the pool is
+  /// shutting down — the overload-shedding intake. With max_queue == 0
+  /// it only refuses after Shutdown.
+  bool TrySubmit(std::function<void()> job);
+
+  /// \brief Jobs currently queued (not the ones executing).
+  size_t queue_depth() const;
 
   /// \brief Stops intake, runs every queued job to completion, joins
   /// the workers. Idempotent.
@@ -82,7 +95,7 @@ class WorkerPool {
   obs::Histogram* queue_wait_us_ = nullptr;
   obs::Histogram* execute_us_ = nullptr;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;

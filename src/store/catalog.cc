@@ -42,6 +42,7 @@ constexpr uint8_t kCatalogCodecV2 = 2;
 struct CatalogMetrics {
   obs::Counter* opens;
   obs::Counter* lazy_decodes;
+  obs::Counter* quarantined;
   obs::Histogram* open_us;
   obs::Histogram* decode_us;
   obs::Histogram* warm_us;
@@ -55,6 +56,7 @@ const CatalogMetrics& Metrics() {
     return new CatalogMetrics{
         &registry.counter("meetxml_catalog_opens_total"),
         &registry.counter("meetxml_catalog_lazy_decode_total"),
+        &registry.counter("meetxml_catalog_quarantined"),
         &registry.histogram("meetxml_catalog_open_us"),
         &registry.histogram("meetxml_catalog_decode_us"),
         &registry.histogram("meetxml_catalog_warm_us"),
@@ -468,9 +470,12 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
   if (options.stats != nullptr) *options.stats = CatalogLoadStats{};
   // A lazy open skips per-section checksums here — framing (and, for
   // trailing-directory images, the directory checksum) is still fully
-  // validated. Deferred sections are verified on first touch.
+  // validated. Deferred sections are verified on first touch. A
+  // quarantining open skips them too: a bad checksum must condemn one
+  // entry, not the scan, so verification moves into the per-entry
+  // decode below (the CTLG section is re-verified strictly).
   model::SectionScanOptions scan;
-  scan.verify_checksums = !options.lazy;
+  scan.verify_checksums = !options.lazy && !options.quarantine_corrupt;
   MEETXML_ASSIGN_OR_RETURN(model::SectionImage image,
                            model::LoadSectionsFromBytes(bytes, scan));
 
@@ -564,9 +569,11 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     return catalog;
   }
 
-  if (options.lazy) {
-    // The directory is the one section a lazy open cannot defer:
-    // everything else hangs off it.
+  if (options.lazy || options.quarantine_corrupt) {
+    // The directory is the one section neither a lazy nor a
+    // quarantining open can treat leniently: everything else hangs off
+    // it, so its checksum is verified here even though the scan above
+    // skipped per-section sums.
     MEETXML_RETURN_NOT_OK(
         model::VerifySectionChecksum(image.minor, *catalog_section));
   }
@@ -789,6 +796,26 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
     DecodedEntry& out = decoded[i];
     util::Timer decode_timer;
     const SectionView& doc_section = image.sections[directory[i].doc_at];
+    if (options.quarantine_corrupt) {
+      // The scan skipped per-section checksums so a flipped bit lands
+      // on this entry alone; verify them here, before any parse reads
+      // the payload.
+      Status sum = model::VerifySectionChecksum(image.minor, doc_section);
+      if (sum.ok() && directory[i].derived_at_plus_one != 0) {
+        sum = model::VerifySectionChecksum(
+            image.minor,
+            image.sections[directory[i].derived_at_plus_one - 1]);
+      }
+      if (sum.ok() && directory[i].index_at_plus_one != 0) {
+        sum = model::VerifySectionChecksum(
+            image.minor,
+            image.sections[directory[i].index_at_plus_one - 1]);
+      }
+      if (!sum.ok()) {
+        out.status = sum;
+        return;
+      }
+    }
     model::LoadOptions entry_options = doc_options;
     entry_options.stats = &out.load_stats;
     Result<StoredDocument> doc =
@@ -823,13 +850,18 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
   };
   unsigned workers =
       util::ParallelFor(directory.size(), options.threads, decode_one);
-  for (const DecodedEntry& entry : decoded) {
-    MEETXML_RETURN_NOT_OK(entry.status);
+  if (!options.quarantine_corrupt) {
+    for (const DecodedEntry& entry : decoded) {
+      MEETXML_RETURN_NOT_OK(entry.status);
+    }
   }
 
   // Phase 3 (serial): assemble the catalog. Add() re-validates the
   // name and enforces uniqueness; it assigns sequential ids, so the
-  // persisted id is restored afterwards.
+  // persisted id is restored afterwards. Under quarantine_corrupt a
+  // failed entry is parked behind a sticky error instead — same
+  // machinery as a lazy entry whose first touch failed, so every
+  // Get / ExecutorFor on it reports the quarantine status.
   for (size_t i = 0; i < directory.size(); ++i) {
     if (options.stats != nullptr) {
       options.stats->documents.push_back(CatalogLoadStats::DocumentStats{
@@ -839,6 +871,32 @@ Result<Catalog> Catalog::LoadFromBytes(std::string_view bytes,
           decoded[i].index.has_value(), decoded[i].load_stats.mode_used,
           decoded[i].load_stats.bytes_copied,
           decoded[i].load_stats.bytes_viewed});
+    }
+    if (!decoded[i].status.ok()) {
+      // Quarantine: the entry exists (Find/MatchNames see its name) but
+      // every materialization reports the open-time failure. Add() is
+      // bypassed — it wants a decoded document — so the name checks run
+      // here. No placements are recorded: an incremental save must not
+      // keep sections nobody could decode, and the full rewrite fails
+      // loudly when it tries to materialize the entry.
+      MEETXML_RETURN_NOT_OK(ValidateName(directory[i].name));
+      if (catalog.Find(directory[i].name) != nullptr) {
+        return Status::InvalidArgument("document '", directory[i].name,
+                                       "' is already in the catalog");
+      }
+      auto entry = std::make_unique<NamedDocument>();
+      entry->id = directory[i].id;
+      entry->name = std::move(directory[i].name);
+      auto pending = std::make_unique<NamedDocument::PendingDecode>();
+      pending->failed = true;
+      pending->error =
+          Status(decoded[i].status.code(), "document quarantined at open: " +
+                                               decoded[i].status.message());
+      entry->pending = std::move(pending);
+      entry->materialized.store(false, std::memory_order_relaxed);
+      catalog.entries_.push_back(std::move(entry));
+      Metrics().quarantined->Add(1);
+      continue;
     }
     Result<DocId> added =
         decoded[i].index.has_value()

@@ -156,6 +156,17 @@ struct CatalogLoadOptions {
   /// keeping `bytes` alive for the catalog's lifetime). Ignored for
   /// legacy images without a CTLG section, which decode eagerly.
   bool lazy = false;
+  /// Graceful degradation for eager opens: an entry whose sections fail
+  /// their checksum or decode is *quarantined* — parked behind a sticky
+  /// per-entry error (every Get / ExecutorFor on it reports the same
+  /// quarantine status) instead of failing the whole open, and counted
+  /// in meetxml_catalog_quarantined. Image framing and the CTLG
+  /// directory are still validated strictly; corruption there fails
+  /// the open as before. Quarantined entries carry no placements, so
+  /// saving a catalog that still holds one errors loudly rather than
+  /// silently re-persisting bytes nobody could read. Lazy opens already
+  /// degrade per entry and ignore this flag.
+  bool quarantine_corrupt = false;
 };
 
 /// \brief Per-save observability for Catalog::SaveToFile.

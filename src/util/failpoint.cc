@@ -1,0 +1,238 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace meetxml {
+namespace util {
+
+namespace {
+
+struct ArmedPoint {
+  std::string pattern;
+  FailPointSpec spec;
+  uint64_t skipped = 0;  // matching hits consumed by spec.skip
+  uint64_t fired = 0;
+  uint64_t rng_state = 0;
+};
+
+// Intentionally leaked (never destroyed): sites are hit from arbitrary
+// library code, including during static destruction of test binaries.
+struct Registry {
+  std::mutex mu;
+  std::vector<ArmedPoint> armed;
+  std::unordered_map<std::string, uint64_t> site_hits;
+  // Fast-path gate: sites skip the mutex entirely while nothing is
+  // armed, so an instrumented build leaves thread interleavings (and
+  // TSan's view of them) untouched until a test actually arms a fault.
+  std::atomic<uint64_t> armed_count{0};
+  std::atomic<uint64_t> total_hits{0};
+  std::once_flag env_once;
+};
+
+Registry& Reg() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// splitmix64 step: a deterministic per-entry stream for probability
+// draws, so a seeded probabilistic failpoint fires on the same hits in
+// every run.
+uint64_t NextRandom(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool ParseAction(std::string_view word, FailPointSpec* spec) {
+  if (word == "error") {
+    spec->action = FailPointSpec::Action::kError;
+    spec->code = StatusCode::kInternal;
+  } else if (word == "notfound") {
+    spec->action = FailPointSpec::Action::kError;
+    spec->code = StatusCode::kNotFound;
+  } else if (word == "unavailable") {
+    spec->action = FailPointSpec::Action::kError;
+    spec->code = StatusCode::kUnavailable;
+  } else if (word == "exhausted") {
+    spec->action = FailPointSpec::Action::kError;
+    spec->code = StatusCode::kResourceExhausted;
+  } else if (word == "crash") {
+    spec->action = FailPointSpec::Action::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// One spec term: <pattern>=<action>[:<skip>[:<count>[:<probability>]]]
+Status ArmOneTerm(std::string_view term) {
+  size_t eq = term.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec term missing '=': ", term);
+  }
+  std::string_view pattern = term.substr(0, eq);
+  std::string_view rest = term.substr(eq + 1);
+
+  std::string_view fields[4];
+  size_t field_count = 0;
+  while (field_count < 4) {
+    size_t colon = rest.find(':');
+    fields[field_count++] = rest.substr(0, colon);
+    if (colon == std::string_view::npos) break;
+    rest = rest.substr(colon + 1);
+  }
+
+  FailPointSpec spec;
+  if (field_count == 0 || !ParseAction(fields[0], &spec)) {
+    return Status::InvalidArgument("unknown failpoint action in: ", term);
+  }
+  if (field_count > 1 && !ParseUint(fields[1], &spec.skip)) {
+    return Status::InvalidArgument("bad failpoint skip in: ", term);
+  }
+  if (field_count > 2 && !ParseUint(fields[2], &spec.count)) {
+    return Status::InvalidArgument("bad failpoint count in: ", term);
+  }
+  if (field_count > 3) {
+    std::string prob_text(fields[3]);
+    char* end = nullptr;
+    double probability = std::strtod(prob_text.c_str(), &end);
+    if (end == prob_text.c_str() || *end != '\0' || probability < 0.0 ||
+        probability > 1.0) {
+      return Status::InvalidArgument("bad failpoint probability in: ", term);
+    }
+    spec.probability = probability;
+  }
+  return FailPoints::Arm(pattern, spec);
+}
+
+void ArmFromEnvironment() {
+  const char* env = std::getenv("MEETXML_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  // Environment specs are best-effort: a typo in the variable must not
+  // silently disable injection, so surface it on stderr and keep going
+  // with whatever terms did parse.
+  Status status = FailPoints::ArmFromSpec(env);
+  if (!status.ok()) {
+    std::fprintf(stderr, "meetxml: MEETXML_FAILPOINTS: %s\n",
+                 status.message().c_str());
+  }
+}
+
+}  // namespace
+
+Status FailPoints::Arm(std::string_view pattern, FailPointSpec spec) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty failpoint pattern");
+  }
+  if (spec.probability < 0.0 || spec.probability > 1.0) {
+    return Status::InvalidArgument("failpoint probability out of [0,1]");
+  }
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ArmedPoint point;
+  point.pattern.assign(pattern.data(), pattern.size());
+  point.spec = spec;
+  point.rng_state = spec.seed;
+  reg.armed.push_back(std::move(point));
+  reg.armed_count.store(reg.armed.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status FailPoints::ArmFromSpec(std::string_view spec_text) {
+  Status first_error = Status::OK();
+  while (!spec_text.empty()) {
+    size_t comma = spec_text.find(',');
+    std::string_view term = spec_text.substr(0, comma);
+    spec_text = comma == std::string_view::npos ? std::string_view()
+                                                : spec_text.substr(comma + 1);
+    if (term.empty()) continue;
+    Status status = ArmOneTerm(term);
+    if (!status.ok() && first_error.ok()) first_error = std::move(status);
+  }
+  return first_error;
+}
+
+void FailPoints::Disarm(std::string_view pattern) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (size_t i = reg.armed.size(); i > 0; --i) {
+    if (reg.armed[i - 1].pattern == pattern) {
+      reg.armed.erase(reg.armed.begin() + static_cast<long>(i - 1));
+    }
+  }
+  reg.armed_count.store(reg.armed.size(), std::memory_order_release);
+}
+
+void FailPoints::Reset() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.armed.clear();
+  reg.site_hits.clear();
+  reg.armed_count.store(0, std::memory_order_release);
+  reg.total_hits.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FailPoints::TotalHits() {
+  return Reg().total_hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FailPoints::HitCount(std::string_view site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.site_hits.find(std::string(site));
+  return it == reg.site_hits.end() ? 0 : it->second;
+}
+
+Status FailPoints::Hit(std::string_view site) {
+  Registry& reg = Reg();
+  std::call_once(reg.env_once, ArmFromEnvironment);
+  reg.total_hits.fetch_add(1, std::memory_order_relaxed);
+  if (reg.armed_count.load(std::memory_order_acquire) == 0) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ++reg.site_hits[std::string(site)];
+  for (ArmedPoint& point : reg.armed) {
+    if (!GlobMatch(point.pattern, site)) continue;
+    if (point.fired >= point.spec.count) continue;
+    if (point.skipped < point.spec.skip) {
+      ++point.skipped;
+      continue;
+    }
+    if (point.spec.probability < 1.0) {
+      constexpr double kScale = 1.0 / 9007199254740992.0;  // 2^-53
+      double draw =
+          static_cast<double>(NextRandom(point.rng_state) >> 11) * kScale;
+      if (draw >= point.spec.probability) continue;
+    }
+    ++point.fired;
+    if (point.spec.action == FailPointSpec::Action::kCrash) {
+      std::_Exit(kCrashExitCode);
+    }
+    return Status(point.spec.code,
+                  "injected failure at failpoint " + std::string(site));
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace meetxml

@@ -1,0 +1,155 @@
+// Failpoints: named fault-injection sites threaded through the I/O and
+// serving layers (file_io, mmap_file, storage_io append, net, server
+// admission), so tests can prove what happens when a write, an fsync,
+// a rename, a recv or an admission fails — or when the process dies —
+// at any specific boundary.
+//
+// A site is one macro invocation naming the boundary it guards:
+//
+//   MEETXML_FAILPOINT("file_io.atomic.rename");          // Status flow
+//   if (MEETXML_FAILPOINT_TRIGGERED("server.admit")) ... // bool flow
+//
+// Sites compile to nothing unless the tree is built with
+// -DMEETXML_FAILPOINTS=ON (the CMake option defines MEETXML_FAILPOINTS
+// for the whole tree), so production binaries pay zero overhead — the
+// ab14 <2% dispatch-overhead contract never sees a failpoint. In a
+// failpoints build an unarmed site costs one relaxed atomic increment.
+//
+// Arming is scriptable two ways:
+//   * from tests: FailPoints::Arm("storage.append.*", spec) with
+//     countdown (skip/count), probability and error-code triggers, or
+//     FailPoints::ArmFromSpec("file_io.atomic.rename=error:1:1");
+//   * from the environment: the MEETXML_FAILPOINTS variable holds the
+//     same comma-separated spec text and is parsed on the first hit,
+//     so a stock binary can run under injected faults with no code.
+//
+// Spec text grammar (comma-separated terms):
+//   <glob-pattern>=<action>[:<skip>[:<count>[:<probability>]]]
+// where <action> is one of
+//   error        fire util::StatusCode::kInternal
+//   notfound     fire kNotFound
+//   unavailable  fire kUnavailable
+//   exhausted    fire kResourceExhausted
+//   crash        std::_Exit(FailPoints::kCrashExitCode) — the crash
+//                matrix's "power cut at this boundary"
+// A fired site skips its first <skip> matching hits, then fires
+// <count> times (default: forever), each with <probability> (default
+// 1.0). Patterns are util::GlobMatch globs, so "*" arms every site —
+// "*=crash:7:1" is "die at the 7th I/O boundary", which is exactly how
+// the storage crash matrix enumerates every kill point of a save.
+//
+// Thread safety: sites may be hit from any thread. The unarmed fast
+// path is a single relaxed atomic (no lock, no synchronization edge —
+// a failpoints build does not mask races from TSan); armed evaluation
+// takes one global mutex, which only instrumented test runs pay.
+
+#ifndef MEETXML_UTIL_FAILPOINT_H_
+#define MEETXML_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace meetxml {
+namespace util {
+
+/// \brief What an armed site does when it fires.
+struct FailPointSpec {
+  enum class Action {
+    /// Return an injected error Status from the guarded operation.
+    kError,
+    /// std::_Exit(kCrashExitCode) — the process dies at the boundary
+    /// with no cleanup, destructors or buffer flushes, which is how
+    /// the crash-matrix tests simulate a kill between two I/O calls.
+    kCrash,
+  };
+  Action action = Action::kError;
+  /// Code of the injected Status (kError only).
+  StatusCode code = StatusCode::kInternal;
+  /// Matching hits to let pass before the site starts firing.
+  uint64_t skip = 0;
+  /// How many times to fire before going quiet; UINT64_MAX = forever.
+  uint64_t count = UINT64_MAX;
+  /// Chance that an eligible hit actually fires (deterministic
+  /// xorshift stream seeded by `seed`).
+  double probability = 1.0;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// \brief The process-wide failpoint registry. All methods are static
+/// and thread-safe; they exist (and are callable) in every build, but
+/// only a -DMEETXML_FAILPOINTS=ON build compiles the sites that feed
+/// them — enabled() reports which world this binary lives in.
+class FailPoints {
+ public:
+  /// Exit code of Action::kCrash, chosen so a crash-matrix parent can
+  /// tell an injected kill from an ordinary child failure.
+  static constexpr int kCrashExitCode = 42;
+
+  /// \brief True when MEETXML_FAILPOINT sites are compiled in.
+  static bool enabled() {
+#if defined(MEETXML_FAILPOINTS)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// \brief Arms every site matching `pattern` (a util::GlobMatch
+  /// glob). Patterns stack: a site matching several armed entries
+  /// fires on the first eligible one, in arming order.
+  static Status Arm(std::string_view pattern, FailPointSpec spec);
+
+  /// \brief Arms from spec text (grammar in the header comment) — the
+  /// same parser the MEETXML_FAILPOINTS environment variable feeds.
+  static Status ArmFromSpec(std::string_view spec_text);
+
+  /// \brief Disarms every entry whose pattern string equals `pattern`.
+  static void Disarm(std::string_view pattern);
+
+  /// \brief Disarms everything and resets every counter — the
+  /// test-fixture reset.
+  static void Reset();
+
+  /// \brief Total site hits since the last Reset (counted armed or
+  /// not; the crash matrix uses the delta across one save to learn how
+  /// many kill points the save has).
+  static uint64_t TotalHits();
+
+  /// \brief Hits observed at one exact site name since the last
+  /// Reset. Only maintained while at least one entry is armed (the
+  /// unarmed fast path counts nothing but the total).
+  static uint64_t HitCount(std::string_view site);
+
+  /// \brief The injection point behind the macros. Returns the
+  /// injected Status when an armed entry fires (or never returns, for
+  /// Action::kCrash); OK otherwise.
+  static Status Hit(std::string_view site);
+};
+
+}  // namespace util
+}  // namespace meetxml
+
+#if defined(MEETXML_FAILPOINTS)
+/// Status-flow site: returns the injected Status out of the enclosing
+/// function (which must return util::Status or util::Result<T>).
+#define MEETXML_FAILPOINT(site)                                        \
+  do {                                                                 \
+    ::meetxml::util::Status _meetxml_fp_status =                       \
+        ::meetxml::util::FailPoints::Hit(site);                        \
+    if (!_meetxml_fp_status.ok()) return _meetxml_fp_status;           \
+  } while (0)
+/// Bool-flow site: evaluates to true when the site fires, so callers
+/// weave the injected failure into their own error handling.
+#define MEETXML_FAILPOINT_TRIGGERED(site) \
+  (!::meetxml::util::FailPoints::Hit(site).ok())
+#else
+#define MEETXML_FAILPOINT(site) \
+  do {                          \
+  } while (0)
+#define MEETXML_FAILPOINT_TRIGGERED(site) false
+#endif
+
+#endif  // MEETXML_UTIL_FAILPOINT_H_

@@ -13,9 +13,11 @@
 #include <string>
 #include <string_view>
 
+#include "util/failpoint.h"
 #include "util/result.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define MEETXML_HAVE_FSYNC 1
 #endif
@@ -31,6 +33,30 @@ inline Result<std::string> ReadFileToString(const std::string& path) {
                       std::istreambuf_iterator<char>());
   if (in.bad()) return Status::Internal("read failed: ", path);
   return content;
+}
+
+/// \brief Fsyncs the directory containing `path`, making a just-renamed
+/// directory entry durable: POSIX only promises the *file* contents
+/// survive a crash after fsync(fd); the entry that names it lives in
+/// the parent directory and needs its own fsync, or a power cut right
+/// after a successful WriteFileAtomic can silently resurrect the old
+/// file (or nothing at all). No-op where fsync is unavailable.
+inline Status FsyncDirectoryOf(const std::string& path) {
+#if defined(MEETXML_HAVE_FSYNC)
+  size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  bool synced = fd >= 0 && ::fsync(fd) == 0;
+  if (fd >= 0) ::close(fd);
+  if (!synced || MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.dirsync")) {
+    return Status::Internal("cannot fsync directory of ", path);
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
 }
 
 /// \brief Writes `bytes` to `path` atomically: the data lands in a
@@ -61,19 +87,29 @@ inline Status WriteFileAtomic(const std::string& path,
   std::string tmp = path + ".tmp." + std::to_string(process_tag) + "." +
                     std::to_string(counter.fetch_add(1));
   std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr) {
+  // Failpoint sites fire *after* the operation they name succeeds, so
+  // a crash-armed site models "power cut just past this boundary".
+  if (out == nullptr || MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.open")) {
+    if (out != nullptr) {
+      std::fclose(out);
+      std::remove(tmp.c_str());
+    }
     return Status::NotFound("cannot open for write: ", tmp);
   }
   bool written =
       bytes.empty() ||
       std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size();
+  written = !MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.write") && written;
   written = std::fflush(out) == 0 && written;
+  written = !MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.flush") && written;
 #if defined(MEETXML_HAVE_FSYNC)
   // Durability before visibility: the rename must never install a file
   // whose data a crash could still lose.
   written = ::fsync(::fileno(out)) == 0 && written;
+  written = !MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.fsync") && written;
 #endif
   written = std::fclose(out) == 0 && written;
+  written = !MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.close") && written;
   if (!written) {
     std::remove(tmp.c_str());
     return Status::Internal("short write to ", tmp);
@@ -84,11 +120,15 @@ inline Status WriteFileAtomic(const std::string& path,
   // no worse than the in-place truncating write it replaced.
   std::remove(path.c_str());
 #endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0 ||
+      MEETXML_FAILPOINT_TRIGGERED("file_io.atomic.rename")) {
     std::remove(tmp.c_str());
     return Status::Internal("cannot rename ", tmp, " over ", path);
   }
-  return Status::OK();
+  // The rename made the new image visible; the parent-directory fsync
+  // makes it durable. Without it a crash here can roll the directory
+  // entry back to the old file even though the caller saw success.
+  return FsyncDirectoryOf(path);
 }
 
 }  // namespace util

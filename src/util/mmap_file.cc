@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/failpoint.h"
 #include "util/file_io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -29,6 +30,7 @@ std::string ErrnoText(int err) {
 }  // namespace
 
 Result<MmapFile> MmapFile::Open(const std::string& path, Advice advice) {
+  MEETXML_FAILPOINT("mmap.open");
 #if defined(MEETXML_HAVE_MMAP)
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -47,6 +49,12 @@ Result<MmapFile> MmapFile::Open(const std::string& path, Advice advice) {
     // The mapping keeps its own reference; the descriptor is done
     // either way.
     ::close(fd);
+    if (mapped != MAP_FAILED && MEETXML_FAILPOINT_TRIGGERED("mmap.map")) {
+      // Injected map failure: unmap and take the buffered fallback, so
+      // tests can prove the degraded path serves the same bytes.
+      ::munmap(mapped, static_cast<size_t>(st.st_size));
+      mapped = MAP_FAILED;
+    }
     if (mapped != MAP_FAILED) {
       file.mapped_ = mapped;
       file.mapped_size_ = static_cast<size_t>(st.st_size);

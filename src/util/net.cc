@@ -4,11 +4,16 @@
 #include <chrono>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #define MEETXML_HAVE_SOCKETS 1
 #endif
@@ -74,6 +79,12 @@ Result<int> AcceptConnection(int listen_fd) {
 }
 
 Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  return ConnectTcp(host, port, 0);
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       uint64_t connect_timeout_ms) {
+  MEETXML_FAILPOINT("net.connect");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -83,18 +94,92 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port) {
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    Status st = Errno("connect");
-    ::close(fd);
-    return st;
+  if (connect_timeout_ms == 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status st = Errno("connect");
+      ::close(fd);
+      return st;
+    }
+  } else {
+    // Nonblocking connect + poll: the only portable way to put a
+    // deadline on the TCP handshake (a blocking connect to a blackholed
+    // host otherwise waits on the kernel's minutes-long SYN retries).
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      Status st = Errno("fcntl");
+      ::close(fd);
+      return st;
+    }
+    int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      Status st = Errno("connect");
+      ::close(fd);
+      return st;
+    }
+    if (rc != 0) {
+      uint64_t deadline = MonotonicMillis() + connect_timeout_ms;
+      for (;;) {
+        uint64_t now = MonotonicMillis();
+        if (now >= deadline) {
+          ::close(fd);
+          return Status::Unavailable("connect to ", host, ":", port,
+                                     " timed out after ",
+                                     connect_timeout_ms, "ms");
+        }
+        pollfd waiter{};
+        waiter.fd = fd;
+        waiter.events = POLLOUT;
+        int ready = ::poll(&waiter, 1, static_cast<int>(deadline - now));
+        if (ready > 0) break;
+        if (ready == 0) continue;  // re-check the deadline, then report
+        if (errno == EINTR) continue;
+        Status st = Errno("poll");
+        ::close(fd);
+        return st;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        ::close(fd);
+        return Status::Internal("connect: ", std::strerror(err));
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) {
+      Status st = Errno("fcntl");
+      ::close(fd);
+      return st;
+    }
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 
+Status SetRecvTimeoutMs(int fd, uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status SetSendTimeoutMs(int fd, uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status ReadFull(int fd, void* data, size_t size) {
+  MEETXML_FAILPOINT("net.recv");
   char* at = static_cast<char*>(data);
   size_t got = 0;
   while (got < size) {
@@ -108,21 +193,32 @@ Status ReadFull(int fd, void* data, size_t size) {
                                    size, " bytes");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired (SetRecvTimeoutMs): a stalled peer, not a
+      // transient hiccup — name it so callers can report "timed out".
+      return Status::Unavailable("read timed out after ", got, " of ",
+                                 size, " bytes");
+    }
     return Errno("read");
   }
   return Status::OK();
 }
 
 Result<size_t> ReadSome(int fd, void* data, size_t cap) {
+  MEETXML_FAILPOINT("net.recv");
   for (;;) {
     ssize_t n = ::read(fd, data, cap);
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("read timed out");
+    }
     return Errno("read");
   }
 }
 
 Status WriteFull(int fd, std::string_view bytes) {
+  MEETXML_FAILPOINT("net.send");
   size_t sent = 0;
   while (sent < bytes.size()) {
     ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
@@ -137,6 +233,10 @@ Status WriteFull(int fd, std::string_view bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::Unavailable("write timed out after ", sent, " of ",
+                                 bytes.size(), " bytes");
+    }
     return Errno("write");
   }
   return Status::OK();
@@ -166,6 +266,11 @@ Result<int> ListenTcp(uint16_t, int) { return NoSockets(); }
 Result<uint16_t> LocalPort(int) { return NoSockets(); }
 Result<int> AcceptConnection(int) { return NoSockets(); }
 Result<int> ConnectTcp(const std::string&, uint16_t) { return NoSockets(); }
+Result<int> ConnectTcp(const std::string&, uint16_t, uint64_t) {
+  return NoSockets();
+}
+Status SetRecvTimeoutMs(int, uint64_t) { return NoSockets(); }
+Status SetSendTimeoutMs(int, uint64_t) { return NoSockets(); }
 Status ReadFull(int, void*, size_t) { return NoSockets(); }
 Result<size_t> ReadSome(int, void*, size_t) { return NoSockets(); }
 Status WriteFull(int, std::string_view) { return NoSockets(); }

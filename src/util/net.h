@@ -36,6 +36,23 @@ Result<int> AcceptConnection(int listen_fd);
 /// \brief Connects to `host`:`port` (numeric IPv4 or "localhost").
 Result<int> ConnectTcp(const std::string& host, uint16_t port);
 
+/// \brief ConnectTcp with a connect deadline: the socket connects in
+/// nonblocking mode and the handshake is awaited with poll(2), so a
+/// dead or blackholed host fails with Unavailable after
+/// `connect_timeout_ms` instead of hanging for the kernel's minutes-long
+/// default. 0 means block indefinitely (plain ConnectTcp). The returned
+/// descriptor is back in blocking mode.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       uint64_t connect_timeout_ms);
+
+/// \brief Arms SO_RCVTIMEO: a read blocked longer than `ms` fails with
+/// Unavailable ("timed out") instead of hanging on a stalled peer.
+/// 0 clears the timeout.
+Status SetRecvTimeoutMs(int fd, uint64_t ms);
+
+/// \brief Arms SO_SNDTIMEO: the send-side twin of SetRecvTimeoutMs.
+Status SetSendTimeoutMs(int fd, uint64_t ms);
+
 /// \brief Reads exactly `size` bytes. A clean peer close before the
 /// first byte reports UnexpectedEof with `eof_ok` semantics left to the
 /// caller; a close mid-record is always UnexpectedEof.

@@ -16,6 +16,7 @@
 #include "data/dblp_gen.h"
 #include "data/paper_example.h"
 #include "model/storage_io.h"
+#include "obs/metrics.h"
 #include "store/catalog.h"
 #include "store/multi_executor.h"
 #include "text/index_io.h"
@@ -553,6 +554,68 @@ TEST(Catalog, LazyOpenIsolatesACorruptEntry) {
             second.status().ToString());
   ASSERT_TRUE(lazy->Get("doc_0").ok());
   ASSERT_TRUE(lazy->Get("doc_2").ok());
+}
+
+TEST(Catalog, QuarantineOpenDegradesOneRottenEntryNotTheStore) {
+  Catalog catalog;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        catalog.Add("doc_" + std::to_string(i), MustShred(NumberedXml(i)))
+            .ok());
+  }
+  auto bytes = catalog.SaveToBytes();
+  ASSERT_TRUE(bytes.ok());
+  auto sections = model::LoadSectionsFromBytes(*bytes);
+  ASSERT_TRUE(sections.ok());
+  size_t doc_sections = 0;
+  size_t flip_at = 0;
+  for (const model::SectionView& section : sections->sections) {
+    if (section.id == model::kAlignedColumnarDocumentSectionId &&
+        ++doc_sections == 2) {
+      flip_at = section.offset + section.bytes.size() / 2;
+    }
+  }
+  ASSERT_NE(flip_at, 0u);
+  std::string corrupt = *bytes;
+  corrupt[flip_at] = static_cast<char>(corrupt[flip_at] ^ 0x40);
+
+  // The strict eager open refuses the image; the quarantining eager
+  // open degrades: each entry's checksums are verified individually at
+  // open time, failing entries park behind a sticky error (and count
+  // in meetxml_catalog_quarantined), and the healthy rest fully
+  // materializes — no lazy first-touch cost left behind.
+  EXPECT_FALSE(Catalog::LoadFromBytes(corrupt).ok());
+  uint64_t quarantined_before = obs::MetricsRegistry::Global()
+                                    .counter("meetxml_catalog_quarantined")
+                                    .Value();
+  CatalogLoadOptions options;
+  options.quarantine_corrupt = true;
+  auto degraded = Catalog::LoadFromBytes(corrupt, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  ASSERT_EQ(degraded->size(), 3u);
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                    .counter("meetxml_catalog_quarantined")
+                    .Value() -
+                quarantined_before,
+            1u);
+
+  auto rotten = degraded->Get("doc_1");
+  ASSERT_FALSE(rotten.ok());
+  EXPECT_NE(rotten.status().message().find("quarantined at open"),
+            std::string::npos);
+  // Sticky: the error repeats verbatim, nothing is re-verified.
+  EXPECT_EQ(degraded->Get("doc_1").status().ToString(),
+            rotten.status().ToString());
+  ASSERT_TRUE(degraded->Get("doc_0").ok());
+  ASSERT_TRUE(degraded->Get("doc_2").ok());
+  EXPECT_TRUE(degraded->Find("doc_0")->materialized.load(
+      std::memory_order_acquire));
+
+  // Queries over the survivors still answer.
+  MultiExecutor executor(&*degraded);
+  auto result = executor.ExecuteText(
+      "doc_0", "SELECT COUNT(a) FROM doc_0//cdata a", {});
+  ASSERT_TRUE(result.ok()) << result.status();
 }
 
 TEST(Catalog, ConcurrentLazyFirstTouchIsRaceFree) {

@@ -1,0 +1,248 @@
+// The failpoint registry, proven deterministic.
+//
+// FailPoints::Arm/Hit are compiled into every build — only the *sites*
+// woven through the I/O and serving layers are gated on
+// -DMEETXML_FAILPOINTS=ON — so the registry semantics (countdown,
+// globs, probability streams, spec parsing, thread-safety) are pinned
+// here in all configurations by calling Hit() directly. The tests that
+// need a real library site to fire (WriteFileAtomic's boundaries)
+// GTEST_SKIP in production builds, where FailPoints::enabled() is
+// false and the sites cost nothing.
+
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/file_io.h"
+#include "util/result.h"
+
+namespace meetxml {
+namespace util {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Reset(); }
+  void TearDown() override { FailPoints::Reset(); }
+};
+
+TEST_F(FailPointTest, UnarmedHitIsOkAndOnlyCountsTheTotal) {
+  EXPECT_EQ(FailPoints::TotalHits(), 0u);
+  EXPECT_TRUE(FailPoints::Hit("some.site").ok());
+  EXPECT_TRUE(FailPoints::Hit("some.site").ok());
+  EXPECT_EQ(FailPoints::TotalHits(), 2u);
+  // Per-site counts are an armed-path feature (the fast path takes no
+  // lock and touches no map).
+  EXPECT_EQ(FailPoints::HitCount("some.site"), 0u);
+}
+
+TEST_F(FailPointTest, ArmedErrorFiresWithTheRequestedCode) {
+  FailPointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(FailPoints::Arm("site.a", spec).ok());
+
+  Status hit = FailPoints::Hit("site.a");
+  EXPECT_FALSE(hit.ok());
+  EXPECT_EQ(hit.code(), StatusCode::kUnavailable);
+  EXPECT_NE(hit.message().find("site.a"), std::string::npos);
+  // Non-matching sites pass untouched.
+  EXPECT_TRUE(FailPoints::Hit("site.b").ok());
+}
+
+TEST_F(FailPointTest, SkipThenCountCountdown) {
+  FailPointSpec spec;
+  spec.skip = 2;
+  spec.count = 2;
+  ASSERT_TRUE(FailPoints::Arm("cd.site", spec).ok());
+
+  EXPECT_TRUE(FailPoints::Hit("cd.site").ok());   // skipped 1
+  EXPECT_TRUE(FailPoints::Hit("cd.site").ok());   // skipped 2
+  EXPECT_FALSE(FailPoints::Hit("cd.site").ok());  // fires 1
+  EXPECT_FALSE(FailPoints::Hit("cd.site").ok());  // fires 2
+  EXPECT_TRUE(FailPoints::Hit("cd.site").ok());   // exhausted
+  EXPECT_EQ(FailPoints::HitCount("cd.site"), 5u);
+}
+
+TEST_F(FailPointTest, GlobPatternsArmFamiliesOfSites) {
+  ASSERT_TRUE(FailPoints::Arm("storage.append.*", FailPointSpec{}).ok());
+  EXPECT_FALSE(FailPoints::Hit("storage.append.write").ok());
+  EXPECT_FALSE(FailPoints::Hit("storage.append.sync_commit").ok());
+  EXPECT_TRUE(FailPoints::Hit("file_io.atomic.write").ok());
+}
+
+TEST_F(FailPointTest, ProbabilityZeroNeverFiresOneAlwaysDoes) {
+  FailPointSpec never;
+  never.probability = 0.0;
+  ASSERT_TRUE(FailPoints::Arm("p.never", never).ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(FailPoints::Hit("p.never").ok());
+  }
+  FailPointSpec always;
+  always.probability = 1.0;
+  ASSERT_TRUE(FailPoints::Arm("p.always", always).ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(FailPoints::Hit("p.always").ok());
+  }
+}
+
+TEST_F(FailPointTest, SeededProbabilityStreamIsDeterministic) {
+  auto run = [] {
+    FailPoints::Reset();
+    FailPointSpec spec;
+    spec.probability = 0.5;
+    spec.seed = 1234;
+    EXPECT_TRUE(FailPoints::Arm("p.half", spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 128; ++i) {
+      fired.push_back(!FailPoints::Hit("p.half").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // A fair seeded stream at p=0.5 over 128 draws both fires and passes.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailPointTest, DisarmAndResetQuiesceTheSite) {
+  ASSERT_TRUE(FailPoints::Arm("d.site", FailPointSpec{}).ok());
+  EXPECT_FALSE(FailPoints::Hit("d.site").ok());
+  FailPoints::Disarm("d.site");
+  EXPECT_TRUE(FailPoints::Hit("d.site").ok());
+
+  ASSERT_TRUE(FailPoints::Arm("d.site", FailPointSpec{}).ok());
+  FailPoints::Reset();
+  EXPECT_TRUE(FailPoints::Hit("d.site").ok());
+  EXPECT_EQ(FailPoints::TotalHits(), 1u);  // Reset cleared the counter
+}
+
+TEST_F(FailPointTest, ArmRejectsBadArguments) {
+  EXPECT_FALSE(FailPoints::Arm("", FailPointSpec{}).ok());
+  FailPointSpec bad;
+  bad.probability = 1.5;
+  EXPECT_FALSE(FailPoints::Arm("x", bad).ok());
+}
+
+TEST_F(FailPointTest, ArmFromSpecParsesTheGrammar) {
+  ASSERT_TRUE(FailPoints::ArmFromSpec(
+                  "a.site=unavailable:1:1,b.*=exhausted")
+                  .ok());
+  EXPECT_TRUE(FailPoints::Hit("a.site").ok());  // skip=1
+  Status second = FailPoints::Hit("a.site");
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(FailPoints::Hit("a.site").ok());  // count=1 exhausted
+  EXPECT_EQ(FailPoints::Hit("b.anything").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailPointTest, ArmFromSpecRejectsMalformedTerms) {
+  EXPECT_FALSE(FailPoints::ArmFromSpec("nonsense").ok());
+  EXPECT_FALSE(FailPoints::ArmFromSpec("a.site=explode").ok());
+  EXPECT_FALSE(FailPoints::ArmFromSpec("=error").ok());
+  EXPECT_FALSE(FailPoints::ArmFromSpec("a.site=error:x").ok());
+  EXPECT_FALSE(FailPoints::ArmFromSpec("a.site=error:0:0:2.0").ok());
+  // Valid terms around a bad one still arm (best-effort, like the
+  // environment path).
+  FailPoints::Reset();
+  EXPECT_FALSE(FailPoints::ArmFromSpec("good.site=error,bad").ok());
+  EXPECT_FALSE(FailPoints::Hit("good.site").ok());
+}
+
+TEST_F(FailPointTest, ConcurrentCountdownFiresExactlyOnce) {
+  FailPointSpec spec;
+  spec.count = 1;
+  ASSERT_TRUE(FailPoints::Arm("race.site", spec).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 200;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        if (!FailPoints::Hit("race.site").ok()) fired.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(FailPoints::HitCount("race.site"),
+            static_cast<uint64_t>(kThreads) * kHitsPerThread);
+}
+
+// ---- real library sites (failpoints builds only) ------------------------
+
+TEST_F(FailPointTest, WriteFileAtomicKeepsTheOldImageOnAnEarlyFailure) {
+  if (!FailPoints::enabled()) {
+    GTEST_SKIP() << "library sites are compiled out in this build";
+  }
+  std::string path = ::testing::TempDir() + "/failpoint_close.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+
+  // A failure before the rename boundary never touches the target: the
+  // temp sibling is discarded and the old image survives intact.
+  ASSERT_TRUE(
+      FailPoints::ArmFromSpec("file_io.atomic.close=error").ok());
+  Status write = WriteFileAtomic(path, "new contents");
+  EXPECT_FALSE(write.ok());
+  FailPoints::Reset();
+
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "old contents");
+}
+
+TEST_F(FailPointTest, WriteFileAtomicSurfacesAnInjectedRenameFailure) {
+  if (!FailPoints::enabled()) {
+    GTEST_SKIP() << "library sites are compiled out in this build";
+  }
+  std::string path = ::testing::TempDir() + "/failpoint_rename.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+
+  ASSERT_TRUE(
+      FailPoints::ArmFromSpec("file_io.atomic.rename=error").ok());
+  Status write = WriteFileAtomic(path, "new contents");
+  EXPECT_FALSE(write.ok());
+  FailPoints::Reset();
+
+  // Sites fire *after* the operation they name: the injected failure
+  // models dying just past the rename, so the new image is already in
+  // place — complete, never torn. (The crash-matrix suite proves the
+  // old-or-new invariant at every boundary; this pins the semantics.)
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "new contents");
+}
+
+TEST_F(FailPointTest, WriteFileAtomicSurfacesAnInjectedDirsyncFailure) {
+  if (!FailPoints::enabled()) {
+    GTEST_SKIP() << "library sites are compiled out in this build";
+  }
+  std::string path = ::testing::TempDir() + "/failpoint_dirsync.txt";
+  ASSERT_TRUE(
+      FailPoints::ArmFromSpec("file_io.atomic.dirsync=error").ok());
+  Status write = WriteFileAtomic(path, "contents");
+  EXPECT_FALSE(write.ok());
+  EXPECT_NE(write.message().find("fsync directory"), std::string::npos);
+  FailPoints::Reset();
+
+  // The dirsync boundary sits after the rename: the new file is in
+  // place (only its directory entry's durability is in doubt), which
+  // is exactly the crash-state the site models.
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "contents");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace meetxml

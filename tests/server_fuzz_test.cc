@@ -293,6 +293,61 @@ TEST(ServerFuzz, StatsV2AndDumpResponsesSurviveHostileBytes) {
   }
 }
 
+// The v2 busy frame (status byte 2, the shed reply) under the same
+// hostile-bytes contract: truncations at every prefix and bit flips at
+// every byte must decode cleanly or be rejected, and anything accepted
+// must canonicalize in one re-encode. The v1 shape of the same shed —
+// EncodeBusyResponse with a negotiated version below 2 — must never
+// emit status byte 2 at all (a v1 decoder would reject the frame).
+TEST(ServerFuzz, BusyResponsesSurviveHostileBytes) {
+  std::string encoded = EncodeBusyResponse(
+      Opcode::kQuery, /*retry_after_ms=*/250,
+      "server overloaded: admission queue is full",
+      /*negotiated_version=*/2);
+  ASSERT_FALSE(encoded.empty());
+  EXPECT_EQ(static_cast<uint8_t>(encoded[0]), 2u);
+  auto decoded = DecodeResponse(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->busy);
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
+  EXPECT_EQ(decoded->code, util::StatusCode::kUnavailable);
+  EXPECT_EQ(EncodeResponse(*decoded), encoded);
+
+  auto expect_canonical_fixed_point = [](const Response& accepted) {
+    std::string canonical = EncodeResponse(accepted);
+    auto again = DecodeResponse(canonical);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_EQ(EncodeResponse(*again), canonical);
+  };
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto truncated = DecodeResponse(std::string_view(encoded.data(), cut));
+    if (truncated.ok()) expect_canonical_fixed_point(*truncated);
+  }
+  for (uint8_t mask : {0x01, 0x40, 0xff}) {
+    for (size_t at = 0; at < encoded.size(); ++at) {
+      std::string corrupt = encoded;
+      corrupt[at] = static_cast<char>(corrupt[at] ^ mask);
+      auto flipped = DecodeResponse(corrupt);
+      if (flipped.ok()) expect_canonical_fixed_point(*flipped);
+    }
+  }
+
+  // The v1 fallback: a plain error frame with the hint folded into the
+  // message — never status byte 2.
+  std::string legacy = EncodeBusyResponse(
+      Opcode::kQuery, /*retry_after_ms=*/250, "server overloaded",
+      /*negotiated_version=*/1);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(static_cast<uint8_t>(legacy[0]), 1u);
+  auto legacy_decoded = DecodeResponse(legacy);
+  ASSERT_TRUE(legacy_decoded.ok()) << legacy_decoded.status();
+  EXPECT_FALSE(legacy_decoded->ok);
+  EXPECT_FALSE(legacy_decoded->busy);
+  EXPECT_NE(legacy_decoded->message.find("retry in ~250ms"),
+            std::string::npos);
+}
+
 // Version negotiation under the same no-crash contract: a v1 client on
 // a v2 server only ever sees the legacy four-varint stats body, and a
 // from-the-future HELLO is refused without touching the connection.
