@@ -1,0 +1,166 @@
+// AB15 — ablation: streaming top-k vs. the materialized merge.
+//
+// The paper's §4 ranked retrieval asks for the k nearest concepts; the
+// legacy MultiExecutor merge materialized every document's full answer,
+// sorted the union, and threw away all but k rows. The streaming path
+// (store/multi_executor.h) keeps a size-k heap per document, merges
+// through one global k-bounded heap, and shares the current k-th-best
+// distance as an early-termination ceiling across the fan-out.
+//
+// Part 1 sweeps k (1/10/100/1000) over the 8-document catalog on a
+// selective ranked query, streaming vs. materialized (the bench is the
+// only caller of ExecuteOptions::materialized_merge). Expected shape:
+// the streaming curve is flat in k while the materialized one pays the
+// full enumeration regardless of k — the acceptance gate is >= 3x at
+// k=10.
+//
+// Part 2 sweeps document count at k=10. Expected shape: both paths
+// scale in documents, but streaming's slope is the per-document *found*
+// work minus everything the ceiling prunes, so the gap widens with the
+// collection.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "data/dblp_gen.h"
+#include "model/shredder.h"
+#include "store/catalog.h"
+#include "store/multi_executor.h"
+#include "xml/serializer.h"
+
+using namespace meetxml;
+
+namespace {
+
+constexpr int kMaxDocs = 8;
+
+// The ab10 corpus shape: one bibliography per source, distinct year
+// ranges, same size — so fan-out work is comparable per document.
+const std::vector<std::string>& SourceXmls() {
+  static std::vector<std::string>* xmls = [] {
+    auto* out = new std::vector<std::string>;
+    for (int i = 0; i < kMaxDocs; ++i) {
+      data::DblpOptions options;
+      options.start_year = 1980 + 3 * i;
+      options.end_year = options.start_year + 2;
+      options.icde_papers_per_year = 20;
+      options.other_papers_per_year = 40;
+      options.journal_articles_per_year = 20;
+      auto generated = data::GenerateDblp(options);
+      MEETXML_CHECK_OK(generated.status());
+      xml::SerializeOptions serialize_options;
+      serialize_options.indent = 1;
+      out->push_back(xml::Serialize(*generated, serialize_options));
+    }
+    return out;
+  }();
+  return *xmls;
+}
+
+store::Catalog* SharedCatalog(int docs) {
+  static store::Catalog* catalogs[kMaxDocs + 1] = {};
+  if (catalogs[docs] == nullptr) {
+    auto* catalog = new store::Catalog;
+    for (int i = 0; i < docs; ++i) {
+      auto doc = model::ShredXmlText(SourceXmls()[i]);
+      MEETXML_CHECK_OK(doc.status());
+      MEETXML_CHECK_OK(
+          catalog->Add("dblp_" + std::to_string(i), std::move(*doc))
+              .status());
+    }
+    catalogs[docs] = catalog;
+  }
+  return catalogs[docs];
+}
+
+// Top-k-selective ranked query: a structural cdata self-join makes
+// every text node a distance-0 meet, so the answer is collection-sized
+// and the LIMIT keeps k of it — the k << found shape early termination
+// exists for. Structural bindings keep the shared (unprunable) work
+// small, so the bench isolates the merge strategies it compares.
+std::string TopKQuery(int k) {
+  return "SELECT MEET(a, b) FROM dblp//cdata a, dblp//cdata b "
+         "EXCLUDE dblp LIMIT " +
+         std::to_string(k);
+}
+
+void RunTopK(benchmark::State& state, int docs, int k,
+             bool materialized) {
+  store::Catalog* catalog = SharedCatalog(docs);
+  store::MultiExecutor multi(catalog);
+  query::ExecuteOptions options;
+  options.materialized_merge = materialized;
+  const std::string query = TopKQuery(k);
+
+  // Warm the lazy text indexes so the loop measures the merge, not
+  // first-touch index builds.
+  auto warm = multi.ExecuteText("*", query, options);
+  MEETXML_CHECK_OK(warm.status());
+
+  uint64_t rows = 0;
+  uint64_t found = 0;
+  uint64_t examined = 0;
+  for (auto _ : state) {
+    auto result = multi.ExecuteText("*", query, options);
+    MEETXML_CHECK_OK(result.status());
+    rows = result->rows.size();
+    found = result->rows_found;
+    examined = result->rows_examined;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["docs"] = docs;
+  state.counters["k"] = k;
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["rows_found"] = static_cast<double>(found);
+  state.counters["rows_examined"] = static_cast<double>(examined);
+}
+
+// ---- Part 1: latency vs. k over the full catalog ------------------------
+
+void BM_TopKStreaming(benchmark::State& state) {
+  RunTopK(state, kMaxDocs, static_cast<int>(state.range(0)), false);
+}
+BENCHMARK(BM_TopKStreaming)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopKMaterialized(benchmark::State& state) {
+  RunTopK(state, kMaxDocs, static_cast<int>(state.range(0)), true);
+}
+BENCHMARK(BM_TopKMaterialized)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Part 2: latency vs. document count at k=10 -------------------------
+
+void BM_TopKStreamingDocs(benchmark::State& state) {
+  RunTopK(state, static_cast<int>(state.range(0)), 10, false);
+}
+BENCHMARK(BM_TopKStreamingDocs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopKMaterializedDocs(benchmark::State& state) {
+  RunTopK(state, static_cast<int>(state.range(0)), 10, true);
+}
+BENCHMARK(BM_TopKMaterializedDocs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,9 +18,14 @@ struct Witness {
 
 // A live input item: its current roll-up position plus the witnesses it
 // carries (more than one only after duplicate-association merging).
+// Witness lists are fixed at seed time — items never gain witnesses as
+// they lift — so each item holds a span into one shared arena instead
+// of owning a vector: items stay trivially copyable and seeding does
+// no per-item allocation.
 struct Item {
   Oid cur;
-  std::vector<uint32_t> witness_ids;
+  uint32_t wid_begin;
+  uint32_t wid_count;
 };
 
 Status ValidateInput(const StoredDocument& doc, const AssocSet& set,
@@ -61,33 +66,60 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
   const model::PathSummary& paths = doc.paths();
 
   // Seed: one item per distinct association; duplicates across (or
-  // within) sets merge their witnesses into one item.
+  // within) sets merge their witnesses into one item. Sets are
+  // uniformly typed, so merging is per path: concatenate every set
+  // bound to the path as (node, witness) pairs, stable-sort by node,
+  // and fold equal-node runs into one item — witness order within an
+  // item stays input order, exactly as hash-based merging produced,
+  // at a fraction of the constant factor.
   std::vector<Witness> witnesses;
+  std::vector<uint32_t> wid_arena;
   std::vector<std::vector<Item>> buckets(paths.size());
   {
-    // (path, node) -> (bucket path, item index) for duplicate merging.
-    std::unordered_map<uint64_t, std::pair<PathId, uint32_t>> seen;
+    std::vector<std::pair<PathId, std::vector<std::pair<Oid, uint32_t>>>>
+        per_path;
     for (size_t i = 0; i < inputs.size(); ++i) {
       MEETXML_RETURN_NOT_OK(ValidateInput(doc, inputs[i], i));
       const AssocSet& set = inputs[i];
-      for (Oid node : set.nodes) {
-        Assoc assoc{set.path, node};
-        uint32_t wid = static_cast<uint32_t>(witnesses.size());
-        witnesses.push_back(Witness{assoc, i});
-        uint64_t key = (static_cast<uint64_t>(set.path) << 32) | node;
-        auto it = seen.find(key);
-        if (it != seen.end()) {
-          buckets[it->second.first][it->second.second]
-              .witness_ids.push_back(wid);
-          continue;
+      std::vector<std::pair<Oid, uint32_t>>* pairs = nullptr;
+      for (auto& entry : per_path) {
+        if (entry.first == set.path) {
+          pairs = &entry.second;
+          break;
         }
+      }
+      if (pairs == nullptr) {
+        per_path.emplace_back(set.path,
+                              std::vector<std::pair<Oid, uint32_t>>());
+        pairs = &per_path.back().second;
+      }
+      pairs->reserve(pairs->size() + set.nodes.size());
+      for (Oid node : set.nodes) {
+        uint32_t wid = static_cast<uint32_t>(witnesses.size());
+        witnesses.push_back(Witness{Assoc{set.path, node}, i});
+        pairs->emplace_back(node, wid);
+      }
+    }
+    for (auto& [path, pairs] : per_path) {
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const std::pair<Oid, uint32_t>& a,
+                          const std::pair<Oid, uint32_t>& b) {
+                         return a.first < b.first;
+                       });
+      std::vector<Item>& bucket = buckets[path];
+      bucket.reserve(pairs.size());
+      wid_arena.reserve(wid_arena.size() + pairs.size());
+      for (size_t i = 0; i < pairs.size();) {
         Item item;
-        item.cur = node;
-        item.witness_ids.push_back(wid);
-        seen.emplace(key,
-                     std::make_pair(set.path, static_cast<uint32_t>(
-                                                  buckets[set.path].size())));
-        buckets[set.path].push_back(std::move(item));
+        item.cur = pairs[i].first;
+        item.wid_begin = static_cast<uint32_t>(wid_arena.size());
+        do {
+          wid_arena.push_back(pairs[i].second);
+          ++i;
+        } while (i < pairs.size() && pairs[i].first == item.cur);
+        item.wid_count =
+            static_cast<uint32_t>(wid_arena.size()) - item.wid_begin;
+        bucket.push_back(item);
         ++st->items_seeded;
       }
     }
@@ -95,9 +127,22 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
 
   std::vector<GeneralMeet> results;
 
+  // Bounded mode: keep the k best candidates in a max-heap ordered by
+  // the final ranking key (witness_distance, meet OID). The key is a
+  // total order — meet nodes are unique within a run — so heap-top-k is
+  // byte-identical to sort-then-resize, at O(k) memory.
+  const bool bounded = options.max_results > 0 && !options.materialize_all;
+  auto rank_before = [](const GeneralMeet& a, const GeneralMeet& b) {
+    if (a.witness_distance != b.witness_distance) {
+      return a.witness_distance < b.witness_distance;
+    }
+    return a.meet < b.meet;
+  };
+
   // Roll up the schema tree children-before-parents. Path ids are
   // interned parents-first, so descending id order visits every path
   // after all of its children.
+  std::vector<uint8_t> lifted_into(paths.size(), 0);
   for (size_t p = paths.size(); p-- > 0;) {
     PathId pid = static_cast<PathId>(p);
     std::vector<Item> bucket = std::move(buckets[pid]);
@@ -108,32 +153,26 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
     const uint32_t node_depth =
         is_attr ? paths.depth(pid) - 1 : paths.depth(pid);
 
-    // Group items by current node.
-    std::unordered_map<Oid, std::vector<size_t>> by_node;
-    by_node.reserve(bucket.size());
-    for (size_t i = 0; i < bucket.size(); ++i) {
-      by_node[bucket[i].cur].push_back(i);
-    }
-
-    for (auto& [node, item_indices] : by_node) {
+    auto process_group = [&](Oid node, const size_t* item_indices,
+                             size_t group_size) {
       // A node is a meet when >= 2 items converge on it — or when a
       // single seeded item already carries >= 2 witnesses (the same
       // association matched several search terms, e.g. "Bob" and
       // "Byte" hitting one cdata: the meet is that node itself).
       bool merged_duplicate =
-          item_indices.size() == 1 &&
-          bucket[item_indices[0]].witness_ids.size() >= 2;
-      if (item_indices.size() >= 2 || merged_duplicate) {
+          group_size == 1 && bucket[item_indices[0]].wid_count >= 2;
+      if (group_size >= 2 || merged_duplicate) {
         // `node` is the lowest common ancestor of at least two input
-        // items: a minimal meet. Consume the items.
-        GeneralMeet meet;
-        meet.meet = node;
-        meet.meet_path = doc.path(node);
+        // items: a minimal meet. Consume the items. The ranking key
+        // needs only the two largest witness distances, so compute it
+        // first and materialize the witness vector only for candidates
+        // that survive the bound checks below.
         int largest = 0;
         int second = 0;
-        for (size_t idx : item_indices) {
-          for (uint32_t wid : bucket[idx].witness_ids) {
-            const Witness& w = witnesses[wid];
+        for (size_t g = 0; g < group_size; ++g) {
+          const Item& item = bucket[item_indices[g]];
+          for (uint32_t o = 0; o < item.wid_count; ++o) {
+            const Witness& w = witnesses[wid_arena[item.wid_begin + o]];
             // A witness seeded in this very bucket never traversed an
             // edge (distance 0); a lifted witness is as many edges away
             // as its association depth exceeds the meet node's depth.
@@ -141,7 +180,6 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
                            ? 0
                            : static_cast<int>(AssocDepth(doc, w.assoc)) -
                                  static_cast<int>(node_depth);
-            meet.witnesses.push_back(MeetWitness{w.assoc, w.source, dist});
             if (dist >= largest) {
               second = largest;
               largest = dist;
@@ -150,10 +188,48 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
             }
           }
         }
-        meet.witness_distance = largest + second;
-        bool report = options.PathAllowed(meet.meet_path) &&
-                      meet.witness_distance <= options.max_distance;
+        int witness_distance = largest + second;
+        PathId meet_path = doc.path(node);
+        bool report = options.PathAllowed(meet_path) &&
+                      witness_distance <= options.max_distance;
         if (report) {
+          ++st->meets_found;
+          bool keep = true;
+          // Strictly-worse pruning only: a candidate tied with the
+          // shared bound may still win its tie-break, so `>` not `>=`.
+          if (options.shared_max_distance != nullptr &&
+              witness_distance > options.shared_max_distance->load(
+                                     std::memory_order_relaxed)) {
+            keep = false;
+          }
+          if (keep && bounded && results.size() >= options.max_results) {
+            const GeneralMeet& worst = results.front();
+            if (witness_distance > worst.witness_distance ||
+                (witness_distance == worst.witness_distance &&
+                 node > worst.meet)) {
+              keep = false;
+            }
+          }
+          if (!keep) {
+            ++st->meets_pruned;
+            return;
+          }
+          ++st->meets_materialized;
+          GeneralMeet meet;
+          meet.meet = node;
+          meet.meet_path = meet_path;
+          meet.witness_distance = witness_distance;
+          for (size_t g = 0; g < group_size; ++g) {
+            const Item& item = bucket[item_indices[g]];
+            for (uint32_t o = 0; o < item.wid_count; ++o) {
+              const Witness& w = witnesses[wid_arena[item.wid_begin + o]];
+              int dist = w.assoc.path == pid
+                             ? 0
+                             : static_cast<int>(AssocDepth(doc, w.assoc)) -
+                                   static_cast<int>(node_depth);
+              meet.witnesses.push_back(MeetWitness{w.assoc, w.source, dist});
+            }
+          }
           std::sort(meet.witnesses.begin(), meet.witnesses.end(),
                     [](const MeetWitness& a, const MeetWitness& b) {
                       if (a.assoc.node != b.assoc.node) {
@@ -161,32 +237,71 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
                       }
                       return a.assoc.path < b.assoc.path;
                     });
-          results.push_back(std::move(meet));
+          if (bounded) {
+            if (results.size() >= options.max_results) {
+              std::pop_heap(results.begin(), results.end(), rank_before);
+              results.pop_back();
+            }
+            results.push_back(std::move(meet));
+            std::push_heap(results.begin(), results.end(), rank_before);
+          } else {
+            results.push_back(std::move(meet));
+          }
         }
-        continue;
+        return;
       }
 
       // Lone item: climb one edge, unless already at a root-level
       // element path (then it produces no meet and is dropped).
-      size_t idx = item_indices.front();
+      size_t idx = item_indices[0];
       PathId parent_path = paths.parent(pid);
-      if (parent_path == bat::kInvalidPathId) continue;
+      if (parent_path == bat::kInvalidPathId) return;
+      // Every witness of a lone item shares one association (items only
+      // merge at seed time), so its distance after the climb is exact.
+      // Once that exceeds max_distance the item can never be part of a
+      // reportable meet again — largest >= this distance at every
+      // ancestor — so dropping it here changes no output and no count.
+      const Witness& w = witnesses[wid_arena[bucket[idx].wid_begin]];
+      uint32_t parent_depth =
+          paths.kind(parent_path) == model::StepKind::kAttribute
+              ? paths.depth(parent_path) - 1
+              : paths.depth(parent_path);
+      int lifted_dist = static_cast<int>(AssocDepth(doc, w.assoc)) -
+                        static_cast<int>(parent_depth);
+      if (lifted_dist > options.max_distance) return;
       Item lifted = std::move(bucket[idx]);
       if (!is_attr) lifted.cur = doc.parent(lifted.cur);
       buckets[parent_path].push_back(std::move(lifted));
+      lifted_into[parent_path] = 1;
       ++st->lifts;
+    };
+
+    if (!lifted_into[pid]) {
+      // No lifts landed here, so the bucket holds only seeds — unique
+      // by construction (the `seen` map merged duplicates) — and every
+      // item is its own group. Skipping the hash grouping below is a
+      // large constant-factor win for leaf paths with thousands of
+      // associations.
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        process_group(bucket[i].cur, &i, 1);
+      }
+    } else {
+      // Group items by current node.
+      std::unordered_map<Oid, std::vector<size_t>> by_node;
+      by_node.reserve(bucket.size());
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        by_node[bucket[i].cur].push_back(i);
+      }
+      for (auto& [node, item_indices] : by_node) {
+        process_group(node, item_indices.data(), item_indices.size());
+      }
     }
   }
 
   // Rank by the paper's heuristic: fewest joins (tightest witness span)
-  // first; meet OID breaks ties deterministically.
-  std::sort(results.begin(), results.end(),
-            [](const GeneralMeet& a, const GeneralMeet& b) {
-              if (a.witness_distance != b.witness_distance) {
-                return a.witness_distance < b.witness_distance;
-              }
-              return a.meet < b.meet;
-            });
+  // first; meet OID breaks ties deterministically. A bounded run holds
+  // exactly the top k in heap order and just needs the final sort.
+  std::sort(results.begin(), results.end(), rank_before);
   if (options.max_results > 0 && results.size() > options.max_results) {
     results.resize(options.max_results);
   }

@@ -45,11 +45,21 @@ struct GeneralMeet {
   int witness_distance;
 };
 
-/// \brief Execution counters for benchmarks.
+/// \brief Execution counters for benchmarks and the top-k pruning proof.
 struct MeetGeneralStats {
   size_t items_seeded = 0;
   size_t lifts = 0;         // parent steps executed
   size_t paths_touched = 0; // schema paths visited by the roll-up
+  /// Meets that passed the path/distance restrictions — the exact size
+  /// of the unbounded answer, counted even when the bounded heap or the
+  /// shared ceiling drops the candidate.
+  size_t meets_found = 0;
+  /// Meets whose witnesses were actually materialized (== meets_found
+  /// on an unbounded run; strictly smaller when top-k pruning bites).
+  size_t meets_materialized = 0;
+  /// Qualifying meets rejected before witness materialization by the
+  /// heap bound or the shared distance ceiling.
+  size_t meets_pruned = 0;
 };
 
 /// \brief meet(R1, ..., Rn) over any number of association sets.

@@ -4,6 +4,7 @@
 #ifndef MEETXML_CORE_RESTRICTIONS_H_
 #define MEETXML_CORE_RESTRICTIONS_H_
 
+#include <atomic>
 #include <limits>
 #include <unordered_set>
 
@@ -30,8 +31,24 @@ struct MeetOptions {
   /// farthest witnesses are more than this many edges apart (d-meet).
   int max_distance = std::numeric_limits<int>::max();
 
-  /// Stop after this many results (0 = unlimited).
+  /// Stop after this many results (0 = unlimited). A bounded run keeps a
+  /// size-k heap instead of the full result vector, so memory is O(k)
+  /// and candidates provably outside the top k skip witness
+  /// materialization entirely.
   size_t max_results = 0;
+
+  /// Collect every qualifying meet and only trim to max_results after
+  /// the final sort — the pre-heap behaviour, kept selectable so the
+  /// streaming-vs-materialized benches compare real work, not flags.
+  bool materialize_all = false;
+
+  /// Optional distance ceiling shared across a multi-document fan-out:
+  /// candidates strictly farther than the loaded value are pruned
+  /// before witness materialization. Relaxed loads only — the bound is
+  /// a monotone hint, and a stale read merely materializes a candidate
+  /// the global merge would discard anyway, so the merged answer stays
+  /// exact.
+  const std::atomic<int>* shared_max_distance = nullptr;
 
   /// \brief True if a node at `path` may be reported.
   bool PathAllowed(bat::PathId path) const {

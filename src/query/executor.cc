@@ -11,6 +11,7 @@
 #include "query/parser.h"
 #include "query/path_match.h"
 #include "text/tokenizer.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -342,6 +343,9 @@ Result<QueryResult> Executor::Execute(const Query& query,
   if (query.limit.has_value()) {
     row_cap = std::min(row_cap, static_cast<size_t>(*query.limit));
   }
+  if (options.limit_hint > 0) {
+    row_cap = std::min(row_cap, options.limit_hint);
+  }
 
   QueryResult result;
   switch (projection.kind) {
@@ -360,7 +364,14 @@ Result<QueryResult> Executor::Execute(const Query& query,
         meet_options.max_distance =
             std::min(meet_options.max_distance, predicate->bound);
       }
+      result.columns = {"meet", "path", "oid", "distance", "witnesses"};
+      // LIMIT 0 is an empty answer, not "unlimited" — max_results uses
+      // 0 as the no-bound sentinel, so short-circuit before it would be
+      // misread.
+      if (row_cap == 0) break;
       meet_options.max_results = row_cap;
+      meet_options.materialize_all = options.materialized_merge;
+      meet_options.shared_max_distance = options.rank_ceiling;
 
       std::vector<AssocSet> inputs;
       for (const std::string& var : projection.vars) {
@@ -370,13 +381,15 @@ Result<QueryResult> Executor::Execute(const Query& query,
           result.meets,
           core::MeetGeneral(doc, inputs, meet_options,
                             &result.meet_stats));
-      result.columns = {"meet", "path", "oid", "distance", "witnesses"};
+      result.rows.reserve(result.meets.size());
       for (const core::GeneralMeet& meet : result.meets) {
         result.rows.push_back(
             {doc.tag(meet.meet), doc.paths().ToString(meet.meet_path),
              FormatOid(meet.meet), std::to_string(meet.witness_distance),
              std::to_string(meet.witnesses.size())});
       }
+      result.rows_found = result.meet_stats.meets_found;
+      result.truncated = result.rows_found > result.rows.size();
       break;
     }
 
@@ -403,6 +416,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
         for (const Assoc& b : right) {
           if (++pairs > kMaxGraphMeetPairs) {
             result.truncated = true;
+            result.rows_found_exact = false;
             break;
           }
           auto meet = core::GraphMeet(doc, idrefs_, a.node, b.node, reach);
@@ -422,6 +436,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
       }
       std::sort(ordered.begin(), ordered.end());
       result.columns = {"meet", "path", "oid", "distance"};
+      result.rows_found = ordered.size();
       for (const auto& [distance, node] : ordered) {
         if (result.rows.size() >= row_cap) {
           result.truncated = true;
@@ -469,6 +484,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
         tuples *= list.size();
         if (tuples > kMaxAncestorTuples) {
           result.truncated = true;
+          result.rows_found_exact = false;
           tuples = kMaxAncestorTuples;
           break;
         }
@@ -509,6 +525,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
           Oid node = lca.node;
           result.total_ancestor_rows += doc.depth(node);
           while (true) {
+            ++result.rows_found;
             if (result.rows.size() < row_cap) {
               result.rows.push_back(
                   {doc.tag(node), doc.paths().ToString(doc.path(node)),
@@ -529,7 +546,10 @@ Result<QueryResult> Executor::Execute(const Query& query,
         }
         if (v == flat.size()) done = true;
       }
-      if (!done) result.truncated = true;
+      if (!done) {
+        result.truncated = true;
+        result.rows_found_exact = false;
+      }
       break;
     }
 
@@ -547,7 +567,10 @@ Result<QueryResult> Executor::Execute(const Query& query,
         size_t count = 0;
         for (const AssocSet& set : sets) count += set.nodes.size();
         result.columns = {"count"};
-        result.rows.push_back({std::to_string(count)});
+        result.rows_found = 1;
+        if (row_cap > 0) {
+          result.rows.push_back({std::to_string(count)});
+        }
         break;
       }
       if (projection.kind == Projection::Kind::kTag ||
@@ -566,6 +589,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
         result.columns = {projection.kind == Projection::Kind::kTag
                               ? "tag"
                               : "path"};
+        result.rows_found = values.size();
         for (std::string& value : values) {
           if (result.rows.size() >= row_cap) {
             result.truncated = true;
@@ -575,17 +599,23 @@ Result<QueryResult> Executor::Execute(const Query& query,
         }
         break;
       }
-      // kVar / kXml: one row per bound node.
+      // kVar / kXml: one row per bound node. Limit pushdown: the exact
+      // cardinality is known from the match sets, so stop producing
+      // rows at the cap — for kXml that skips the whole subtree
+      // reassembly of every row past it, not just the copy-out.
       result.columns = projection.kind == Projection::Kind::kXml
                            ? std::vector<std::string>{"xml"}
                            : std::vector<std::string>{"result", "path",
                                                       "oid"};
       for (const AssocSet& set : sets) {
+        result.rows_found += set.nodes.size();
+      }
+      result.truncated = result.rows_found > row_cap;
+      result.rows.reserve(std::min<uint64_t>(result.rows_found, row_cap));
+      for (const AssocSet& set : sets) {
+        if (result.rows.size() >= row_cap) break;
         for (Oid node : set.nodes) {
-          if (result.rows.size() >= row_cap) {
-            result.truncated = true;
-            break;
-          }
+          if (result.rows.size() >= row_cap) break;
           if (projection.kind == Projection::Kind::kXml) {
             MEETXML_ASSIGN_OR_RETURN(std::string xml_text,
                                      model::ReassembleToXml(doc, node, 0));
@@ -607,6 +637,16 @@ Result<QueryResult> Executor::ExecuteText(
     std::string_view text, const ExecuteOptions& options) const {
   MEETXML_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
   return Execute(query, options);
+}
+
+Result<RankedCursor> Executor::ExecuteRanked(
+    const Query& query, const ExecuteOptions& options) const {
+  // Fault-injection site: one document of a streaming fan-out failing
+  // must surface as a clean error for the whole merge, never a partial
+  // answer.
+  MEETXML_FAILPOINT("query.cursor");
+  MEETXML_ASSIGN_OR_RETURN(QueryResult result, Execute(query, options));
+  return RankedCursor(std::move(result));
 }
 
 namespace {

@@ -6,6 +6,7 @@
 #ifndef MEETXML_QUERY_EXECUTOR_H_
 #define MEETXML_QUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -28,6 +29,26 @@ struct ExecuteOptions {
   /// Hard cap on materialized result rows (safety valve; LIMIT is the
   /// user-facing knob).
   size_t max_rows = 100000;
+
+  /// Caller-supplied bound on useful rows (0 = none): the server maps
+  /// its wire-protocol result-byte cap to a row count here so daemon
+  /// queries without an explicit LIMIT still get limit pushdown. Unlike
+  /// max_rows this marks the answer as bounded, enabling the streaming
+  /// top-k merge.
+  size_t limit_hint = 0;
+
+  /// Worker threads for the multi-document fan-out (0 = hardware).
+  unsigned merge_threads = 0;
+
+  /// Force the legacy materialize-then-sort merge (and unbounded
+  /// per-document meet collection). The escape hatch the equivalence
+  /// tests and the ab15 streaming-vs-materialized bench compare
+  /// against.
+  bool materialized_merge = false;
+
+  /// Shared witness-distance ceiling for cross-document early
+  /// termination; installed by store::MultiExecutor, not by end users.
+  const std::atomic<int>* rank_ceiling = nullptr;
 };
 
 /// \brief Renders columns + rows as an aligned ASCII table — the one
@@ -53,11 +74,58 @@ struct QueryResult {
   /// combinatorial explosion of the result size", §1).
   uint64_t total_ancestor_rows = 0;
 
+  /// Exact number of answer rows the query implies before any cap
+  /// (LIMIT, max_rows, limit_hint) — for MEET the qualifying-meet
+  /// count, for other projections the full enumeration count. Valid
+  /// only when rows_found_exact is true.
+  uint64_t rows_found = 0;
+
+  /// False when an enumeration guard (ancestor-tuple or graph-pair
+  /// cap) cut counting short, so rows_found is a lower bound only.
+  bool rows_found_exact = true;
+
   /// True when rows were truncated by LIMIT or max_rows.
   bool truncated = false;
 
   /// \brief Renders an aligned ASCII table.
   std::string ToText() const;
+};
+
+/// \brief Pull-based iterator over a ranked result, yielding rows in
+/// ascending witness distance (then row index). For MEET projections
+/// the per-row distance is the meet's witness_distance; rows of
+/// unranked projections all rank at distance 0 and keep their
+/// enumeration order. The cursor owns the result; TakeRow() moves the
+/// row strings out, so a consumed cursor's backing rows are spent.
+class RankedCursor {
+ public:
+  explicit RankedCursor(QueryResult result) : result_(std::move(result)) {}
+
+  bool Done() const { return next_ >= result_.rows.size(); }
+  size_t index() const { return next_; }
+  int distance() const {
+    return next_ < result_.meets.size()
+               ? result_.meets[next_].witness_distance
+               : 0;
+  }
+  std::vector<std::string> TakeRow() {
+    return std::move(result_.rows[next_++]);
+  }
+
+  const QueryResult& result() const { return result_; }
+
+  /// \brief Surrenders the result for per-document bookkeeping. Rows
+  /// and meets are cleared (partially moved-from after TakeRow); the
+  /// counts, stats and flags survive.
+  QueryResult Consume() && {
+    result_.rows.clear();
+    result_.meets.clear();
+    return std::move(result_);
+  }
+
+ private:
+  QueryResult result_;
+  size_t next_ = 0;
 };
 
 /// \brief Executes queries against one stored document.
@@ -84,6 +152,13 @@ class Executor {
   /// \brief Parses and executes query text.
   util::Result<QueryResult> ExecuteText(
       std::string_view text, const ExecuteOptions& options = {}) const;
+
+  /// \brief Executes a query and wraps the (distance-ordered) result in
+  /// a RankedCursor for incremental consumption — the per-document leg
+  /// of the streaming top-k merge. Carries the "query.cursor" failpoint
+  /// so fault injection can fail one document mid-fan-out.
+  util::Result<RankedCursor> ExecuteRanked(
+      const Query& query, const ExecuteOptions& options = {}) const;
 
   /// \brief Explains a query without running its projection: per
   /// binding the matched schema paths and their cardinalities before

@@ -410,9 +410,27 @@ std::string QueryService::HandleQuery(Connection* connection,
     entry.slow = slow;
     query_log_.Push(std::move(entry));
   };
+  uint64_t cap = sessions_.options().max_result_bytes;
+  // Clamp to the frame budget: whatever the session policy says, an
+  // answer this path approves must encode into one response frame, or
+  // the TCP front-end would bounce what the in-process transport
+  // delivered.
+  if (cap == 0 || cap > kMaxQueryTableBytes) cap = kMaxQueryTableBytes;
+  query::ExecuteOptions exec = options_.execute;
+  // Push the byte cap down as a row-count hint: a rendered row costs
+  // at least two bytes (one cell plus the newline), so more than cap/2
+  // rows can never fit — stop producing them inside the executors, and
+  // let ranked queries without an explicit LIMIT take the streaming
+  // top-k merge. Any answer the hint truncates still overruns the byte
+  // cap below, so the error contract is unchanged; complete answers
+  // are byte-identical.
+  uint64_t row_hint = cap / 2;
+  if (row_hint > 0 &&
+      (exec.limit_hint == 0 || exec.limit_hint > row_hint)) {
+    exec.limit_hint = static_cast<size_t>(row_hint);
+  }
   Result<store::MultiResult> result =
-      executor_.ExecuteText(request.scope, request.query,
-                            options_.execute,
+      executor_.ExecuteText(request.scope, request.query, exec,
                             observe ? &trace : nullptr);
   if (!result.ok()) {
     finish(false, 0);
@@ -425,12 +443,6 @@ std::string QueryService::HandleQuery(Connection* connection,
   response.row_count = result->rows.size();
   response.truncated = result->truncated;
   response.table = result->ToText();
-  uint64_t cap = sessions_.options().max_result_bytes;
-  // Clamp to the frame budget: whatever the session policy says, an
-  // answer this path approves must encode into one response frame, or
-  // the TCP front-end would bounce what the in-process transport
-  // delivered.
-  if (cap == 0 || cap > kMaxQueryTableBytes) cap = kMaxQueryTableBytes;
   if (response.table.size() > cap) {
     finish(false, 0);
     // The per-session result-memory bound: the rendered answer is

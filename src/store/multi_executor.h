@@ -41,8 +41,28 @@ struct MultiResult {
   /// are globally re-ranked by ascending witness distance; other
   /// projections keep (document, row) order.
   std::vector<std::vector<std::string>> rows;
-  /// Structured per-document access (meets, stats, exact counts).
+  /// Structured per-document access (meets, stats, exact counts). On
+  /// the streaming top-k path the per-document `rows` and `meets` are
+  /// consumed into the merged answer (counts, stats and flags remain);
+  /// pass ExecuteOptions::materialized_merge to keep them intact.
   std::vector<DocumentResult> per_document;
+
+  /// Exact total of answer rows the query implies across all scoped
+  /// documents, before any cap (meaningful when every per-document
+  /// rows_found_exact was true).
+  uint64_t rows_found = 0;
+  /// Rows actually materialized across the fan-out (for MEET: meets
+  /// whose witnesses were built). rows_found - rows_examined is the
+  /// early-termination win.
+  uint64_t rows_examined = 0;
+  /// Qualifying answers pruned before materialization by limit
+  /// pushdown, the per-document heaps, or the shared distance ceiling.
+  uint64_t rows_pruned = 0;
+
+  /// True only when the merged answer is *incomplete*: rows were
+  /// dropped by the max_rows safety valve, the server's byte-cap limit
+  /// hint, or an enumeration guard. An explicit LIMIT k satisfied with
+  /// k rows is a complete answer, not a truncated one.
   bool truncated = false;
 
   /// \brief Renders an aligned ASCII table, like QueryResult::ToText.
@@ -76,6 +96,14 @@ class MultiExecutor {
   /// stages land on it: route (scope matching), per-document decode /
   /// index build (the catalog's first-touch costs), per-document
   /// execute, and the global merge (obs/trace.h).
+  ///
+  /// A ranked (MEET) query with a bound — an explicit LIMIT k or a
+  /// limit_hint — takes the streaming top-k path: each document's
+  /// RankedCursor drains into one global k-bounded heap, and once the
+  /// heap is full its worst distance becomes a shared ceiling that
+  /// early-terminates the remaining documents' enumeration. Memory is
+  /// O(k); the merged rows are byte-identical to the materialized
+  /// path at any thread count.
   util::Result<MultiResult> Execute(
       std::string_view scope, const query::Query& query,
       const query::ExecuteOptions& options = {},

@@ -805,7 +805,33 @@ TEST(MultiExecutor, LimitAppliesAcrossDocuments) {
       "*", "SELECT a FROM *//cdata a LIMIT 1");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->rows.size(), 1u);
-  EXPECT_TRUE(result->truncated);
+  // A LIMIT satisfied exactly is a complete answer, not a truncated
+  // one: the user asked for one row and got one row.
+  EXPECT_FALSE(result->truncated);
+  EXPECT_GT(result->rows_found, 1u);
+}
+
+TEST(MultiExecutor, MaxRowsValveIsTruncationButLimitIsNot) {
+  // The distinction the streaming-top-k semantics pin down: dropping
+  // rows because of the max_rows safety valve leaves the answer
+  // incomplete (truncated), while an explicit LIMIT that was met
+  // exactly does not.
+  Catalog catalog = TwoLibraries();
+  MultiExecutor multi(&catalog);
+
+  query::ExecuteOptions capped;
+  capped.max_rows = 1;
+  auto valve = multi.ExecuteText("*", "SELECT a FROM *//cdata a", capped);
+  ASSERT_TRUE(valve.ok());
+  EXPECT_EQ(valve->rows.size(), 1u);
+  EXPECT_TRUE(valve->truncated);
+
+  // A LIMIT larger than the answer is also complete.
+  auto all = multi.ExecuteText(
+      "*", "SELECT a FROM *//cdata a LIMIT 100000");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), all->rows_found);
+  EXPECT_FALSE(all->truncated);
 }
 
 TEST(MultiExecutor, CrossDocumentMeetFindsTheSharedItem) {

@@ -1,0 +1,371 @@
+// Streaming top-k merge (store/multi_executor.h): equivalence pins
+// against the legacy materialized path, heap edge cases, the
+// early-termination proof via the rows-pruned accounting, the new
+// truncated semantics, and the query.cursor failpoint.
+//
+// The determinism contract under test: a bounded ranked query's merged
+// rows are byte-identical whether they come from the streaming
+// k-bounded heap or the materialize-then-sort path, at any thread
+// count — the streaming pipeline is a pure execution strategy, never a
+// semantics change.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dblp_gen.h"
+#include "data/random_tree.h"
+#include "model/shredder.h"
+#include "obs/metrics.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "store/catalog.h"
+#include "store/multi_executor.h"
+#include "util/failpoint.h"
+#include "xml/serializer.h"
+
+namespace meetxml {
+namespace {
+
+using query::ExecuteOptions;
+using store::Catalog;
+using store::MultiExecutor;
+using store::MultiResult;
+using util::FailPoints;
+using util::FailPointSpec;
+
+// Eight DBLP-shaped bibliographies with distinct year ranges (the ab10
+// corpus shape, smaller): plenty of meets per document, selective
+// predicates available via venue/year strings.
+Catalog DblpCatalog(int docs) {
+  Catalog catalog;
+  for (int i = 0; i < docs; ++i) {
+    data::DblpOptions options;
+    options.seed = 42 + static_cast<uint64_t>(i);
+    options.start_year = 1980 + i;
+    options.end_year = options.start_year + 1;
+    options.icde_papers_per_year = 8;
+    options.other_papers_per_year = 12;
+    options.journal_articles_per_year = 6;
+    auto generated = data::GenerateDblp(options);
+    EXPECT_TRUE(generated.ok()) << generated.status();
+    auto doc = model::Shred(*generated);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    auto added =
+        catalog.Add("dblp_" + std::to_string(i), std::move(*doc));
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return catalog;
+}
+
+// Random-tree corpus: irregular schemas, duplicate-ish text, meets at
+// many identical distances — the tie-break stress case.
+Catalog RandomTreeCatalog(int docs, uint64_t seed) {
+  Catalog catalog;
+  for (int i = 0; i < docs; ++i) {
+    data::RandomTreeOptions options;
+    options.seed = seed + static_cast<uint64_t>(i);
+    options.target_elements = 300;
+    options.tag_vocabulary = 5;
+    options.text_prob = 0.6;
+    auto generated = data::GenerateRandomTree(options);
+    EXPECT_TRUE(generated.ok()) << generated.status();
+    auto doc = model::Shred(*generated);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    auto added =
+        catalog.Add("tree_" + std::to_string(i), std::move(*doc));
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return catalog;
+}
+
+const char kDblpMeetQuery[] =
+    "SELECT MEET(a, b) FROM dblp//cdata a, dblp//cdata b "
+    "WHERE a CONTAINS 'ICDE' AND b CONTAINS '198' EXCLUDE dblp";
+
+// ICONTAINS avoids the trigram anchor, so the predicate works on the
+// random trees' generated words (single letters are common).
+const char kTreeMeetQuery[] =
+    "SELECT MEET(a, b) FROM *//cdata a, *//cdata b "
+    "WHERE a ICONTAINS 'a' AND b ICONTAINS 'e'";
+
+MultiResult MustExecute(const MultiExecutor& multi, const std::string& text,
+                        const ExecuteOptions& options) {
+  auto result = multi.ExecuteText("*", text, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : MultiResult{};
+}
+
+// The equivalence pin: streaming rows at 1/2/8 merge threads must be
+// byte-identical to the materialized path's rows, flags included.
+void ExpectStreamingMatchesMaterialized(const Catalog& catalog,
+                                        const std::string& query) {
+  MultiExecutor multi(&catalog);
+  ExecuteOptions materialized;
+  materialized.materialized_merge = true;
+  materialized.merge_threads = 1;
+  MultiResult reference = MustExecute(multi, query, materialized);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ExecuteOptions streaming;
+    streaming.merge_threads = threads;
+    MultiResult answer = MustExecute(multi, query, streaming);
+    ASSERT_EQ(answer.columns, reference.columns) << threads << " threads";
+    ASSERT_EQ(answer.rows, reference.rows) << threads << " threads";
+    EXPECT_EQ(answer.truncated, reference.truncated)
+        << threads << " threads";
+    EXPECT_EQ(answer.rows_found, reference.rows_found)
+        << threads << " threads";
+  }
+}
+
+TEST(TopKEquivalence, StreamingMatchesMaterializedOnDblp) {
+  Catalog catalog = DblpCatalog(8);
+  for (int k : {1, 10, 100, 1000}) {
+    ExpectStreamingMatchesMaterialized(
+        catalog,
+        std::string(kDblpMeetQuery) + " LIMIT " + std::to_string(k));
+  }
+}
+
+TEST(TopKEquivalence, StreamingMatchesMaterializedOnRandomTrees) {
+  for (uint64_t seed : {7u, 99u}) {
+    Catalog catalog = RandomTreeCatalog(4, seed);
+    for (int k : {1, 5, 50}) {
+      ExpectStreamingMatchesMaterialized(
+          catalog,
+          std::string(kTreeMeetQuery) + " LIMIT " + std::to_string(k));
+    }
+  }
+}
+
+TEST(TopKEquivalence, LimitHintBoundsARankedQueryWithoutLimit) {
+  // The server-side shape: no LIMIT in the text, the byte cap arrives
+  // as a hint. The streaming answer must match the materialized one
+  // under the same hint.
+  Catalog catalog = DblpCatalog(4);
+  MultiExecutor multi(&catalog);
+
+  ExecuteOptions materialized;
+  materialized.materialized_merge = true;
+  materialized.limit_hint = 7;
+  MultiResult reference =
+      MustExecute(multi, kDblpMeetQuery, materialized);
+
+  ExecuteOptions streaming;
+  streaming.limit_hint = 7;
+  for (unsigned threads : {1u, 8u}) {
+    streaming.merge_threads = threads;
+    MultiResult answer = MustExecute(multi, kDblpMeetQuery, streaming);
+    ASSERT_EQ(answer.rows, reference.rows) << threads << " threads";
+    EXPECT_EQ(answer.rows.size(), 7u);
+    // Hint truncation is real truncation: the answer is incomplete
+    // relative to what the user asked for.
+    EXPECT_TRUE(answer.truncated);
+  }
+}
+
+TEST(TopKHeap, LimitZeroIsAnEmptyCompleteAnswer) {
+  // LIMIT 0 used to leak through max_results' 0-means-unlimited
+  // sentinel and return every meet; it must yield no rows.
+  Catalog catalog = DblpCatalog(2);
+  MultiExecutor multi(&catalog);
+  auto result =
+      multi.ExecuteText("*", std::string(kDblpMeetQuery) + " LIMIT 0");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_FALSE(result->truncated);
+}
+
+TEST(TopKHeap, LimitOneYieldsTheGlobalBestRow) {
+  Catalog catalog = DblpCatalog(4);
+  MultiExecutor multi(&catalog);
+  ExecuteOptions materialized;
+  materialized.materialized_merge = true;
+  MultiResult reference = MustExecute(
+      multi, std::string(kDblpMeetQuery) + " LIMIT 1000", materialized);
+  ASSERT_FALSE(reference.rows.empty());
+
+  auto best =
+      multi.ExecuteText("*", std::string(kDblpMeetQuery) + " LIMIT 1");
+  ASSERT_TRUE(best.ok()) << best.status();
+  ASSERT_EQ(best->rows.size(), 1u);
+  EXPECT_EQ(best->rows.front(), reference.rows.front());
+}
+
+TEST(TopKHeap, LimitBeyondTotalRowsIsCompleteAndUntruncated) {
+  Catalog catalog = DblpCatalog(2);
+  MultiExecutor multi(&catalog);
+  auto result = multi.ExecuteText(
+      "*", std::string(kDblpMeetQuery) + " LIMIT 100000");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->rows.empty());
+  EXPECT_EQ(result->rows.size(), result->rows_found);
+  EXPECT_EQ(result->rows_found, result->rows_examined);
+  EXPECT_EQ(result->rows_pruned, 0u);
+  EXPECT_FALSE(result->truncated);
+}
+
+TEST(TopKHeap, DuplicateDistancesKeepTheDeterministicTieBreak) {
+  // Random trees produce many meets at equal witness distances; the
+  // pin is that ties resolve by (document index, row index) — the
+  // legacy stable sort's order — at every thread count and exactly at
+  // a k that cuts through a run of equal distances.
+  Catalog catalog = RandomTreeCatalog(4, 21);
+  MultiExecutor multi(&catalog);
+  ExecuteOptions materialized;
+  materialized.materialized_merge = true;
+  MultiResult full = MustExecute(
+      multi, std::string(kTreeMeetQuery) + " LIMIT 100000", materialized);
+  ASSERT_GT(full.rows.size(), 4u);
+
+  // Find a k that splits a duplicate-distance run (distance is column
+  // 4 of the merged row: doc, meet, path, oid, distance, witnesses).
+  size_t split = 0;
+  for (size_t i = 1; i < full.rows.size(); ++i) {
+    if (full.rows[i][4] == full.rows[i - 1][4]) {
+      split = i;  // k = i cuts between two equal-distance rows
+      break;
+    }
+  }
+  ASSERT_GT(split, 0u) << "corpus produced no duplicate distances";
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ExecuteOptions streaming;
+    streaming.merge_threads = threads;
+    MultiResult answer = MustExecute(
+        multi,
+        std::string(kTreeMeetQuery) + " LIMIT " + std::to_string(split),
+        streaming);
+    ASSERT_EQ(answer.rows.size(), split);
+    for (size_t i = 0; i < split; ++i) {
+      EXPECT_EQ(answer.rows[i], full.rows[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(TopKEarlyTermination, SelectiveQueryExaminesStrictlyFewerRows) {
+  // The pruning proof over 8 documents: with LIMIT 10, the streaming
+  // path must materialize strictly fewer answers than full enumeration
+  // finds, the difference must show up as rows_pruned, and the global
+  // counter must advance by the same amount. Single merge thread keeps
+  // the per-document pruning deterministic for the exact-delta check.
+  Catalog catalog = DblpCatalog(8);
+  MultiExecutor multi(&catalog);
+  const std::string query = std::string(kDblpMeetQuery) + " LIMIT 10";
+
+  ExecuteOptions materialized;
+  materialized.materialized_merge = true;
+  MultiResult full = MustExecute(multi, query, materialized);
+  ASSERT_EQ(full.rows.size(), 10u);
+  ASSERT_GT(full.rows_found, 10u)
+      << "corpus too small to demonstrate pruning";
+  EXPECT_EQ(full.rows_examined, full.rows_found);
+
+  obs::Counter& pruned_total = obs::MetricsRegistry::Global().counter(
+      "meetxml_query_rows_pruned_total");
+  uint64_t before = pruned_total.Value();
+
+  ExecuteOptions streaming;
+  streaming.merge_threads = 1;
+  MultiResult streamed = MustExecute(multi, query, streaming);
+  ASSERT_EQ(streamed.rows, full.rows);
+  EXPECT_EQ(streamed.rows_found, full.rows_found);
+  EXPECT_LT(streamed.rows_examined, full.rows_examined);
+  EXPECT_GT(streamed.rows_pruned, 0u);
+  EXPECT_EQ(streamed.rows_found,
+            streamed.rows_examined + streamed.rows_pruned);
+  EXPECT_EQ(pruned_total.Value() - before, streamed.rows_pruned);
+}
+
+TEST(TopKPushdown, UnrankedLimitStopsRowProduction) {
+  // Unranked projections get plain limit pushdown: the exact
+  // cardinality is still reported, but only k rows are materialized
+  // per document, and a satisfied LIMIT is not truncation.
+  Catalog catalog = DblpCatalog(4);
+  MultiExecutor multi(&catalog);
+  auto result =
+      multi.ExecuteText("*", "SELECT a FROM dblp//cdata a LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 5u);
+  EXPECT_FALSE(result->truncated);
+  EXPECT_GT(result->rows_found, 5u);
+  for (const store::DocumentResult& entry : result->per_document) {
+    EXPECT_LE(entry.result.rows.size(), 5u);
+    EXPECT_TRUE(entry.result.rows_found_exact);
+  }
+  EXPECT_GT(result->rows_pruned, 0u);
+}
+
+TEST(TopKPushdown, PerDocumentCursorIsOrderedAndOwnsItsRows) {
+  // The query-layer contract the store merge builds on: ExecuteRanked
+  // yields rows in ascending distance, and TakeRow moves ownership.
+  Catalog catalog = DblpCatalog(1);
+  auto executor = catalog.ExecutorFor("dblp_0");
+  ASSERT_TRUE(executor.ok());
+  auto parsed =
+      query::ParseQuery(std::string(kDblpMeetQuery) + " LIMIT 20");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto cursor = (*executor)->ExecuteRanked(*parsed);
+  ASSERT_TRUE(cursor.ok()) << cursor.status();
+  int last = -1;
+  size_t rows = 0;
+  while (!cursor->Done()) {
+    EXPECT_GE(cursor->distance(), last);
+    last = cursor->distance();
+    std::vector<std::string> row = cursor->TakeRow();
+    ASSERT_EQ(row.size(), 5u);
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
+  EXPECT_LE(rows, 20u);
+  query::QueryResult rest = std::move(*cursor).Consume();
+  EXPECT_TRUE(rest.rows.empty());
+  EXPECT_GE(rest.rows_found, rows);
+}
+
+class TopKFailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Reset(); }
+  void TearDown() override { FailPoints::Reset(); }
+};
+
+TEST_F(TopKFailPointTest, CursorErrorMidStreamIsCleanNotPartial) {
+  // One document failing partway through a streaming fan-out must
+  // surface as a whole-query error — never a partial merged answer.
+  Catalog catalog = DblpCatalog(4);
+  MultiExecutor multi(&catalog);
+  const std::string query = std::string(kDblpMeetQuery) + " LIMIT 10";
+
+  FailPointSpec spec;
+  spec.code = util::StatusCode::kUnavailable;
+  spec.skip = 1;   // first document's cursor opens fine...
+  spec.count = 1;  // ...the second errors mid-stream
+  ASSERT_TRUE(FailPoints::Arm("query.cursor", spec).ok());
+
+  ExecuteOptions streaming;
+  streaming.merge_threads = 1;
+  auto result = multi.ExecuteText("*", query, streaming);
+  if (!FailPoints::enabled()) {
+    // Production build: sites compile to nothing; the query succeeds.
+    EXPECT_TRUE(result.ok()) << result.status();
+    GTEST_SKIP() << "failpoint sites not compiled in";
+  }
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("query.cursor"),
+            std::string::npos);
+
+  // Disarmed, the same query completes and matches the materialized
+  // answer — the failure left no state behind.
+  FailPoints::Reset();
+  ExecuteOptions materialized;
+  materialized.materialized_merge = true;
+  MultiResult reference = MustExecute(multi, query, materialized);
+  MultiResult retry = MustExecute(multi, query, streaming);
+  EXPECT_EQ(retry.rows, reference.rows);
+}
+
+}  // namespace
+}  // namespace meetxml
