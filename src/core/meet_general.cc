@@ -253,22 +253,19 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
 
       // Lone item: climb one edge, unless already at a root-level
       // element path (then it produces no meet and is dropped).
+      //
+      // An item whose distance already exceeds max_distance must keep
+      // climbing even though it can never appear in a reported meet
+      // (its distance only grows, so every meet it joins fails the
+      // span check above). At that unreported meet it still CONSUMES
+      // its partners — the paper's minimality rule — and dropping it
+      // early would let those partners climb on and form extra meets
+      // higher in the tree, changing the answer of distance-bounded
+      // queries. The report check filters the over-distance meet
+      // itself, so no per-item flag is needed.
       size_t idx = item_indices[0];
       PathId parent_path = paths.parent(pid);
       if (parent_path == bat::kInvalidPathId) return;
-      // Every witness of a lone item shares one association (items only
-      // merge at seed time), so its distance after the climb is exact.
-      // Once that exceeds max_distance the item can never be part of a
-      // reportable meet again — largest >= this distance at every
-      // ancestor — so dropping it here changes no output and no count.
-      const Witness& w = witnesses[wid_arena[bucket[idx].wid_begin]];
-      uint32_t parent_depth =
-          paths.kind(parent_path) == model::StepKind::kAttribute
-              ? paths.depth(parent_path) - 1
-              : paths.depth(parent_path);
-      int lifted_dist = static_cast<int>(AssocDepth(doc, w.assoc)) -
-                        static_cast<int>(parent_depth);
-      if (lifted_dist > options.max_distance) return;
       Item lifted = std::move(bucket[idx]);
       if (!is_attr) lifted.cur = doc.parent(lifted.cur);
       buckets[parent_path].push_back(std::move(lifted));
@@ -278,7 +275,8 @@ Result<std::vector<GeneralMeet>> MeetGeneral(
 
     if (!lifted_into[pid]) {
       // No lifts landed here, so the bucket holds only seeds — unique
-      // by construction (the `seen` map merged duplicates) — and every
+      // by construction (the per-path sort-and-fold merged duplicate
+      // associations into single items at seed time) — and every
       // item is its own group. Skipping the hash grouping below is a
       // large constant-factor win for leaf paths with thousands of
       // associations.

@@ -367,8 +367,12 @@ Result<QueryResult> Executor::Execute(const Query& query,
       result.columns = {"meet", "path", "oid", "distance", "witnesses"};
       // LIMIT 0 is an empty answer, not "unlimited" — max_results uses
       // 0 as the no-bound sentinel, so short-circuit before it would be
-      // misread.
-      if (row_cap == 0) break;
+      // misread. MeetGeneral never runs, so the pre-cap answer count is
+      // unknown: rows_found stays 0 as a lower bound only.
+      if (row_cap == 0) {
+        result.rows_found_exact = false;
+        break;
+      }
       meet_options.max_results = row_cap;
       meet_options.materialize_all = options.materialized_merge;
       meet_options.shared_max_distance = options.rank_ceiling;

@@ -84,7 +84,12 @@ struct QueryResult {
   /// cap) cut counting short, so rows_found is a lower bound only.
   bool rows_found_exact = true;
 
-  /// True when rows were truncated by LIMIT or max_rows.
+  /// True when qualifying rows beyond `rows` exist — the row set was
+  /// cut by *any* cap: explicit LIMIT, limit_hint, or max_rows. This is
+  /// a per-document "more rows exist" flag; it deliberately does NOT
+  /// distinguish a satisfied explicit LIMIT from the other caps. The
+  /// merged store::MultiResult::truncated refines it to answer
+  /// completeness, where a LIMIT satisfied exactly is complete.
   bool truncated = false;
 
   /// \brief Renders an aligned ASCII table.

@@ -254,11 +254,14 @@ Result<MultiResult> MultiExecutor::Execute(
     }
   }
 
-  // Truncation means an *incomplete* answer: an enumeration guard cut
-  // counting short, or rows beyond the emitted set were dropped by
-  // something other than the user's explicit LIMIT (the max_rows
-  // valve or the server's byte-cap hint). A LIMIT satisfied exactly is
-  // a complete answer.
+  // Truncation means an *incomplete* answer: rows the user asked for
+  // were dropped — provably (rows_found exceeds the emitted set) or
+  // possibly (an enumeration guard cut counting short, so the row
+  // comparison can't be trusted). Either way, an explicit LIMIT
+  // satisfied exactly is a complete answer: the user asked for k rows
+  // and got k. That also covers LIMIT 0, whose short-circuit skips
+  // execution and leaves rows_found a lower bound (rows_found_exact
+  // false).
   bool exact = true;
   for (const DocumentResult& entry : merged.per_document) {
     merged.rows_found += entry.result.rows_found;
@@ -272,8 +275,8 @@ Result<MultiResult> MultiExecutor::Execute(
   if (merged.rows_found > merged.rows_examined) {
     merged.rows_pruned = merged.rows_found - merged.rows_examined;
   }
-  merged.truncated = !exact || (merged.rows_found > merged.rows.size() &&
-                                merged.rows.size() < user_limit);
+  merged.truncated = (!exact || merged.rows_found > merged.rows.size()) &&
+                     merged.rows.size() < user_limit;
   RowsExaminedCounter()->Add(merged.rows_examined);
   RowsPrunedCounter()->Add(merged.rows_pruned);
   if (!streaming && trace != nullptr) {

@@ -60,9 +60,11 @@ struct MultiResult {
   uint64_t rows_pruned = 0;
 
   /// True only when the merged answer is *incomplete*: rows were
-  /// dropped by the max_rows safety valve, the server's byte-cap limit
-  /// hint, or an enumeration guard. An explicit LIMIT k satisfied with
-  /// k rows is a complete answer, not a truncated one.
+  /// dropped by the max_rows safety valve or the server's byte-cap
+  /// limit hint, or an enumeration guard cut counting short before the
+  /// user's bound was reached. An explicit LIMIT k satisfied with k
+  /// rows (including LIMIT 0) is a complete answer, not a truncated
+  /// one.
   bool truncated = false;
 
   /// \brief Renders an aligned ASCII table, like QueryResult::ToText.

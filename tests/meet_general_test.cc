@@ -170,6 +170,44 @@ TEST(MeetGeneral, MaxDistanceDropsWideMeets) {
   EXPECT_TRUE(results->empty());
 }
 
+TEST(MeetGeneral, OverDistanceItemStillConsumesItsPartnerAtItsMeet) {
+  // Regression: a lone item whose climb distance already exceeds
+  // max_distance must not be dropped early. It can never appear in a
+  // *reported* meet, but at its (unreported) meet it still consumes
+  // its partner — dropping it would free that partner to climb on and
+  // form extra meets higher in the tree, changing d-meet answers.
+  auto doc = MustShred(
+      "<r><host><d1><d2><d3><d4><d5>far</d5></d4></d3></d2></d1>"
+      "<near>mid</near></host><top>beta</top></r>");
+  std::vector<AssocSet> inputs = {
+      SingletonSet(doc, FindCdataNode(doc, "far")),
+      SingletonSet(doc, FindCdataNode(doc, "mid")),
+      SingletonSet(doc, FindCdataNode(doc, "beta"))};
+
+  // far/mid meet at <host> with span 6+2=8: over the bound, so the
+  // meet is unreported — but far and mid are consumed there. beta then
+  // climbs to the root alone: the answer is empty. An early drop of
+  // far (its distance exceeds 5 once it lifts into <host>) would
+  // instead leave mid free to meet beta at <r> with span 3+2=5 <= 5.
+  MeetOptions bounded;
+  bounded.max_distance = 5;
+  MeetGeneralStats stats;
+  auto results = MeetGeneral(doc, inputs, bounded, &stats);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_TRUE(results->empty());
+  EXPECT_EQ(stats.meets_found, 0u);
+
+  // Widening the bound to the host meet's span reports exactly that
+  // meet — <r> never appears in any d-meet answer for these inputs.
+  MeetOptions wide;
+  wide.max_distance = 8;
+  auto host_only = MeetGeneral(doc, inputs, wide);
+  ASSERT_TRUE(host_only.ok()) << host_only.status();
+  ASSERT_EQ(host_only->size(), 1u);
+  EXPECT_EQ(doc.tag((*host_only)[0].meet), "host");
+  EXPECT_EQ((*host_only)[0].witness_distance, 8);
+}
+
 TEST(MeetGeneral, MaxResultsTruncatesAfterRanking) {
   auto doc = MustShred(
       "<r><p><q>a1</q><q>a2</q></p><s>b1</s><s>b2</s></r>");

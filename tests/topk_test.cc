@@ -140,6 +140,20 @@ TEST(TopKEquivalence, StreamingMatchesMaterializedOnRandomTrees) {
   }
 }
 
+TEST(TopKEquivalence, DistanceBoundMatchesAcrossPathsAndThreads) {
+  // WITHIN composes with the streaming merge: the d-meet bound filters
+  // per-document candidates (including over-distance items that must
+  // still consume their partners at unreported meets) while the shared
+  // ceiling prunes globally. Rows, counts and flags must stay
+  // byte-identical to the materialized path on deep irregular trees.
+  Catalog catalog = RandomTreeCatalog(4, 7);
+  for (int within : {4, 8}) {
+    ExpectStreamingMatchesMaterialized(
+        catalog, std::string(kTreeMeetQuery) + " WITHIN " +
+                     std::to_string(within) + " LIMIT 25");
+  }
+}
+
 TEST(TopKEquivalence, LimitHintBoundsARankedQueryWithoutLimit) {
   // The server-side shape: no LIMIT in the text, the byte cap arrives
   // as a hint. The streaming answer must match the materialized one
@@ -176,6 +190,11 @@ TEST(TopKHeap, LimitZeroIsAnEmptyCompleteAnswer) {
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(result->rows.empty());
   EXPECT_FALSE(result->truncated);
+  // The short-circuit skips MeetGeneral entirely, so the per-document
+  // answer counts are lower bounds only, never reported as exact.
+  for (const store::DocumentResult& entry : result->per_document) {
+    EXPECT_FALSE(entry.result.rows_found_exact);
+  }
 }
 
 TEST(TopKHeap, LimitOneYieldsTheGlobalBestRow) {
